@@ -1,0 +1,46 @@
+# Development entry points for the Citrus reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench figures figures-paper stress fuzz vet fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure's table (scaled-down defaults; ~15 min on one core).
+figures:
+	$(GO) run ./cmd/citrusbench -figure all -duration 1s -csv bench_results.csv
+
+# The paper's parameters: 5s per cell, 5 repetitions. Slow.
+figures-paper:
+	$(GO) run ./cmd/citrusbench -figure all -paper -csv bench_results.csv
+
+stress:
+	$(GO) run ./cmd/citrusstress -mode churn -duration 5s
+	$(GO) run ./cmd/citrusstress -mode linear -duration 5s
+	$(GO) run ./cmd/citrusstress -mode falseneg -duration 5s
+
+# Coverage-guided exploration of the core tree against the map oracle.
+fuzz:
+	$(GO) test -fuzz=FuzzOpsAgainstOracle -fuzztime 60s ./internal/core
+
+clean:
+	rm -f bench_results.csv test_output.txt bench_output.txt

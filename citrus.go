@@ -1,0 +1,136 @@
+// Package citrus provides a concurrent binary search tree with wait-free
+// lookups and concurrently executing updates, implementing the Citrus
+// tree of Arbel & Attiya, "Concurrent Updates with RCU: Search Tree as an
+// Example" (PODC 2014).
+//
+// A Tree is a linearizable ordered dictionary. Contains never blocks and
+// never retries (it is wait-free for bounded key spaces): it runs inside
+// an RCU read-side critical section and proceeds in parallel with any
+// number of updates. Insert and Delete synchronize with each other using
+// fine-grained per-node locking with post-lock validation, and with
+// lookups through RCU grace periods: a delete that relocates a node's
+// successor waits for all pre-existing lookups before unlinking the old
+// copy, so a lookup can never miss a key that is logically present.
+//
+// # Handles
+//
+// RCU requires each participating goroutine to be registered, so all
+// operations go through a per-goroutine Handle:
+//
+//	tree := citrus.New[int, string]()
+//
+//	h := tree.NewHandle() // one per worker goroutine
+//	defer h.Close()
+//
+//	h.Insert(7, "seven")
+//	v, ok := h.Get(7)
+//	h.Delete(7)
+//
+// A Handle must not be used from two goroutines at once; create one
+// handle per goroutine (they are cheap: one RCU registration slot).
+//
+// # Consistency of multi-key reads
+//
+// Single-key operations are linearizable. Iteration (Range, Keys, Len) is
+// NOT: the paper shows (§1, Figure 1) that RCU readers traversing several
+// locations can observe concurrent updates in inconsistent orders, which
+// is exactly why Citrus restricts its wait-free read-side to single-key
+// search. The iteration helpers on Tree are provided for quiescent use —
+// convenient between phases of a workload, in tests, and for debugging.
+//
+// The lower-level building blocks are exported for reuse: package rcu
+// contains the paper's scalable user-space RCU implementation (§5), which
+// is useful on its own for any read-mostly data structure.
+package citrus
+
+import (
+	"cmp"
+
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Tree is a concurrent binary search tree implementing an ordered
+// dictionary. Create one with New and access it through per-goroutine
+// Handles.
+type Tree[K cmp.Ordered, V any] struct {
+	inner *core.Tree[K, V]
+}
+
+// New returns an empty tree using the paper's scalable RCU flavor
+// (rcu.Domain) for read-side synchronization and grace periods.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return NewWithFlavor[K, V](rcu.NewDomain())
+}
+
+// NewWithFlavor returns an empty tree using the given RCU flavor. Use
+// rcu.NewClassicDomain to reproduce the paper's Figure 8 comparison, or
+// share one rcu.Domain among several trees so a single registration
+// covers them all.
+func NewWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
+	return &Tree[K, V]{inner: core.NewTree[K, V](flavor)}
+}
+
+// NewWithRecycling returns an empty tree that recycles unlinked nodes
+// through rec instead of leaving them to the garbage collector: deleted
+// nodes are pooled after an RCU grace period and reused by later
+// inserts, removing the per-insert allocation on churn-heavy workloads
+// (the memory-reclamation integration named as future work in §7 of the
+// paper). The reclaimer should be built on the same flavor; the caller
+// owns its lifecycle and should Close it after the tree is no longer
+// updated.
+func NewWithRecycling[K cmp.Ordered, V any](flavor rcu.Flavor, rec *rcu.Reclaimer) *Tree[K, V] {
+	return &Tree[K, V]{inner: core.NewTreeWithRecycling[K, V](flavor, rec)}
+}
+
+// NewHandle registers a handle for the calling goroutine. Handles are not
+// safe for concurrent use; create one per goroutine and Close it when the
+// goroutine is done with the tree.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{inner: t.inner.NewHandle()}
+}
+
+// Len reports the number of keys in the tree. Quiescent use only (see the
+// package comment).
+func (t *Tree[K, V]) Len() int { return t.inner.Len() }
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K { return t.inner.Keys() }
+
+// Range calls fn for each key/value pair in ascending key order until fn
+// returns false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) { t.inner.Range(fn) }
+
+// Height reports the height of the (unbalanced) tree. Quiescent use only.
+func (t *Tree[K, V]) Height() int { return t.inner.Height() }
+
+// CheckInvariants verifies the tree's structural invariants (sentinel
+// skeleton, strict BST order, no marked reachable nodes). Quiescent use
+// only; returns nil when the structure is sound.
+func (t *Tree[K, V]) CheckInvariants() error { return t.inner.CheckInvariants() }
+
+// A Handle is one goroutine's access point to a Tree.
+type Handle[K cmp.Ordered, V any] struct {
+	inner *core.Handle[K, V]
+}
+
+// Get returns the value stored under key, if any. It is wait-free: no
+// locks, no retries, running concurrently with any updates.
+func (h *Handle[K, V]) Get(key K) (V, bool) { return h.inner.Contains(key) }
+
+// Contains reports whether key is in the tree. Wait-free.
+func (h *Handle[K, V]) Contains(key K) bool {
+	_, ok := h.inner.Contains(key)
+	return ok
+}
+
+// Insert adds (key, value) to the tree. It returns false — and stores
+// nothing — if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool { return h.inner.Insert(key, value) }
+
+// Delete removes key from the tree. It returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool { return h.inner.Delete(key) }
+
+// Close unregisters the handle from the tree's RCU flavor. The handle
+// must not be used afterwards.
+func (h *Handle[K, V]) Close() { h.inner.Close() }

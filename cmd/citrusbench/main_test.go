@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+func TestRunQuickFigure8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns timed benchmark cells")
+	}
+	err := run([]string{"-quick", "-figure", "8", "-duration", "20ms", "-threads", "1,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns timed benchmark cells")
+	}
+	if err := run([]string{"-quick", "-figure", "a1", "-duration", "20ms", "-threads", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-figure", "a2", "-duration", "20ms", "-threads", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanelSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns timed benchmark cells")
+	}
+	if err := run([]string{"-quick", "-figure", "10c", "-duration", "10ms", "-threads", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-figure", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-threads", "0"}); err == nil {
+		t.Fatal("zero thread count accepted")
+	}
+	if err := run([]string{"-threads", "a,b"}); err == nil {
+		t.Fatal("garbage thread list accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns timed benchmark cells")
+	}
+	dir := t.TempDir()
+	csv := dir + "/out.csv"
+	if err := run([]string{"-quick", "-figure", "8", "-duration", "10ms", "-threads", "1", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns timed benchmark cells")
+	}
+	if err := run([]string{"-quick", "-figure", "10a", "-duration", "10ms", "-threads", "1", "-impl", "citrus"}); err != nil {
+		t.Fatal(err)
+	}
+	// A filter matching nothing must not error, just skip.
+	if err := run([]string{"-quick", "-figure", "10a", "-duration", "10ms", "-threads", "1", "-impl", "zzz"}); err != nil {
+		t.Fatal(err)
+	}
+}

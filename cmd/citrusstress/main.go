@@ -1,0 +1,316 @@
+// Command citrusstress validates the concurrent search structures under
+// sustained load. It complements `go test` by running minutes-long
+// adversarial workloads with live progress, in three modes:
+//
+//	-mode churn    mixed insert/delete/contains hammering a small key
+//	               range (maximizing structural conflicts), then a full
+//	               structural-invariant check and a membership
+//	               cross-check between iteration and search.
+//	-mode linear   repeated small, highly concurrent histories, each
+//	               checked for linearizability with an exhaustive
+//	               Wing&Gong search.
+//	-mode falseneg readers continuously search keys that are always
+//	               present while writers churn their neighbours; any miss
+//	               is a violation of the guarantee RCU provides Citrus.
+//	-mode recycle  Citrus with node recycling: update-heavy churn with
+//	               value-integrity checks and pool-effectiveness stats.
+//
+// Select a structure with -impl (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/internal/dict"
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/linearizability"
+	"github.com/go-citrus/citrus/internal/workload"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "citrusstress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("citrusstress", flag.ContinueOnError)
+	var (
+		implName = fs.String("impl", "all", "implementation to stress (see -list) or all")
+		list     = fs.Bool("list", false, "list implementation names and exit")
+		mode     = fs.String("mode", "churn", "churn, linear, falseneg, or recycle")
+		duration = fs.Duration("duration", 2*time.Second, "how long to stress each implementation")
+		threads  = fs.Int("threads", 8, "worker goroutines")
+		keyRange = fs.Int("keyrange", 128, "key range (small ranges maximize conflicts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range impls.All[int, int]() {
+			fmt.Println(f.Name)
+		}
+		return nil
+	}
+
+	var selected []impls.NamedFactory[int, int]
+	for _, f := range impls.All[int, int]() {
+		if *implName == "all" || strings.EqualFold(f.Name, *implName) {
+			selected = append(selected, f)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown implementation %q (use -list)", *implName)
+	}
+
+	for _, f := range selected {
+		fmt.Printf("%-24s %-9s ", f.Name, *mode)
+		var err error
+		switch *mode {
+		case "churn":
+			err = stressChurn(f.New, *duration, *threads, *keyRange)
+		case "linear":
+			err = stressLinearizability(f.New, *duration, *threads)
+		case "falseneg":
+			err = stressFalseNegatives(f.New, *duration, *threads, *keyRange)
+		case "recycle":
+			if !strings.HasPrefix(f.Name, "Citrus") || strings.Contains(f.Name, "standard") {
+				fmt.Println("SKIP (recycling is a Citrus feature)")
+				continue
+			}
+			err = stressRecycling(*duration, *threads, *keyRange)
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
+		if err != nil {
+			fmt.Println("FAIL")
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		fmt.Println("OK")
+	}
+	return nil
+}
+
+// stressRecycling churns Citrus with node recycling enabled and reports
+// pool effectiveness alongside the usual integrity checks.
+func stressRecycling(d time.Duration, threads, keyRange int) error {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	defer rec.Close()
+	tr := core.NewTreeWithRecycling[int, int](dom, rec)
+
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(seed)
+			n := int64(0)
+			for !stop.Load() {
+				k := rng.Intn(keyRange)
+				switch rng.NextOp(workload.ReadMostly(20)) {
+				case workload.OpContains:
+					if v, ok := h.Contains(k); ok && v != k {
+						panic("recycled value leaked across keys")
+					}
+				case workload.OpInsert:
+					h.Insert(k, k)
+				default:
+					h.Delete(k)
+				}
+				n++
+			}
+			total.Add(n)
+		}(uint64(w) + 1)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	rec.Barrier()
+	if err := tr.CheckInvariants(); err != nil {
+		return err
+	}
+	retired, reused := tr.RecycleStats()
+	rate := 0.0
+	if retired > 0 {
+		rate = float64(reused) / float64(retired) * 100
+	}
+	fmt.Printf("(%d ops, %d retired, %d reused = %.0f%%) ", total.Load(), retired, reused, rate)
+	return nil
+}
+
+func stressChurn(factory dict.Factory[int, int], d time.Duration, threads, keyRange int) error {
+	m := factory()
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(seed)
+			n := int64(0)
+			for !stop.Load() {
+				workload.Apply(h, rng, workload.ReadMostly(20), keyRange)
+				n++
+			}
+			total.Add(n)
+		}(uint64(w) + 1)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+
+	if err := m.CheckInvariants(); err != nil {
+		return err
+	}
+	// Membership cross-check: quiescent iteration vs point queries.
+	h := m.NewHandle()
+	defer h.Close()
+	inKeys := map[int]bool{}
+	for _, k := range m.Keys() {
+		inKeys[k] = true
+	}
+	for k := 0; k < keyRange; k++ {
+		if _, ok := h.Contains(k); ok != inKeys[k] {
+			return fmt.Errorf("membership mismatch on key %d: Contains=%v, Keys=%v", k, ok, inKeys[k])
+		}
+	}
+	fmt.Printf("(%d ops, %d keys) ", total.Load(), m.Len())
+	return nil
+}
+
+func stressLinearizability(factory dict.Factory[int, int], d time.Duration, threads int) error {
+	if threads > 6 {
+		threads = 6 // keep histories small enough for the exhaustive checker
+	}
+	deadline := time.Now().Add(d)
+	rounds := 0
+	for time.Now().Before(deadline) {
+		m := factory()
+		rec := linearizability.NewRecorder()
+		var wg sync.WaitGroup
+		handles := make([]*linearizability.RecordingHandle, threads)
+		for p := 0; p < threads; p++ {
+			handles[p] = rec.Wrap(m.NewHandle(), p)
+		}
+		for p := 0; p < threads; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				h := handles[p]
+				rng := rand.New(rand.NewSource(int64(rounds*1000 + p)))
+				for i := 0; i < 8; i++ {
+					k := rng.Intn(3)
+					switch rng.Intn(3) {
+					case 0:
+						h.Insert(k, p*1000+i)
+					case 1:
+						h.Delete(k)
+					default:
+						h.Contains(k)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		var ops []linearizability.Op
+		for _, h := range handles {
+			ops = append(ops, h.Ops()...)
+			h.Close()
+		}
+		if err := linearizability.Check(ops, 0); err != nil {
+			core := linearizability.Shrink(ops, 0)
+			msg := ""
+			for _, op := range core {
+				msg += "\n  " + op.String()
+			}
+			return fmt.Errorf("round %d: %w; minimal failing core:%s", rounds, err, msg)
+		}
+		rounds++
+	}
+	fmt.Printf("(%d histories) ", rounds)
+	return nil
+}
+
+func stressFalseNegatives(factory dict.Factory[int, int], d time.Duration, threads, keyRange int) error {
+	m := factory()
+	{
+		h := m.NewHandle()
+		for k := 0; k < keyRange; k++ {
+			h.Insert(k, k)
+		}
+		h.Close()
+	}
+	var (
+		stop       atomic.Bool
+		violations atomic.Int64
+		reads      atomic.Int64
+		wg         sync.WaitGroup
+	)
+	readers := max(1, threads/2)
+	writers := max(1, threads-readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(seed)
+			n := int64(0)
+			for !stop.Load() {
+				k := rng.Intn(keyRange/2) * 2 // even keys are permanent
+				if _, ok := h.Contains(k); !ok {
+					violations.Add(1)
+				}
+				n++
+			}
+			reads.Add(n)
+		}(uint64(r) + 1)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(seed)
+			for !stop.Load() {
+				k := rng.Intn(keyRange/2)*2 + 1 // odd keys churn
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k)
+				}
+			}
+		}(uint64(w) + 1000)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		return fmt.Errorf("%d false negatives in %d reads", v, reads.Load())
+	}
+	fmt.Printf("(%d reads, 0 misses) ", reads.Load())
+	return m.CheckInvariants()
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownImplRejected(t *testing.T) {
+	if err := run([]string{"-impl", "nonsense"}); err == nil {
+		t.Fatal("unknown implementation accepted")
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	if err := run([]string{"-mode", "nonsense", "-impl", "Citrus", "-duration", "1ms"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestChurnModeShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed stress")
+	}
+	err := run([]string{"-impl", "Citrus", "-mode", "churn", "-duration", "50ms", "-threads", "4", "-keyrange", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearModeShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed stress")
+	}
+	err := run([]string{"-impl", "Lock-Free", "-mode", "linear", "-duration", "50ms", "-threads", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsenegModeShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed stress")
+	}
+	err := run([]string{"-impl", "Red-Black", "-mode", "falseneg", "-duration", "50ms", "-threads", "4", "-keyrange", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// kvserver: a TCP key-value store backed by the Citrus tree.
+//
+// The server speaks a line protocol on 127.0.0.1:7170 (configurable):
+//
+//	SET <key> <value>   → OK | EXISTS
+//	GET <key>           → VALUE <value> | NOT_FOUND
+//	DEL <key>           → OK | NOT_FOUND
+//	LEN                 → LEN <n>        (quiescent use only)
+//	QUIT                → BYE
+//
+// Every connection is served by its own goroutine with its own tree
+// handle, so GETs from all connections proceed wait-free while SETs and
+// DELs from different connections update the tree concurrently — the
+// exact service shape (read-mostly, point lookups) that Citrus targets.
+//
+// Run `go run ./examples/kvserver` to start the server, load it with a
+// built-in concurrent demo client, print stats, and exit. Use -serve to
+// keep it running for external clients (`nc 127.0.0.1 7170`).
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	citrus "github.com/go-citrus/citrus"
+)
+
+type server struct {
+	tree *citrus.Tree[int64, string]
+	ops  atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7170", "listen address")
+	serve := flag.Bool("serve", false, "keep serving after the demo instead of exiting")
+	flag.Parse()
+	if err := run(*addr, *serve); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, keepServing bool) error {
+	srv := &server{tree: citrus.New[int64, string]()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("kvserver listening on %s", ln.Addr())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.handle(conn)
+			}()
+		}
+	}()
+
+	// Built-in demo load: concurrent clients over real TCP connections.
+	if err := demo(ln.Addr().String()); err != nil {
+		ln.Close()
+		wg.Wait()
+		return fmt.Errorf("demo client: %w", err)
+	}
+	log.Printf("demo done: %d ops served, %d keys resident", srv.ops.Load(), srv.tree.Len())
+	if err := srv.tree.CheckInvariants(); err != nil {
+		return fmt.Errorf("tree invariants: %w", err)
+	}
+	log.Printf("tree invariants: OK")
+
+	if keepServing {
+		log.Printf("serving until interrupted (try: printf 'SET 1 hello\\nGET 1\\nQUIT\\n' | nc %s)", addr)
+		wg.Wait()
+		return nil
+	}
+	ln.Close()
+	wg.Wait()
+	return nil
+}
+
+// handle serves one connection with its own per-goroutine tree handle.
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	h := s.tree.NewHandle()
+	defer h.Close()
+
+	sc := bufio.NewScanner(conn)
+	out := bufio.NewWriter(conn)
+	defer out.Flush()
+	for sc.Scan() {
+		reply, quit := s.exec(h, sc.Text())
+		fmt.Fprintln(out, reply)
+		if quit {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// exec executes one protocol line.
+func (s *server) exec(h *citrus.Handle[int64, string], line string) (reply string, quit bool) {
+	s.ops.Add(1)
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
+	parseKey := func() (int64, error) {
+		if len(fields) < 2 {
+			return 0, errors.New("missing key")
+		}
+		return strconv.ParseInt(fields[1], 10, 64)
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		key, err := parseKey()
+		if err != nil || len(fields) < 3 {
+			return "ERR usage: SET <key> <value>", false
+		}
+		if h.Insert(key, strings.Join(fields[2:], " ")) {
+			return "OK", false
+		}
+		return "EXISTS", false
+	case "GET":
+		key, err := parseKey()
+		if err != nil {
+			return "ERR usage: GET <key>", false
+		}
+		if v, ok := h.Get(key); ok {
+			return "VALUE " + v, false
+		}
+		return "NOT_FOUND", false
+	case "DEL":
+		key, err := parseKey()
+		if err != nil {
+			return "ERR usage: DEL <key>", false
+		}
+		if h.Delete(key) {
+			return "OK", false
+		}
+		return "NOT_FOUND", false
+	case "LEN":
+		return fmt.Sprintf("LEN %d", s.tree.Len()), false
+	case "QUIT":
+		return "BYE", true
+	default:
+		return "ERR unknown command " + fields[0], false
+	}
+}
+
+// demo drives the server with concurrent clients and verifies replies.
+func demo(addr string) error {
+	const (
+		clients    = 8
+		keysPerCli = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs <- client(addr, c, keysPerCli)
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// client owns keys [c*1000, c*1000+n): sets them, reads them back,
+// deletes the odd ones, and checks every reply.
+func client(addr string, c, n int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	roundTrip := func(cmd, want string) error {
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			return err
+		}
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if got := strings.TrimSpace(line); got != want {
+			return fmt.Errorf("%q: got %q, want %q", cmd, got, want)
+		}
+		return nil
+	}
+	base := c * 1000
+	for k := base; k < base+n; k++ {
+		if err := roundTrip(fmt.Sprintf("SET %d v%d", k, k), "OK"); err != nil {
+			return err
+		}
+	}
+	for k := base; k < base+n; k++ {
+		if err := roundTrip(fmt.Sprintf("GET %d", k), fmt.Sprintf("VALUE v%d", k)); err != nil {
+			return err
+		}
+	}
+	for k := base; k < base+n; k++ {
+		if k%2 == 0 {
+			continue
+		}
+		if err := roundTrip(fmt.Sprintf("DEL %d", k), "OK"); err != nil {
+			return err
+		}
+		if err := roundTrip(fmt.Sprintf("GET %d", k), "NOT_FOUND"); err != nil {
+			return err
+		}
+	}
+	return roundTrip("QUIT", "BYE")
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	citrus "github.com/go-citrus/citrus"
+)
+
+func newTestServer() (*server, *citrus.Handle[int64, string]) {
+	s := &server{tree: citrus.New[int64, string]()}
+	return s, s.tree.NewHandle()
+}
+
+func TestExecProtocol(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	steps := []struct {
+		cmd  string
+		want string
+	}{
+		{"SET 1 hello world", "OK"},
+		{"SET 1 other", "EXISTS"},
+		{"GET 1", "VALUE hello world"},
+		{"GET 2", "NOT_FOUND"},
+		{"DEL 2", "NOT_FOUND"},
+		{"DEL 1", "OK"},
+		{"GET 1", "NOT_FOUND"},
+		{"LEN", "LEN 0"},
+		{"set 5 lowercase-verb", "OK"},
+		{"len", "LEN 1"},
+		{"", "ERR empty command"},
+		{"SET", "ERR usage: SET <key> <value>"},
+		{"SET x y", "ERR usage: SET <key> <value>"},
+		{"GET notanumber", "ERR usage: GET <key>"},
+		{"DEL", "ERR usage: DEL <key>"},
+		{"BOGUS 1", "ERR unknown command BOGUS"},
+	}
+	for _, st := range steps {
+		got, quit := s.exec(h, st.cmd)
+		if got != st.want || quit {
+			t.Fatalf("exec(%q) = (%q, quit=%v), want (%q, false)", st.cmd, got, quit, st.want)
+		}
+	}
+	if got, quit := s.exec(h, "QUIT"); got != "BYE" || !quit {
+		t.Fatalf("QUIT = (%q, %v)", got, quit)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	// The full demo: listener, concurrent TCP clients, verification of
+	// every reply, invariant check — on an ephemeral port.
+	if err := run("127.0.0.1:0", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesWithSpaces(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	if got, _ := s.exec(h, "SET 9 a b c"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+	got, _ := s.exec(h, "GET 9")
+	if !strings.HasPrefix(got, "VALUE ") || got != "VALUE a b c" {
+		t.Fatalf("GET 9 = %q", got)
+	}
+}

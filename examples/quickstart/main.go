@@ -1,0 +1,68 @@
+// Quickstart: the Citrus tree as a concurrent ordered map.
+//
+// Eight goroutines insert, delete and look up keys concurrently — updates
+// run truly in parallel with each other (fine-grained per-node locks) and
+// lookups never block (RCU). Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	citrus "github.com/go-citrus/citrus"
+)
+
+func main() {
+	tree := citrus.New[int, string]()
+
+	// Every goroutine gets its own handle (an RCU reader registration).
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tree.NewHandle()
+			defer h.Close()
+
+			// Each worker owns the keys ≡ w (mod workers).
+			for k := w; k < 1000; k += workers {
+				h.Insert(k, fmt.Sprintf("value-%d", k))
+			}
+			// Drop the odd ones again.
+			for k := w; k < 1000; k += workers {
+				if k%2 == 1 {
+					h.Delete(k)
+				}
+			}
+			// Wait-free lookups, racing with everyone else's updates.
+			for k := 0; k < 1000; k++ {
+				h.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := tree.NewHandle()
+	defer h.Close()
+	if v, ok := h.Get(42); ok {
+		fmt.Printf("tree[42] = %q\n", v)
+	}
+	fmt.Printf("size: %d keys (expected 500)\n", tree.Len())
+	fmt.Printf("height of the unbalanced tree: %d\n", tree.Height())
+	if err := tree.CheckInvariants(); err != nil {
+		fmt.Println("invariant violation:", err)
+		return
+	}
+	fmt.Println("structural invariants: OK")
+
+	// Ordered iteration (quiescent — all writers are done).
+	first3 := make([]int, 0, 3)
+	tree.Range(func(k int, _ string) bool {
+		first3 = append(first3, k)
+		return len(first3) < 3
+	})
+	fmt.Println("smallest keys:", first3)
+}

@@ -1,0 +1,3 @@
+module github.com/go-citrus/citrus
+
+go 1.24

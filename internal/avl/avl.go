@@ -1,0 +1,504 @@
+// Package avl implements the practical concurrent binary search tree of
+// Bronson, Casper, Chafi & Olukotun (PPoPP 2010) — the "AVL" series in the
+// Citrus paper's evaluation (the C port by Howard is the one benchmarked
+// there; this is a faithful Go port of the published algorithm).
+//
+// The tree is a partially external relaxed-balance AVL tree:
+//
+//   - Searches are optimistic and lock-free: each node carries a version
+//     word (an "OVL"). A rotation marks the moving node as shrinking,
+//     performs the swap, then advances the version; a search that slept
+//     through a shrink detects the version change and retries from a
+//     validated ancestor, hand-over-hand.
+//   - Deleting a node with two children does not restructure: the node's
+//     value is cleared, leaving a routing node. Routing nodes are unlinked
+//     later, when they have at most one child. This keeps delete's locked
+//     section tiny — the trick that makes updates scale.
+//   - Balancing is relaxed: every update repairs the heights/rotations its
+//     own change made necessary, walking toward the root under per-node
+//     locks, so balance is restored without a global pass.
+package avl
+
+import (
+	"cmp"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Version-word (OVL) bits: bit 0 marks a node unlinked forever; bit 1 is
+// set transiently while the node shrinks (moves down in a rotation); each
+// completed shrink adds versionStep.
+const (
+	ovlUnlinked     = 1
+	ovlShrinking    = 2
+	ovlBusyMask     = ovlUnlinked | ovlShrinking
+	versionStep     = 4
+	spinsBeforeWait = 64
+)
+
+const (
+	dirLeft  = 0
+	dirRight = 1
+)
+
+type node[K cmp.Ordered, V any] struct {
+	mu      sync.Mutex
+	key     K
+	holder  bool // the root holder: never unlinked, never compared
+	version atomic.Uint64
+	height  atomic.Int32
+	value   atomic.Pointer[V] // nil = routing node (key logically absent)
+	parent  atomic.Pointer[node[K, V]]
+	child   [2]atomic.Pointer[node[K, V]]
+}
+
+func height[K cmp.Ordered, V any](n *node[K, V]) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height.Load()
+}
+
+// waitUntilShrinkCompleted spins until the node is no longer shrinking
+// with the given version (SnapTree's waitUntilShrinkCompleted).
+func (n *node[K, V]) waitUntilShrinkCompleted(ovl uint64) {
+	if ovl&ovlShrinking == 0 {
+		return
+	}
+	for spins := 0; n.version.Load() == ovl; spins++ {
+		if spins >= spinsBeforeWait {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Tree is the concurrent AVL tree. Access it through per-goroutine
+// Handles.
+type Tree[K cmp.Ordered, V any] struct {
+	rootHolder *node[K, V] // its right child is the real root
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	rh := &node[K, V]{holder: true}
+	rh.height.Store(1)
+	return &Tree[K, V]{rootHolder: rh}
+}
+
+// A Handle is one goroutine's access point (stateless; for API symmetry).
+type Handle[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+}
+
+// NewHandle returns a handle for the calling goroutine.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] { return &Handle[K, V]{t: t} }
+
+// Close releases the handle (no-op).
+func (h *Handle[K, V]) Close() {}
+
+// retryMarker distinguishes "result ready" from "retry from an ancestor".
+type status uint8
+
+const (
+	statusDone status = iota
+	statusRetry
+)
+
+// Contains returns the value stored under key, if any. Lock-free.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	t := h.t
+	for {
+		right := t.rootHolder.child[dirRight].Load()
+		if right == nil {
+			var zero V
+			return zero, false
+		}
+		if c := cmp.Compare(key, right.key); c == 0 {
+			vp := right.value.Load()
+			if vp == nil {
+				var zero V
+				return zero, false
+			}
+			return *vp, true
+		}
+		ovl := right.version.Load()
+		if ovl&ovlBusyMask != 0 {
+			right.waitUntilShrinkCompleted(ovl)
+			continue
+		}
+		if t.rootHolder.child[dirRight].Load() != right {
+			continue
+		}
+		vp, st := t.attemptGet(key, right, ovl)
+		if st == statusDone {
+			if vp == nil {
+				var zero V
+				return zero, false
+			}
+			return *vp, true
+		}
+	}
+}
+
+// attemptGet searches below node (whose key is known != key) while node's
+// version stays nodeOVL; statusRetry sends the caller back up.
+func (t *Tree[K, V]) attemptGet(key K, n *node[K, V], nodeOVL uint64) (*V, status) {
+	for {
+		dir := dirRight
+		if cmp.Less(key, n.key) {
+			dir = dirLeft
+		}
+		child := n.child[dir].Load()
+		if child == nil {
+			if n.version.Load() != nodeOVL {
+				return nil, statusRetry
+			}
+			return nil, statusDone // key absent
+		}
+		if c := cmp.Compare(key, child.key); c == 0 {
+			// Value reads are atomic; a non-nil value means the key was
+			// present while the node was still reachable.
+			return child.value.Load(), statusDone
+		}
+		childOVL := child.version.Load()
+		if childOVL&ovlBusyMask != 0 {
+			child.waitUntilShrinkCompleted(childOVL)
+			if n.version.Load() != nodeOVL {
+				return nil, statusRetry
+			}
+			continue // re-read the child link
+		}
+		if child != n.child[dir].Load() {
+			if n.version.Load() != nodeOVL {
+				return nil, statusRetry
+			}
+			continue
+		}
+		if n.version.Load() != nodeOVL {
+			return nil, statusRetry
+		}
+		vp, st := t.attemptGet(key, child, childOVL)
+		if st == statusDone {
+			return vp, statusDone
+		}
+		if n.version.Load() != nodeOVL {
+			return nil, statusRetry
+		}
+	}
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	t := h.t
+	vp := &value
+	for {
+		right := t.rootHolder.child[dirRight].Load()
+		if right == nil {
+			// Empty tree: install the root under the holder's lock.
+			t.rootHolder.mu.Lock()
+			if t.rootHolder.child[dirRight].Load() == nil {
+				n := &node[K, V]{key: key}
+				n.value.Store(vp)
+				n.height.Store(1)
+				n.parent.Store(t.rootHolder)
+				t.rootHolder.child[dirRight].Store(n)
+				t.rootHolder.height.Store(2)
+				t.rootHolder.mu.Unlock()
+				return true
+			}
+			t.rootHolder.mu.Unlock()
+			continue
+		}
+		if c := cmp.Compare(key, right.key); c == 0 {
+			ok, st := t.attemptNodeInsert(vp, right)
+			if st == statusDone {
+				return ok
+			}
+			continue
+		}
+		ovl := right.version.Load()
+		if ovl&ovlBusyMask != 0 {
+			right.waitUntilShrinkCompleted(ovl)
+			continue
+		}
+		if t.rootHolder.child[dirRight].Load() != right {
+			continue
+		}
+		ok, st := t.attemptInsert(key, vp, right, ovl)
+		if st == statusDone {
+			return ok
+		}
+	}
+}
+
+// attemptInsert inserts below n (key != n.key) while n's version stays
+// nodeOVL.
+func (t *Tree[K, V]) attemptInsert(key K, vp *V, n *node[K, V], nodeOVL uint64) (bool, status) {
+	for {
+		dir := dirRight
+		if cmp.Less(key, n.key) {
+			dir = dirLeft
+		}
+		child := n.child[dir].Load()
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+		if child == nil {
+			// Insert a new leaf here, under n's lock, revalidating.
+			n.mu.Lock()
+			if n.version.Load() != nodeOVL {
+				n.mu.Unlock()
+				return false, statusRetry
+			}
+			if n.child[dir].Load() != nil {
+				n.mu.Unlock()
+				continue // a child appeared; descend into it
+			}
+			leaf := &node[K, V]{key: key}
+			leaf.value.Store(vp)
+			leaf.height.Store(1)
+			leaf.parent.Store(n)
+			n.child[dir].Store(leaf)
+			n.mu.Unlock()
+			t.fixHeightAndRebalance(n)
+			return true, statusDone
+		}
+		if c := cmp.Compare(key, child.key); c == 0 {
+			ok, st := t.attemptNodeInsert(vp, child)
+			if st == statusDone {
+				return ok, statusDone
+			}
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		childOVL := child.version.Load()
+		if childOVL&ovlBusyMask != 0 {
+			child.waitUntilShrinkCompleted(childOVL)
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		if child != n.child[dir].Load() {
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+		ok, st := t.attemptInsert(key, vp, child, childOVL)
+		if st == statusDone {
+			return ok, statusDone
+		}
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+	}
+}
+
+// attemptNodeInsert performs insert-if-absent on an existing node with the
+// target key (it may be a routing node, in which case the key is revived
+// in place — the partially external trick in reverse).
+func (t *Tree[K, V]) attemptNodeInsert(vp *V, n *node[K, V]) (bool, status) {
+	if n.value.Load() != nil {
+		// Present. The value was non-nil while the node was reachable
+		// (unlink clears the value under lock before the node can leave
+		// the tree), so the failed insert linearizes at that read.
+		return false, statusDone
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.version.Load()&ovlUnlinked != 0 {
+		return false, statusRetry
+	}
+	if n.value.Load() != nil {
+		return false, statusDone
+	}
+	n.value.Store(vp)
+	return true, statusDone
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	t := h.t
+	for {
+		right := t.rootHolder.child[dirRight].Load()
+		if right == nil {
+			return false
+		}
+		if c := cmp.Compare(key, right.key); c == 0 {
+			ok, st := t.attemptRmNode(t.rootHolder, right)
+			if st == statusDone {
+				return ok
+			}
+			continue
+		}
+		ovl := right.version.Load()
+		if ovl&ovlBusyMask != 0 {
+			right.waitUntilShrinkCompleted(ovl)
+			continue
+		}
+		if t.rootHolder.child[dirRight].Load() != right {
+			continue
+		}
+		ok, st := t.attemptRemove(key, right, ovl)
+		if st == statusDone {
+			return ok
+		}
+	}
+}
+
+// attemptRemove searches below n (key != n.key) and removes the key.
+func (t *Tree[K, V]) attemptRemove(key K, n *node[K, V], nodeOVL uint64) (bool, status) {
+	for {
+		dir := dirRight
+		if cmp.Less(key, n.key) {
+			dir = dirLeft
+		}
+		child := n.child[dir].Load()
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+		if child == nil {
+			return false, statusDone // absent
+		}
+		if c := cmp.Compare(key, child.key); c == 0 {
+			ok, st := t.attemptRmNode(n, child)
+			if st == statusDone {
+				return ok, statusDone
+			}
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		childOVL := child.version.Load()
+		if childOVL&ovlBusyMask != 0 {
+			child.waitUntilShrinkCompleted(childOVL)
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		if child != n.child[dir].Load() {
+			if n.version.Load() != nodeOVL {
+				return false, statusRetry
+			}
+			continue
+		}
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+		ok, st := t.attemptRemove(key, child, childOVL)
+		if st == statusDone {
+			return ok, statusDone
+		}
+		if n.version.Load() != nodeOVL {
+			return false, statusRetry
+		}
+	}
+}
+
+// attemptRmNode removes the key held by n (whose parent is believed to be
+// parent). A node with two children is only logically deleted (value
+// cleared → routing node); a node with at most one child is unlinked under
+// the parent's and its own lock.
+func (t *Tree[K, V]) attemptRmNode(parent, n *node[K, V]) (bool, status) {
+	if n.value.Load() == nil {
+		// Routing node (or already unlinked): need the lock to make the
+		// "absent" verdict trustworthy.
+		n.mu.Lock()
+		unlinked := n.version.Load()&ovlUnlinked != 0
+		absent := n.value.Load() == nil
+		n.mu.Unlock()
+		if unlinked {
+			return false, statusRetry
+		}
+		if absent {
+			return false, statusDone
+		}
+		// Value reappeared; fall through and delete it.
+	}
+	if n.child[dirLeft].Load() != nil && n.child[dirRight].Load() != nil {
+		// Two children: logical delete only.
+		n.mu.Lock()
+		if n.version.Load()&ovlUnlinked != 0 {
+			n.mu.Unlock()
+			return false, statusRetry
+		}
+		if n.value.Load() == nil {
+			n.mu.Unlock()
+			return false, statusDone
+		}
+		if n.child[dirLeft].Load() == nil || n.child[dirRight].Load() == nil {
+			// Lost a child since the check; restart this node.
+			n.mu.Unlock()
+			return false, statusRetry
+		}
+		n.value.Store(nil)
+		n.mu.Unlock()
+		return true, statusDone
+	}
+
+	// At most one child: unlink, locking parent before node.
+	parent.mu.Lock()
+	if parent.version.Load()&ovlUnlinked != 0 || n.parent.Load() != parent {
+		parent.mu.Unlock()
+		return false, statusRetry
+	}
+	n.mu.Lock()
+	if n.version.Load()&ovlUnlinked != 0 {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return false, statusRetry
+	}
+	if n.value.Load() == nil {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return false, statusDone
+	}
+	dir := -1
+	switch n {
+	case parent.child[dirLeft].Load():
+		dir = dirLeft
+	case parent.child[dirRight].Load():
+		dir = dirRight
+	}
+	if dir == -1 { // n moved away from parent since validation
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return false, statusRetry
+	}
+	if n.child[dirLeft].Load() != nil && n.child[dirRight].Load() != nil {
+		// Grew a second child meanwhile: logical delete instead.
+		n.value.Store(nil)
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return true, statusDone
+	}
+	t.unlinkLocked(parent, n, dir)
+	n.mu.Unlock()
+	parent.mu.Unlock()
+	t.fixHeightAndRebalance(parent)
+	return true, statusDone
+}
+
+// unlinkLocked splices n — known to have at most one child and to be
+// parent's child in direction dir — out of the tree. Both locks held.
+func (t *Tree[K, V]) unlinkLocked(parent, n *node[K, V], dir int) {
+	splice := n.child[dirLeft].Load()
+	if splice == nil {
+		splice = n.child[dirRight].Load()
+	}
+	parent.child[dir].Store(splice)
+	if splice != nil {
+		splice.parent.Store(parent)
+	}
+	n.version.Store(ovlUnlinked)
+	n.value.Store(nil)
+}

@@ -1,0 +1,61 @@
+package avl
+
+import "testing"
+
+// FuzzOpsAgainstOracle interprets fuzz input as an op script (2 bytes
+// per op) run against both the AVL tree and a map oracle, checking every
+// return value and the structural invariants at the end. The relaxed
+// balancer's repair walk is the main target: the fallback-rotation bug
+// found during development (see rebalance.go) is exactly the class this
+// catches.
+func FuzzOpsAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 20, 0, 30})          // RR rotation
+	f.Add([]byte{0, 30, 0, 10, 0, 20, 1, 30})   // LR + delete
+	f.Add([]byte{0, 2, 0, 1, 0, 3, 1, 2, 0, 2}) // routing node revival
+	drain := make([]byte, 0, 120)
+	for k := byte(0); k < 30; k++ {
+		drain = append(drain, 0, k)
+	}
+	for k := byte(0); k < 30; k++ {
+		drain = append(drain, 1, k)
+	}
+	f.Add(drain)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New[int, int]()
+		h := tr.NewHandle()
+		defer h.Close()
+		oracle := map[int]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			k := int(data[i+1] % 48)
+			switch data[i] % 3 {
+			case 0:
+				_, present := oracle[k]
+				if h.Insert(k, i) == present {
+					t.Fatalf("op %d: Insert(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				if !present {
+					oracle[k] = i
+				}
+			case 1:
+				_, present := oracle[k]
+				if h.Delete(k) != present {
+					t.Fatalf("op %d: Delete(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				gotV, gotOK := h.Contains(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i/2, k, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+		if got, want := tr.Len(), len(oracle); got != want {
+			t.Fatalf("Len() = %d, oracle %d", got, want)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package avl
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// Quiescent-only observers, used by tests and the benchmark harness
+// between phases.
+
+// Len reports the number of keys (routing nodes excluded). Quiescent use
+// only.
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	t.Range(func(K, V) bool { n++; return true })
+	return n
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Range calls fn on every present pair in ascending key order until fn
+// returns false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.child[dirLeft].Load()) {
+			return false
+		}
+		if vp := n.value.Load(); vp != nil {
+			if !fn(n.key, *vp) {
+				return false
+			}
+		}
+		return walk(n.child[dirRight].Load())
+	}
+	walk(t.rootHolder.child[dirRight].Load())
+}
+
+// CheckInvariants verifies, for a quiescent tree: BST order (over all
+// nodes, routing included), parent back-pointers, no reachable unlinked
+// or shrinking node, and that no disposable routing node (≤ 1 child, no
+// value) lingers.
+//
+// Deliberately NOT checked: exact cached heights and the strict AVL
+// balance condition. The tree is *relaxed* balanced (that is the point of
+// the design): a repair walk stops as soon as it reaches a node whose
+// cached height did not change, so an ancestor whose subtree shrank
+// through a rotation below may keep a stale height until a later update
+// passes through it. Searches are correct regardless; balance only
+// affects path length.
+func (t *Tree[K, V]) CheckInvariants() error {
+	var prev *K
+	var check func(n, parent *node[K, V]) error
+	check = func(n, parent *node[K, V]) error {
+		if n == nil {
+			return nil
+		}
+		if v := n.version.Load(); v&ovlUnlinked != 0 {
+			return fmt.Errorf("reachable node %v is unlinked", n.key)
+		} else if v&ovlShrinking != 0 {
+			return fmt.Errorf("node %v still shrinking at quiescence", n.key)
+		}
+		if n.parent.Load() != parent {
+			return fmt.Errorf("node %v has a stale parent pointer", n.key)
+		}
+		nL, nR := n.child[dirLeft].Load(), n.child[dirRight].Load()
+		if (nL == nil || nR == nil) && n.value.Load() == nil {
+			return fmt.Errorf("disposable routing node %v not unlinked", n.key)
+		}
+		if err := check(nL, n); err != nil {
+			return err
+		}
+		if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+			return fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+		}
+		k := n.key
+		prev = &k
+		return check(nR, n)
+	}
+	return check(t.rootHolder.child[dirRight].Load(), t.rootHolder)
+}

@@ -1,0 +1,463 @@
+package avl
+
+import "cmp"
+
+// Relaxed-balance repair, following the structure of Bronson et al.'s
+// reference implementation (SnapTree): after an update changes a subtree
+// height or leaves a routing node with at most one child, the updater
+// walks toward the root, fixing cached heights, unlinking disposable
+// routing nodes, and rotating where the AVL condition broke. All repairs
+// take per-node locks only; searches are deflected with the shrinking OVL
+// bit for exactly the duration of a rotation's pointer swaps.
+
+// Follow-up conditions computed by nodeCondition.
+const (
+	conditionNothing   = -1
+	conditionUnlink    = -2
+	conditionRebalance = -3
+	// Any value >= 0 is the replacement height for a stale height field.
+)
+
+// nodeCondition classifies what n needs (no locks; callers revalidate).
+func nodeCondition[K cmp.Ordered, V any](n *node[K, V]) int32 {
+	nL := n.child[dirLeft].Load()
+	nR := n.child[dirRight].Load()
+	if (nL == nil || nR == nil) && n.value.Load() == nil {
+		return conditionUnlink
+	}
+	hN := n.height.Load()
+	hL0, hR0 := height(nL), height(nR)
+	hNRepl := 1 + max32(hL0, hR0)
+	if bal := hL0 - hR0; bal < -1 || bal > 1 {
+		return conditionRebalance
+	}
+	if hN != hNRepl {
+		return hNRepl
+	}
+	return conditionNothing
+}
+
+// fixHeightAndRebalance repairs the tree starting at n and walking toward
+// the root until nothing more is required.
+func (t *Tree[K, V]) fixHeightAndRebalance(n *node[K, V]) {
+	for n != nil && !n.holder {
+		condition := nodeCondition(n)
+		if condition == conditionNothing || n.version.Load()&ovlUnlinked != 0 {
+			return
+		}
+		var next *node[K, V]
+		if condition != conditionUnlink && condition != conditionRebalance {
+			n.mu.Lock()
+			next = t.fixHeightLocked(n)
+			n.mu.Unlock()
+		} else {
+			nParent := n.parent.Load()
+			if nParent == nil {
+				return
+			}
+			nParent.mu.Lock()
+			if nParent.version.Load()&ovlUnlinked == 0 && n.parent.Load() == nParent {
+				n.mu.Lock()
+				next = t.rebalanceLocked(nParent, n)
+				n.mu.Unlock()
+			} else {
+				next = n // holder changed under us; retry this node
+			}
+			nParent.mu.Unlock()
+		}
+		if next == nil {
+			return
+		}
+		n = next
+	}
+}
+
+// fixHeightLocked refreshes n's cached height (n locked). It returns the
+// parent if the height changed (repair continues upward), n itself if a
+// rotation turned out to be needed, or nil if nothing is left to do.
+func (t *Tree[K, V]) fixHeightLocked(n *node[K, V]) *node[K, V] {
+	hL := height(n.child[dirLeft].Load())
+	hR := height(n.child[dirRight].Load())
+	if bal := hL - hR; bal < -1 || bal > 1 {
+		return n // needs a rotation instead
+	}
+	hRepl := 1 + max32(hL, hR)
+	if n.height.Load() == hRepl {
+		return nil
+	}
+	n.height.Store(hRepl)
+	return n.parent.Load()
+}
+
+// rebalanceLocked repairs node n under nParent's and n's locks: unlink a
+// disposable routing node, rotate if the AVL condition broke, or just fix
+// the height. Returns the next node to repair (or nil).
+func (t *Tree[K, V]) rebalanceLocked(nParent, n *node[K, V]) *node[K, V] {
+	nL := n.child[dirLeft].Load()
+	nR := n.child[dirRight].Load()
+	if (nL == nil || nR == nil) && n.value.Load() == nil {
+		dir := -1
+		switch n {
+		case nParent.child[dirLeft].Load():
+			dir = dirLeft
+		case nParent.child[dirRight].Load():
+			dir = dirRight
+		}
+		if dir == -1 {
+			return n // moved; retry
+		}
+		t.unlinkLocked(nParent, n, dir)
+		return nParent
+	}
+	hN := n.height.Load()
+	hL0, hR0 := height(nL), height(nR)
+	hNRepl := 1 + max32(hL0, hR0)
+	switch {
+	case hL0-hR0 > 1:
+		return t.rebalanceToRightLocked(nParent, n, nL, hR0)
+	case hL0-hR0 < -1:
+		return t.rebalanceToLeftLocked(nParent, n, nR, hL0)
+	case hNRepl != hN:
+		n.height.Store(hNRepl)
+		return nParent
+	default:
+		return nil
+	}
+}
+
+// rebalanceToRightLocked fixes a left-heavy n (locks held: nParent, n; it
+// additionally locks nL, and nLR for a double rotation).
+func (t *Tree[K, V]) rebalanceToRightLocked(nParent, n, nL *node[K, V], hR0 int32) *node[K, V] {
+	nL.mu.Lock()
+	defer nL.mu.Unlock()
+	hL := nL.height.Load()
+	if hL-hR0 <= 1 {
+		return n // already repaired by someone else; re-examine
+	}
+	nLR := nL.child[dirRight].Load()
+	hLL0 := height(nL.child[dirLeft].Load())
+	hLR0 := height(nLR)
+	if hLL0 >= hLR0 {
+		return t.rotateRightLocked(nParent, n, nL, hR0, hLL0, nLR, hLR0)
+	}
+	// Left-right shape: usually a double rotation, unless nLR's own
+	// balance forbids it, in which case nL is rotated left first.
+	nLR.mu.Lock()
+	defer nLR.mu.Unlock()
+	hLR := nLR.height.Load()
+	if hLL0 >= hLR {
+		return t.rotateRightLocked(nParent, n, nL, hR0, hLL0, nLR, hLR)
+	}
+	hLRL := height(nLR.child[dirLeft].Load())
+	if b := hLL0 - hLRL; b >= -1 && b <= 1 && !((hLL0 == 0 || hLRL == 0) && nL.value.Load() == nil) {
+		return t.rotateRightOverLeftLocked(nParent, n, nL, hR0, hLL0, nLR, hLRL)
+	}
+	return t.rotateLeftLocked(n, nL, nLR, hLL0)
+}
+
+// rebalanceToLeftLocked mirrors rebalanceToRightLocked for a right-heavy n.
+func (t *Tree[K, V]) rebalanceToLeftLocked(nParent, n, nR *node[K, V], hL0 int32) *node[K, V] {
+	nR.mu.Lock()
+	defer nR.mu.Unlock()
+	hR := nR.height.Load()
+	if hL0-hR >= -1 {
+		return n
+	}
+	nRL := nR.child[dirLeft].Load()
+	hRL0 := height(nRL)
+	hRR0 := height(nR.child[dirRight].Load())
+	if hRR0 >= hRL0 {
+		return t.rotateLeftTopLocked(nParent, n, nR, hL0, nRL, hRL0, hRR0)
+	}
+	nRL.mu.Lock()
+	defer nRL.mu.Unlock()
+	hRL := nRL.height.Load()
+	if hRR0 >= hRL {
+		return t.rotateLeftTopLocked(nParent, n, nR, hL0, nRL, hRL, hRR0)
+	}
+	hRLR := height(nRL.child[dirRight].Load())
+	if b := hRR0 - hRLR; b >= -1 && b <= 1 && !((hRR0 == 0 || hRLR == 0) && nR.value.Load() == nil) {
+		return t.rotateLeftOverRightLocked(nParent, n, nR, hL0, nRL, hRLR, hRR0)
+	}
+	return t.rotateRightInnerLocked(n, nR, nRL, hRR0)
+}
+
+// rotateRightLocked: single right rotation; n moves down-right, nL rises.
+// Locks held: nParent, n, nL.
+func (t *Tree[K, V]) rotateRightLocked(nParent, n, nL *node[K, V], hR, hLL0 int32, nLR *node[K, V], hLR0 int32) *node[K, V] {
+	nodeOVL := n.version.Load()
+	n.version.Store(nodeOVL | ovlShrinking)
+
+	n.child[dirLeft].Store(nLR)
+	if nLR != nil {
+		nLR.parent.Store(n)
+	}
+	nL.child[dirRight].Store(n)
+	n.parent.Store(nL)
+	if nParent.child[dirLeft].Load() == n {
+		nParent.child[dirLeft].Store(nL)
+	} else {
+		nParent.child[dirRight].Store(nL)
+	}
+	nL.parent.Store(nParent)
+
+	hNRepl := 1 + max32(hLR0, hR)
+	n.height.Store(hNRepl)
+	nL.height.Store(1 + max32(hLL0, hNRepl))
+
+	n.version.Store((nodeOVL + versionStep) &^ ovlShrinking)
+
+	// Follow-up analysis (per SnapTree): n, then nL, then the parent.
+	if bal := hLR0 - hR; bal < -1 || bal > 1 {
+		return n
+	}
+	if (nLR == nil || hR == 0) && n.value.Load() == nil {
+		return n // n became a disposable routing node
+	}
+	if bal := hLL0 - hNRepl; bal < -1 || bal > 1 {
+		return nL
+	}
+	if hLL0 == 0 && nL.value.Load() == nil {
+		return nL
+	}
+	return nParent
+}
+
+// rotateLeftTopLocked: single left rotation at n; nR rises. Locks held:
+// nParent, n, nR.
+func (t *Tree[K, V]) rotateLeftTopLocked(nParent, n, nR *node[K, V], hL int32, nRL *node[K, V], hRL0, hRR0 int32) *node[K, V] {
+	nodeOVL := n.version.Load()
+	n.version.Store(nodeOVL | ovlShrinking)
+
+	n.child[dirRight].Store(nRL)
+	if nRL != nil {
+		nRL.parent.Store(n)
+	}
+	nR.child[dirLeft].Store(n)
+	n.parent.Store(nR)
+	if nParent.child[dirLeft].Load() == n {
+		nParent.child[dirLeft].Store(nR)
+	} else {
+		nParent.child[dirRight].Store(nR)
+	}
+	nR.parent.Store(nParent)
+
+	hNRepl := 1 + max32(hL, hRL0)
+	n.height.Store(hNRepl)
+	nR.height.Store(1 + max32(hNRepl, hRR0))
+
+	n.version.Store((nodeOVL + versionStep) &^ ovlShrinking)
+
+	if bal := hRL0 - hL; bal < -1 || bal > 1 {
+		return n
+	}
+	if (nRL == nil || hL == 0) && n.value.Load() == nil {
+		return n
+	}
+	if bal := hRR0 - hNRepl; bal < -1 || bal > 1 {
+		return nR
+	}
+	if hRR0 == 0 && nR.value.Load() == nil {
+		return nR
+	}
+	return nParent
+}
+
+// rotateRightOverLeftLocked: double rotation (left-right); nLR rises two
+// levels. Locks held: nParent, n, nL, nLR.
+func (t *Tree[K, V]) rotateRightOverLeftLocked(nParent, n, nL *node[K, V], hR, hLL0 int32, nLR *node[K, V], hLRL int32) *node[K, V] {
+	nLRL := nLR.child[dirLeft].Load()
+	nLRR := nLR.child[dirRight].Load()
+	hLRR := height(nLRR)
+
+	nodeOVL := n.version.Load()
+	leftOVL := nL.version.Load()
+	n.version.Store(nodeOVL | ovlShrinking)
+	nL.version.Store(leftOVL | ovlShrinking)
+
+	n.child[dirLeft].Store(nLRR)
+	if nLRR != nil {
+		nLRR.parent.Store(n)
+	}
+	nL.child[dirRight].Store(nLRL)
+	if nLRL != nil {
+		nLRL.parent.Store(nL)
+	}
+	nLR.child[dirLeft].Store(nL)
+	nL.parent.Store(nLR)
+	nLR.child[dirRight].Store(n)
+	n.parent.Store(nLR)
+	if nParent.child[dirLeft].Load() == n {
+		nParent.child[dirLeft].Store(nLR)
+	} else {
+		nParent.child[dirRight].Store(nLR)
+	}
+	nLR.parent.Store(nParent)
+
+	hNRepl := 1 + max32(hLRR, hR)
+	n.height.Store(hNRepl)
+	hLRepl := 1 + max32(hLL0, hLRL)
+	nL.height.Store(hLRepl)
+	nLR.height.Store(1 + max32(hNRepl, hLRepl))
+
+	n.version.Store((nodeOVL + versionStep) &^ ovlShrinking)
+	nL.version.Store((leftOVL + versionStep) &^ ovlShrinking)
+
+	if bal := hLRR - hR; bal < -1 || bal > 1 {
+		return n
+	}
+	if (nLRR == nil || hR == 0) && n.value.Load() == nil {
+		return n
+	}
+	if bal := hLRepl - hNRepl; bal < -1 || bal > 1 {
+		return nLR
+	}
+	return nParent
+}
+
+// rotateLeftOverRightLocked mirrors rotateRightOverLeftLocked (right-left
+// double rotation); nRL rises two levels. Locks held: nParent, n, nR, nRL.
+func (t *Tree[K, V]) rotateLeftOverRightLocked(nParent, n, nR *node[K, V], hL int32, nRL *node[K, V], hRLR, hRR0 int32) *node[K, V] {
+	nRLL := nRL.child[dirLeft].Load()
+	nRLR := nRL.child[dirRight].Load()
+	hRLL := height(nRLL)
+
+	nodeOVL := n.version.Load()
+	rightOVL := nR.version.Load()
+	n.version.Store(nodeOVL | ovlShrinking)
+	nR.version.Store(rightOVL | ovlShrinking)
+
+	n.child[dirRight].Store(nRLL)
+	if nRLL != nil {
+		nRLL.parent.Store(n)
+	}
+	nR.child[dirLeft].Store(nRLR)
+	if nRLR != nil {
+		nRLR.parent.Store(nR)
+	}
+	nRL.child[dirRight].Store(nR)
+	nR.parent.Store(nRL)
+	nRL.child[dirLeft].Store(n)
+	n.parent.Store(nRL)
+	if nParent.child[dirLeft].Load() == n {
+		nParent.child[dirLeft].Store(nRL)
+	} else {
+		nParent.child[dirRight].Store(nRL)
+	}
+	nRL.parent.Store(nParent)
+
+	hNRepl := 1 + max32(hL, hRLL)
+	n.height.Store(hNRepl)
+	hRRepl := 1 + max32(hRLR, hRR0)
+	nR.height.Store(hRRepl)
+	nRL.height.Store(1 + max32(hNRepl, hRRepl))
+
+	n.version.Store((nodeOVL + versionStep) &^ ovlShrinking)
+	nR.version.Store((rightOVL + versionStep) &^ ovlShrinking)
+
+	if bal := hRLL - hL; bal < -1 || bal > 1 {
+		return n
+	}
+	if (nRLL == nil || hL == 0) && n.value.Load() == nil {
+		return n
+	}
+	if bal := hRRepl - hNRepl; bal < -1 || bal > 1 {
+		return nRL
+	}
+	return nParent
+}
+
+// rotateLeftLocked rotates nL left beneath n to convert a left-right shape
+// into left-left when the double rotation is not applicable (SnapTree's
+// recursive fallback). Locks held: nParent, n, nL, nLR. n acts as the
+// parent of the rotation; nLR rises to n's left.
+func (t *Tree[K, V]) rotateLeftLocked(n, nL, nLR *node[K, V], hLL0 int32) *node[K, V] {
+	nLRL := nLR.child[dirLeft].Load()
+	hLRL := height(nLRL)
+	hLRR := height(nLR.child[dirRight].Load())
+
+	leftOVL := nL.version.Load()
+	nL.version.Store(leftOVL | ovlShrinking)
+
+	nL.child[dirRight].Store(nLRL)
+	if nLRL != nil {
+		nLRL.parent.Store(nL)
+	}
+	nLR.child[dirLeft].Store(nL)
+	nL.parent.Store(nLR)
+	n.child[dirLeft].Store(nLR)
+	nLR.parent.Store(n)
+
+	hLRepl := 1 + max32(hLL0, hLRL)
+	nL.height.Store(hLRepl)
+	nLR.height.Store(1 + max32(hLRepl, hLRR))
+
+	nL.version.Store((leftOVL + versionStep) &^ ovlShrinking)
+
+	// Follow-up analysis: the rotation may have left the pivot or the
+	// riser unbalanced or as a disposable routing node; those must be
+	// repaired before resuming at n (which is still left-heavy — that was
+	// the point of this preparatory rotation).
+	if bal := hLRL - hLL0; bal < -1 || bal > 1 {
+		return nL
+	}
+	if (nLRL == nil || hLL0 == 0) && nL.value.Load() == nil {
+		return nL
+	}
+	if bal := hLRR - hLRepl; bal < -1 || bal > 1 {
+		return nLR
+	}
+	if hLRR == 0 && nLR.value.Load() == nil {
+		return nLR
+	}
+	return n
+}
+
+// rotateRightInnerLocked mirrors rotateLeftLocked: rotates nR right
+// beneath n to convert right-left into right-right. Locks held: nParent,
+// n, nR, nRL.
+func (t *Tree[K, V]) rotateRightInnerLocked(n, nR, nRL *node[K, V], hRR0 int32) *node[K, V] {
+	nRLR := nRL.child[dirRight].Load()
+	hRLR := height(nRLR)
+	hRLL := height(nRL.child[dirLeft].Load())
+
+	rightOVL := nR.version.Load()
+	nR.version.Store(rightOVL | ovlShrinking)
+
+	nR.child[dirLeft].Store(nRLR)
+	if nRLR != nil {
+		nRLR.parent.Store(nR)
+	}
+	nRL.child[dirRight].Store(nR)
+	nR.parent.Store(nRL)
+	n.child[dirRight].Store(nRL)
+	nRL.parent.Store(n)
+
+	hRRepl := 1 + max32(hRR0, hRLR)
+	nR.height.Store(hRRepl)
+	nRL.height.Store(1 + max32(hRRepl, hRLL))
+
+	nR.version.Store((rightOVL + versionStep) &^ ovlShrinking)
+
+	// Follow-up analysis, mirroring rotateLeftLocked.
+	if bal := hRLR - hRR0; bal < -1 || bal > 1 {
+		return nR
+	}
+	if (nRLR == nil || hRR0 == 0) && nR.value.Load() == nil {
+		return nR
+	}
+	if bal := hRLL - hRRepl; bal < -1 || bal > 1 {
+		return nRL
+	}
+	if hRLL == 0 && nRL.value.Load() == nil {
+		return nRL
+	}
+	return n
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

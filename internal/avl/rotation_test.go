@@ -1,0 +1,110 @@
+package avl
+
+import "testing"
+
+// rootKey returns the key of the real root (below the holder).
+func rootKey(tr *Tree[int, int]) int {
+	return tr.rootHolder.child[dirRight].Load().key
+}
+
+// TestSingleThreadedRotations drives each of the four classic AVL
+// imbalance shapes and checks that the relaxed-balance repair performed
+// the right rotation (root key, exact heights — exact because there is
+// no concurrency to leave staleness behind).
+func TestSingleThreadedRotations(t *testing.T) {
+	cases := []struct {
+		name   string
+		keys   []int
+		root   int
+		leaves [2]int
+	}{
+		{"RR (single left rotation)", []int{10, 20, 30}, 20, [2]int{10, 30}},
+		{"LL (single right rotation)", []int{30, 20, 10}, 20, [2]int{10, 30}},
+		{"LR (double rotation)", []int{30, 10, 20}, 20, [2]int{10, 30}},
+		{"RL (double rotation)", []int{10, 30, 20}, 20, [2]int{10, 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := New[int, int]()
+			h := tr.NewHandle()
+			defer h.Close()
+			for _, k := range tc.keys {
+				if !h.Insert(k, k) {
+					t.Fatalf("Insert(%d) = false", k)
+				}
+			}
+			root := tr.rootHolder.child[dirRight].Load()
+			if root.key != tc.root {
+				t.Fatalf("root = %d, want %d", root.key, tc.root)
+			}
+			if got := root.height.Load(); got != 2 {
+				t.Fatalf("root height = %d, want 2", got)
+			}
+			l := root.child[dirLeft].Load()
+			r := root.child[dirRight].Load()
+			if l == nil || r == nil || l.key != tc.leaves[0] || r.key != tc.leaves[1] {
+				t.Fatalf("children = (%v, %v), want %v", l, r, tc.leaves)
+			}
+			if l.height.Load() != 1 || r.height.Load() != 1 {
+				t.Fatal("leaf heights wrong")
+			}
+			if l.parent.Load() != root || r.parent.Load() != root {
+				t.Fatal("parent pointers not rewired by rotation")
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRotationPreservesValuesAndMembership runs larger sorted inserts
+// (continuous rotations) and verifies every pair afterwards.
+func TestRotationPreservesValuesAndMembership(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	const n = 2048
+	for i := 0; i < n; i++ {
+		if !h.Insert(i, i*7) {
+			t.Fatalf("Insert(%d) = false", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := h.Contains(i); !ok || v != i*7 {
+			t.Fatalf("Contains(%d) = (%d, %v)", i, v, ok)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnlinkedNodeVersionTerminal: once a node is unlinked its version
+// must stay ovlUnlinked forever (searches and validators key off it).
+func TestUnlinkedNodeVersionTerminal(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(10, 10)
+	h.Insert(5, 5)
+	victim := tr.rootHolder.child[dirRight].Load().child[dirLeft].Load()
+	if victim.key != 5 {
+		t.Fatalf("layout: %d", victim.key)
+	}
+	if !h.Delete(5) {
+		t.Fatal("Delete(5) = false")
+	}
+	if victim.version.Load()&ovlUnlinked == 0 {
+		t.Fatal("unlinked leaf does not carry the unlinked version")
+	}
+	// Reinserting the key must allocate a new node, not resurrect.
+	h.Insert(5, 55)
+	again := tr.rootHolder.child[dirRight].Load().child[dirLeft].Load()
+	if again == victim {
+		t.Fatal("unlinked node resurrected")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package bonsai implements the Bonsai tree of Clements, Kaashoek &
+// Zeldovich ("Scalable Address Spaces Using RCU Balanced Trees", ASPLOS
+// 2012) — the "Bonsai" series in the Citrus paper's evaluation.
+//
+// Bonsai is a weight-balanced binary search tree updated in functional
+// style: an update never modifies reachable nodes, it builds a fresh copy
+// of the root-to-leaf path (plus any rebalanced nodes) and publishes the
+// new root with a single atomic store. Readers load the root inside an RCU
+// read-side critical section and traverse an immutable snapshot, so they
+// need no locks and no validation. All updaters serialize behind one
+// mutex — precisely the coarse-grained design whose update-side flatline
+// the Citrus paper demonstrates (Figures 9 and 10).
+//
+// The balance scheme is the classic Adams/weight-balanced discipline (as
+// in Haskell's Data.Map): a node's subtree may be at most delta times
+// heavier than its sibling, restored with single or double rotations
+// chosen by the ratio test. In C the RCU read lock also defers frees; in
+// Go the garbage collector retires old snapshots, and the read-side
+// critical section is kept so the read path pays the same synchronization
+// cost as the original.
+package bonsai
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Weight-balance parameters (Adams' tree as tuned in Data.Map).
+const (
+	delta = 3 // max weight ratio between siblings
+	ratio = 2 // single-vs-double rotation threshold
+)
+
+// node is an immutable tree node; size caches the subtree key count.
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	value       V
+	size        int
+	left, right *node[K, V]
+}
+
+func size[K cmp.Ordered, V any](n *node[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func mk[K cmp.Ordered, V any](key K, value V, l, r *node[K, V]) *node[K, V] {
+	return &node[K, V]{key: key, value: value, size: size(l) + size(r) + 1, left: l, right: r}
+}
+
+// Tree is the concurrent Bonsai tree.
+type Tree[K cmp.Ordered, V any] struct {
+	mu     sync.Mutex // serializes all updaters (the design's bottleneck)
+	root   atomic.Pointer[node[K, V]]
+	flavor rcu.Flavor
+}
+
+// New returns an empty Bonsai tree using its own RCU domain.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return NewWithFlavor[K, V](rcu.NewDomain())
+}
+
+// NewWithFlavor returns an empty Bonsai tree whose readers register with
+// the given RCU flavor.
+func NewWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
+	return &Tree[K, V]{flavor: flavor}
+}
+
+// A Handle is one goroutine's access point (it carries the RCU reader).
+type Handle[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+	r rcu.Reader
+}
+
+// NewHandle registers a handle for the calling goroutine.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{t: t, r: t.flavor.Register()}
+}
+
+// Close unregisters the handle.
+func (h *Handle[K, V]) Close() {
+	h.r.Unregister()
+	h.r = nil
+}
+
+// Contains returns the value stored under key, if any. It traverses an
+// immutable snapshot inside a read-side critical section.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	h.r.ReadLock()
+	n := h.t.root.Load()
+	for n != nil {
+		switch c := cmp.Compare(key, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			v := n.value
+			h.r.ReadUnlock()
+			return v, true
+		}
+	}
+	h.r.ReadUnlock()
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	t := h.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newRoot, ok := insert(t.root.Load(), key, value)
+	if ok {
+		t.root.Store(newRoot)
+	}
+	return ok
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	t := h.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newRoot, ok := remove(t.root.Load(), key)
+	if ok {
+		t.root.Store(newRoot)
+	}
+	return ok
+}
+
+func insert[K cmp.Ordered, V any](n *node[K, V], key K, value V) (*node[K, V], bool) {
+	if n == nil {
+		return mk(key, value, nil, nil), true
+	}
+	switch c := cmp.Compare(key, n.key); {
+	case c < 0:
+		l, ok := insert(n.left, key, value)
+		if !ok {
+			return nil, false
+		}
+		return balanceL(n.key, n.value, l, n.right), true
+	case c > 0:
+		r, ok := insert(n.right, key, value)
+		if !ok {
+			return nil, false
+		}
+		return balanceR(n.key, n.value, n.left, r), true
+	default:
+		return nil, false
+	}
+}
+
+func remove[K cmp.Ordered, V any](n *node[K, V], key K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch c := cmp.Compare(key, n.key); {
+	case c < 0:
+		l, ok := remove(n.left, key)
+		if !ok {
+			return nil, false
+		}
+		return balanceR(n.key, n.value, l, n.right), true
+	case c > 0:
+		r, ok := remove(n.right, key)
+		if !ok {
+			return nil, false
+		}
+		return balanceL(n.key, n.value, n.left, r), true
+	default:
+		return glue(n.left, n.right), true
+	}
+}
+
+// glue joins two subtrees whose keys are already correctly ordered.
+func glue[K cmp.Ordered, V any](l, r *node[K, V]) *node[K, V] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case size(l) > size(r):
+		k, v, l2 := deleteMax(l)
+		return balanceR(k, v, l2, r)
+	default:
+		k, v, r2 := deleteMin(r)
+		return balanceL(k, v, l, r2)
+	}
+}
+
+func deleteMin[K cmp.Ordered, V any](n *node[K, V]) (K, V, *node[K, V]) {
+	if n.left == nil {
+		return n.key, n.value, n.right
+	}
+	k, v, l := deleteMin(n.left)
+	return k, v, balanceR(n.key, n.value, l, n.right)
+}
+
+func deleteMax[K cmp.Ordered, V any](n *node[K, V]) (K, V, *node[K, V]) {
+	if n.right == nil {
+		return n.key, n.value, n.left
+	}
+	k, v, r := deleteMax(n.right)
+	return k, v, balanceL(n.key, n.value, n.left, r)
+}
+
+// balanceL restores balance when the left subtree may have grown (or the
+// right shrunk) by one.
+func balanceL[K cmp.Ordered, V any](key K, value V, l, r *node[K, V]) *node[K, V] {
+	sl, sr := size(l), size(r)
+	if sl+sr <= 1 || sl <= delta*sr {
+		return mk(key, value, l, r)
+	}
+	if size(l.right) < ratio*size(l.left) {
+		// Single rotation right.
+		return mk(l.key, l.value, l.left, mk(key, value, l.right, r))
+	}
+	// Double rotation: left-right.
+	lr := l.right
+	return mk(lr.key, lr.value,
+		mk(l.key, l.value, l.left, lr.left),
+		mk(key, value, lr.right, r))
+}
+
+// balanceR restores balance when the right subtree may have grown (or the
+// left shrunk) by one.
+func balanceR[K cmp.Ordered, V any](key K, value V, l, r *node[K, V]) *node[K, V] {
+	sl, sr := size(l), size(r)
+	if sl+sr <= 1 || sr <= delta*sl {
+		return mk(key, value, l, r)
+	}
+	if size(r.left) < ratio*size(r.right) {
+		// Single rotation left.
+		return mk(r.key, r.value, mk(key, value, l, r.left), r.right)
+	}
+	// Double rotation: right-left.
+	rl := r.left
+	return mk(rl.key, rl.value,
+		mk(key, value, l, rl.left),
+		mk(r.key, r.value, rl.right, r.right))
+}
+
+// Len reports the number of keys. Safe at any time (snapshot).
+func (t *Tree[K, V]) Len() int { return size(t.root.Load()) }
+
+// Keys returns all keys in ascending order, from a single snapshot. Safe
+// at any time.
+func (t *Tree[K, V]) Keys() []K {
+	root := t.root.Load()
+	ks := make([]K, 0, size(root))
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		ks = append(ks, n.key)
+		walk(n.right)
+	}
+	walk(root)
+	return ks
+}
+
+// Range calls fn on every pair of one snapshot, in ascending key order,
+// until fn returns false. Unlike Citrus, Bonsai gives consistent
+// iteration for free — the paper's Figure 1 anomaly cannot happen on an
+// immutable snapshot.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
+	}
+	walk(t.root.Load())
+}
+
+// CheckInvariants verifies BST order, size caching, and the weight-balance
+// bound on a snapshot.
+func (t *Tree[K, V]) CheckInvariants() error {
+	var prev *K
+	var check func(n *node[K, V]) error
+	check = func(n *node[K, V]) error {
+		if n == nil {
+			return nil
+		}
+		if err := check(n.left); err != nil {
+			return err
+		}
+		if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+			return fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+		}
+		k := n.key
+		prev = &k
+		if got := size(n.left) + size(n.right) + 1; n.size != got {
+			return fmt.Errorf("node %v caches size %d, subtree has %d", n.key, n.size, got)
+		}
+		if sl, sr := size(n.left), size(n.right); sl+sr > 1 && (sl > delta*sr || sr > delta*sl) {
+			return fmt.Errorf("node %v weight-unbalanced: |L|=%d |R|=%d", n.key, sl, sr)
+		}
+		return check(n.right)
+	}
+	return check(t.root.Load())
+}

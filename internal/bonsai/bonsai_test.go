@@ -1,0 +1,250 @@
+package bonsai
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New[int, string]()
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(1); ok {
+		t.Fatal("Contains on empty tree = true")
+	}
+	if !h.Insert(1, "one") || h.Insert(1, "uno") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains(1); !ok || v != "one" {
+		t.Fatalf("Contains(1) = (%q, %v)", v, ok)
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightBalanceMaintained validates the Adams balance bound after
+// every mutation for adversarial insertion orders.
+func TestWeightBalanceMaintained(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		key  func(i int) int
+	}{
+		{"ascending", func(i int) int { return i }},
+		{"descending", func(i int) int { return 5000 - i }},
+		{"zigzag", func(i int) int {
+			if i%2 == 0 {
+				return i
+			}
+			return 5000 - i
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := New[int, int]()
+			h := tr.NewHandle()
+			defer h.Close()
+			for i := 0; i < 2000; i++ {
+				h.Insert(tc.key(i), i)
+				if i%97 == 0 {
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("after %d inserts: %v", i+1, err)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Height must be logarithmic (weight-balance ⇒ height bound).
+			depth := maxDepth(tr.root.Load())
+			if bound := 3 * int(math.Log2(2000)+1); depth > bound {
+				t.Fatalf("depth %d exceeds balanced bound %d", depth, bound)
+			}
+		})
+	}
+}
+
+func maxDepth(n *node[int, int]) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + max(maxDepth(n.left), maxDepth(n.right))
+}
+
+// TestDeleteRebalances drains a tree in sorted order — the worst case for
+// deletion balance — validating invariants throughout.
+func TestDeleteRebalances(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		h.Insert(i, i)
+	}
+	for i := 0; i < n; i++ {
+		if !h.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if i%53 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after deleting %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d after drain", tr.Len())
+	}
+}
+
+// TestSnapshotIsolation is the property Bonsai buys with path copying: a
+// traversal started before a batch of updates sees none of them, even
+// though the updates complete while the traversal is suspended mid-walk.
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Insert(i, 0)
+	}
+
+	reached := make(chan struct{})
+	resume := make(chan struct{})
+	got := make(chan int, 1)
+	go func() {
+		count := 0
+		tr.Range(func(k, v int) bool {
+			if v != 0 {
+				t.Errorf("snapshot observed updated value %d at key %d", v, k)
+			}
+			count++
+			if k == n/2 {
+				reached <- struct{}{}
+				<-resume
+			}
+			return true
+		})
+		got <- count
+	}()
+
+	<-reached
+	// Delete every key above the rendezvous and half below it.
+	for k := 0; k < n; k += 2 {
+		h.Delete(k)
+	}
+	close(resume)
+	if count := <-got; count != n {
+		t.Fatalf("suspended traversal saw %d keys, want the full snapshot %d", count, n)
+	}
+	if got := tr.Len(); got != n/2 {
+		t.Fatalf("Len() = %d after deletes, want %d", got, n/2)
+	}
+}
+
+// TestOldRootsRemainValid: a reader that captured the root before updates
+// can keep using that snapshot indefinitely (persistence); GC plays the
+// role of RCU-deferred reclamation.
+func TestOldRootsRemainValid(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	for i := 0; i < 500; i++ {
+		h.Insert(i, i)
+	}
+	snapshot := tr.root.Load()
+	for i := 0; i < 500; i++ {
+		h.Delete(i)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree should be empty")
+	}
+	// Walk the captured snapshot: all 500 keys still there, in order.
+	count, prev := 0, -1
+	var walk func(n *node[int, int])
+	walk = func(n *node[int, int]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		if n.key <= prev {
+			t.Fatalf("snapshot order violated at %d", n.key)
+		}
+		prev = n.key
+		count++
+		walk(n.right)
+	}
+	walk(snapshot)
+	if count != 500 {
+		t.Fatalf("snapshot has %d keys, want 500", count)
+	}
+}
+
+// TestUpdatersSerializeCorrectly: concurrent writers on the global update
+// lock must not lose updates.
+func TestUpdatersSerializeCorrectly(t *testing.T) {
+	tr := New[int, int]()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				k := w*perWriter + i
+				if !h.Insert(k, k) {
+					t.Errorf("Insert(%d) = false", k)
+				}
+				if rng.Intn(4) == 0 {
+					if !h.Delete(k) {
+						t.Errorf("Delete(%d) = false", k)
+					}
+					if !h.Insert(k, k) {
+						t.Errorf("re-Insert(%d) = false", k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := tr.Len(); got != writers*perWriter {
+		t.Fatalf("Len() = %d, want %d", got, writers*perWriter)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeCaching(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(11))
+	live := map[int]bool{}
+	for i := 0; i < 4000; i++ {
+		k := rng.Intn(300)
+		if rng.Intn(2) == 0 {
+			if h.Insert(k, k) {
+				live[k] = true
+			}
+		} else if h.Delete(k) {
+			delete(live, k)
+		}
+		if got := tr.Len(); got != len(live) {
+			t.Fatalf("op %d: Len() = %d, oracle %d", i, got, len(live))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

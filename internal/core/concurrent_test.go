@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// TestFigure4NoFalseNegative reconstructs, deterministically, the scenario
+// of the paper's Figures 4 and 7: a search for key 55 is suspended mid-walk
+// (inside its read-side critical section) while a concurrent delete(50)
+// replaces the two-child node 50 with a copy of its successor 55. The
+// delete must block in synchronize_rcu until the search leaves its critical
+// section, and the suspended search — resuming from its stale position —
+// must still find 55 in its *old* location. Without line 74 the old
+// successor would already be unlinked and the search would return a false
+// negative for a key that is in the set throughout.
+func TestFigure4NoFalseNegative(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewTree[int, int](dom)
+	w := tr.NewHandle()
+	defer w.Close()
+	for _, k := range []int{50, 30, 80, 60, 55} {
+		w.Insert(k, k)
+	}
+	// Successor of 50 is 55: 50 → right 80 → left 60 → left 55.
+
+	// The reader walks by hand to node 60 — the parent of the successor —
+	// inside a read-side critical section, then pauses.
+	reader := dom.Register()
+	defer reader.Unregister()
+	reader.ReadLock()
+	n := tr.root.child[right].Load() // +∞ sentinel
+	n = n.child[left].Load()         // 50
+	if n.key != 50 {
+		t.Fatalf("layout: expected 50, got %d", n.key)
+	}
+	n = n.child[right].Load() // 80 (55 > 50)
+	n = n.child[left].Load()  // 60 (55 < 80)
+	if n.key != 60 {
+		t.Fatalf("layout: expected 60, got %d", n.key)
+	}
+	stale := n // the reader is "here", about to read child[left]
+
+	// Concurrently delete 50 (two children → successor copy + grace period).
+	delDone := make(chan struct{})
+	go func() {
+		defer close(delDone)
+		h := tr.NewHandle()
+		defer h.Close()
+		if !h.Delete(50) {
+			t.Error("Delete(50) = false")
+		}
+	}()
+
+	// The delete must publish the copy and then block in synchronize_rcu
+	// while our reader is still inside its critical section.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		root := tr.root.child[right].Load().child[left].Load()
+		if root.key == 55 && root != stale.child[left].Load() {
+			break // the copy of 55 has replaced 50
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delete never published the successor copy")
+		}
+		runtime.Gosched()
+	}
+	select {
+	case <-delDone:
+		t.Fatal("Delete(50) returned while a pre-existing reader was mid-search: synchronize_rcu did not wait")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The suspended reader resumes from its stale node. The old successor
+	// must still be linked exactly where the reader is about to look.
+	old := stale.child[left].Load()
+	if old == nil || old.key != 55 {
+		t.Fatalf("pre-existing reader got a false negative: child = %v", old)
+	}
+	reader.ReadUnlock()
+
+	<-delDone
+	// After the grace period the old successor is unlinked.
+	if got := stale.child[left].Load(); got != nil {
+		t.Fatalf("old successor still linked after delete completed: %v", got.key)
+	}
+	if v, ok := w.Contains(55); !ok || v != 55 {
+		t.Fatalf("Contains(55) = (%d, %v) after delete(50), want (55, true)", v, ok)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchDuringGracePeriodFindsCopy: while one pre-existing reader keeps
+// a delete(50) blocked in its grace period, a *new* search must find the
+// key through the freshly published copy (the paper's Figure 3(d) state:
+// two copies of the successor are reachable).
+func TestSearchDuringGracePeriodFindsCopy(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewTree[int, int](dom)
+	w := tr.NewHandle()
+	defer w.Close()
+	for _, k := range []int{50, 30, 80, 60, 55} {
+		w.Insert(k, k)
+	}
+
+	blocker := dom.Register()
+	defer blocker.Unregister()
+	blocker.ReadLock()
+
+	delDone := make(chan struct{})
+	go func() {
+		defer close(delDone)
+		h := tr.NewHandle()
+		defer h.Close()
+		h.Delete(50)
+	}()
+
+	// Wait for the copy of 55 to take 50's place.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		root := tr.root.child[right].Load().child[left].Load()
+		if root.key == 55 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delete never published the successor copy")
+		}
+		runtime.Gosched()
+	}
+
+	// Both copies of 55 are reachable right now (weak BST property). A new
+	// reader must find the key — it will hit the new copy first.
+	h2 := tr.NewHandle()
+	if v, ok := h2.Contains(55); !ok || v != 55 {
+		t.Fatalf("Contains(55) during grace period = (%d, %v), want (55, true)", v, ok)
+	}
+	_, _, curr, _ := h2.get(55)
+	rootNow := tr.root.child[right].Load().child[left].Load()
+	if curr != rootNow {
+		t.Fatalf("new search found the old successor, want the published copy")
+	}
+	h2.Close()
+
+	blocker.ReadUnlock()
+	<-delDone
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoFalseNegativesUnderChurn is the paper's core guarantee, tested
+// statistically: keys that are in the set for the whole run must be found
+// by every contains, while writers constantly delete and reinsert
+// two-child nodes around them.
+func TestNoFalseNegativesUnderChurn(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewTree[int, int](dom)
+	w := tr.NewHandle()
+
+	// Permanent keys are even; churn keys are odd, interleaved so that
+	// deleting a churn key regularly hits two-child nodes whose successor
+	// is a permanent key.
+	const n = 400
+	perm := make([]int, 0, n/2)
+	for k := 0; k < n; k++ {
+		w.Insert(k, k)
+		if k%2 == 0 {
+			perm = append(perm, k)
+		}
+	}
+	w.Close()
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := perm[rng.Intn(len(perm))]
+				if _, ok := h.Contains(k); !ok {
+					violations.Add(1)
+				}
+			}
+		}(int64(i))
+	}
+
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(n/2)*2 + 1 // odd churn key
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k)
+				}
+			}
+		}(int64(i))
+	}
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d false negatives on permanently present keys", v)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range perm {
+		h := tr.NewHandle()
+		if _, ok := h.Contains(k); !ok {
+			t.Fatalf("permanent key %d missing after run", k)
+		}
+		h.Close()
+	}
+}
+
+// TestConcurrentPartitionedWriters gives each writer a disjoint slice of
+// the key space so the final state is deterministic, then checks it.
+func TestConcurrentPartitionedWriters(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewTree[int, int](dom)
+
+	const (
+		writers     = 8
+		keysPerPart = 300
+		rounds      = 3
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			base := p * keysPerPart
+			for r := 0; r < rounds; r++ {
+				for k := base; k < base+keysPerPart; k++ {
+					if !h.Insert(k, k+r) {
+						t.Errorf("writer %d: Insert(%d) round %d = false", p, k, r)
+					}
+				}
+				for k := base; k < base+keysPerPart; k++ {
+					// Intermediate rounds empty the partition; the last
+					// round keeps only keys divisible by 3.
+					if r == rounds-1 && k%3 == 0 {
+						continue
+					}
+					if !h.Delete(k) {
+						t.Errorf("writer %d: Delete(%d) round %d = false", p, k, r)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	h := tr.NewHandle()
+	defer h.Close()
+	for k := 0; k < writers*keysPerPart; k++ {
+		if k%3 == 0 {
+			want++
+			if _, ok := h.Contains(k); !ok {
+				t.Fatalf("key %d should have survived", k)
+			}
+		} else if _, ok := h.Contains(k); ok {
+			t.Fatalf("key %d should have been deleted", k)
+		}
+	}
+	if got := tr.Len(); got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentMixedChurn hammers a small key range from many goroutines
+// with all three operations and then checks structural invariants and that
+// membership agrees between two independent handles.
+func TestConcurrentMixedChurn(t *testing.T) {
+	for _, flavor := range []struct {
+		name string
+		f    rcu.Flavor
+	}{
+		{"Domain", rcu.NewDomain()},
+		{"ClassicDomain", rcu.NewClassicDomain()},
+	} {
+		t.Run(flavor.name, func(t *testing.T) {
+			tr := NewTree[int, int](flavor.f)
+			const (
+				goroutines = 8
+				opsEach    = 4000
+				keyRange   = 64 // small range → constant two-child deletes
+			)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := tr.NewHandle()
+					defer h.Close()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsEach; i++ {
+						k := rng.Intn(keyRange)
+						switch rng.Intn(3) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Contains(k)
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			h := tr.NewHandle()
+			defer h.Close()
+			seen := map[int]bool{}
+			tr.Range(func(k, _ int) bool { seen[k] = true; return true })
+			for k := 0; k < keyRange; k++ {
+				if _, ok := h.Contains(k); ok != seen[k] {
+					t.Fatalf("Contains(%d) = %v but quiescent Range says %v", k, ok, seen[k])
+				}
+			}
+		})
+	}
+}

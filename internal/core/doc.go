@@ -1,0 +1,44 @@
+// Package core implements the Citrus tree of Arbel & Attiya, "Concurrent
+// Updates with RCU: Search Tree as an Example" (PODC 2014, §3).
+//
+// Citrus is an internal, unbalanced binary search tree implementing a
+// dictionary (insert, delete, contains) in which updates run concurrently
+// with each other — synchronized by fine-grained per-node locks with
+// post-lock validation — and contains is wait-free, synchronized against
+// updates only through RCU.
+//
+// The implementation is a line-level transliteration of the paper's
+// pseudocode (lines 1–84); comments reference the paper's line numbers so
+// the code can be audited against the proof in §4. The essential moves:
+//
+//   - get (lines 1–15) searches exactly like the sequential algorithm but
+//     inside an RCU read-side critical section, returning the node found
+//     (or nil), its parent, the link direction, and the parent's tag for
+//     that direction.
+//
+//   - insert (lines 21–32) locks the parent, validates it (unmarked, link
+//     still nil, tag unchanged), and links a new leaf.
+//
+//   - delete of a node with at most one child (lines 50–56) marks it and
+//     bypasses it with a single child-pointer write.
+//
+//   - delete of a node with two children (lines 57–83) copies the node's
+//     successor into a new node that takes the victim's place, then calls
+//     synchronize_rcu to wait out every search that might still be heading
+//     for the successor's old position, and only then unlinks the original
+//     successor. Searches that began before the copy find the successor in
+//     its old place; searches that begin after find the copy. This is what
+//     makes the duplicate-key window safe (the weak BST property, §4
+//     Definition 1) and is the only place Citrus blocks an updater on
+//     readers.
+//
+//   - tags (one per child direction) are incremented whenever a child link
+//     is set to nil, defeating the ABA problem in insert's validation, and
+//     marked flags defeat use-after-unlink (lines 33–41).
+//
+// Memory model mapping: child pointers and tags are read by lock-free
+// searches, so they are atomics; marked is only accessed while holding the
+// owning node's mutex; key, value and kind are immutable after node
+// creation. Sentinels (the −∞ root and its +∞ right child, §2) are
+// explicit node kinds so keys remain fully generic.
+package core

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Debug/tooling output for the tree. Quiescent use only, like the other
+// whole-tree observers.
+
+// Dump writes an indented sideways rendering of the tree to w: right
+// subtree above, left below, one node per line as "key=value" plus
+// markers for sentinels. Intended for debugging sessions and test
+// failure output.
+func (t *Tree[K, V]) Dump(w io.Writer) {
+	var walk func(n *node[K, V], depth int)
+	walk = func(n *node[K, V], depth int) {
+		if n == nil {
+			return
+		}
+		walk(n.child[right].Load(), depth+1)
+		switch n.kind {
+		case kindNegInf:
+			fmt.Fprintf(w, "%*s-inf (root)\n", depth*4, "")
+		case kindPosInf:
+			fmt.Fprintf(w, "%*s+inf\n", depth*4, "")
+		default:
+			fmt.Fprintf(w, "%*s%v=%v\n", depth*4, "", n.key, n.value)
+		}
+		walk(n.child[left].Load(), depth+1)
+	}
+	walk(t.root, 0)
+}
+
+// WriteDOT writes the tree as a Graphviz digraph: sentinels as boxes,
+// regular nodes labeled "key\nvalue", solid edges for children and the
+// per-direction tag values on nil slots. Render with `dot -Tsvg`.
+func (t *Tree[K, V]) WriteDOT(w io.Writer) {
+	fmt.Fprintln(w, "digraph citrus {")
+	fmt.Fprintln(w, "  node [fontname=\"monospace\"];")
+	id := 0
+	var walk func(n *node[K, V]) int
+	walk = func(n *node[K, V]) int {
+		my := id
+		id++
+		switch n.kind {
+		case kindNegInf:
+			fmt.Fprintf(w, "  n%d [shape=box, label=\"-inf\"];\n", my)
+		case kindPosInf:
+			fmt.Fprintf(w, "  n%d [shape=box, label=\"+inf\"];\n", my)
+		default:
+			fmt.Fprintf(w, "  n%d [label=\"%v\\n%v\"];\n", my, n.key, n.value)
+		}
+		for dir, name := range [2]string{"L", "R"} {
+			if c := n.child[dir].Load(); c != nil {
+				child := walk(c)
+				fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\"];\n", my, child, name)
+			} else if tag := n.tag[dir].Load(); tag > 0 {
+				// Surface non-zero tags on empty slots: they are the ABA
+				// evidence a debugger usually wants.
+				fmt.Fprintf(w, "  t%d_%d [shape=plaintext, label=\"tag=%d\"];\n", my, dir, tag)
+				fmt.Fprintf(w, "  n%d -> t%d_%d [style=dotted, label=\"%s\"];\n", my, my, dir, name)
+			}
+		}
+		return my
+	}
+	walk(t.root)
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+func TestDump(t *testing.T) {
+	tr := NewTree[int, string](rcu.NewDomain())
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(2, "two")
+	h.Insert(1, "one")
+	h.Insert(3, "three")
+
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	for _, want := range []string{"-inf (root)", "+inf", "1=one", "2=two", "3=three"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	// Sideways layout: the right subtree (3) prints above the root key
+	// (2), which prints above the left subtree (1).
+	if strings.Index(out, "3=three") > strings.Index(out, "2=two") ||
+		strings.Index(out, "2=two") > strings.Index(out, "1=one") {
+		t.Fatalf("Dump order wrong:\n%s", out)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := NewTree[int, int](rcu.NewDomain())
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(10, 100)
+	h.Insert(5, 50)
+	h.Delete(5) // leaves a bumped tag on 10's left slot
+
+	var b strings.Builder
+	tr.WriteDOT(&b)
+	out := b.String()
+	for _, want := range []string{
+		"digraph citrus {",
+		`label="-inf"`,
+		`label="+inf"`,
+		`label="10\n100"`,
+		`label="tag=1"`, // the ABA evidence is surfaced
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteDOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "->") {
+		t.Fatalf("WriteDOT has no edges:\n%s", out)
+	}
+}

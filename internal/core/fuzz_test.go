@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// FuzzOpsAgainstOracle interprets the fuzz input as an operation script
+// (2 bytes per op: kind, key) applied to both the Citrus tree and a map
+// oracle, checking every return value and the structural invariants at
+// the end. `go test` runs the seed corpus as regression tests;
+// `go test -fuzz=FuzzOpsAgainstOracle ./internal/core` explores.
+func FuzzOpsAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1})
+	f.Add([]byte{0, 10, 0, 5, 0, 15, 1, 10, 2, 5, 1, 15})
+	f.Add([]byte{
+		0, 50, 0, 25, 0, 75, 0, 60, 0, 90, 0, 55, // build
+		1, 50, 2, 55, 1, 55, 0, 50, 1, 25, 1, 75, // churn two-child deletes
+	})
+	seq := make([]byte, 0, 128)
+	for k := byte(0); k < 32; k++ {
+		seq = append(seq, 0, k)
+	}
+	for k := byte(0); k < 32; k += 2 {
+		seq = append(seq, 1, k)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTree[int, int](rcu.NewDomain())
+		h := tr.NewHandle()
+		defer h.Close()
+		oracle := map[int]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			kind := data[i] % 3
+			k := int(data[i+1] % 64)
+			switch kind {
+			case 0:
+				_, present := oracle[k]
+				if got := h.Insert(k, i); got == present {
+					t.Fatalf("op %d: Insert(%d) = %v, present=%v", i/2, k, got, present)
+				}
+				if !present {
+					oracle[k] = i
+				}
+			case 1:
+				_, present := oracle[k]
+				if got := h.Delete(k); got != present {
+					t.Fatalf("op %d: Delete(%d) = %v, present=%v", i/2, k, got, present)
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				gotV, gotOK := h.Contains(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)",
+						i/2, k, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+		if got, want := tr.Len(), len(oracle); got != want {
+			t.Fatalf("Len() = %d, oracle %d", got, want)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

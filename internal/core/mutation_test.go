@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// TestFigure4FalseNegativeWithoutGracePeriod is the mutation twin of
+// TestFigure4NoFalseNegative: the identical schedule run over
+// rcu.NoSync, where synchronize_rcu (line 74) is a no-op. Now the delete
+// races past the suspended search and unlinks the old successor, and the
+// search — resuming from its stale position — deterministically returns
+// a false negative for a key that was in the set the whole time.
+//
+// The test proves two things: that line 74 is load-bearing (remove it
+// and this observable failure appears), and that the Figure-4 test
+// actually exercises the guarantee it claims to (it fails under the
+// mutation rather than passing vacuously).
+func TestFigure4FalseNegativeWithoutGracePeriod(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewTree[int, int](rcu.NoSync(dom))
+	w := tr.NewHandle()
+	defer w.Close()
+	for _, k := range []int{50, 30, 80, 60, 55} {
+		w.Insert(k, k)
+	}
+	// Successor of 50 is 55: 50 → right 80 → left 60 → left 55.
+
+	// The reader walks by hand to node 60 inside a (real) read-side
+	// critical section — the NoSync wrapper keeps readers intact and only
+	// neuters waiting.
+	reader := dom.Register()
+	defer reader.Unregister()
+	reader.ReadLock()
+	n := tr.root.child[right].Load() // +∞ sentinel
+	n = n.child[left].Load()         // 50
+	n = n.child[right].Load()        // 80
+	n = n.child[left].Load()         // 60
+	if n.key != 60 {
+		t.Fatalf("layout: expected 60, got %d", n.key)
+	}
+	stale := n
+
+	// The delete does NOT block: with Synchronize neutered it publishes
+	// the copy and immediately unlinks the old successor, while our
+	// reader is still mid-search.
+	delDone := make(chan struct{})
+	go func() {
+		defer close(delDone)
+		h := tr.NewHandle()
+		defer h.Close()
+		if !h.Delete(50) {
+			t.Error("Delete(50) = false")
+		}
+	}()
+	select {
+	case <-delDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delete blocked even though grace periods are disabled")
+	}
+
+	// The suspended reader resumes: key 55 is logically in the set
+	// (Contains through the root finds the copy), but the reader's next
+	// step hits the hole where the successor used to be.
+	got := stale.child[left].Load()
+	reader.ReadUnlock()
+	if got != nil {
+		t.Fatalf("old successor still linked (%v); the mutation did not take effect", got.key)
+	}
+	// For contrast: a fresh search does find 55 via the published copy.
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(55); !ok {
+		t.Fatal("key 55 vanished entirely; expected only the stale reader to miss it")
+	}
+	// `got == nil` IS the false negative: a get suspended at `stale`
+	// would have concluded 55 ∉ set. With real grace periods (see
+	// TestFigure4NoFalseNegative) this cannot happen.
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// The helpers in this file observe the whole tree and are meaningful only
+// in quiescent states — when no update is in flight. The paper's Figure 1
+// shows why: RCU readers that visit several nodes can observe concurrent
+// updates in different orders, so no consistent multi-key view exists
+// while updates run. Tests and tooling call these between phases; they are
+// not part of the concurrent API.
+
+// Len reports the number of keys in the tree. Quiescent use only.
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	t.Range(func(K, V) bool { n++; return true })
+	return n
+}
+
+// Range calls fn on every key/value pair in ascending key order until fn
+// returns false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.child[left].Load()) {
+			return false
+		}
+		if n.kind == kindNormal {
+			if !fn(n.key, n.value) {
+				return false
+			}
+		}
+		return walk(n.child[right].Load())
+	}
+	walk(t.root)
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Height reports the height of the tree (sentinels excluded; empty tree is
+// 0). Quiescent use only; used by balance-related benchmarks.
+func (t *Tree[K, V]) Height() int {
+	var h func(n *node[K, V]) int
+	h = func(n *node[K, V]) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + max(h(n.child[left].Load()), h(n.child[right].Load()))
+	}
+	// Skip the sentinels: real keys live under the +∞ node's left child.
+	inf := t.root.child[right].Load()
+	return h(inf.child[left].Load())
+}
+
+// CheckInvariants verifies the structural invariants that must hold in any
+// quiescent state and returns the first violation found:
+//
+//   - the sentinel skeleton is intact (−∞ root, +∞ right child, no left
+//     child of the root);
+//   - every reachable node is unmarked;
+//   - the strict BST property holds (the paper's weak BST property with
+//     duplicates allows equal keys only *during* a delete; none may remain
+//     once updates quiesce);
+//   - no key appears twice.
+func (t *Tree[K, V]) CheckInvariants() error {
+	if t.root.kind != kindNegInf {
+		return fmt.Errorf("root is not the −∞ sentinel")
+	}
+	if t.root.child[left].Load() != nil {
+		return fmt.Errorf("−∞ sentinel has a left child")
+	}
+	inf := t.root.child[right].Load()
+	if inf == nil || inf.kind != kindPosInf {
+		return fmt.Errorf("root's right child is not the +∞ sentinel")
+	}
+	if inf.child[right].Load() != nil {
+		return fmt.Errorf("+∞ sentinel has a right child")
+	}
+
+	var prev *K
+	var check func(n *node[K, V]) error
+	check = func(n *node[K, V]) error {
+		if n == nil {
+			return nil
+		}
+		if err := check(n.child[left].Load()); err != nil {
+			return err
+		}
+		if n.kind == kindNormal {
+			n.mu.Lock()
+			marked := n.marked
+			n.mu.Unlock()
+			if marked {
+				return fmt.Errorf("reachable node %v is marked", n.key)
+			}
+			if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+				return fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+			}
+			k := n.key
+			prev = &k
+		}
+		return check(n.child[right].Load())
+	}
+	return check(inf.child[left].Load())
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Node recycling — the "efficient memory reclamation" integration named
+// as future work in §7 of the paper, built on rcu.Reclaimer (call_rcu).
+//
+// Without recycling, unlinked nodes are simply dropped for the garbage
+// collector. With recycling, delete retires them into a pool and insert
+// reuses them, eliminating the allocation per insert on churn-heavy
+// workloads. Reuse of type-stable memory is where RCU structures
+// traditionally go wrong, so the rules here are deliberate:
+//
+//  1. A retired node enters the pool only after a grace period
+//     (Reclaimer.Defer), so no reader inside a read-side critical
+//     section can still be traversing it when it is reinitialized.
+//
+//  2. Grace periods do not cover *updaters* holding stale references
+//     from before the node was unlinked: an insert may still lock the
+//     recycled node and run validate against it. Pointer-identity checks
+//     (prev.child[dir] == curr) fail naturally — the recycled node's
+//     slots hold different pointers — but the nil-slot check would pass,
+//     so recycling bumps BOTH tag counters, making any stale
+//     (tag, nil-slot) validation fail. Tags are never reset: they count
+//     monotonically across a node's lives.
+//
+//  3. Resetting the marked flag is done under the node's own mutex,
+//     because exactly those stale validators read it under that mutex.
+type nodePool[K cmp.Ordered, V any] struct {
+	rec  *rcu.Reclaimer
+	pool sync.Pool
+
+	// Instrumentation (tests and the ablation benches).
+	retired atomic.Int64
+	reused  atomic.Int64
+}
+
+// NewTreeWithRecycling returns an empty tree that recycles unlinked
+// nodes through rec: delete hands retired nodes to the reclaimer, which
+// returns them to an allocation pool after a grace period, and insert
+// draws from that pool. The caller owns rec's lifecycle; closing it
+// stops recycling gracefully (retired nodes are still drained, later
+// inserts fall back to allocation).
+func NewTreeWithRecycling[K cmp.Ordered, V any](flavor rcu.Flavor, rec *rcu.Reclaimer) *Tree[K, V] {
+	t := NewTree[K, V](flavor)
+	t.recycle = &nodePool[K, V]{rec: rec}
+	return t
+}
+
+// retire hands an unlinked node to the reclaimer (no-op without
+// recycling). Callers guarantee n is unreachable from the root; readers
+// may still be crossing it, which is exactly what the deferred grace
+// period covers.
+func (t *Tree[K, V]) retire(n *node[K, V]) {
+	p := t.recycle
+	if p == nil {
+		return
+	}
+	p.retired.Add(1)
+	p.rec.Defer(func() { p.put(n) })
+}
+
+// put reinitializes a node whose grace period has elapsed and pools it.
+func (p *nodePool[K, V]) put(n *node[K, V]) {
+	n.mu.Lock()
+	n.marked = false // stale validators read this under n.mu (rule 3)
+	n.mu.Unlock()
+	n.child[left].Store(nil)
+	n.child[right].Store(nil)
+	var zero V
+	n.value = zero // don't pin the old value while pooled
+	// Bump, never reset, the tags (rule 2): a validator holding a
+	// pre-retirement tag must fail against the node's next life.
+	n.tag[left].Add(1)
+	n.tag[right].Add(1)
+	p.pool.Put(n)
+}
+
+// newNodeReusing returns a pooled node reinitialized for (key, value),
+// or a fresh one.
+func (t *Tree[K, V]) newNodeReusing(key K, value V) *node[K, V] {
+	p := t.recycle
+	if p == nil {
+		return newNode(key, value)
+	}
+	pooled := p.pool.Get()
+	if pooled == nil {
+		return newNode(key, value)
+	}
+	n, ok := pooled.(*node[K, V])
+	if !ok {
+		return newNode(key, value)
+	}
+	p.reused.Add(1)
+	// key/value/kind are only ever read by operations that can reach the
+	// node through the tree, and the node is unpublished here; stale
+	// lockers touch only mu, marked, child and tag (see validate).
+	n.key = key
+	n.value = value
+	return n
+}
+
+// RecycleStats reports (nodes retired, nodes reused) since creation; it
+// returns zeros for trees without recycling. For tests and benchmarks.
+func (t *Tree[K, V]) RecycleStats() (retired, reused int64) {
+	if t.recycle == nil {
+		return 0, 0
+	}
+	return t.recycle.retired.Load(), t.recycle.reused.Load()
+}

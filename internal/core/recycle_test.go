@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+func newRecyclingTree(t testing.TB) (*Tree[int, int], *rcu.Reclaimer) {
+	t.Helper()
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	t.Cleanup(rec.Close)
+	return NewTreeWithRecycling[int, int](dom, rec), rec
+}
+
+func TestRecyclingSequentialOracle(t *testing.T) {
+	tr, rec := newRecyclingTree(t)
+	h := tr.NewHandle()
+	defer h.Close()
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(13))
+	const keyRange = 100
+	for i := 0; i < 30000; i++ {
+		k := rng.Intn(keyRange)
+		switch rng.Intn(3) {
+		case 0:
+			_, present := oracle[k]
+			if got := h.Insert(k, i); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v, present=%v", i, k, got, present)
+			}
+			if !present {
+				oracle[k] = i
+			}
+		case 1:
+			_, present := oracle[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, present=%v", i, k, got, present)
+			}
+			delete(oracle, k)
+		default:
+			wantV, wantOK := oracle[k]
+			gotV, gotOK := h.Contains(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	if got, want := tr.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, oracle %d", got, want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Barrier()
+	retired, _ := tr.RecycleStats()
+	if retired == 0 {
+		t.Fatal("no nodes were retired by a delete-heavy run")
+	}
+	// Force reuse deterministically: with retirements drained to the pool
+	// (Barrier above), churn until an insert draws from it. The loop
+	// tolerates sync.Pool's right to drop items under GC pressure.
+	for i := 0; i < 1000; i++ {
+		if _, reused := tr.RecycleStats(); reused > 0 {
+			return
+		}
+		h.Delete(i % keyRange)
+		h.Insert(i%keyRange, i)
+		rec.Barrier()
+	}
+	t.Fatal("no retired nodes were ever reused")
+}
+
+// TestRecyclingStaleValidatorDefeated white-boxes rule 2 of the
+// recycling design: a validator holding a (node, tag) pair from the
+// node's previous life must fail validation after the node is recycled,
+// even though the slot it validates is nil in both lives.
+func TestRecyclingStaleValidatorDefeated(t *testing.T) {
+	tr, rec := newRecyclingTree(t)
+	h := tr.NewHandle()
+	defer h.Close()
+
+	// Life 1: node 30 as a leaf under 50.
+	h.Insert(50, 0)
+	h.Insert(30, 0)
+	inf := tr.root.child[right].Load()
+	n30 := inf.child[left].Load().child[left].Load()
+	if n30.key != 30 {
+		t.Fatalf("layout: got %d", n30.key)
+	}
+	staleTag := n30.tag[left].Load() // as an insert's get would capture
+
+	// Unlink 30 and wait for it to reach the pool.
+	h.Delete(30)
+	rec.Barrier()
+
+	// The stale validation (insert of, say, 20 under the old node 30)
+	// must fail now, regardless of what life the node is in.
+	n30.mu.Lock()
+	ok := validate(n30, staleTag, nil, left)
+	n30.mu.Unlock()
+	if ok {
+		t.Fatal("stale validator passed against a recycled node (tag not bumped?)")
+	}
+}
+
+// TestRecyclingReusesMemory verifies actual reuse: churn one key's
+// subtree and require the reuse counter to approach the retire counter.
+func TestRecyclingReusesMemory(t *testing.T) {
+	tr, rec := newRecyclingTree(t)
+	h := tr.NewHandle()
+	defer h.Close()
+	for _, k := range []int{50, 25, 75} {
+		h.Insert(k, k)
+	}
+	for i := 0; i < 2000; i++ {
+		if !h.Delete(25) || !h.Insert(25, i) {
+			t.Fatal("churn failed")
+		}
+		if i%100 == 0 {
+			rec.Barrier() // let retirements complete so the pool refills
+		}
+	}
+	rec.Barrier()
+	retired, reused := tr.RecycleStats()
+	if retired < 1000 {
+		t.Fatalf("retired only %d nodes", retired)
+	}
+	if reused < retired/4 {
+		t.Fatalf("reused %d of %d retired nodes; pool is not working", reused, retired)
+	}
+}
+
+// TestRecyclingConcurrentChurn is the adversarial case: heavy concurrent
+// insert/delete over a small range with recycling on, under -race, while
+// readers hammer permanently present keys. The grace-period gating and
+// the tag bumps are what keep this correct.
+func TestRecyclingConcurrentChurn(t *testing.T) {
+	tr, _ := newRecyclingTree(t)
+	w := tr.NewHandle()
+	const n = 200
+	perm := make([]int, 0, n/2)
+	for k := 0; k < n; k++ {
+		w.Insert(k, k)
+		if k%2 == 0 {
+			perm = append(perm, k)
+		}
+	}
+	w.Close()
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := perm[rng.Intn(len(perm))]
+				if v, ok := h.Contains(k); !ok || v != k {
+					violations.Add(1)
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(n/2)*2 + 1
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k)
+				}
+			}
+		}(int64(i))
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d false negatives with recycling enabled", v)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range perm {
+		h := tr.NewHandle()
+		if v, ok := h.Contains(k); !ok || v != k {
+			t.Fatalf("permanent key %d corrupted: (%d, %v)", k, v, ok)
+		}
+		h.Close()
+	}
+}
+
+// TestRecyclingContainsOnChurnedKeys is the regression test for the one
+// paper-vs-recycling interaction that needed code to move: the value
+// read of contains must happen inside the read-side critical section,
+// because a churned key's node can be retired, grace-period'd, and
+// reinitialized for a different insert while a contains that found it is
+// still in flight. Under -race, a value read outside the critical
+// section shows up here as a data race with newNodeReusing; semantically
+// it would return another key's value.
+func TestRecyclingContainsOnChurnedKeys(t *testing.T) {
+	tr, _ := newRecyclingTree(t)
+	w := tr.NewHandle()
+	const n = 64
+	for k := 0; k < n; k++ {
+		w.Insert(k, k*10)
+	}
+	w.Close()
+
+	stop := make(chan struct{})
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(n)
+				if v, ok := h.Contains(k); ok && v != k*10 {
+					wrong.Add(1) // another key's value leaked through reuse
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(500 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k*10)
+				}
+			}
+		}(int64(i))
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if v := wrong.Load(); v != 0 {
+		t.Fatalf("%d contains calls returned a recycled node's new value", v)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecyclingClosedReclaimerDrains: closing the reclaimer mid-life
+// must not lose retirements or wedge the tree.
+func TestRecyclingClosedReclaimerDrains(t *testing.T) {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	tr := NewTreeWithRecycling[int, int](dom, rec)
+	h := tr.NewHandle()
+	defer h.Close()
+	for k := 0; k < 100; k++ {
+		h.Insert(k, k)
+	}
+	for k := 0; k < 100; k++ {
+		h.Delete(k)
+	}
+	rec.Close() // drains all pending retirements
+	retired, _ := tr.RecycleStats()
+	if retired == 0 {
+		t.Fatal("nothing retired")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

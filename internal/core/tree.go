@@ -1,0 +1,229 @@
+package core
+
+import (
+	"cmp"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Tree is a Citrus binary search tree. It implements a linearizable
+// dictionary with concurrent insert/delete (fine-grained locking) and
+// wait-free contains (RCU). Create one with NewTree and access it through
+// per-goroutine Handles.
+type Tree[K cmp.Ordered, V any] struct {
+	flavor  rcu.Flavor
+	root    *node[K, V] // −∞ sentinel; its right child is the +∞ sentinel
+	recycle *nodePool[K, V]
+}
+
+// NewTree returns an empty tree whose searches and grace periods use the
+// given RCU flavor. The flavor is shared: every Handle registers with it,
+// and delete's synchronize_rcu waits on its readers.
+func NewTree[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
+	root := &node[K, V]{kind: kindNegInf}
+	infinity := &node[K, V]{kind: kindPosInf}
+	root.child[right].Store(infinity)
+	return &Tree[K, V]{flavor: flavor, root: root}
+}
+
+// A Handle gives one goroutine access to the tree. Handles must not be
+// used concurrently; each worker goroutine should create its own with
+// NewHandle and Close it when done.
+type Handle[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+	r rcu.Reader
+}
+
+// NewHandle registers a new per-goroutine handle.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{t: t, r: t.flavor.Register()}
+}
+
+// Close unregisters the handle from the tree's RCU flavor. The handle must
+// not be used afterwards.
+func (h *Handle[K, V]) Close() {
+	h.r.Unregister()
+	h.r = nil
+}
+
+// Tree returns the tree this handle accesses.
+func (h *Handle[K, V]) Tree() *Tree[K, V] { return h.t }
+
+// get is the paper's get (lines 1–15): a sequential BST search performed
+// inside an RCU read-side critical section. It returns the last link
+// followed: prev —dir→ curr, where curr holds key if the key was found and
+// is nil otherwise, plus prev's tag for dir, read inside the critical
+// section (line 13).
+func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V], dir int) {
+	h.r.ReadLock() // line 2
+	prev = h.t.root
+	curr = prev.child[right].Load() // line 4: root is never nil
+	c := curr.compareKey(key)       // line 5: root's right child is never nil
+	dir = right
+	for curr != nil && c != 0 { // line 7
+		prev = curr
+		if c < 0 { // line 9: currentKey > key ? left : right
+			dir = left
+		} else {
+			dir = right
+		}
+		curr = prev.child[dir].Load()
+		if curr != nil {
+			c = curr.compareKey(key)
+		}
+	}
+	tag = prev.tag[dir].Load() // line 13: save tag inside the critical section
+	h.r.ReadUnlock()           // line 14
+	return prev, tag, curr, dir
+}
+
+// Contains reports whether key is in the dictionary and returns its value
+// (lines 16–20). It is wait-free when the key space is finite: it takes no
+// locks and never retries.
+//
+// The paper reads the value after get returns; here the search is inlined
+// so the value is captured *inside* the read-side critical section. The
+// distinction is invisible without node recycling (values are immutable
+// while a node is reachable, and the GC keeps unreachable nodes intact),
+// but with NewTreeWithRecycling a retired node may be reinitialized as
+// soon as the grace period ends, and only reads inside the critical
+// section are covered by it.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	h.r.ReadLock()
+	prev := h.t.root
+	curr := prev.child[right].Load()
+	c := curr.compareKey(key)
+	dir := right
+	for curr != nil && c != 0 {
+		prev = curr
+		if c < 0 {
+			dir = left
+		} else {
+			dir = right
+		}
+		curr = prev.child[dir].Load()
+		if curr != nil {
+			c = curr.compareKey(key)
+		}
+	}
+	if curr == nil { // the key was not found (line 18)
+		h.r.ReadUnlock()
+		var zero V
+		return zero, false
+	}
+	v := curr.value // line 20, inside the critical section
+	h.r.ReadUnlock()
+	return v, true
+}
+
+// Insert adds (key, value) to the dictionary (lines 21–32). It returns
+// false if the key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	for { // line 22
+		prev, tag, curr, dir := h.get(key)
+		if curr != nil { // the key was found (line 24)
+			return false
+		}
+		prev.mu.Lock() // line 26
+		if validate(prev, tag, nil, dir) {
+			n := h.t.newNodeReusing(key, value) // line 28: create a new leaf node
+			prev.child[dir].Store(n)            // line 29
+			prev.mu.Unlock()
+			return true
+		}
+		prev.mu.Unlock() // line 32: validation failed, release and retry
+	}
+}
+
+// Delete removes key from the dictionary (lines 42–84). It returns false
+// if the key is not present.
+func (h *Handle[K, V]) Delete(key K) bool {
+	for { // line 43
+		prev, _, curr, dir := h.get(key)
+		if curr == nil { // the key was not found (line 45)
+			return false
+		}
+		prev.mu.Lock()                     // line 47
+		curr.mu.Lock()                     // line 48
+		if !validate(prev, 0, curr, dir) { // line 49
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			continue // line 84: validation failed, release locks and retry
+		}
+
+		currLeft := curr.child[left].Load()
+		currRight := curr.child[right].Load()
+		if currLeft == nil || currRight == nil {
+			// curr has a single child (lines 50–56).
+			curr.marked = true // line 51
+			repl := currLeft   // line 52: notNoneChild
+			if repl == nil {
+				repl = currRight
+			}
+			prev.child[dir].Store(repl) // line 53
+			incrementTag(prev, dir)     // line 54
+			curr.mu.Unlock()
+			prev.mu.Unlock() // line 55: release all locks
+			h.t.retire(curr) // reclamation extension: pool after a grace period
+			return true
+		}
+
+		// curr has two children (lines 57–83): replace it with a copy of
+		// its successor, then retire the original successor after a grace
+		// period.
+		prevSucc := curr  // line 58: searching for the successor
+		succ := currRight // line 59
+		next := succ.child[left].Load()
+		for next != nil { // lines 61–64; no read-side critical section
+			prevSucc = succ // needed: traversed keys don't steer the walk
+			succ = next
+			next = next.child[left].Load()
+		}
+		succDir := right // line 65
+		if curr != prevSucc {
+			succDir = left
+			prevSucc.mu.Lock() // line 67: do not lock twice
+		}
+		succ.mu.Lock() // line 68
+
+		if validate(prevSucc, 0, succ, succDir) &&
+			validate(succ, succ.tag[left].Load(), nil, left) { // line 69
+			// line 70: new node with succ's key/value and curr's children.
+			n := h.t.newNodeReusing(succ.key, succ.value)
+			n.child[left].Store(currLeft)
+			n.child[right].Store(currRight)
+			n.mu.Lock()              // line 71
+			curr.marked = true       // line 72
+			prev.child[dir].Store(n) // line 73
+			h.t.flavor.Synchronize() // line 74: wait for readers
+			succ.marked = true       // line 75: remove the old successor
+			succRight := succ.child[right].Load()
+			if prevSucc == curr { // line 76: succ is the right child of curr
+				n.child[right].Store(succRight) // line 77
+				incrementTag(n, right)          // line 78
+			} else {
+				prevSucc.child[left].Store(succRight) // line 80
+				incrementTag(prevSucc, left)          // line 81
+			}
+			// line 82: release all locks.
+			n.mu.Unlock()
+			succ.mu.Unlock()
+			if curr != prevSucc {
+				prevSucc.mu.Unlock()
+			}
+			curr.mu.Unlock()
+			prev.mu.Unlock()
+			h.t.retire(curr) // reclamation extension
+			h.t.retire(succ)
+			return true // line 83
+		}
+
+		// line 84: validation failed, release locks and retry.
+		succ.mu.Unlock()
+		if curr != prevSucc {
+			prevSucc.mu.Unlock()
+		}
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+func newIntTree(t testing.TB) (*Tree[int, int], *Handle[int, int]) {
+	t.Helper()
+	tr := NewTree[int, int](rcu.NewDomain())
+	h := tr.NewHandle()
+	t.Cleanup(h.Close)
+	return tr, h
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, h := newIntTree(t)
+	if _, ok := h.Contains(42); ok {
+		t.Fatal("Contains(42) on empty tree = true")
+	}
+	if h.Delete(42) {
+		t.Fatal("Delete(42) on empty tree = true")
+	}
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("Len() = %d, want 0", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	tr, h := newIntTree(t)
+	if !h.Insert(10, 100) {
+		t.Fatal("Insert(10) = false on empty tree")
+	}
+	if h.Insert(10, 999) {
+		t.Fatal("duplicate Insert(10) = true")
+	}
+	if v, ok := h.Contains(10); !ok || v != 100 {
+		t.Fatalf("Contains(10) = (%d, %v), want (100, true)", v, ok)
+	}
+	if _, ok := h.Contains(11); ok {
+		t.Fatal("Contains(11) = true, key never inserted")
+	}
+	if !h.Delete(10) {
+		t.Fatal("Delete(10) = false")
+	}
+	if h.Delete(10) {
+		t.Fatal("second Delete(10) = true")
+	}
+	if _, ok := h.Contains(10); ok {
+		t.Fatal("Contains(10) = true after delete")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteShapes exercises every structural case of delete: leaf, single
+// left child, single right child, two children with the successor being the
+// right child, and two children with a deep successor.
+func TestDeleteShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		keys   []int // insertion order shapes the unbalanced tree
+		del    int
+		remain []int
+	}{
+		{"leaf", []int{50, 30, 70}, 30, []int{50, 70}},
+		{"single left child", []int{50, 30, 20}, 30, []int{20, 50}},
+		{"single right child", []int{50, 30, 40}, 30, []int{40, 50}},
+		{"two children, successor is right child", []int{50, 30, 70, 60, 80}, 50, []int{30, 60, 70, 80}},
+		{"two children, deep successor", []int{50, 30, 80, 60, 70, 55}, 50, []int{30, 55, 60, 70, 80}},
+		{"deep successor with right subtree", []int{50, 30, 80, 60, 55, 57}, 50, []int{30, 55, 57, 60, 80}},
+		{"root of all", []int{50}, 50, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, h := newIntTree(t)
+			for _, k := range tc.keys {
+				if !h.Insert(k, k*10) {
+					t.Fatalf("Insert(%d) = false", k)
+				}
+			}
+			if !h.Delete(tc.del) {
+				t.Fatalf("Delete(%d) = false", tc.del)
+			}
+			got := tr.Keys()
+			if len(got) != len(tc.remain) {
+				t.Fatalf("Keys() = %v, want %v", got, tc.remain)
+			}
+			for i, k := range tc.remain {
+				if got[i] != k {
+					t.Fatalf("Keys() = %v, want %v", got, tc.remain)
+				}
+			}
+			// Values must have moved with their keys (the successor copy
+			// carries the value).
+			for _, k := range tc.remain {
+				if v, ok := h.Contains(k); !ok || v != k*10 {
+					t.Fatalf("Contains(%d) = (%d, %v), want (%d, true)", k, v, ok, k*10)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSequentialRandomOpsAgainstOracle(t *testing.T) {
+	tr, h := newIntTree(t)
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(1))
+	const keyRange = 200
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(keyRange)
+		switch rng.Intn(3) {
+		case 0:
+			wantOK := func() bool { _, ok := oracle[k]; return !ok }()
+			if got := h.Insert(k, i); got != wantOK {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, wantOK)
+			}
+			if wantOK {
+				oracle[k] = i
+			}
+		case 1:
+			_, wantOK := oracle[k]
+			if got := h.Delete(k); got != wantOK {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, wantOK)
+			}
+			delete(oracle, k)
+		case 2:
+			wantV, wantOK := oracle[k]
+			gotV, gotOK := h.Contains(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	if got, want := tr.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, oracle has %d", got, want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenericKeyTypes(t *testing.T) {
+	tr := NewTree[string, []byte](rcu.NewDomain())
+	h := tr.NewHandle()
+	defer h.Close()
+	words := []string{"pear", "apple", "quince", "citrus", "banana", "fig"}
+	for _, w := range words {
+		if !h.Insert(w, []byte(w)) {
+			t.Fatalf("Insert(%q) = false", w)
+		}
+	}
+	if v, ok := h.Contains("citrus"); !ok || string(v) != "citrus" {
+		t.Fatalf("Contains(citrus) = (%q, %v)", v, ok)
+	}
+	if !h.Delete("apple") {
+		t.Fatal("Delete(apple) = false")
+	}
+	want := []string{"banana", "citrus", "fig", "pear", "quince"}
+	got := tr.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagIncrementOnNilLink(t *testing.T) {
+	tr, h := newIntTree(t)
+	h.Insert(50, 0)
+	h.Insert(30, 0)
+	n50 := tr.root.child[right].Load().child[left].Load()
+	if n50.key != 50 {
+		t.Fatalf("unexpected layout: root-left key %d", n50.key)
+	}
+	before := n50.tag[left].Load()
+	h.Delete(30) // leaf delete sets n50.child[left] to nil
+	if after := n50.tag[left].Load(); after != before+1 {
+		t.Fatalf("tag[left] = %d after child removed, want %d", after, before+1)
+	}
+	h.Insert(20, 0) // relinks the nil slot; tag must not move
+	if after := n50.tag[left].Load(); after != before+1 {
+		t.Fatalf("tag[left] = %d after reinsert, want %d", after, before+1)
+	}
+}
+
+func TestSuccessorCopyPreservesValue(t *testing.T) {
+	// Deleting a two-child node replaces it with a *copy* of the successor
+	// (paper line 70); the copy must carry the successor's value, and the
+	// old successor node must be unreachable afterwards.
+	tr, h := newIntTree(t)
+	for _, k := range []int{50, 25, 75, 60, 90, 55} {
+		h.Insert(k, k+1000)
+	}
+	if !h.Delete(50) {
+		t.Fatal("Delete(50) = false")
+	}
+	if v, ok := h.Contains(55); !ok || v != 1055 {
+		t.Fatalf("Contains(55) = (%d, %v), want (1055, true)", v, ok)
+	}
+	if got, want := tr.Len(), 5; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAscendingDescending(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		keys func(i int) int
+	}{
+		{"ascending", func(i int) int { return i }},
+		{"descending", func(i int) int { return 1000 - i }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, h := newIntTree(t)
+			const n = 500
+			for i := 0; i < n; i++ {
+				if !h.Insert(tc.keys(i), i) {
+					t.Fatalf("Insert(%d) = false", tc.keys(i))
+				}
+			}
+			if got := tr.Len(); got != n {
+				t.Fatalf("Len() = %d, want %d", got, n)
+			}
+			// An unbalanced internal BST degenerates to a list here.
+			if got := tr.Height(); got != n {
+				t.Fatalf("Height() = %d, want %d (unbalanced tree)", got, n)
+			}
+			for i := 0; i < n; i++ {
+				if !h.Delete(tc.keys(i)) {
+					t.Fatalf("Delete(%d) = false", tc.keys(i))
+				}
+			}
+			if got := tr.Len(); got != 0 {
+				t.Fatalf("Len() = %d after deleting all, want 0", got)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+// Package dict defines the common dictionary API shared by every search
+// structure in this repository: the Citrus tree and the five comparison
+// structures from the paper's evaluation, plus the sequential oracle.
+//
+// The paper's dictionary abstract data type (§2):
+//
+//	insert(k, v)  — adds (k, v); true iff k was absent
+//	delete(k)     — removes k; true iff k was present
+//	contains(k)   — returns (v, true) if present, else (zero, false)
+//
+// Several implementations (Citrus, the relativistic red-black tree) need a
+// per-goroutine reader registration for RCU, so the API hands out
+// per-goroutine Handles rather than exposing methods on the shared object.
+// Implementations without per-goroutine state return a shared handle.
+package dict
+
+import "cmp"
+
+// Handle is a single goroutine's access point to a Map. A Handle must not
+// be used by two goroutines concurrently. Close releases any per-goroutine
+// resources (for RCU-based maps, the reader registration).
+type Handle[K cmp.Ordered, V any] interface {
+	// Contains returns the value stored under key, if any.
+	Contains(key K) (V, bool)
+
+	// Insert adds (key, value); it returns false (and stores nothing) if
+	// key is already present.
+	Insert(key K, value V) bool
+
+	// Delete removes key; it returns false if key is absent.
+	Delete(key K) bool
+
+	// Close releases the handle.
+	Close()
+}
+
+// Map is a concurrent dictionary that hands out per-goroutine Handles.
+type Map[K cmp.Ordered, V any] interface {
+	// NewHandle registers a handle for the calling goroutine.
+	NewHandle() Handle[K, V]
+
+	// Len reports the number of keys. Quiescent use only.
+	Len() int
+
+	// Keys returns all keys in ascending order. Quiescent use only.
+	Keys() []K
+
+	// CheckInvariants verifies implementation-specific structural
+	// invariants. Quiescent use only; returns nil if the structure is
+	// sound.
+	CheckInvariants() error
+
+	// Name identifies the implementation in benchmark output (the series
+	// label used in the paper's figures).
+	Name() string
+}
+
+// Factory creates an empty Map; the benchmark harness and the conformance
+// test kit instantiate implementations through factories.
+type Factory[K cmp.Ordered, V any] func() Map[K, V]

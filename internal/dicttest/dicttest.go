@@ -1,0 +1,693 @@
+// Package dicttest is a reusable conformance, property and stress test
+// kit for dict.Map implementations. Every search structure in this
+// repository is subjected to the same battery (see internal/impls's
+// tests), so an algorithm-specific bug cannot hide behind a weaker
+// structure-specific test file.
+package dicttest
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/dict"
+)
+
+// RunAll runs the full battery against the factory.
+func RunAll(t *testing.T, factory dict.Factory[int, int]) {
+	t.Helper()
+	t.Run("Empty", func(t *testing.T) { testEmpty(t, factory) })
+	t.Run("BasicSemantics", func(t *testing.T) { testBasicSemantics(t, factory) })
+	t.Run("DeleteShapes", func(t *testing.T) { testDeleteShapes(t, factory) })
+	t.Run("SequentialOracle", func(t *testing.T) { testSequentialOracle(t, factory) })
+	t.Run("QuickProperty", func(t *testing.T) { testQuickProperty(t, factory) })
+	t.Run("AscendingDescending", func(t *testing.T) { testAscendingDescending(t, factory) })
+	t.Run("PartitionedWriters", func(t *testing.T) { testPartitionedWriters(t, factory) })
+	t.Run("MixedChurn", func(t *testing.T) { testMixedChurn(t, factory) })
+	t.Run("NoFalseNegatives", func(t *testing.T) { testNoFalseNegatives(t, factory) })
+	t.Run("InsertDeleteRace", func(t *testing.T) { testInsertDeleteRace(t, factory) })
+	t.Run("PhasedInvariants", func(t *testing.T) { testPhasedInvariants(t, factory) })
+	t.Run("ValueIntegrity", func(t *testing.T) { testValueIntegrity(t, factory) })
+	t.Run("HandleChurn", func(t *testing.T) { testHandleChurn(t, factory) })
+}
+
+// testHandleChurn registers and unregisters handles continuously while
+// other goroutines operate: for RCU-based structures this exercises the
+// reader-registry copy-on-write racing Synchronize, a path no
+// steady-state workload touches.
+func testHandleChurn(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	{
+		h := m.NewHandle()
+		for k := 0; k < 64; k++ {
+			h.Insert(k, k)
+		}
+		h.Close()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Steady workers keep updates (and grace periods) flowing.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(64)
+				if rng.Intn(2) == 0 {
+					h.Delete(k | 1)
+				} else {
+					h.Insert(k|1, k)
+				}
+			}
+		}(int64(i))
+	}
+	// Churners: short-lived handles, a few ops each.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := m.NewHandle()
+				for j := 0; j < 4; j++ {
+					if _, ok := h.Contains(rng.Intn(32) * 2); !ok {
+						t.Errorf("short-lived handle missed a permanent key")
+						h.Close()
+						return
+					}
+				}
+				h.Close()
+			}
+		}(int64(i))
+	}
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testPhasedInvariants checks structural invariants at many intermediate
+// quiescent points of one long history, not just at the end: each round
+// churns concurrently, joins, and validates. A corruption that a later
+// round would accidentally repair cannot hide.
+func testPhasedInvariants(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const (
+		rounds     = 12
+		goroutines = 6
+		opsEach    = 400
+		keyRange   = 40
+	)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				h := m.NewHandle()
+				defer h.Close()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsEach; i++ {
+					k := rng.Intn(keyRange)
+					switch rng.Intn(3) {
+					case 0:
+						h.Insert(k, k)
+					case 1:
+						h.Delete(k)
+					default:
+						h.Contains(k)
+					}
+				}
+			}(int64(r*100 + g))
+		}
+		wg.Wait()
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		keys := m.Keys()
+		if got := m.Len(); got != len(keys) {
+			t.Fatalf("round %d: Len() = %d but Keys() has %d", r, got, len(keys))
+		}
+	}
+}
+
+// testValueIntegrity: every value returned by a concurrent Contains must
+// be one that some insert actually stored *for that key* — returning a
+// neighbouring key's value (as a torn read or a misrouted search would)
+// is a correctness bug even when membership is right. Writers always
+// store key*3+1, so any other value convicts.
+func testValueIntegrity(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const keyRange = 32
+	{
+		h := m.NewHandle()
+		for k := 0; k < keyRange; k++ {
+			h.Insert(k, k*3+1)
+		}
+		h.Close()
+	}
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keyRange)
+				if v, ok := h.Contains(k); ok && v != k*3+1 {
+					bad.Add(1)
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(50 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keyRange)
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k*3+1)
+				}
+			}
+		}(int64(i))
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d Contains calls returned a value never stored for their key", n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testEmpty(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(7); ok {
+		t.Fatal("Contains on empty map = true")
+	}
+	if h.Delete(7) {
+		t.Fatal("Delete on empty map = true")
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len() = %d, want 0", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testBasicSemantics(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	if !h.Insert(5, 50) {
+		t.Fatal("Insert(5) = false on empty map")
+	}
+	if h.Insert(5, 51) {
+		t.Fatal("duplicate Insert(5) = true")
+	}
+	if v, ok := h.Contains(5); !ok || v != 50 {
+		t.Fatalf("Contains(5) = (%d, %v), want (50, true); duplicate insert must not overwrite", v, ok)
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Fatal("Delete semantics broken")
+	}
+	// Reinsert after delete must see the new value.
+	if !h.Insert(5, 52) {
+		t.Fatal("reinsert after delete = false")
+	}
+	if v, _ := h.Contains(5); v != 52 {
+		t.Fatalf("Contains(5) after reinsert = %d, want 52", v)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testDeleteShapes(t *testing.T, factory dict.Factory[int, int]) {
+	shapes := [][]int{
+		{50},
+		{50, 30},
+		{50, 70},
+		{50, 30, 70},
+		{50, 30, 20},
+		{50, 30, 40},
+		{50, 30, 70, 60, 80},
+		{50, 30, 80, 60, 70, 55},
+		{50, 30, 80, 60, 55, 57},
+		{50, 25, 75, 60, 90, 55, 65},
+	}
+	for _, keys := range shapes {
+		for _, del := range keys {
+			m := factory()
+			h := m.NewHandle()
+			for _, k := range keys {
+				if !h.Insert(k, k*10) {
+					t.Fatalf("shape %v: Insert(%d) = false", keys, k)
+				}
+			}
+			if !h.Delete(del) {
+				t.Fatalf("shape %v: Delete(%d) = false", keys, del)
+			}
+			for _, k := range keys {
+				v, ok := h.Contains(k)
+				if k == del {
+					if ok {
+						t.Fatalf("shape %v: deleted key %d still present", keys, del)
+					}
+					continue
+				}
+				if !ok || v != k*10 {
+					t.Fatalf("shape %v after Delete(%d): Contains(%d) = (%d, %v)", keys, del, k, v, ok)
+				}
+			}
+			if got, want := m.Len(), len(keys)-1; got != want {
+				t.Fatalf("shape %v: Len() = %d, want %d", keys, got, want)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("shape %v after Delete(%d): %v", keys, del, err)
+			}
+			h.Close()
+		}
+	}
+}
+
+func testSequentialOracle(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(42))
+	const keyRange = 150
+	for i := 0; i < 15000; i++ {
+		k := rng.Intn(keyRange)
+		switch rng.Intn(3) {
+		case 0:
+			_, present := oracle[k]
+			if got := h.Insert(k, i); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v, present=%v", i, k, got, present)
+			}
+			if !present {
+				oracle[k] = i
+			}
+		case 1:
+			_, present := oracle[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, present=%v", i, k, got, present)
+			}
+			delete(oracle, k)
+		default:
+			wantV, wantOK := oracle[k]
+			gotV, gotOK := h.Contains(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	if got, want := m.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, oracle %d", got, want)
+	}
+	keys := m.Keys()
+	if len(keys) != len(oracle) {
+		t.Fatalf("Keys() returned %d keys, oracle %d", len(keys), len(oracle))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not strictly ascending at %d: %v", i, keys[max(0, i-2):min(len(keys), i+2)])
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testQuickProperty uses testing/quick to generate random operation
+// scripts and checks each against a map oracle, including final contents.
+func testQuickProperty(t *testing.T, factory dict.Factory[int, int]) {
+	type op struct {
+		Kind uint8
+		Key  uint8 // small key space provokes structural cases
+	}
+	property := func(script []op) bool {
+		m := factory()
+		h := m.NewHandle()
+		defer h.Close()
+		oracle := map[int]int{}
+		for i, o := range script {
+			k := int(o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				_, present := oracle[k]
+				if h.Insert(k, i) == present {
+					return false
+				}
+				if !present {
+					oracle[k] = i
+				}
+			case 1:
+				_, present := oracle[k]
+				if h.Delete(k) != present {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				gotV, gotOK := h.Contains(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(oracle) {
+			return false
+		}
+		for _, k := range m.Keys() {
+			if _, ok := oracle[k]; !ok {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(values []reflect.Value, rng *rand.Rand) {
+			n := 50 + rng.Intn(400)
+			script := make([]op, n)
+			for i := range script {
+				script[i] = op{Kind: uint8(rng.Intn(3)), Key: uint8(rng.Intn(40))}
+			}
+			values[0] = reflect.ValueOf(script)
+		},
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testAscendingDescending(t *testing.T, factory dict.Factory[int, int]) {
+	for _, tc := range []struct {
+		name string
+		key  func(i int) int
+	}{
+		{"ascending", func(i int) int { return i }},
+		{"descending", func(i int) int { return 2000 - i }},
+	} {
+		m := factory()
+		h := m.NewHandle()
+		const n = 800
+		for i := 0; i < n; i++ {
+			if !h.Insert(tc.key(i), i) {
+				t.Fatalf("%s: Insert(%d) = false", tc.name, tc.key(i))
+			}
+		}
+		if got := m.Len(); got != n {
+			t.Fatalf("%s: Len() = %d, want %d", tc.name, got, n)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := 0; i < n; i += 2 {
+			if !h.Delete(tc.key(i)) {
+				t.Fatalf("%s: Delete(%d) = false", tc.name, tc.key(i))
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%s after deletes: %v", tc.name, err)
+		}
+		h.Close()
+	}
+}
+
+func testPartitionedWriters(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const (
+		writers = 8
+		perPart = 200
+		rounds  = 3
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			base := p * perPart
+			for r := 0; r < rounds; r++ {
+				for k := base; k < base+perPart; k++ {
+					if !h.Insert(k, k+r) {
+						t.Errorf("writer %d: Insert(%d) = false in round %d", p, k, r)
+						return
+					}
+				}
+				for k := base; k < base+perPart; k++ {
+					if r == rounds-1 && k%3 == 0 {
+						continue
+					}
+					if !h.Delete(k) {
+						t.Errorf("writer %d: Delete(%d) = false in round %d", p, k, r)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandle()
+	defer h.Close()
+	want := 0
+	for k := 0; k < writers*perPart; k++ {
+		_, ok := h.Contains(k)
+		if k%3 == 0 {
+			want++
+			if !ok {
+				t.Fatalf("key %d should have survived", k)
+			}
+		} else if ok {
+			t.Fatalf("key %d should be gone", k)
+		}
+	}
+	if got := m.Len(); got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+}
+
+func testMixedChurn(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const (
+		goroutines = 8
+		opsEach    = 3000
+		keyRange   = 48
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Quiescent membership must agree between Keys() and Contains().
+	h := m.NewHandle()
+	defer h.Close()
+	inKeys := map[int]bool{}
+	for _, k := range m.Keys() {
+		inKeys[k] = true
+	}
+	for k := 0; k < keyRange; k++ {
+		if _, ok := h.Contains(k); ok != inKeys[k] {
+			t.Fatalf("Contains(%d) = %v but Keys() says %v", k, ok, inKeys[k])
+		}
+	}
+}
+
+// testNoFalseNegatives checks the guarantee motivating Citrus's use of
+// RCU: keys present for the whole run are found by every single Contains,
+// no matter how much the structure churns around them.
+func testNoFalseNegatives(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const n = 300
+	{
+		h := m.NewHandle()
+		for k := 0; k < n; k++ {
+			h.Insert(k, k)
+		}
+		h.Close()
+	}
+	perm := make([]int, 0, n/2)
+	for k := 0; k < n; k += 2 {
+		perm = append(perm, k)
+	}
+
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := perm[rng.Intn(len(perm))]
+				if v, ok := h.Contains(k); !ok || v != k {
+					violations.Add(1)
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(n/2)*2 + 1
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k)
+				}
+			}
+		}(int64(i))
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d false negatives on permanently present keys", v)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testInsertDeleteRace hammers a single key from many goroutines; the
+// number of successful inserts must exceed successful deletes by exactly
+// 0 or 1 (depending on the final state), which catches double-deletes and
+// lost inserts.
+func testInsertDeleteRace(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const (
+		goroutines = 8
+		opsEach    = 2000
+		key        = 7
+	)
+	var inserts, deletes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				if rng.Intn(2) == 0 {
+					if h.Insert(key, i) {
+						inserts.Add(1)
+					}
+				} else if h.Delete(key) {
+					deletes.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	h := m.NewHandle()
+	defer h.Close()
+	_, present := h.Contains(key)
+	diff := inserts.Load() - deletes.Load()
+	want := int64(0)
+	if present {
+		want = 1
+	}
+	if diff != want {
+		t.Fatalf("inserts-deletes = %d, final presence = %v (want diff %d)", diff, present, want)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

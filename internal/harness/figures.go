@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/workload"
+)
+
+// The paper's key ranges (§5): [0, 2·10⁵] and [0, 2·10⁶].
+const (
+	KeyRangeSmall = 200_000
+	KeyRangeLarge = 2_000_000
+)
+
+// DefaultWorkerCounts is the thread axis of every figure (1 to 64).
+var DefaultWorkerCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Figure describes one reproducible panel of the paper's evaluation.
+type Figure struct {
+	ID       string // e.g. "8", "9a", "10d"
+	Caption  string
+	KeyRange int
+	Mix      MixFor
+	MixName  string
+	Series   func() []impls.NamedFactory[int, int]
+}
+
+// Figures returns every panel of the paper's evaluation, keyed by panel
+// id. Figure 8 compares the two RCU flavors under Citrus; Figure 9 is the
+// single-writer workload; Figure 10 is the 2×3 grid of contains ratios ×
+// key ranges.
+func Figures() []Figure {
+	fig8Series := func() []impls.NamedFactory[int, int] {
+		return []impls.NamedFactory[int, int]{
+			{Name: impls.NameCitrusClassic, New: impls.NewCitrusClassic[int, int]},
+			{Name: impls.NameCitrus, New: impls.NewCitrus[int, int]},
+		}
+	}
+	var figs []Figure
+	figs = append(figs, Figure{
+		ID:       "8",
+		Caption:  "Impact of concurrent updates on the standard RCU implementation vs the paper's scalable one (50% contains, key range [0,2e5])",
+		KeyRange: KeyRangeSmall,
+		Mix:      Uniform(workload.ReadMostly(50)),
+		MixName:  "50% contains",
+		Series:   fig8Series,
+	})
+	for _, p := range []struct {
+		id       string
+		keyRange int
+	}{{"9a", KeyRangeSmall}, {"9b", KeyRangeLarge}} {
+		figs = append(figs, Figure{
+			ID:       p.id,
+			Caption:  fmt.Sprintf("Single writer (50%%i/50%%d), N−1 readers, key range [0,%.0e]", float64(p.keyRange)),
+			KeyRange: p.keyRange,
+			Mix:      SingleWriter(),
+			MixName:  "single writer",
+			Series:   impls.Figure[int, int],
+		})
+	}
+	panels := []struct {
+		id       string
+		contains int
+		keyRange int
+	}{
+		{"10a", 100, KeyRangeSmall},
+		{"10b", 98, KeyRangeSmall},
+		{"10c", 50, KeyRangeSmall},
+		{"10d", 100, KeyRangeLarge},
+		{"10e", 98, KeyRangeLarge},
+		{"10f", 50, KeyRangeLarge},
+	}
+	for _, p := range panels {
+		figs = append(figs, Figure{
+			ID: p.id,
+			Caption: fmt.Sprintf("%d%% contains, key range [0,%.0e]",
+				p.contains, float64(p.keyRange)),
+			KeyRange: p.keyRange,
+			Mix:      Uniform(workload.ReadMostly(p.contains)),
+			MixName:  fmt.Sprintf("%d%% contains", p.contains),
+			Series:   impls.Figure[int, int],
+		})
+	}
+	return figs
+}
+
+// FigureByID returns the panel with the given id, or false.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// RunFigure sweeps one panel and returns its cells.
+func (f Figure) Run(workerCounts []int, duration time.Duration, reps int, verify bool) ([]Cell, error) {
+	cfg := Config{
+		KeyRange: f.KeyRange,
+		Mix:      f.Mix,
+		Duration: duration,
+		Seed:     0xC17125,
+		Prefill:  true,
+		Verify:   verify,
+	}
+	return Sweep(f.Series(), workerCounts, cfg, reps)
+}
+
+// WriteTable renders cells as the paper-style table: one row per worker
+// count, one column per implementation series.
+func WriteTable(w io.Writer, cells []Cell) {
+	var series []string
+	seen := map[string]bool{}
+	workerSet := map[int]bool{}
+	tp := map[string]map[int]float64{}
+	for _, c := range cells {
+		if !seen[c.Impl] {
+			seen[c.Impl] = true
+			series = append(series, c.Impl)
+			tp[c.Impl] = map[int]float64{}
+		}
+		workerSet[c.Workers] = true
+		tp[c.Impl][c.Workers] = c.Throughput
+	}
+	var workers []int
+	for n := range workerSet {
+		workers = append(workers, n)
+	}
+	sort.Ints(workers)
+
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, s := range series {
+		fmt.Fprintf(w, " %22s", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 8+23*len(series)))
+	for _, n := range workers {
+		fmt.Fprintf(w, "%-8d", n)
+		for _, s := range series {
+			fmt.Fprintf(w, " %22s", formatOps(tp[s][n]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders cells as "figure,impl,workers,ops_per_sec" rows.
+func WriteCSV(w io.Writer, figID string, cells []Cell) {
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s,%s,%d,%.0f\n", figID, c.Impl, c.Workers, c.Throughput)
+	}
+}
+
+func formatOps(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM ops/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk ops/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f ops/s", v)
+	}
+}

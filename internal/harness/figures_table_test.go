@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWriteTableGolden pins the exact table layout (the CLIs' contract
+// with people who parse their output with awk).
+func TestWriteTableGolden(t *testing.T) {
+	cells := []Cell{
+		{Impl: "Citrus", Workers: 1, Throughput: 2_580_000},
+		{Impl: "Citrus", Workers: 64, Throughput: 990_000},
+		{Impl: "Bonsai", Workers: 1, Throughput: 950},
+		{Impl: "Bonsai", Workers: 64, Throughput: 12_400},
+	}
+	var b bytes.Buffer
+	WriteTable(&b, cells)
+	want := strings.Join([]string{
+		"threads                  Citrus                 Bonsai",
+		"------------------------------------------------------",
+		"1                   2.58M ops/s              950 ops/s",
+		"64                 990.0k ops/s            12.4k ops/s",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("table changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTableMissingCells(t *testing.T) {
+	// A series missing a worker count renders "-", not a zero.
+	cells := []Cell{
+		{Impl: "A", Workers: 1, Throughput: 100},
+		{Impl: "B", Workers: 2, Throughput: 200},
+	}
+	var b bytes.Buffer
+	WriteTable(&b, cells)
+	out := b.String()
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cells not rendered as '-':\n%s", out)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	WriteCSV(&b, "10c", []Cell{{Impl: "AVL", Workers: 8, Throughput: 1234567.89}})
+	if got, want := b.String(), "10c,AVL,8,1234568\n"; got != want {
+		t.Fatalf("CSV row = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/workload"
+)
+
+func quickConfig(workers int) Config {
+	return Config{
+		Workers:  workers,
+		KeyRange: 1024,
+		Mix:      Uniform(workload.ReadMostly(50)),
+		Duration: 30 * time.Millisecond,
+		Seed:     1,
+		Prefill:  true,
+		Verify:   true,
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	for _, f := range impls.All[int, int]() {
+		t.Run(f.Name, func(t *testing.T) {
+			res, err := Run(f.New, quickConfig(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops <= 0 {
+				t.Fatalf("Ops = %d, want > 0", res.Ops)
+			}
+			if res.Throughput() <= 0 {
+				t.Fatalf("Throughput = %f, want > 0", res.Throughput())
+			}
+		})
+	}
+}
+
+func TestPrefillHalfFills(t *testing.T) {
+	m := impls.NewCitrus[int, int]()
+	workload.Prefill(m, 1000, 42)
+	if got := m.Len(); got != 500 {
+		t.Fatalf("prefilled Len() = %d, want 500", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleWriterMix(t *testing.T) {
+	mf := SingleWriter()
+	if m := mf(0, 8); m.ContainsPct != 0 || m.InsertPct != 50 || m.DeletePct != 50 {
+		t.Fatalf("writer mix = %+v", m)
+	}
+	if m := mf(3, 8); m.ContainsPct != 100 {
+		t.Fatalf("reader mix = %+v", m)
+	}
+}
+
+func TestMixDistribution(t *testing.T) {
+	mix := workload.ReadMostly(98)
+	if !mix.Valid() {
+		t.Fatalf("mix %+v does not sum to 100", mix)
+	}
+	rng := workload.NewRNG(7)
+	counts := map[workload.OpKind]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[rng.NextOp(mix)]++
+	}
+	gotContains := float64(counts[workload.OpContains]) / n * 100
+	if gotContains < 97.5 || gotContains > 98.5 {
+		t.Fatalf("contains share = %.2f%%, want ≈98%%", gotContains)
+	}
+	if counts[workload.OpInsert] == 0 || counts[workload.OpDelete] == 0 {
+		t.Fatal("no updates drawn from a 98% contains mix")
+	}
+}
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures()
+	want := []string{"8", "9a", "9b", "10a", "10b", "10c", "10d", "10e", "10f"}
+	if len(figs) != len(want) {
+		t.Fatalf("Figures() has %d panels, want %d", len(figs), len(want))
+	}
+	for i, id := range want {
+		if figs[i].ID != id {
+			t.Fatalf("panel %d = %s, want %s", i, figs[i].ID, id)
+		}
+		if _, ok := FigureByID(id); !ok {
+			t.Fatalf("FigureByID(%s) not found", id)
+		}
+	}
+	// Figure 8 carries the two RCU flavors; figure 10 panels carry the six
+	// dictionaries.
+	if s := figs[0].Series(); len(s) != 2 {
+		t.Fatalf("figure 8 has %d series, want 2", len(s))
+	}
+	if s := figs[3].Series(); len(s) != 6 {
+		t.Fatalf("figure 10a has %d series, want 6", len(s))
+	}
+}
+
+func TestFigureRunQuick(t *testing.T) {
+	f, ok := FigureByID("8")
+	if !ok {
+		t.Fatal("figure 8 missing")
+	}
+	f.KeyRange = 512 // shrink for test speed; prefill is half of this
+	cells, err := f.Run([]int{1, 2}, 20*time.Millisecond, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 series × 2 worker counts)", len(cells))
+	}
+	var table, csv bytes.Buffer
+	WriteTable(&table, cells)
+	WriteCSV(&csv, f.ID, cells)
+	out := table.String()
+	if !strings.Contains(out, "threads") || !strings.Contains(out, impls.NameCitrus) {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 4 {
+		t.Fatalf("CSV has %d rows, want 4", got)
+	}
+}
+
+func TestSweepOrdering(t *testing.T) {
+	series := []impls.NamedFactory[int, int]{
+		{Name: impls.NameCitrus, New: impls.NewCitrus[int, int]},
+		{Name: impls.NameSkiplist, New: impls.NewSkiplist[int, int]},
+	}
+	cfg := quickConfig(0)
+	cfg.Duration = 10 * time.Millisecond
+	cells, err := Sweep(series, []int{1, 2}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []struct {
+		impl    string
+		workers int
+	}{
+		{impls.NameCitrus, 1}, {impls.NameCitrus, 2},
+		{impls.NameSkiplist, 1}, {impls.NameSkiplist, 2},
+	}
+	for i, w := range wantOrder {
+		if cells[i].Impl != w.impl || cells[i].Workers != w.workers {
+			t.Fatalf("cell %d = %+v, want %+v", i, cells[i], w)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := Run(impls.NewCitrus[int, int], Config{}); err == nil {
+		t.Fatal("Run accepted a zero config")
+	}
+}

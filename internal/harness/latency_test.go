@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/workload"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Total() != 0 {
+		t.Fatal("empty histogram has samples")
+	}
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram has a percentile")
+	}
+	if h.Summary() != "no latency samples" {
+		t.Fatalf("Summary() = %q", h.Summary())
+	}
+}
+
+func TestLatencyHistBucketing(t *testing.T) {
+	var h LatencyHist
+	// 1000 samples at ~100ns, 10 at ~1ms: p50 must land near 100ns
+	// (within the power-of-two bucket upper edge: 128ns), p99.9 near 1ms.
+	for i := 0; i < 1000; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	if got := h.Total(); got != 1010 {
+		t.Fatalf("Total() = %d", got)
+	}
+	if p50 := h.Percentile(50); p50 < 100*time.Nanosecond || p50 > 256*time.Nanosecond {
+		t.Fatalf("p50 = %v, want ≈128ns", p50)
+	}
+	if p999 := h.Percentile(99.9); p999 < time.Millisecond || p999 > 4*time.Millisecond {
+		t.Fatalf("p99.9 = %v, want ≈1–2ms", p999)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestLatencyHistExtremes(t *testing.T) {
+	var h LatencyHist
+	h.Record(0)              // clamps to 1ns bucket
+	h.Record(10 * time.Hour) // clamps to the top bucket
+	if h.Total() != 2 {
+		t.Fatal("clamped samples lost")
+	}
+}
+
+func TestRunWithLatencyMeasurement(t *testing.T) {
+	cfg := quickConfig(2)
+	cfg.MeasureLatency = true
+	cfg.Duration = 50 * time.Millisecond
+	res, err := Run(impls.NewCitrus[int, int], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency == nil || res.Latency.Total() == 0 {
+		t.Fatal("no latency samples collected")
+	}
+	// Sampling is 1 in 2^sampleShift; allow generous slack.
+	if got, expect := res.Latency.Total(), res.Ops>>sampleShift; got > expect*2 || got < expect/4 {
+		t.Fatalf("sampled %d of %d ops, expected ≈%d", got, res.Ops, expect)
+	}
+	if res.Latency.Percentile(50) <= 0 {
+		t.Fatal("p50 not positive")
+	}
+}
+
+func TestRunWithZipfSkew(t *testing.T) {
+	cfg := quickConfig(2)
+	cfg.ZipfS = 1.2
+	cfg.Duration = 30 * time.Millisecond
+	res, err := Run(impls.NewCitrus[int, int], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= 0 {
+		t.Fatal("no operations under skewed keys")
+	}
+}
+
+func TestNoSyncFlavorAblationRuns(t *testing.T) {
+	// The A3 ablation's factory (Citrus over a neutered-synchronize
+	// flavor) must survive the harness churn; linearizability of contains
+	// is knowingly sacrificed, structure must stay intact (Verify).
+	factory := impls.AblationNoSyncCitrus
+	cfg := quickConfig(4)
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Mix = Uniform(workload.ReadMostly(20)) // update-heavy
+	if _, err := Run(factory, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

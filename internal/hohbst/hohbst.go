@@ -1,0 +1,278 @@
+// Package hohbst implements an internal binary search tree synchronized
+// by hand-over-hand locking (lock coupling) — the "natural approach" for
+// fine-grained synchronization that the Citrus paper's introduction
+// contrasts RCU against. Every operation, including lookups, descends
+// the tree holding a sliding window of two node locks: the child is
+// locked before the parent is released, so the path cannot be cut out
+// from under a traversal.
+//
+// The structure is correct and deadlock-free (locks are only ever
+// acquired downward), and updates on different branches proceed
+// concurrently. Its weakness is exactly the paper's motivation: *readers
+// pay two lock operations per visited node*, serializing against each
+// other and against writers near the root — compare
+// BenchmarkContainsScaling, where Citrus's wait-free lookups cost a
+// fraction of this design's.
+package hohbst
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+)
+
+// node fields are protected by mu of the node itself for key/value and
+// by the *parent's* mu for the incoming link; since traversals hold
+// parent and child locks together, both conventions are satisfied
+// everywhere below.
+type node[K cmp.Ordered, V any] struct {
+	mu          sync.Mutex
+	key         K
+	value       V
+	left, right *node[K, V]
+}
+
+// Tree is the lock-coupling BST. Its zero value is not usable; create
+// with New. All methods are safe for concurrent use (there is no
+// per-goroutine handle state; NewHandle exists for registry symmetry).
+type Tree[K cmp.Ordered, V any] struct {
+	mu   sync.Mutex // guards root (acts as the root's parent lock)
+	root *node[K, V]
+	size int // guarded by mu... only written with structural locks held; see add/sub
+	szMu sync.Mutex
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] { return &Tree[K, V]{} }
+
+// A Handle is one goroutine's access point (stateless; registry
+// symmetry).
+type Handle[K cmp.Ordered, V any] struct{ t *Tree[K, V] }
+
+// NewHandle returns a handle for the calling goroutine.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] { return &Handle[K, V]{t: t} }
+
+// Close releases the handle (no-op).
+func (h *Handle[K, V]) Close() {}
+
+func (t *Tree[K, V]) addSize(d int) {
+	t.szMu.Lock()
+	t.size += d
+	t.szMu.Unlock()
+}
+
+// Contains returns the value stored under key, if any. It lock-couples
+// from the root: O(depth) lock/unlock pairs per call.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	t := h.t
+	t.mu.Lock()
+	n := t.root
+	if n == nil {
+		t.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	n.mu.Lock()
+	t.mu.Unlock()
+	for {
+		c := cmp.Compare(key, n.key)
+		if c == 0 {
+			v := n.value
+			n.mu.Unlock()
+			return v, true
+		}
+		next := n.left
+		if c > 0 {
+			next = n.right
+		}
+		if next == nil {
+			n.mu.Unlock()
+			var zero V
+			return zero, false
+		}
+		next.mu.Lock() // couple: child before parent release
+		n.mu.Unlock()
+		n = next
+	}
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	t := h.t
+	t.mu.Lock()
+	if t.root == nil {
+		t.root = &node[K, V]{key: key, value: value}
+		t.mu.Unlock()
+		t.addSize(1)
+		return true
+	}
+	n := t.root
+	n.mu.Lock()
+	t.mu.Unlock()
+	for {
+		c := cmp.Compare(key, n.key)
+		if c == 0 {
+			n.mu.Unlock()
+			return false
+		}
+		link := &n.left
+		if c > 0 {
+			link = &n.right
+		}
+		if *link == nil {
+			*link = &node[K, V]{key: key, value: value}
+			n.mu.Unlock()
+			t.addSize(1)
+			return true
+		}
+		next := *link
+		next.mu.Lock()
+		n.mu.Unlock()
+		n = next
+	}
+}
+
+// Delete removes key; it returns false if key is absent. A victim with
+// two children is not unlinked: the successor's pair is moved into it
+// (legal here — unlike in Citrus, every reader locks, so in-place key
+// mutation cannot be observed mid-flight) and the successor node is
+// unlinked instead.
+func (h *Handle[K, V]) Delete(key K) bool {
+	t := h.t
+	t.mu.Lock()
+	if t.root == nil {
+		t.mu.Unlock()
+		return false
+	}
+	// Descend holding (parentLink-owner, current). The tree lock plays
+	// parent for the root.
+	curr := t.root
+	curr.mu.Lock()
+	// unlockParent releases whichever parent lock is currently held.
+	var parent *node[K, V] // nil = the tree lock is the parent
+	unlockParent := func() {
+		if parent == nil {
+			t.mu.Unlock()
+		} else {
+			parent.mu.Unlock()
+		}
+	}
+	link := &t.root
+	for {
+		c := cmp.Compare(key, curr.key)
+		if c == 0 {
+			break
+		}
+		next := curr.left
+		nextLink := &curr.left
+		if c > 0 {
+			next = curr.right
+			nextLink = &curr.right
+		}
+		if next == nil {
+			unlockParent()
+			curr.mu.Unlock()
+			return false
+		}
+		next.mu.Lock()
+		unlockParent()
+		parent, link = curr, nextLink
+		curr = next
+	}
+
+	switch {
+	case curr.left == nil || curr.right == nil:
+		// ≤1 child: splice curr out of its parent link.
+		repl := curr.left
+		if repl == nil {
+			repl = curr.right
+		}
+		*link = repl
+		unlockParent()
+		curr.mu.Unlock()
+	default:
+		// Two children: parent is no longer needed; curr stays locked
+		// while we couple down to the successor.
+		unlockParent()
+		sp := curr // successor's parent; == curr means succ is curr.right
+		succ := curr.right
+		succ.mu.Lock()
+		for succ.left != nil {
+			next := succ.left
+			next.mu.Lock()
+			if sp != curr {
+				sp.mu.Unlock()
+			}
+			sp, succ = succ, next
+		}
+		// Unlink succ (it has no left child) and move its pair into curr.
+		if sp == curr {
+			curr.right = succ.right
+		} else {
+			sp.left = succ.right
+			sp.mu.Unlock()
+		}
+		curr.key, curr.value = succ.key, succ.value
+		succ.mu.Unlock()
+		curr.mu.Unlock()
+	}
+	t.addSize(-1)
+	return true
+}
+
+// Len reports the number of keys. Quiescent use only.
+func (t *Tree[K, V]) Len() int {
+	t.szMu.Lock()
+	defer t.szMu.Unlock()
+	return t.size
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// CheckInvariants verifies BST order and the size counter. Quiescent use
+// only.
+func (t *Tree[K, V]) CheckInvariants() error {
+	count := 0
+	var prev *K
+	var check func(n *node[K, V]) error
+	check = func(n *node[K, V]) error {
+		if n == nil {
+			return nil
+		}
+		if err := check(n.left); err != nil {
+			return err
+		}
+		if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+			return fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+		}
+		k := n.key
+		prev = &k
+		count++
+		return check(n.right)
+	}
+	if err := check(t.root); err != nil {
+		return err
+	}
+	if count != t.Len() {
+		return fmt.Errorf("size counter %d, counted %d", t.Len(), count)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package hohbst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New[int, string]()
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(8); ok {
+		t.Fatal("Contains on empty tree = true")
+	}
+	if !h.Insert(8, "eight") || h.Insert(8, "acht") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains(8); !ok || v != "eight" {
+		t.Fatalf("Contains(8) = (%q, %v)", v, ok)
+	}
+	if !h.Delete(8) || h.Delete(8) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoChildDeleteMovesSuccessorInPlace pins down the in-place
+// key/value move (legal here because readers lock): after deleting a
+// two-child node, the successor's pair must be found under the
+// successor's key, once, and the tree must stay ordered.
+func TestTwoChildDeleteMovesSuccessorInPlace(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	for _, k := range []int{50, 25, 75, 60, 90, 55, 65} {
+		h.Insert(k, k+1000)
+	}
+	if !h.Delete(50) {
+		t.Fatal("Delete(50) = false")
+	}
+	if _, ok := h.Contains(50); ok {
+		t.Fatal("50 still present")
+	}
+	if v, ok := h.Contains(55); !ok || v != 1055 {
+		t.Fatalf("successor pair lost: (%d, %v)", v, ok)
+	}
+	want := []int{25, 55, 60, 65, 75, 90}
+	got := tr.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDeadlockUnderCrossingTraffic drives heavy bidirectional traffic
+// (ascending readers, descending writers and vice versa) through shared
+// paths; lock coupling must never deadlock because all acquisition is
+// downward.
+func TestNoDeadlockUnderCrossingTraffic(t *testing.T) {
+	tr := New[int, int]()
+	seed := tr.NewHandle()
+	for k := 0; k < 256; k += 2 {
+		seed.Insert(k, k)
+	}
+	seed.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(256)
+				switch g % 3 {
+				case 0:
+					h.Contains(k)
+				case 1:
+					h.Insert(k|1, k)
+				default:
+					h.Delete(k | 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Even keys are untouchable by the writers above.
+	h := tr.NewHandle()
+	defer h.Close()
+	for k := 0; k < 256; k += 2 {
+		if _, ok := h.Contains(k); !ok {
+			t.Fatalf("permanent key %d lost", k)
+		}
+	}
+}
+
+func TestDeleteRootShapes(t *testing.T) {
+	for _, keys := range [][]int{
+		{10},
+		{10, 5},
+		{10, 15},
+		{10, 5, 15},
+		{10, 15, 12, 20},
+	} {
+		tr := New[int, int]()
+		h := tr.NewHandle()
+		for _, k := range keys {
+			h.Insert(k, k)
+		}
+		if !h.Delete(10) {
+			t.Fatalf("keys %v: Delete(root) = false", keys)
+		}
+		if got := tr.Len(); got != len(keys)-1 {
+			t.Fatalf("keys %v: Len() = %d", keys, got)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("keys %v: %v", keys, err)
+		}
+		h.Close()
+	}
+}

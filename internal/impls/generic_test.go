@@ -1,0 +1,75 @@
+package impls
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/go-citrus/citrus/internal/dict"
+)
+
+// TestGenericStringKeys instantiates every implementation with string
+// keys and float64 values and runs an oracle-checked random sequence:
+// the comparisons, sentinel handling and successor logic must be purely
+// cmp.Ordered-generic, with no hidden integer assumptions.
+func TestGenericStringKeys(t *testing.T) {
+	factories := map[string]func() dict.Map[string, float64]{
+		NameCitrus:        NewCitrus[string, float64],
+		NameCitrusClassic: NewCitrusClassic[string, float64],
+		NameBonsai:        NewBonsai[string, float64],
+		NameRedBlack:      NewRedBlack[string, float64],
+		NameAVL:           NewAVL[string, float64],
+		NameLockFree:      NewLockFree[string, float64],
+		NameSkiplist:      NewSkiplist[string, float64],
+		NameCoarseLock:    NewCoarseLock[string, float64],
+		NameHandOverHand:  NewHandOverHand[string, float64],
+		NameRCUHash:       NewRCUHash[string, float64],
+	}
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			m := factory()
+			h := m.NewHandle()
+			defer h.Close()
+			oracle := map[string]float64{}
+			rng := rand.New(rand.NewSource(17))
+			key := func() string { return fmt.Sprintf("key-%03d", rng.Intn(80)) }
+			for i := 0; i < 8000; i++ {
+				k := key()
+				switch rng.Intn(3) {
+				case 0:
+					_, present := oracle[k]
+					if got := h.Insert(k, float64(i)); got == present {
+						t.Fatalf("op %d: Insert(%q) = %v, present=%v", i, k, got, present)
+					}
+					if !present {
+						oracle[k] = float64(i)
+					}
+				case 1:
+					_, present := oracle[k]
+					if got := h.Delete(k); got != present {
+						t.Fatalf("op %d: Delete(%q) = %v, present=%v", i, k, got, present)
+					}
+					delete(oracle, k)
+				default:
+					wantV, wantOK := oracle[k]
+					gotV, gotOK := h.Contains(k)
+					if gotOK != wantOK || (wantOK && gotV != wantV) {
+						t.Fatalf("op %d: Contains(%q) = (%v, %v), want (%v, %v)", i, k, gotV, gotOK, wantV, wantOK)
+					}
+				}
+			}
+			if got, want := m.Len(), len(oracle); got != want {
+				t.Fatalf("Len() = %d, oracle %d", got, want)
+			}
+			keys := m.Keys()
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					t.Fatalf("Keys() not ascending at %d: %q, %q", i, keys[i-1], keys[i])
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+// Package impls adapts every search structure in this repository to the
+// common dict.Map interface and provides the registry used by the
+// benchmark harness, the conformance test kit, and the CLIs.
+//
+// The implementation set mirrors the Citrus paper's evaluation (§5):
+// Citrus itself (on both RCU flavors), the RCU-based trees with
+// coarse-grained updates (Bonsai, relativistic red-black), and the
+// best-available concurrent dictionaries (Bronson AVL, lock-free external
+// BST, lazy skiplist) — plus three structures from beyond the figures: a
+// mutex-wrapped sequential BST (coarse-grained strawman), the
+// hand-over-hand BST (§1's "natural approach"), and the relativistic
+// hash table (§6's prior art).
+package impls
+
+import (
+	"cmp"
+
+	"github.com/go-citrus/citrus/internal/avl"
+	"github.com/go-citrus/citrus/internal/bonsai"
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/internal/dict"
+	"github.com/go-citrus/citrus/internal/hohbst"
+	"github.com/go-citrus/citrus/internal/lockfree"
+	"github.com/go-citrus/citrus/internal/rbtree"
+	"github.com/go-citrus/citrus/internal/rhash"
+	"github.com/go-citrus/citrus/internal/seqbst"
+	"github.com/go-citrus/citrus/internal/skiplist"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Implementation names as they appear in benchmark output; these are the
+// series labels of the paper's figures.
+const (
+	NameCitrus        = "Citrus"
+	NameCitrusClassic = "Citrus (standard RCU)"
+	NameAVL           = "AVL"
+	NameSkiplist      = "Skiplist"
+	NameBonsai        = "Bonsai"
+	NameRedBlack      = "Red-Black"
+	NameLockFree      = "Lock-Free"
+	NameCoarseLock    = "Coarse-Lock BST"
+	NameHandOverHand  = "Hand-over-Hand BST"
+	NameRCUHash       = "RCU Hash Table"
+)
+
+// NewCitrus returns a Citrus tree on the paper's scalable RCU flavor.
+func NewCitrus[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &citrusMap[K, V]{t: core.NewTree[K, V](rcu.NewDomain()), name: NameCitrus}
+}
+
+// NewCitrusClassic returns a Citrus tree on the classic global-lock RCU
+// flavor — the left-hand series of the paper's Figure 8.
+func NewCitrusClassic[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &citrusMap[K, V]{t: core.NewTree[K, V](rcu.NewClassicDomain()), name: NameCitrusClassic}
+}
+
+// AblationNoSyncCitrus builds the A3 ablation subject: Citrus over a
+// flavor whose Synchronize returns immediately. Contains may then return
+// false negatives (the guarantee of the paper's line 74 is gone — see
+// core's mutation test), but updates still validate, so the structure
+// stays intact; comparing its throughput against real Citrus isolates
+// the end-to-end cost of grace periods.
+func AblationNoSyncCitrus() dict.Map[int, int] {
+	return NewCitrusWithFlavor[int, int](rcu.NoSync(rcu.NewDomain()), "Citrus (no grace periods)")
+}
+
+// NewCitrusWithFlavor returns a Citrus tree on an arbitrary RCU flavor
+// under an arbitrary series name — used by the ablation benchmarks, e.g.
+// with an rcu.InstrumentedFlavor to account grace periods.
+func NewCitrusWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor, name string) dict.Map[K, V] {
+	return &citrusMap[K, V]{t: core.NewTree[K, V](flavor), name: name}
+}
+
+type citrusMap[K cmp.Ordered, V any] struct {
+	t    *core.Tree[K, V]
+	name string
+}
+
+func (m *citrusMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *citrusMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *citrusMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *citrusMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *citrusMap[K, V]) Name() string                 { return m.name }
+
+// NewBonsai returns the RCU path-copying weight-balanced tree.
+func NewBonsai[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &bonsaiMap[K, V]{t: bonsai.New[K, V]()}
+}
+
+type bonsaiMap[K cmp.Ordered, V any] struct{ t *bonsai.Tree[K, V] }
+
+func (m *bonsaiMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *bonsaiMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *bonsaiMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *bonsaiMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *bonsaiMap[K, V]) Name() string                 { return NameBonsai }
+
+// NewRedBlack returns the relativistic red-black tree.
+func NewRedBlack[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &rbMap[K, V]{t: rbtree.New[K, V]()}
+}
+
+type rbMap[K cmp.Ordered, V any] struct{ t *rbtree.Tree[K, V] }
+
+func (m *rbMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *rbMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *rbMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *rbMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *rbMap[K, V]) Name() string                 { return NameRedBlack }
+
+// NewAVL returns the Bronson et al. optimistic AVL tree.
+func NewAVL[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &avlMap[K, V]{t: avl.New[K, V]()}
+}
+
+type avlMap[K cmp.Ordered, V any] struct{ t *avl.Tree[K, V] }
+
+func (m *avlMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *avlMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *avlMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *avlMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *avlMap[K, V]) Name() string                 { return NameAVL }
+
+// NewLockFree returns the non-blocking external BST.
+func NewLockFree[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &lfMap[K, V]{t: lockfree.New[K, V]()}
+}
+
+type lfMap[K cmp.Ordered, V any] struct{ t *lockfree.Tree[K, V] }
+
+func (m *lfMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *lfMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *lfMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *lfMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *lfMap[K, V]) Name() string                 { return NameLockFree }
+
+// NewSkiplist returns the lazy lock-based skiplist.
+func NewSkiplist[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &slMap[K, V]{l: skiplist.New[K, V]()}
+}
+
+type slMap[K cmp.Ordered, V any] struct{ l *skiplist.List[K, V] }
+
+func (m *slMap[K, V]) NewHandle() dict.Handle[K, V] { return m.l.NewHandle() }
+func (m *slMap[K, V]) Len() int                     { return m.l.Len() }
+func (m *slMap[K, V]) Keys() []K                    { return m.l.Keys() }
+func (m *slMap[K, V]) CheckInvariants() error       { return m.l.CheckInvariants() }
+func (m *slMap[K, V]) Name() string                 { return NameSkiplist }
+
+// NewHandOverHand returns the lock-coupling BST — the fine-grained
+// locking strawman from the paper's introduction (readers pay two lock
+// operations per visited node).
+func NewHandOverHand[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &hohMap[K, V]{t: hohbst.New[K, V]()}
+}
+
+type hohMap[K cmp.Ordered, V any] struct{ t *hohbst.Tree[K, V] }
+
+func (m *hohMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *hohMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *hohMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *hohMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *hohMap[K, V]) Name() string                 { return NameHandOverHand }
+
+// NewRCUHash returns the relativistic hash table (per-bucket locks, RCU
+// readers, reader-transparent resize) — the §6 related-work design whose
+// bucket-grained update concurrency Citrus generalizes to per-node.
+func NewRCUHash[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &rhashMap[K, V]{m: rhash.New[K, V]()}
+}
+
+type rhashMap[K cmp.Ordered, V any] struct{ m *rhash.Map[K, V] }
+
+func (m *rhashMap[K, V]) NewHandle() dict.Handle[K, V] { return m.m.NewHandle() }
+func (m *rhashMap[K, V]) Len() int                     { return m.m.Len() }
+func (m *rhashMap[K, V]) Keys() []K                    { return m.m.Keys() }
+func (m *rhashMap[K, V]) CheckInvariants() error       { return m.m.CheckInvariants() }
+func (m *rhashMap[K, V]) Name() string                 { return NameRCUHash }
+
+// NewCoarseLock returns a sequential BST behind one mutex.
+func NewCoarseLock[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &lockedMap[K, V]{t: seqbst.NewLocked[K, V]()}
+}
+
+type lockedMap[K cmp.Ordered, V any] struct{ t *seqbst.Locked[K, V] }
+
+func (m *lockedMap[K, V]) NewHandle() dict.Handle[K, V] { return lockedHandle[K, V]{m.t} }
+func (m *lockedMap[K, V]) Len() int                     { return m.t.Len() }
+func (m *lockedMap[K, V]) Keys() []K                    { return m.t.Keys() }
+func (m *lockedMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
+func (m *lockedMap[K, V]) Name() string                 { return NameCoarseLock }
+
+type lockedHandle[K cmp.Ordered, V any] struct{ t *seqbst.Locked[K, V] }
+
+func (h lockedHandle[K, V]) Contains(key K) (V, bool)   { return h.t.Contains(key) }
+func (h lockedHandle[K, V]) Insert(key K, value V) bool { return h.t.Insert(key, value) }
+func (h lockedHandle[K, V]) Delete(key K) bool          { return h.t.Delete(key) }
+func (h lockedHandle[K, V]) Close()                     {}
+
+// A NamedFactory pairs a display name with a factory.
+type NamedFactory[K cmp.Ordered, V any] struct {
+	Name string
+	New  dict.Factory[K, V]
+}
+
+// All returns factories for every concurrent implementation, in the
+// series order of the paper's figures.
+func All[K cmp.Ordered, V any]() []NamedFactory[K, V] {
+	return []NamedFactory[K, V]{
+		{NameCitrus, NewCitrus[K, V]},
+		{NameCitrusClassic, NewCitrusClassic[K, V]},
+		{NameAVL, NewAVL[K, V]},
+		{NameSkiplist, NewSkiplist[K, V]},
+		{NameBonsai, NewBonsai[K, V]},
+		{NameRedBlack, NewRedBlack[K, V]},
+		{NameLockFree, NewLockFree[K, V]},
+		{NameCoarseLock, NewCoarseLock[K, V]},
+		{NameHandOverHand, NewHandOverHand[K, V]},
+		{NameRCUHash, NewRCUHash[K, V]},
+	}
+}
+
+// Figure returns the six series of Figures 9 and 10, in the paper's
+// legend order.
+func Figure[K cmp.Ordered, V any]() []NamedFactory[K, V] {
+	return []NamedFactory[K, V]{
+		{NameCitrus, NewCitrus[K, V]},
+		{NameAVL, NewAVL[K, V]},
+		{NameSkiplist, NewSkiplist[K, V]},
+		{NameBonsai, NewBonsai[K, V]},
+		{NameRedBlack, NewRedBlack[K, V]},
+		{NameLockFree, NewLockFree[K, V]},
+	}
+}

@@ -1,0 +1,55 @@
+package impls
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/internal/dict"
+	"github.com/go-citrus/citrus/internal/dicttest"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// TestConformance subjects every implementation to the shared battery:
+// sequential semantics, delete shapes, oracle-driven random sequences,
+// testing/quick property scripts, concurrent stress, and the
+// no-false-negative guarantee.
+func TestConformance(t *testing.T) {
+	for _, f := range All[int, int]() {
+		t.Run(f.Name, func(t *testing.T) {
+			dicttest.RunAll(t, f.New)
+		})
+	}
+}
+
+// TestConformanceRecyclingCitrus runs the same battery over Citrus with
+// node recycling enabled — the configuration where use-after-retirement
+// bugs would surface.
+func TestConformanceRecyclingCitrus(t *testing.T) {
+	var mu sync.Mutex
+	var recs []*rcu.Reclaimer
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range recs {
+			r.Close()
+		}
+	})
+	factory := func() dict.Map[int, int] {
+		dom := rcu.NewDomain()
+		rec := rcu.NewReclaimer(dom)
+		mu.Lock()
+		recs = append(recs, rec)
+		mu.Unlock()
+		return &recyclingMap{t: core.NewTreeWithRecycling[int, int](dom, rec)}
+	}
+	dicttest.RunAll(t, factory)
+}
+
+type recyclingMap struct{ t *core.Tree[int, int] }
+
+func (m *recyclingMap) NewHandle() dict.Handle[int, int] { return m.t.NewHandle() }
+func (m *recyclingMap) Len() int                         { return m.t.Len() }
+func (m *recyclingMap) Keys() []int                      { return m.t.Keys() }
+func (m *recyclingMap) CheckInvariants() error           { return m.t.CheckInvariants() }
+func (m *recyclingMap) Name() string                     { return "Citrus (recycling)" }

@@ -1,0 +1,246 @@
+// Package linearizability records histories of dictionary operations and
+// checks them for linearizability against the sequential dictionary
+// specification (§2 of the Citrus paper), using the classic Wing & Gong
+// depth-first search with memoization.
+//
+// The checker is exponential in the worst case, so it is meant for the
+// small, highly concurrent histories used in tests — dozens of
+// operations over a handful of keys — where it is exhaustive and fast.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/internal/dict"
+)
+
+// Kind is a dictionary operation type.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Contains Kind = iota
+	Insert
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Contains:
+		return "contains"
+	case Insert:
+		return "insert"
+	default:
+		return "delete"
+	}
+}
+
+// Op is one completed operation in a history: its arguments, result, and
+// invocation/response timestamps drawn from a shared logical clock.
+type Op struct {
+	Kind   Kind
+	Key    int
+	Value  int  // argument for Insert; returned value for Contains
+	OK     bool // Contains: found; Insert/Delete: succeeded
+	Call   int64
+	Return int64
+	Proc   int // recording goroutine, for error reporting
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Contains:
+		return fmt.Sprintf("p%d contains(%d) = (%d,%v) @[%d,%d]", o.Proc, o.Key, o.Value, o.OK, o.Call, o.Return)
+	case Insert:
+		return fmt.Sprintf("p%d insert(%d,%d) = %v @[%d,%d]", o.Proc, o.Key, o.Value, o.OK, o.Call, o.Return)
+	default:
+		return fmt.Sprintf("p%d delete(%d) = %v @[%d,%d]", o.Proc, o.Key, o.OK, o.Call, o.Return)
+	}
+}
+
+// Recorder assigns timestamps from one shared logical clock (an atomic
+// counter, which yields an order consistent with real time) and collects
+// per-goroutine histories.
+type Recorder struct {
+	clock atomic.Int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Wrap returns a handle that forwards to h and appends every completed
+// operation to a private log. Each goroutine must use its own wrapped
+// handle; collect the logs with Ops afterwards.
+func (r *Recorder) Wrap(h dict.Handle[int, int], proc int) *RecordingHandle {
+	return &RecordingHandle{inner: h, rec: r, proc: proc}
+}
+
+// RecordingHandle is a dict.Handle that logs operations.
+type RecordingHandle struct {
+	inner dict.Handle[int, int]
+	rec   *Recorder
+	proc  int
+	log   []Op
+}
+
+var _ dict.Handle[int, int] = (*RecordingHandle)(nil)
+
+// Contains forwards and records.
+func (h *RecordingHandle) Contains(key int) (int, bool) {
+	call := h.rec.clock.Add(1)
+	v, ok := h.inner.Contains(key)
+	ret := h.rec.clock.Add(1)
+	h.log = append(h.log, Op{Kind: Contains, Key: key, Value: v, OK: ok, Call: call, Return: ret, Proc: h.proc})
+	return v, ok
+}
+
+// Insert forwards and records.
+func (h *RecordingHandle) Insert(key, value int) bool {
+	call := h.rec.clock.Add(1)
+	ok := h.inner.Insert(key, value)
+	ret := h.rec.clock.Add(1)
+	h.log = append(h.log, Op{Kind: Insert, Key: key, Value: value, OK: ok, Call: call, Return: ret, Proc: h.proc})
+	return ok
+}
+
+// Delete forwards and records.
+func (h *RecordingHandle) Delete(key int) bool {
+	call := h.rec.clock.Add(1)
+	ok := h.inner.Delete(key)
+	ret := h.rec.clock.Add(1)
+	h.log = append(h.log, Op{Kind: Delete, Key: key, OK: ok, Call: call, Return: ret, Proc: h.proc})
+	return ok
+}
+
+// Close forwards to the wrapped handle.
+func (h *RecordingHandle) Close() { h.inner.Close() }
+
+// Ops returns this handle's log.
+func (h *RecordingHandle) Ops() []Op { return h.log }
+
+// Check reports whether the history (ops from all goroutines, in any
+// order) is linearizable with respect to the dictionary specification,
+// starting from an empty dictionary. maxOps guards against accidentally
+// feeding the exponential checker a huge history (0 means 64).
+func Check(ops []Op, maxOps int) error {
+	if maxOps == 0 {
+		maxOps = 64
+	}
+	if len(ops) > maxOps {
+		return fmt.Errorf("history has %d ops, checker bound is %d", len(ops), maxOps)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	n := len(sorted)
+	if n > 63 {
+		return fmt.Errorf("history has %d ops, above the 63-op bitmask limit", n)
+	}
+	type memoKey struct {
+		done  uint64
+		state string
+	}
+	visited := map[memoKey]bool{}
+
+	state := map[int]int{} // the dictionary model
+	var dfs func(done uint64) bool
+	dfs = func(done uint64) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		key := memoKey{done, encode(state)}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+
+		// An op may linearize next iff it is pending and no other pending
+		// op returned before it was invoked.
+		minReturn := int64(1 << 62)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && sorted[i].Return < minReturn {
+				minReturn = sorted[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			op := sorted[i]
+			if op.Call > minReturn {
+				break // sorted by Call: nothing later can be minimal either
+			}
+			old, present := state[op.Key]
+			if !applies(op, old, present) {
+				continue
+			}
+			mutate(state, op)
+			if dfs(done | 1<<i) {
+				return true
+			}
+			// Undo.
+			if present {
+				state[op.Key] = old
+			} else {
+				delete(state, op.Key)
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return fmt.Errorf("history of %d ops is not linearizable", n)
+	}
+	return nil
+}
+
+// applies reports whether op's recorded result is consistent with a model
+// where key currently maps to old (if present).
+func applies(op Op, old int, present bool) bool {
+	switch op.Kind {
+	case Contains:
+		if op.OK {
+			return present && old == op.Value
+		}
+		return !present
+	case Insert:
+		return op.OK == !present
+	default: // Delete
+		return op.OK == present
+	}
+}
+
+// mutate applies a successful update to the model.
+func mutate(state map[int]int, op Op) {
+	switch op.Kind {
+	case Insert:
+		if op.OK {
+			state[op.Key] = op.Value
+		}
+	case Delete:
+		if op.OK {
+			delete(state, op.Key)
+		}
+	}
+}
+
+// encode canonicalizes the model state for memoization.
+func encode(state map[int]int) string {
+	keys := make([]int, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	b := make([]byte, 0, len(keys)*8)
+	for _, k := range keys {
+		b = append(b, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+		v := state[k]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,160 @@
+package linearizability
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/go-citrus/citrus/internal/impls"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	if err := Check(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Contains, Key: 1, Value: 10, OK: true, Call: 3, Return: 4},
+		{Kind: Delete, Key: 1, OK: true, Call: 5, Return: 6},
+		{Kind: Contains, Key: 1, OK: false, Call: 7, Return: 8},
+		{Kind: Delete, Key: 1, OK: false, Call: 9, Return: 10},
+	}
+	if err := Check(ops, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// insert(1) completes strictly before contains(1) starts, yet the
+	// contains misses: not linearizable.
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Contains, Key: 1, OK: false, Call: 3, Return: 4},
+	}
+	if err := Check(ops, 0); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMayGoEitherWay(t *testing.T) {
+	// contains overlaps the insert: both found and not-found are valid.
+	for _, found := range []bool{true, false} {
+		op := Op{Kind: Contains, Key: 1, OK: found, Call: 2, Return: 5}
+		if found {
+			op.Value = 10
+		}
+		ops := []Op{
+			{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 4},
+			op,
+		}
+		if err := Check(ops, 0); err != nil {
+			t.Fatalf("found=%v: %v", found, err)
+		}
+	}
+}
+
+func TestDoubleSuccessfulInsertRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Insert, Key: 1, Value: 11, OK: true, Call: 3, Return: 4},
+	}
+	if err := Check(ops, 0); err == nil {
+		t.Fatal("two successful inserts of the same key accepted")
+	}
+}
+
+func TestValueMismatchRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Contains, Key: 1, Value: 99, OK: true, Call: 3, Return: 4},
+	}
+	if err := Check(ops, 0); err == nil {
+		t.Fatal("wrong value accepted")
+	}
+}
+
+func TestInterleavingRequiringReorder(t *testing.T) {
+	// Three overlapping ops that only linearize in a non-call order:
+	// delete must go first even though it was invoked last among pending.
+	ops := []Op{
+		{Kind: Insert, Key: 5, Value: 1, OK: true, Call: 1, Return: 10},
+		{Kind: Delete, Key: 5, OK: false, Call: 2, Return: 9},
+		{Kind: Contains, Key: 5, Value: 1, OK: true, Call: 3, Return: 8},
+	}
+	// delete fails → it linearized before the insert; contains succeeded →
+	// after the insert. Valid: delete, insert, contains.
+	if err := Check(ops, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryBoundEnforced(t *testing.T) {
+	ops := make([]Op, 70)
+	for i := range ops {
+		ops[i] = Op{Kind: Contains, Key: 1, OK: false, Call: int64(2 * i), Return: int64(2*i + 1)}
+	}
+	if err := Check(ops, 0); err == nil {
+		t.Fatal("oversized history accepted")
+	}
+}
+
+// TestRealHistoriesLinearizable records genuinely concurrent histories on
+// every implementation and verifies each is linearizable. Small key space
+// and op counts keep the exhaustive checker fast while maximizing
+// interleaving.
+func TestRealHistoriesLinearizable(t *testing.T) {
+	for _, f := range impls.All[int, int]() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for round := 0; round < 30; round++ {
+				m := f.New()
+				rec := NewRecorder()
+				const procs = 4
+				handles := make([]*RecordingHandle, procs)
+				for p := range handles {
+					handles[p] = rec.Wrap(m.NewHandle(), p)
+				}
+				var wg sync.WaitGroup
+				for p := 0; p < procs; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						h := handles[p]
+						rng := rand.New(rand.NewSource(int64(round*100 + p)))
+						for i := 0; i < 10; i++ {
+							k := rng.Intn(3)
+							switch rng.Intn(3) {
+							case 0:
+								h.Insert(k, p*1000+i)
+							case 1:
+								h.Delete(k)
+							default:
+								h.Contains(k)
+							}
+						}
+					}(p)
+				}
+				wg.Wait()
+				var ops []Op
+				for _, h := range handles {
+					ops = append(ops, h.Ops()...)
+					h.Close()
+				}
+				if err := Check(ops, 0); err != nil {
+					t.Fatalf("round %d: %v\nhistory:\n%s", round, err, dumpOps(ops))
+				}
+			}
+		})
+	}
+}
+
+func dumpOps(ops []Op) string {
+	s := ""
+	for _, o := range ops {
+		s += o.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package linearizability
+
+// Shrink reduces a non-linearizable history to a locally minimal failing
+// sub-history: it greedily removes operations while the remainder still
+// fails Check, which turns a thousand-op stress failure into the handful
+// of operations a human can actually diagnose.
+//
+// Removing a *completed* operation from a failing history is not always
+// failure-preserving (the removed op's effect may have been what made
+// the rest explainable), so the result is only guaranteed to fail — every
+// candidate removal is re-verified — and to be locally minimal: removing
+// any single remaining op makes the history linearizable or the checker
+// inapplicable.
+//
+// If ops is linearizable (or empty), Shrink returns it unchanged.
+func Shrink(ops []Op, maxOps int) []Op {
+	if Check(ops, maxOps) == nil {
+		return ops
+	}
+	cur := make([]Op, len(ops))
+	copy(cur, ops)
+
+	for {
+		removedAny := false
+		for i := 0; i < len(cur); i++ {
+			candidate := make([]Op, 0, len(cur)-1)
+			candidate = append(candidate, cur[:i]...)
+			candidate = append(candidate, cur[i+1:]...)
+			if Check(candidate, maxOps) != nil {
+				cur = candidate
+				removedAny = true
+				i-- // the slot now holds the next op; retry it
+			}
+		}
+		if !removedAny {
+			return cur
+		}
+	}
+}

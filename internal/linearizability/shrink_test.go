@@ -1,0 +1,68 @@
+package linearizability
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShrinkKeepsLinearizableHistoriesIntact(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Contains, Key: 1, Value: 10, OK: true, Call: 3, Return: 4},
+	}
+	got := Shrink(ops, 0)
+	if len(got) != len(ops) {
+		t.Fatalf("Shrink changed a linearizable history: %v", got)
+	}
+}
+
+func TestShrinkFindsMinimalCore(t *testing.T) {
+	// Bury a 2-op violation (insert then missed read) under unrelated
+	// linearizable noise on other keys.
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 10, OK: true, Call: 1, Return: 2},
+		{Kind: Contains, Key: 1, OK: false, Call: 3, Return: 4}, // the bug
+	}
+	ts := int64(10)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		k := 100 + rng.Intn(5)
+		ops = append(ops,
+			Op{Kind: Insert, Key: k, Value: i, OK: true, Call: ts, Return: ts + 1},
+			Op{Kind: Delete, Key: k, OK: true, Call: ts + 2, Return: ts + 3},
+		)
+		ts += 4
+	}
+	if Check(ops, 0) == nil {
+		t.Fatal("constructed history unexpectedly linearizable")
+	}
+	got := Shrink(ops, 0)
+	if len(got) != 2 {
+		t.Fatalf("Shrink left %d ops, want the 2-op core:\n%s", len(got), dumpOps(got))
+	}
+	if Check(got, 0) == nil {
+		t.Fatal("shrunk history is linearizable")
+	}
+	if got[0].Key != 1 || got[1].Key != 1 {
+		t.Fatalf("shrunk to the wrong ops:\n%s", dumpOps(got))
+	}
+}
+
+func TestShrinkResultLocallyMinimal(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Key: 1, Value: 1, OK: true, Call: 1, Return: 2},
+		{Kind: Insert, Key: 1, Value: 2, OK: true, Call: 3, Return: 4}, // impossible second success
+		{Kind: Contains, Key: 1, Value: 1, OK: true, Call: 5, Return: 6},
+		{Kind: Delete, Key: 1, OK: true, Call: 7, Return: 8},
+	}
+	got := Shrink(ops, 0)
+	if Check(got, 0) == nil {
+		t.Fatal("shrunk history is linearizable")
+	}
+	for i := range got {
+		cand := append(append([]Op{}, got[:i]...), got[i+1:]...)
+		if Check(cand, 0) != nil {
+			t.Fatalf("not locally minimal: removing op %d still fails\n%s", i, dumpOps(got))
+		}
+	}
+}

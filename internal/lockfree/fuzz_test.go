@@ -1,0 +1,56 @@
+package lockfree
+
+import "testing"
+
+// FuzzOpsAgainstOracle interprets fuzz input as an op script (2 bytes
+// per op) run against both the external BST and a map oracle. The
+// descriptor state machine (IFLAG/DFLAG/MARK) has no concurrency here,
+// but the routing/sentinel arithmetic and the sibling-copy paths are
+// fully exercised.
+func FuzzOpsAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 2})
+	f.Add([]byte{0, 5, 0, 3, 0, 8, 1, 5, 0, 5, 1, 3, 1, 8, 1, 5})
+	seq := make([]byte, 0, 100)
+	for k := byte(0); k < 25; k++ {
+		seq = append(seq, 0, k, 1, k)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New[int, int]()
+		h := tr.NewHandle()
+		defer h.Close()
+		oracle := map[int]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			k := int(data[i+1] % 48)
+			switch data[i] % 3 {
+			case 0:
+				_, present := oracle[k]
+				if h.Insert(k, i) == present {
+					t.Fatalf("op %d: Insert(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				if !present {
+					oracle[k] = i
+				}
+			case 1:
+				_, present := oracle[k]
+				if h.Delete(k) != present {
+					t.Fatalf("op %d: Delete(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				gotV, gotOK := h.Contains(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i/2, k, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+		if got, want := tr.Len(), len(oracle); got != want {
+			t.Fatalf("Len() = %d, oracle %d", got, want)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,421 @@
+// Package lockfree implements the non-blocking external binary search
+// tree of Ellen, Fatourou, Ruppert & van Breugel ("Non-blocking Binary
+// Search Trees", PODC 2010) — standing in for the "Lock-Free" series of
+// the Citrus paper's evaluation (Natarajan & Mittal's edge-marked tree;
+// see DESIGN.md, substitution S3: N&M steals bits from pointers, which
+// has no safe Go equivalent, so we use the canonical descriptor-based
+// member of the same class).
+//
+// The tree is external: keys live in leaves; internal nodes are routing
+// nodes with exactly two children. Every update installs an operation
+// descriptor in the affected internal node(s) with CAS (IFLAG for
+// inserts, DFLAG/MARK for deletes) and then performs the child-pointer
+// swing; any thread that encounters a descriptor helps the operation
+// finish before retrying its own, so some operation always completes
+// (lock-freedom). Searches never write and never retry: a single
+// root-to-leaf descent suffices, so Contains is wait-free like Citrus's.
+package lockfree
+
+import (
+	"cmp"
+	"fmt"
+	"sync/atomic"
+)
+
+// Update-field states (the paper's CLEAN/IFLAG/DFLAG/MARK).
+type state uint8
+
+const (
+	clean state = iota
+	iflag
+	dflag
+	mark
+)
+
+// sentinel ranks: every real key < inf1 < inf2 (the paper's ∞₁, ∞₂).
+type sentinel uint8
+
+const (
+	realKey sentinel = iota
+	inf1
+	inf2
+)
+
+// update is an immutable (state, descriptor) pair; the node's update field
+// is an atomic pointer to one, CASed as a unit.
+type update[K cmp.Ordered, V any] struct {
+	state state
+	ii    *iinfo[K, V] // for iflag
+	di    *dinfo[K, V] // for dflag / mark
+}
+
+// iinfo describes an in-progress insert.
+type iinfo[K cmp.Ordered, V any] struct {
+	p           *node[K, V] // internal node being split
+	l           *node[K, V] // leaf being replaced
+	newInternal *node[K, V]
+}
+
+// dinfo describes an in-progress delete.
+type dinfo[K cmp.Ordered, V any] struct {
+	gp, p   *node[K, V]
+	l       *node[K, V]
+	pupdate *update[K, V] // p's update field as read by the deleter
+}
+
+// node is either a leaf (leaf==true; key/value meaningful) or an internal
+// routing node (children and update field meaningful). Internal keys are
+// routing values only.
+type node[K cmp.Ordered, V any] struct {
+	key    K
+	rank   sentinel
+	value  V
+	leaf   bool
+	left   atomic.Pointer[node[K, V]]
+	right  atomic.Pointer[node[K, V]]
+	update atomic.Pointer[update[K, V]]
+}
+
+// compareKey orders key against n's routing key, with sentinel ranks
+// above every real key.
+func (n *node[K, V]) compareKey(key K) int {
+	if n.rank != realKey {
+		return -1 // key < ∞₁ ≤ n
+	}
+	return cmp.Compare(key, n.key)
+}
+
+// Tree is the concurrent lock-free external BST.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+}
+
+func newClean[K cmp.Ordered, V any]() *update[K, V] {
+	return &update[K, V]{state: clean}
+}
+
+// New returns an empty tree: a root routing node with rank ∞₂ whose
+// children are the ∞₁ and ∞₂ leaves.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	root := &node[K, V]{rank: inf2}
+	root.update.Store(newClean[K, V]())
+	l1 := &node[K, V]{rank: inf1, leaf: true}
+	l2 := &node[K, V]{rank: inf2, leaf: true}
+	root.left.Store(l1)
+	root.right.Store(l2)
+	return &Tree[K, V]{root: root}
+}
+
+// A Handle is one goroutine's access point (stateless here; present for
+// API symmetry with the RCU-based structures).
+type Handle[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+}
+
+// NewHandle returns a handle for the calling goroutine.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] { return &Handle[K, V]{t: t} }
+
+// Close releases the handle (no-op).
+func (h *Handle[K, V]) Close() {}
+
+// searchResult carries the paper's Search outputs.
+type searchResult[K cmp.Ordered, V any] struct {
+	gp, p    *node[K, V]
+	l        *node[K, V]
+	pupdate  *update[K, V]
+	gpupdate *update[K, V]
+}
+
+// search descends from the root to the leaf where key belongs, recording
+// the parent, grandparent, and their update fields (read before the child
+// pointer, as the algorithm requires).
+func (t *Tree[K, V]) search(key K) searchResult[K, V] {
+	var r searchResult[K, V]
+	r.l = t.root
+	for !r.l.leaf {
+		r.gp, r.p = r.p, r.l
+		r.gpupdate = r.pupdate
+		r.pupdate = r.p.update.Load()
+		if r.p.compareKey(key) < 0 {
+			r.l = r.p.left.Load()
+		} else {
+			r.l = r.p.right.Load()
+		}
+	}
+	return r
+}
+
+// Contains returns the value stored under key, if any. Wait-free: a single
+// descent, no helping, no retries.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	r := h.t.search(key)
+	if r.l.rank == realKey && r.l.compareKey(key) == 0 {
+		return r.l.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	t := h.t
+	for {
+		r := t.search(key)
+		if r.l.compareKey(key) == 0 && r.l.rank == realKey {
+			return false
+		}
+		if r.pupdate.state != clean {
+			t.help(r.pupdate)
+			continue
+		}
+		// Build the replacement subtree: an internal node whose children
+		// are the old leaf and the new one, routed by the larger key.
+		newLeaf := &node[K, V]{key: key, value: value, leaf: true}
+		sibling := &node[K, V]{key: r.l.key, rank: r.l.rank, value: r.l.value, leaf: true}
+		ni := &node[K, V]{}
+		ni.update.Store(newClean[K, V]())
+		if r.l.compareKey(key) < 0 { // key < l.key: route by l's key
+			ni.key, ni.rank = r.l.key, r.l.rank
+			ni.left.Store(newLeaf)
+			ni.right.Store(sibling)
+		} else {
+			ni.key, ni.rank = key, realKey
+			ni.left.Store(sibling)
+			ni.right.Store(newLeaf)
+		}
+		op := &iinfo[K, V]{p: r.p, l: r.l, newInternal: ni}
+		flagged := &update[K, V]{state: iflag, ii: op}
+		if r.p.update.CompareAndSwap(r.pupdate, flagged) {
+			t.helpInsert(op)
+			return true
+		}
+		t.help(r.p.update.Load())
+	}
+}
+
+// helpInsert completes an insert whose descriptor is installed: swing the
+// child pointer, then unflag.
+func (t *Tree[K, V]) helpInsert(op *iinfo[K, V]) {
+	t.casChild(op.p, op.l, op.newInternal)
+	flagged := op.p.update.Load()
+	if flagged.state == iflag && flagged.ii == op {
+		op.p.update.CompareAndSwap(flagged, &update[K, V]{state: clean, ii: op})
+	}
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	t := h.t
+	for {
+		r := t.search(key)
+		if !(r.l.rank == realKey && r.l.compareKey(key) == 0) {
+			return false
+		}
+		if r.gpupdate.state != clean {
+			t.help(r.gpupdate)
+			continue
+		}
+		if r.pupdate.state != clean {
+			t.help(r.pupdate)
+			continue
+		}
+		op := &dinfo[K, V]{gp: r.gp, p: r.p, l: r.l, pupdate: r.pupdate}
+		flagged := &update[K, V]{state: dflag, di: op}
+		if r.gp.update.CompareAndSwap(r.gpupdate, flagged) {
+			if t.helpDelete(op) {
+				return true
+			}
+			continue
+		}
+		t.help(r.gp.update.Load())
+	}
+}
+
+// helpDelete tries to mark the parent and finish the delete; on failure it
+// unflags the grandparent and reports false so the deleter retries.
+func (t *Tree[K, V]) helpDelete(op *dinfo[K, V]) bool {
+	marked := &update[K, V]{state: mark, di: op}
+	if op.p.update.CompareAndSwap(op.pupdate, marked) {
+		t.helpMarked(op)
+		return true
+	}
+	cur := op.p.update.Load()
+	if cur.state == mark && cur.di == op {
+		// Someone else marked it for us; finish.
+		t.helpMarked(op)
+		return true
+	}
+	t.help(cur)
+	// Backtrack: remove our flag from the grandparent.
+	flagged := op.gp.update.Load()
+	if flagged.state == dflag && flagged.di == op {
+		op.gp.update.CompareAndSwap(flagged, &update[K, V]{state: clean, di: op})
+	}
+	return false
+}
+
+// helpMarked swings the grandparent's child pointer past the marked
+// parent (unlinking the deleted leaf and its parent) and unflags.
+func (t *Tree[K, V]) helpMarked(op *dinfo[K, V]) {
+	// The sibling of the deleted leaf replaces the parent.
+	other := op.p.right.Load()
+	if other == op.l {
+		other = op.p.left.Load()
+	}
+	t.casChild(op.gp, op.p, other)
+	flagged := op.gp.update.Load()
+	if flagged.state == dflag && flagged.di == op {
+		op.gp.update.CompareAndSwap(flagged, &update[K, V]{state: clean, di: op})
+	}
+}
+
+// help advances whatever operation owns the given update value.
+func (t *Tree[K, V]) help(u *update[K, V]) {
+	switch u.state {
+	case iflag:
+		t.helpInsert(u.ii)
+	case mark:
+		t.helpMarked(u.di)
+	case dflag:
+		t.helpDelete(u.di)
+	}
+}
+
+// casChild swings parent's child pointer from old to new on the side
+// new's routing key belongs to (the paper's CAS-Child: new.key <
+// parent.key goes left, otherwise right).
+func (t *Tree[K, V]) casChild(parent, old, newN *node[K, V]) {
+	if nodeLess(newN, parent) {
+		parent.left.CompareAndSwap(old, newN)
+	} else {
+		parent.right.CompareAndSwap(old, newN)
+	}
+}
+
+// nodeLess orders nodes by (sentinel rank, key): every real key < ∞₁ < ∞₂.
+func nodeLess[K cmp.Ordered, V any](a, b *node[K, V]) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.rank == realKey && cmp.Less(a.key, b.key)
+}
+
+// Len reports the number of keys. Quiescent use only.
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	t.Range(func(K, V) bool { n++; return true })
+	return n
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		if n.leaf {
+			if n.rank != realKey {
+				return true
+			}
+			return fn(n.key, n.value)
+		}
+		return walk(n.left.Load()) && walk(n.right.Load())
+	}
+	walk(t.root)
+}
+
+// CheckInvariants verifies, for a quiescent tree, the external-BST shape:
+// every internal node has two children, leaf keys are strictly ascending,
+// routing keys separate the subtrees, and no reachable update field is
+// left flagged or marked.
+func (t *Tree[K, V]) CheckInvariants() error {
+	var prevLeaf *node[K, V]
+	var walk func(n *node[K, V]) error
+	walk = func(n *node[K, V]) error {
+		if n == nil {
+			return fmt.Errorf("nil child in external tree")
+		}
+		if n.leaf {
+			if prevLeaf != nil {
+				if c := compareNodes(prevLeaf, n); c >= 0 {
+					return fmt.Errorf("leaf order violated at %v", n.key)
+				}
+			}
+			prevLeaf = n
+			return nil
+		}
+		if u := n.update.Load(); u == nil || u.state != clean {
+			return fmt.Errorf("reachable internal node has non-clean update state")
+		}
+		l, r := n.left.Load(), n.right.Load()
+		if l == nil || r == nil {
+			return fmt.Errorf("internal node missing a child")
+		}
+		if err := walk(l); err != nil {
+			return err
+		}
+		return walk(r)
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	// Routing separation: every leaf in a left subtree is < the router;
+	// right subtree ≥ router.
+	var sep func(n *node[K, V]) error
+	var checkAll func(n, router *node[K, V], wantLess bool) error
+	checkAll = func(n, router *node[K, V], wantLess bool) error {
+		if n == nil {
+			return nil
+		}
+		if n.leaf {
+			c := compareNodes(n, router)
+			if wantLess && c >= 0 {
+				return fmt.Errorf("leaf %v not below router %v", n.key, router.key)
+			}
+			if !wantLess && c < 0 {
+				return fmt.Errorf("leaf %v not at/above router %v", n.key, router.key)
+			}
+			return nil
+		}
+		if err := checkAll(n.left.Load(), router, wantLess); err != nil {
+			return err
+		}
+		return checkAll(n.right.Load(), router, wantLess)
+	}
+	sep = func(n *node[K, V]) error {
+		if n.leaf {
+			return nil
+		}
+		if err := checkAll(n.left.Load(), n, true); err != nil {
+			return err
+		}
+		if err := checkAll(n.right.Load(), n, false); err != nil {
+			return err
+		}
+		if err := sep(n.left.Load()); err != nil {
+			return err
+		}
+		return sep(n.right.Load())
+	}
+	return sep(t.root)
+}
+
+// compareNodes orders two nodes by (rank, key).
+func compareNodes[K cmp.Ordered, V any](a, b *node[K, V]) int {
+	if a.rank != b.rank {
+		return int(a.rank) - int(b.rank)
+	}
+	if a.rank != realKey {
+		return 0
+	}
+	return cmp.Compare(a.key, b.key)
+}

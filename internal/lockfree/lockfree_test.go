@@ -1,0 +1,216 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New[int, string]()
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(4); ok {
+		t.Fatal("Contains on empty tree = true")
+	}
+	if !h.Insert(4, "four") || h.Insert(4, "quattro") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains(4); !ok || v != "four" {
+		t.Fatalf("Contains(4) = (%q, %v)", v, ok)
+	}
+	if !h.Delete(4) || h.Delete(4) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExternalShape verifies the defining property of the external tree:
+// real keys live only in leaves, internal nodes are pure routers with two
+// children, and the sentinel skeleton survives arbitrary histories.
+func TestExternalShape(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(200)
+		if rng.Intn(3) == 0 {
+			h.Delete(k)
+		} else {
+			h.Insert(k, k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	leaves, internals := 0, 0
+	var walk func(n *node[int, int])
+	walk = func(n *node[int, int]) {
+		if n == nil {
+			t.Fatal("nil child in external tree")
+		}
+		if n.leaf {
+			leaves++
+			return
+		}
+		internals++
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(tr.root)
+	// An external binary tree with L leaves has exactly L−1 internal
+	// nodes.
+	if internals != leaves-1 {
+		t.Fatalf("external shape broken: %d leaves, %d internals", leaves, internals)
+	}
+	// Leaves = real keys + the two sentinels.
+	if want := tr.Len() + 2; leaves != want {
+		t.Fatalf("leaves = %d, want %d", leaves, want)
+	}
+}
+
+// TestRootSentinelsUndeletable: the two ∞ leaves and the root router must
+// survive any operation mix, including deleting every real key.
+func TestRootSentinelsUndeletable(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	for i := 0; i < 100; i++ {
+		h.Insert(i, i)
+	}
+	for i := 0; i < 100; i++ {
+		h.Delete(i)
+	}
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("Len() = %d after deleting everything", got)
+	}
+	l, r := tr.root.left.Load(), tr.root.right.Load()
+	if l == nil || !l.leaf || l.rank != inf1 || r == nil || !r.leaf || r.rank != inf2 {
+		t.Fatal("sentinel skeleton damaged")
+	}
+	// Still usable afterwards.
+	if !h.Insert(7, 7) {
+		t.Fatal("Insert after drain = false")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHelpingUnderContention hammers a tiny key set so operations
+// constantly collide on the same grandparent/parent pairs, forcing the
+// IFLAG/DFLAG/MARK helping protocol through all its transitions; the
+// summed outcome must stay exact.
+func TestHelpingUnderContention(t *testing.T) {
+	tr := New[int, int]()
+	const (
+		goroutines = 8
+		opsEach    = 5000
+		keys       = 3 // tiny: maximal descriptor collisions
+	)
+	var inserts, deletes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					if h.Insert(k, k) {
+						inserts.Add(1)
+					}
+				} else if h.Delete(k) {
+					deletes.Add(1)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(inserts.Load()-deletes.Load()), tr.Len(); got != want {
+		t.Fatalf("inserts-deletes = %d but Len() = %d", got, want)
+	}
+}
+
+// TestDescriptorsQuiesceClean: after all operations complete no reachable
+// internal node may keep a non-CLEAN update descriptor (a stuck flag
+// would block all future updates through that node).
+func TestDescriptorsQuiesceClean(t *testing.T) {
+	tr := New[int, int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(64)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	var walk func(n *node[int, int])
+	walk = func(n *node[int, int]) {
+		if n == nil || n.leaf {
+			return
+		}
+		if u := n.update.Load(); u == nil || u.state != clean {
+			t.Fatal("reachable internal node left with a non-clean descriptor")
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(tr.root)
+
+	// The structure must still accept updates everywhere.
+	h := tr.NewHandle()
+	defer h.Close()
+	for k := 0; k < 64; k++ {
+		h.Delete(k)
+		if !h.Insert(k, k) {
+			t.Fatalf("tree wedged: Insert(%d) = false after delete", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesSurviveSiblingCopies(t *testing.T) {
+	// Deleting a leaf replaces its sibling with a copy (in the insert
+	// path) — values must ride along.
+	tr := New[int, string]()
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(10, "ten")
+	h.Insert(20, "twenty") // sibling copy of leaf 10 is created here
+	h.Insert(15, "fifteen")
+	h.Delete(20)
+	for k, want := range map[int]string{10: "ten", 15: "fifteen"} {
+		if v, ok := h.Contains(k); !ok || v != want {
+			t.Fatalf("Contains(%d) = (%q, %v), want (%q, true)", k, v, ok, want)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Package rbtree implements a relativistic red-black tree in the style of
+// Howard & Walpole ("Relativistic red-black trees", CC:P&E 2013) — the
+// "Red-Black" series in the Citrus paper's evaluation.
+//
+// The tree admits exactly one writer at a time (a global mutex — this is
+// the coarse-grained design whose update-side flatline the Citrus paper
+// demonstrates), while readers run wait-free inside RCU read-side critical
+// sections. Because readers traverse while the writer restructures, every
+// physical transformation must keep all concurrent searches on a correct
+// path:
+//
+//   - Recoloring is done in place: readers never look at colors.
+//   - A rotation never moves the pivot in place (that would send readers
+//     bound for the moved subtree down the wrong branch). Instead the node
+//     moving *down* is copied; the copy is hooked beneath the rising node
+//     and the rotation becomes visible with a single child-pointer store.
+//     The unlinked original still points at valid subtrees, so readers
+//     already past it finish correctly.
+//   - Deleting a node with two children publishes a *copy* of its
+//     successor at the victim's position, waits a grace period
+//     (synchronize_rcu) so every search that might be heading for the
+//     successor's old position completes, and only then splices the
+//     original successor out — the same discipline Citrus generalizes.
+//
+// Structure bookkeeping (parent pointers, colors, the nil sentinel's
+// scratch parent) is touched only by the exclusive writer; key and value
+// are immutable per node; child pointers are atomics because readers
+// chase them lock-free.
+package rbtree
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+type color uint8
+
+const (
+	red color = iota
+	black
+)
+
+const (
+	left  = 0
+	right = 1
+)
+
+type node[K cmp.Ordered, V any] struct {
+	key    K
+	value  V
+	color  color       // writer-only
+	parent *node[K, V] // writer-only
+	child  [2]atomic.Pointer[node[K, V]]
+}
+
+// Tree is the concurrent relativistic red-black tree.
+type Tree[K cmp.Ordered, V any] struct {
+	mu     sync.Mutex // the single-writer lock
+	flavor rcu.Flavor
+	nilN   *node[K, V] // black sentinel; leaves and the empty root point here
+	root   atomic.Pointer[node[K, V]]
+	size   int // writer-only
+}
+
+// New returns an empty tree using its own RCU domain.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return NewWithFlavor[K, V](rcu.NewDomain())
+}
+
+// NewWithFlavor returns an empty tree whose readers and grace periods use
+// the given RCU flavor.
+func NewWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
+	t := &Tree[K, V]{flavor: flavor}
+	t.nilN = &node[K, V]{color: black}
+	t.nilN.child[left].Store(t.nilN)
+	t.nilN.child[right].Store(t.nilN)
+	t.root.Store(t.nilN)
+	return t
+}
+
+// A Handle is one goroutine's access point (it carries the RCU reader).
+type Handle[K cmp.Ordered, V any] struct {
+	t *Tree[K, V]
+	r rcu.Reader
+}
+
+// NewHandle registers a handle for the calling goroutine.
+func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{t: t, r: t.flavor.Register()}
+}
+
+// Close unregisters the handle.
+func (h *Handle[K, V]) Close() {
+	h.r.Unregister()
+	h.r = nil
+}
+
+// Contains returns the value stored under key, if any. Wait-free; runs
+// inside a read-side critical section.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	t := h.t
+	h.r.ReadLock()
+	n := t.root.Load()
+	for n != t.nilN {
+		switch c := cmp.Compare(key, n.key); {
+		case c < 0:
+			n = n.child[left].Load()
+		case c > 0:
+			n = n.child[right].Load()
+		default:
+			v := n.value
+			h.r.ReadUnlock()
+			return v, true
+		}
+	}
+	h.r.ReadUnlock()
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	t := h.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	parent := t.nilN
+	n := t.root.Load()
+	for n != t.nilN {
+		parent = n
+		switch c := cmp.Compare(key, n.key); {
+		case c < 0:
+			n = n.child[left].Load()
+		case c > 0:
+			n = n.child[right].Load()
+		default:
+			return false
+		}
+	}
+	z := &node[K, V]{key: key, value: value, color: red, parent: parent}
+	z.child[left].Store(t.nilN)
+	z.child[right].Store(t.nilN)
+	if parent == t.nilN {
+		t.root.Store(z)
+	} else if cmp.Less(key, parent.key) {
+		parent.child[left].Store(z)
+	} else {
+		parent.child[right].Store(z)
+	}
+	t.insertFixup(z)
+	t.size++
+	return true
+}
+
+// insertFixup is CLRS's RB-INSERT-FIXUP with rotations that copy the
+// down-moving node (see rotate).
+func (t *Tree[K, V]) insertFixup(z *node[K, V]) {
+	for z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.child[left].Load() {
+			uncle := gp.child[right].Load()
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.child[right].Load() {
+				z = t.rotate(z.parent, left)
+			}
+			z.parent.color = black
+			z.parent.parent.color = red
+			t.rotate(z.parent.parent, right)
+		} else {
+			uncle := gp.child[left].Load()
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.child[left].Load() {
+				z = t.rotate(z.parent, right)
+			}
+			z.parent.color = black
+			z.parent.parent.color = red
+			t.rotate(z.parent.parent, left)
+		}
+	}
+	t.root.Load().color = black
+}
+
+// rotate performs a relativistic rotation at pivot x in the given
+// direction (left: x's right child rises; right: mirrored). The pivot is
+// not moved in place — a copy x' is created beneath the rising node and
+// the whole rotation becomes visible to readers with the final
+// child-pointer store. It returns x', which takes x's role for the
+// caller; the unlinked original keeps valid child pointers so readers
+// already inside it stay on track.
+func (t *Tree[K, V]) rotate(x *node[K, V], dir int) *node[K, V] {
+	up := 1 - dir // the side the rising child is on
+	y := x.child[up].Load()
+	mid := y.child[dir].Load() // subtree that changes sides
+
+	xc := &node[K, V]{key: x.key, value: x.value, color: x.color, parent: y}
+	xc.child[dir].Store(x.child[dir].Load())
+	xc.child[up].Store(mid)
+	if c := x.child[dir].Load(); c != t.nilN {
+		c.parent = xc
+	}
+	if mid != t.nilN {
+		mid.parent = xc
+	}
+
+	y.child[dir].Store(xc) // readers entering y now route through the copy
+
+	p := x.parent
+	y.parent = p
+	if p == t.nilN {
+		t.root.Store(y) // publication: the rotation is now visible
+	} else if p.child[left].Load() == x {
+		p.child[left].Store(y)
+	} else {
+		p.child[right].Store(y)
+	}
+	return xc
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	t := h.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	z := t.root.Load()
+	for z != t.nilN && z.key != key {
+		if cmp.Less(key, z.key) {
+			z = z.child[left].Load()
+		} else {
+			z = z.child[right].Load()
+		}
+	}
+	if z == t.nilN {
+		return false
+	}
+
+	var x, xp *node[K, V]
+	origColor := z.color
+	switch {
+	case z.child[left].Load() == t.nilN:
+		x, xp = z.child[right].Load(), z.parent
+		t.transplant(z, x)
+	case z.child[right].Load() == t.nilN:
+		x, xp = z.child[left].Load(), z.parent
+		t.transplant(z, x)
+	default:
+		// Two children: replace z by its successor y.
+		y := z.child[right].Load()
+		for y.child[left].Load() != t.nilN {
+			y = y.child[left].Load()
+		}
+		origColor = y.color
+		x = y.child[right].Load()
+		if y == z.child[right].Load() {
+			// The successor is z's right child: it rises in place. Give
+			// it z's left subtree *before* unlinking z; a reader at y
+			// can only be searching keys ≥ y.key (it came through z
+			// going right), so it never follows the new left link.
+			y.child[left].Store(z.child[left].Load())
+			z.child[left].Load().parent = y
+			y.color = z.color
+			t.transplant(z, y)
+			xp = y
+		} else {
+			// Deep successor: publish a copy of y at z's position, wait
+			// out pre-existing readers, then splice the original y.
+			yc := &node[K, V]{key: y.key, value: y.value, color: z.color}
+			zl, zr := z.child[left].Load(), z.child[right].Load()
+			yc.child[left].Store(zl)
+			yc.child[right].Store(zr)
+			zl.parent = yc
+			// zr is y's subtree root; its parent is rewritten below only
+			// if it is y itself — but y != zr here, so:
+			zr.parent = yc
+
+			// y is about to be spliced; record its live parent first. If
+			// y's parent is z (impossible here: y is deeper) we'd need
+			// yc, so assert the invariant by construction.
+			t.transplant(z, yc)
+
+			t.flavor.Synchronize() // readers bound for old y finish
+
+			// y is a left child with no left child: splice it out.
+			yp := y.parent
+			yr := y.child[right].Load()
+			yp.child[left].Store(yr)
+			if yr != t.nilN {
+				yr.parent = yp
+			}
+			x, xp = yr, yp
+		}
+	}
+	if origColor == black {
+		t.deleteFixup(x, xp)
+	}
+	t.size--
+	return true
+}
+
+// transplant replaces subtree u by subtree v in u's parent. v may be the
+// sentinel; its parent field is writer-only scratch, as in CLRS.
+func (t *Tree[K, V]) transplant(u, v *node[K, V]) {
+	p := u.parent
+	v.parent = p
+	switch {
+	case p == t.nilN:
+		t.root.Store(v)
+	case p.child[left].Load() == u:
+		p.child[left].Store(v)
+	default:
+		p.child[right].Store(v)
+	}
+}
+
+// deleteFixup is CLRS's RB-DELETE-FIXUP adapted to copying rotations: x
+// may be the sentinel, whose parent field is scratch, so whenever a
+// rotation copies x's parent the fixup continues with the returned copy
+// rather than re-reading x.parent (the sentinel's scratch pointer is never
+// written inside rotate and could be stale). xp always names x's live
+// parent.
+func (t *Tree[K, V]) deleteFixup(x, xp *node[K, V]) {
+	for x != t.root.Load() && x.color == black {
+		if x == xp.child[left].Load() {
+			w := xp.child[right].Load()
+			if w.color == red {
+				w.color = black
+				xp.color = red
+				xp = t.rotate(xp, left) // copy of xp is x's new parent
+				w = xp.child[right].Load()
+			}
+			if w.child[left].Load().color == black && w.child[right].Load().color == black {
+				w.color = red
+				x, xp = xp, xp.parent
+				continue
+			}
+			if w.child[right].Load().color == black {
+				w.child[left].Load().color = black
+				w.color = red
+				t.rotate(w, right) // w's copy moves down; xp unchanged
+				w = xp.child[right].Load()
+			}
+			w.color = xp.color
+			xp.color = black
+			w.child[right].Load().color = black
+			t.rotate(xp, left)
+			x = t.root.Load()
+		} else {
+			w := xp.child[left].Load()
+			if w.color == red {
+				w.color = black
+				xp.color = red
+				xp = t.rotate(xp, right)
+				w = xp.child[left].Load()
+			}
+			if w.child[right].Load().color == black && w.child[left].Load().color == black {
+				w.color = red
+				x, xp = xp, xp.parent
+				continue
+			}
+			if w.child[left].Load().color == black {
+				w.child[right].Load().color = black
+				w.color = red
+				t.rotate(w, left)
+				w = xp.child[left].Load()
+			}
+			w.color = xp.color
+			xp.color = black
+			w.child[left].Load().color = black
+			t.rotate(xp, right)
+			x = t.root.Load()
+		}
+	}
+	x.color = black
+}
+
+// Len reports the number of keys. Quiescent use only.
+func (t *Tree[K, V]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false. Quiescent use only.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == t.nilN {
+			return true
+		}
+		return walk(n.child[left].Load()) && fn(n.key, n.value) && walk(n.child[right].Load())
+	}
+	walk(t.root.Load())
+}
+
+// CheckInvariants verifies, for a quiescent tree, the BST order and all
+// red-black properties: the root and sentinel are black, no red node has a
+// red child, and every root-to-leaf path has the same black height.
+func (t *Tree[K, V]) CheckInvariants() error {
+	if t.nilN.color != black {
+		return fmt.Errorf("sentinel is not black")
+	}
+	root := t.root.Load()
+	if root != t.nilN && root.color != black {
+		return fmt.Errorf("root is not black")
+	}
+	var prev *K
+	count := 0
+	var check func(n *node[K, V]) (int, error)
+	check = func(n *node[K, V]) (int, error) {
+		if n == t.nilN {
+			return 1, nil
+		}
+		if n.color == red {
+			if n.child[left].Load().color == red || n.child[right].Load().color == red {
+				return 0, fmt.Errorf("red node %v has a red child", n.key)
+			}
+		}
+		lh, err := check(n.child[left].Load())
+		if err != nil {
+			return 0, err
+		}
+		if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+			return 0, fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+		}
+		k := n.key
+		prev = &k
+		count++
+		rh, err := check(n.child[right].Load())
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("black height mismatch at %v: %d vs %d", n.key, lh, rh)
+		}
+		bh := lh
+		if n.color == black {
+			bh++
+		}
+		return bh, nil
+	}
+	if _, err := check(root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size counter %d, counted %d nodes", t.size, count)
+	}
+	return nil
+}

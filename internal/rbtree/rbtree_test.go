@@ -1,0 +1,230 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New[int, string]()
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(1); ok {
+		t.Fatal("Contains on empty tree = true")
+	}
+	if !h.Insert(1, "one") || h.Insert(1, "uno") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains(1); !ok || v != "one" {
+		t.Fatalf("Contains(1) = (%q, %v)", v, ok)
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsAfterEveryOp drives random operations and validates the
+// full red-black invariant set after every single mutation. This is the
+// workhorse test for the fixup paths (copying rotations included).
+func TestInvariantsAfterEveryOp(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(7))
+	const keyRange = 128
+	for i := 0; i < 6000; i++ {
+		k := rng.Intn(keyRange)
+		if rng.Intn(2) == 0 {
+			_, present := oracle[k]
+			if got := h.Insert(k, i); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v with present=%v", i, k, got, present)
+			}
+			if !present {
+				oracle[k] = i
+			}
+		} else {
+			_, present := oracle[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v with present=%v", i, k, got, present)
+			}
+			delete(oracle, k)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	for k, v := range oracle {
+		if got, ok := h.Contains(k); !ok || got != v {
+			t.Fatalf("Contains(%d) = (%d, %v), want (%d, true)", k, got, ok, v)
+		}
+	}
+	if got, want := tr.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+}
+
+// TestDeleteShapes covers every RB-DELETE branch, including the deep
+// successor that triggers the grace-period swap.
+func TestDeleteShapes(t *testing.T) {
+	build := func(keys ...int) (*Tree[int, int], *Handle[int, int]) {
+		tr := New[int, int]()
+		h := tr.NewHandle()
+		for _, k := range keys {
+			h.Insert(k, k)
+		}
+		return tr, h
+	}
+	t.Run("leaf", func(t *testing.T) {
+		tr, h := build(10, 5, 15)
+		if !h.Delete(5) {
+			t.Fatal("Delete(5) = false")
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("successor is right child", func(t *testing.T) {
+		tr, h := build(10, 5, 15, 20)
+		if !h.Delete(10) {
+			t.Fatal("Delete(10) = false")
+		}
+		if _, ok := h.Contains(15); !ok {
+			t.Fatal("successor lost")
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("deep successor", func(t *testing.T) {
+		tr, h := build(10, 5, 20, 15, 25, 12)
+		if !h.Delete(10) {
+			t.Fatal("Delete(10) = false")
+		}
+		for _, k := range []int{5, 12, 15, 20, 25} {
+			if _, ok := h.Contains(k); !ok {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("drain", func(t *testing.T) {
+		tr, h := build()
+		for i := 0; i < 200; i++ {
+			h.Insert(i*7%200, i)
+		}
+		for i := 0; i < 200; i++ {
+			if !h.Delete(i) {
+				t.Fatalf("Delete(%d) = false", i)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after Delete(%d): %v", i, err)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatal("tree not empty")
+		}
+	})
+}
+
+// TestLogarithmicHeight sanity-checks that balancing actually happens for
+// a sequential insertion order (which would degenerate in Citrus).
+func TestLogarithmicHeight(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		h.Insert(i, i)
+	}
+	var height func(n *node[int, int]) int
+	height = func(x *node[int, int]) int {
+		if x == tr.nilN {
+			return 0
+		}
+		return 1 + max(height(x.child[left].Load()), height(x.child[right].Load()))
+	}
+	if got := height(tr.root.Load()); got > 2*13 { // 2·log2(4096+1) bound
+		t.Fatalf("height %d exceeds red-black bound", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadersDuringWrites runs lock-free readers against a single writer
+// and checks that keys that are permanently present are never missed —
+// the relativistic guarantee the copying rotations and the grace-period
+// swap exist to provide.
+func TestReadersDuringWrites(t *testing.T) {
+	tr := New[int, int]()
+	w := tr.NewHandle()
+	const n = 512
+	perm := make([]int, 0, n/2)
+	for k := 0; k < n; k++ {
+		w.Insert(k, k)
+		if k%2 == 0 {
+			perm = append(perm, k)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := perm[rng.Intn(len(perm))]
+				if v, ok := h.Contains(k); !ok || v != k {
+					select {
+					case errs <- errRec{k}:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(i))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		k := rng.Intn(n/2)*2 + 1 // odd churn keys only
+		if rng.Intn(2) == 0 {
+			w.Delete(k)
+		} else {
+			w.Insert(k, k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errRec struct{ k int }
+
+func (e errRec) Error() string { return "reader missed permanently present key" }

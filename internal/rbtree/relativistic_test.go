@@ -1,0 +1,144 @@
+package rbtree
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// TestDeepSuccessorSwapWaitsForReaders is the red-black analog of the
+// Citrus Figure-4 test: a reader suspended between the root and a deep
+// successor's old position must keep the delete blocked in its grace
+// period and still find the successor where it used to be; only after
+// the reader leaves may the delete splice the original out.
+func TestDeepSuccessorSwapWaitsForReaders(t *testing.T) {
+	dom := rcu.NewDomain()
+	tr := NewWithFlavor[int, int](dom)
+	w := tr.NewHandle()
+	defer w.Close()
+	// Build a shape where delete(10) has a deep successor: 10's right
+	// subtree {20, 15, 25} → successor 15 is not 10's right child.
+	for _, k := range []int{10, 5, 20, 15, 25, 12} {
+		w.Insert(k, k)
+	}
+	// Find the victim and its successor's parent in the current shape.
+	z := tr.root.Load()
+	for z != tr.nilN && z.key != 10 {
+		if 10 < z.key {
+			z = z.child[left].Load()
+		} else {
+			z = z.child[right].Load()
+		}
+	}
+	if z == tr.nilN {
+		t.Fatal("victim not found")
+	}
+	zr := z.child[right].Load()
+	if zr == tr.nilN || zr.child[left].Load() == tr.nilN {
+		t.Skip("rebalancing produced a shallow successor; shape-dependent test not applicable")
+	}
+	succ := zr
+	for succ.child[left].Load() != tr.nilN {
+		succ = succ.child[left].Load()
+	}
+	succParent := succ.parent
+
+	// Reader pauses holding a read-side critical section, conceptually
+	// mid-search toward the successor's old position.
+	reader := dom.Register()
+	defer reader.Unregister()
+	reader.ReadLock()
+
+	delDone := make(chan struct{})
+	go func() {
+		defer close(delDone)
+		h := tr.NewHandle()
+		defer h.Close()
+		if !h.Delete(10) {
+			t.Error("Delete(10) = false")
+		}
+	}()
+
+	// Wait for the copy to be published at the victim's position.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := tr.root.Load()
+		for n != tr.nilN && n.key != succ.key {
+			if succ.key < n.key {
+				n = n.child[left].Load()
+			} else {
+				n = n.child[right].Load()
+			}
+		}
+		if n != tr.nilN && n != succ {
+			break // a *copy* of the successor is reachable
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("successor copy never published")
+		}
+		runtime.Gosched()
+	}
+
+	// The delete must now be parked in synchronize_rcu: the original
+	// successor must still hang off its old parent for our reader.
+	select {
+	case <-delDone:
+		t.Fatal("delete completed while a pre-existing reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if succParent.child[left].Load() != succ {
+		t.Fatal("old successor unlinked before the grace period elapsed")
+	}
+
+	reader.ReadUnlock()
+	<-delDone
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The key survives (via the copy), the victim is gone.
+	h := tr.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(10); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := h.Contains(succ.key); !ok || v != succ.key {
+		t.Fatalf("successor key lost: (%d, %v)", v, ok)
+	}
+}
+
+// TestRotationLeavesPortal white-boxes the copying rotation: after a
+// rotation, the unlinked original must still route searches correctly
+// (it is a "portal" for readers that were standing on it).
+func TestRotationLeavesPortal(t *testing.T) {
+	tr := New[int, int]()
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(10, 10)
+	oldRoot := tr.root.Load() // node 10, soon to be rotated down by a copy
+	h.Insert(20, 20)
+	h.Insert(30, 30) // forces a left rotation at 10
+
+	if tr.root.Load() == oldRoot {
+		t.Fatal("expected the root to change through rotation")
+	}
+	// The original node 10 was copied; the stale original must still
+	// lead to every key a reader standing on it could be seeking.
+	for _, k := range []int{10, 20, 30} {
+		n := oldRoot
+		for n != tr.nilN && n.key != k {
+			if k < n.key {
+				n = n.child[left].Load()
+			} else {
+				n = n.child[right].Load()
+			}
+		}
+		if n == tr.nilN {
+			t.Fatalf("search for %d starting at the unlinked original dead-ends", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package rhash
+
+import "testing"
+
+// FuzzOpsAgainstOracle interprets fuzz input as an op script run against
+// both the hash table and a map oracle. Growth (and therefore the unzip)
+// triggers organically once scripts insert past the load factor.
+func FuzzOpsAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1})
+	grow := make([]byte, 0, 200)
+	for k := byte(0); k < 60; k++ { // crosses the resize threshold twice
+		grow = append(grow, 0, k)
+	}
+	for k := byte(0); k < 60; k += 2 {
+		grow = append(grow, 1, k)
+	}
+	f.Add(grow)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New[int, int]()
+		h := m.NewHandle()
+		defer h.Close()
+		oracle := map[int]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			k := int(data[i+1])
+			switch data[i] % 3 {
+			case 0:
+				_, present := oracle[k]
+				if h.Insert(k, i) == present {
+					t.Fatalf("op %d: Insert(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				if !present {
+					oracle[k] = i
+				}
+			case 1:
+				_, present := oracle[k]
+				if h.Delete(k) != present {
+					t.Fatalf("op %d: Delete(%d) disagreed with oracle (present=%v)", i/2, k, present)
+				}
+				delete(oracle, k)
+			default:
+				wantV, wantOK := oracle[k]
+				gotV, gotOK := h.Contains(k)
+				if gotOK != wantOK || (wantOK && gotV != wantV) {
+					t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i/2, k, gotV, gotOK, wantV, wantOK)
+				}
+			}
+		}
+		if got, want := m.Len(), len(oracle); got != want {
+			t.Fatalf("Len() = %d, oracle %d", got, want)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

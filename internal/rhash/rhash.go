@@ -1,0 +1,291 @@
+// Package rhash implements a relativistic hash table: RCU readers, one
+// lock per bucket for updates, and a resize that never blocks readers —
+// the design family of Triplett, McKenney & Walpole (SIGOPS OSR 2010 /
+// USENIX ATC 2011) that the Citrus paper's related-work section (§6)
+// describes as the state of RCU data structures before Citrus: update
+// concurrency limited to structural partitions (buckets), rather than
+// Citrus's per-node locking.
+//
+// Lookups run inside RCU read-side critical sections and never block:
+// they load the current table pointer, hash into a bucket, and walk an
+// immutable-enough chain (nodes are unlinked by relinking predecessors;
+// an unlinked node's next pointer still leads down its old chain, so a
+// reader standing on one finishes correctly — the same "portal"
+// argument as the relativistic red-black tree's rotations).
+//
+// Resize never blocks readers. Two strategies are provided:
+//
+//   - the default is Triplett's incremental *unzip* (see unzip.go): the
+//     new table's buckets point into the old chains and entries are
+//     migrated in place, one splice per chain per grace period — no
+//     copies, no reader ever sees a torn chain;
+//   - NewCopyResize builds a fresh table of entry copies and publishes
+//     it with one store (one grace period's worth of waiting, more
+//     allocation) — the simpler reference implementation the unzip is
+//     tested against.
+//
+// In both, the resizer excludes writers for its duration (Triplett's
+// full design also admits concurrent writers via bucket-pair locking,
+// which we trade for a smaller correctness surface).
+package rhash
+
+import (
+	"cmp"
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Sizing policy: start small, double when average chain length would
+// exceed maxLoad.
+const (
+	initialBuckets = 8
+	maxLoad        = 3
+)
+
+type entry[K cmp.Ordered, V any] struct {
+	key   K
+	value V
+	next  atomic.Pointer[entry[K, V]]
+}
+
+// table is one generation of the bucket array; a resize builds a new
+// one and publishes it atomically.
+type table[K cmp.Ordered, V any] struct {
+	buckets []atomic.Pointer[entry[K, V]]
+	locks   []sync.Mutex
+}
+
+func newTable[K cmp.Ordered, V any](n int) *table[K, V] {
+	return &table[K, V]{
+		buckets: make([]atomic.Pointer[entry[K, V]], n),
+		locks:   make([]sync.Mutex, n),
+	}
+}
+
+// Map is the concurrent hash table. Create with New; access through
+// per-goroutine Handles.
+type Map[K cmp.Ordered, V any] struct {
+	flavor     rcu.Flavor
+	seed       maphash.Seed
+	resizeMu   sync.RWMutex // writers share it; a resizer excludes writers
+	tab        atomic.Pointer[table[K, V]]
+	size       atomic.Int64
+	copyResize bool // use the copy-based grow instead of the unzip
+}
+
+// New returns an empty map using its own RCU domain.
+func New[K cmp.Ordered, V any]() *Map[K, V] {
+	return NewWithFlavor[K, V](rcu.NewDomain())
+}
+
+// NewWithFlavor returns an empty map whose readers register with the
+// given RCU flavor.
+func NewWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor) *Map[K, V] {
+	m := &Map[K, V]{flavor: flavor, seed: maphash.MakeSeed()}
+	m.tab.Store(newTable[K, V](initialBuckets))
+	return m
+}
+
+// NewCopyResize returns a map that grows by copying every entry into a
+// fresh table (one grace period, more allocation) instead of the
+// incremental in-place unzip. Kept for comparison and as the simpler
+// reference implementation; behaviour is otherwise identical.
+func NewCopyResize[K cmp.Ordered, V any]() *Map[K, V] {
+	m := New[K, V]()
+	m.copyResize = true
+	return m
+}
+
+// A Handle is one goroutine's access point (it carries the RCU reader).
+type Handle[K cmp.Ordered, V any] struct {
+	m *Map[K, V]
+	r rcu.Reader
+}
+
+// NewHandle registers a handle for the calling goroutine.
+func (m *Map[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{m: m, r: m.flavor.Register()}
+}
+
+// Close unregisters the handle.
+func (h *Handle[K, V]) Close() {
+	h.r.Unregister()
+	h.r = nil
+}
+
+func (m *Map[K, V]) bucket(t *table[K, V], key K) int {
+	return int(maphash.Comparable(m.seed, key) % uint64(len(t.buckets)))
+}
+
+// Contains returns the value stored under key, if any. Wait-free: one
+// chain walk inside a read-side critical section.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	h.r.ReadLock()
+	t := h.m.tab.Load()
+	e := t.buckets[h.m.bucket(t, key)].Load()
+	for e != nil {
+		if e.key == key {
+			v := e.value
+			h.r.ReadUnlock()
+			return v, true
+		}
+		e = e.next.Load()
+	}
+	h.r.ReadUnlock()
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	m := h.m
+	m.resizeMu.RLock()
+	t := m.tab.Load()
+	b := m.bucket(t, key)
+	t.locks[b].Lock()
+	for e := t.buckets[b].Load(); e != nil; e = e.next.Load() {
+		if e.key == key {
+			t.locks[b].Unlock()
+			m.resizeMu.RUnlock()
+			return false
+		}
+	}
+	e := &entry[K, V]{key: key, value: value}
+	e.next.Store(t.buckets[b].Load())
+	t.buckets[b].Store(e) // publish: readers see the new head atomically
+	t.locks[b].Unlock()
+	m.resizeMu.RUnlock()
+
+	if m.size.Add(1) > int64(maxLoad*len(t.buckets)) {
+		if m.copyResize {
+			m.grow(len(t.buckets))
+		} else {
+			m.growUnzip(len(t.buckets))
+		}
+	}
+	return true
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	m := h.m
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	t := m.tab.Load()
+	b := m.bucket(t, key)
+	t.locks[b].Lock()
+	defer t.locks[b].Unlock()
+
+	var prev *entry[K, V]
+	for e := t.buckets[b].Load(); e != nil; e = e.next.Load() {
+		if e.key == key {
+			// Unlink by relinking the predecessor (or the head). The
+			// removed entry keeps its next pointer, so a reader standing
+			// on it still reaches the rest of the chain.
+			next := e.next.Load()
+			if prev == nil {
+				t.buckets[b].Store(next)
+			} else {
+				prev.next.Store(next)
+			}
+			m.size.Add(-1)
+			return true
+		}
+		prev = e
+	}
+	return false
+}
+
+// grow doubles the bucket array if it is still oldLen buckets long
+// (otherwise another writer already resized). Writers are excluded for
+// the duration; readers are not — they finish on the old generation's
+// frozen chains.
+func (m *Map[K, V]) grow(oldLen int) {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	old := m.tab.Load()
+	if len(old.buckets) != oldLen {
+		return
+	}
+	next := newTable[K, V](2 * oldLen)
+	for i := range old.buckets {
+		for e := old.buckets[i].Load(); e != nil; e = e.next.Load() {
+			// Fresh copies: the old generation stays intact for readers
+			// that already hold it.
+			c := &entry[K, V]{key: e.key, value: e.value}
+			b := m.bucket(next, e.key)
+			c.next.Store(next.buckets[b].Load())
+			next.buckets[b].Store(c)
+		}
+	}
+	m.tab.Store(next)
+	// In C this is where the old table's chains would be retired after
+	// synchronize_rcu; Go's GC retires them once the last reader drops
+	// its reference, which is the same grace-period condition.
+}
+
+// Len reports the number of keys.
+func (m *Map[K, V]) Len() int { return int(m.size.Load()) }
+
+// Buckets reports the current bucket count (for tests and tuning).
+func (m *Map[K, V]) Buckets() int { return len(m.tab.Load().buckets) }
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (m *Map[K, V]) Keys() []K {
+	t := m.tab.Load()
+	var ks []K
+	for i := range t.buckets {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
+			ks = append(ks, e.key)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return cmp.Less(ks[i], ks[j]) })
+	return ks
+}
+
+// Range calls fn on every pair (in hash order, not key order — hash
+// tables have no meaningful key order during iteration) until fn
+// returns false. Quiescent use only.
+func (m *Map[K, V]) Range(fn func(key K, value V) bool) {
+	t := m.tab.Load()
+	for i := range t.buckets {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
+			if !fn(e.key, e.value) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies, for a quiescent map: every entry hashes to
+// the bucket that holds it, no key occurs twice, the size counter is
+// exact, and the load factor respects the resize policy.
+func (m *Map[K, V]) CheckInvariants() error {
+	t := m.tab.Load()
+	seen := make(map[K]bool)
+	count := 0
+	for i := range t.buckets {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
+			if got := m.bucket(t, e.key); got != i {
+				return fmt.Errorf("key %v in bucket %d, hashes to %d", e.key, i, got)
+			}
+			if seen[e.key] {
+				return fmt.Errorf("key %v occurs twice", e.key)
+			}
+			seen[e.key] = true
+			count++
+		}
+	}
+	if got := m.Len(); got != count {
+		return fmt.Errorf("size counter %d, counted %d", got, count)
+	}
+	if count > 2*maxLoad*len(t.buckets) {
+		return fmt.Errorf("load factor runaway: %d keys in %d buckets", count, len(t.buckets))
+	}
+	return nil
+}

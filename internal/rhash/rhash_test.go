@@ -1,0 +1,215 @@
+package rhash
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[string, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains("a"); ok {
+		t.Fatal("Contains on empty map = true")
+	}
+	if !h.Insert("a", 1) || h.Insert("a", 2) {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains("a"); !ok || v != 1 {
+		t.Fatalf("Contains(a) = (%d, %v)", v, ok)
+	}
+	if !h.Delete("a") || h.Delete("a") {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthKeepsEverything(t *testing.T) {
+	m := New[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	const n = 10000
+	for k := 0; k < n; k++ {
+		if !h.Insert(k, k*2) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	if got := m.Buckets(); got < n/(2*maxLoad) {
+		t.Fatalf("table never grew: %d buckets for %d keys", got, n)
+	}
+	for k := 0; k < n; k++ {
+		if v, ok := h.Contains(k); !ok || v != k*2 {
+			t.Fatalf("Contains(%d) = (%d, %v) after growth", k, v, ok)
+		}
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len() = %d, want %d", got, n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderSuspendedAcrossResize is the relativistic property of the
+// copy-based resize: a reader paused mid-chain-walk while the table is
+// resized (and further mutated) completes its lookup correctly on the
+// old, frozen generation. (The unzip resize has a different discipline —
+// it *waits* for such readers; see TestUnzipWaitsForSuspendedReader.)
+func TestReaderSuspendedAcrossResize(t *testing.T) {
+	m := NewCopyResize[int, int]()
+	w := m.NewHandle()
+	defer w.Close()
+	// Fill without triggering growth yet.
+	limit := maxLoad * initialBuckets
+	for k := 0; k < limit; k++ {
+		w.Insert(k, k)
+	}
+	target := limit - 1 // present before the reader starts, never deleted
+
+	// The reader captures the current table inside its critical section,
+	// then pauses before walking.
+	reader := m.NewHandle()
+	defer reader.Close()
+	reader.r.ReadLock()
+	oldTab := m.tab.Load()
+
+	// Writer triggers a resize and churns the new generation.
+	for k := limit; k < limit*8; k++ {
+		w.Insert(k, k)
+	}
+	if m.tab.Load() == oldTab {
+		t.Fatal("no resize happened")
+	}
+
+	// The reader resumes on its old, frozen generation.
+	e := oldTab.buckets[m.bucket(oldTab, target)].Load()
+	found := false
+	for ; e != nil; e = e.next.Load() {
+		if e.key == target {
+			found = e.value == target
+			break
+		}
+	}
+	reader.r.ReadUnlock()
+	if !found {
+		t.Fatal("suspended reader missed a key that predates its critical section")
+	}
+	// And a fresh lookup sees the new generation.
+	if v, ok := reader.Contains(limit + 3); !ok || v != limit+3 {
+		t.Fatalf("post-resize lookup = (%d, %v)", v, ok)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialOracle(t *testing.T) {
+	m := New[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			_, present := oracle[k]
+			if got := h.Insert(k, i); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v, present=%v", i, k, got, present)
+			}
+			if !present {
+				oracle[k] = i
+			}
+		case 1:
+			_, present := oracle[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, present=%v", i, k, got, present)
+			}
+			delete(oracle, k)
+		default:
+			wantV, wantOK := oracle[k]
+			gotV, gotOK := h.Contains(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("op %d: Contains(%d) = (%d, %v), want (%d, %v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	if got, want := m.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, oracle %d", got, want)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentChurnAcrossResizes drives writers hard enough to force
+// several growth steps mid-flight while readers check permanent keys.
+func TestConcurrentChurnAcrossResizes(t *testing.T) {
+	m := New[int, int]()
+	{
+		h := m.NewHandle()
+		for k := 0; k < 64; k++ {
+			h.Insert(-k-1, k) // negative keys are permanent
+		}
+		h.Close()
+	}
+	startBuckets := m.Buckets()
+
+	var readers, writers sync.WaitGroup
+	var misses int64
+	var missMu sync.Mutex
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := -rng.Intn(64) - 1
+				if _, ok := h.Contains(k); !ok {
+					missMu.Lock()
+					misses++
+					missMu.Unlock()
+				}
+			}
+		}(int64(r))
+	}
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			base := w * 100000
+			for k := base; k < base+30000; k++ {
+				h.Insert(k, k)
+				if k%3 == 0 {
+					h.Delete(k)
+				}
+			}
+		}(w)
+	}
+	writers.Wait() // writers finish on their own; then stop the readers
+	close(stop)
+	readers.Wait()
+
+	if misses != 0 {
+		t.Fatalf("%d misses on permanent keys across resizes", misses)
+	}
+	if m.Buckets() <= startBuckets {
+		t.Fatalf("no growth under load: %d buckets", m.Buckets())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package rhash
+
+// Incremental "unzip" expansion, after Triplett, McKenney & Walpole
+// ("Resizable, scalable, concurrent hash tables via relativistic
+// programming", USENIX ATC 2011). Unlike the copy-based grow, no entry
+// is copied: the new table's buckets initially point *into* the old
+// chains (each old chain holds the entries of exactly two new buckets,
+// interleaved), and the chains are then "unzipped" in place, one splice
+// per chain per grace period.
+//
+// Reader correctness during the unzip rests on two facts:
+//
+//  1. Lookups tolerate imposters: a chain may contain entries that hash
+//     to the sibling bucket; they cost steps, never wrong answers,
+//     because lookups compare full keys and walk to nil.
+//
+//  2. A splice at entry p (p.next = q, skipping a run of sibling
+//     entries) can strand only readers that are *inside the skipped
+//     run* — and the only way into that run is through p or through the
+//     sibling bucket's own path, which the splice does not touch. A
+//     reader can be inside the run via p only if it read p.next before
+//     the splice; therefore each chain performs at most one splice per
+//     grace period: by the time the next splice (whose skipped run is
+//     reachable through the previous one) executes, every reader that
+//     crossed the previous splice point has finished. This is exactly
+//     the paper's "wait for readers between unzip passes".
+//
+// Writers are excluded for the duration of the resize (resizeMu), as in
+// the copy-based grow; Triplett's full design also admits concurrent
+// writers with bucket-pair locking, which we trade away for a smaller
+// correctness surface. Readers — the relativistic half — are never
+// excluded, never retried, and never see a torn table.
+func (m *Map[K, V]) growUnzip(oldLen int) {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	old := m.tab.Load()
+	if len(old.buckets) != oldLen {
+		return // someone else already resized
+	}
+	next := newTable[K, V](2 * oldLen)
+
+	// Step 1: point every new bucket at its first entry within the old
+	// chain. Entries are shared, not copied.
+	for j := range next.buckets {
+		for e := old.buckets[j%oldLen].Load(); e != nil; e = e.next.Load() {
+			if m.bucket(next, e.key) == j {
+				next.buckets[j].Store(e)
+				break
+			}
+		}
+	}
+
+	// Step 2: publish, then wait out every reader of the old table.
+	m.tab.Store(next)
+	m.flavor.Synchronize()
+
+	// Step 3: plan the splices per old chain. With writers excluded the
+	// chains are frozen (only our own splices modify them), so the plan
+	// can be computed up front: walking a chain, every time a side
+	// reappears after a run of the other side, the last entry of that
+	// side must be spliced forward.
+	type splice struct{ from, to *entry[K, V] }
+	plans := make([][]splice, oldLen)
+	for i := 0; i < oldLen; i++ {
+		last := make(map[int]*entry[K, V], 2) // side (new bucket) → last entry seen
+		for e := old.buckets[i].Load(); e != nil; e = e.next.Load() {
+			side := m.bucket(next, e.key)
+			if p := last[side]; p != nil && p.next.Load() != e {
+				plans[i] = append(plans[i], splice{from: p, to: e})
+			}
+			last[side] = e
+		}
+		// The final entry of each side may still trail sibling entries;
+		// terminate its side explicitly.
+		for _, p := range last {
+			if p.next.Load() != nil {
+				tail := p.next.Load()
+				side := m.bucket(next, p.key)
+				// Walk to the next same-side entry (none, by
+				// construction of the plan above) or nil.
+				for tail != nil && m.bucket(next, tail.key) != side {
+					tail = tail.next.Load()
+				}
+				if tail == nil && p.next.Load() != nil {
+					plans[i] = append(plans[i], splice{from: p, to: nil})
+				}
+			}
+		}
+	}
+
+	// Step 4: execute, one splice per chain per pass, a grace period
+	// between passes (see invariant 2 above).
+	for step := 0; ; step++ {
+		progress := false
+		for i := range plans {
+			if step < len(plans[i]) {
+				s := plans[i][step]
+				s.from.next.Store(s.to)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		m.flavor.Synchronize()
+	}
+}

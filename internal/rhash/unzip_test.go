@@ -1,0 +1,244 @@
+package rhash
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestUnzipPreservesEntries white-boxes the in-place property: after an
+// unzip grow, every entry object in the new table is the same pointer
+// that was in the old one (no copies), every chain is fully unzipped
+// (no imposters remain), and nothing is lost.
+func TestUnzipPreservesEntries(t *testing.T) {
+	m := New[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+
+	limit := maxLoad * initialBuckets // fill right up to the threshold
+	for k := 0; k < limit; k++ {
+		if !h.Insert(k, k) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	old := m.tab.Load()
+	before := map[int]*entry[int, int]{}
+	for i := range old.buckets {
+		for e := old.buckets[i].Load(); e != nil; e = e.next.Load() {
+			before[e.key] = e
+		}
+	}
+
+	h.Insert(limit, limit) // crosses the threshold → unzip grow
+	next := m.tab.Load()
+	if next == old || len(next.buckets) != 2*len(old.buckets) {
+		t.Fatalf("table did not double: %d buckets", len(next.buckets))
+	}
+	seen := 0
+	for i := range next.buckets {
+		for e := next.buckets[i].Load(); e != nil; e = e.next.Load() {
+			if got := m.bucket(next, e.key); got != i {
+				t.Fatalf("imposter left after unzip: key %d in bucket %d, hashes to %d", e.key, i, got)
+			}
+			if p, ok := before[e.key]; ok && p != e {
+				t.Fatalf("entry for key %d was copied, not migrated", e.key)
+			}
+			seen++
+		}
+	}
+	if seen != limit+1 {
+		t.Fatalf("unzip lost entries: %d of %d reachable", seen, limit+1)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnzipWaitsForSuspendedReader: the unzip must not splice any chain
+// while a pre-existing reader is inside its critical section — the
+// reader could be standing in a run the splice would skip. The resize
+// therefore blocks (in its first grace period) until the reader leaves;
+// meanwhile the already-published new table serves fresh lookups.
+func TestUnzipWaitsForSuspendedReader(t *testing.T) {
+	m := New[int, int]()
+	w := m.NewHandle()
+	defer w.Close()
+	limit := maxLoad * initialBuckets
+	for k := 0; k < limit; k++ {
+		w.Insert(k, k)
+	}
+
+	reader := m.NewHandle()
+	inCS := true
+	defer func() {
+		if inCS {
+			reader.r.ReadUnlock() // keep deferred Close legal on failure
+		}
+		reader.Close()
+	}()
+	reader.r.ReadLock()
+	oldTab := m.tab.Load()
+
+	growDone := make(chan struct{})
+	go func() {
+		defer close(growDone)
+		h := m.NewHandle()
+		defer h.Close()
+		h.Insert(limit, limit) // triggers the unzip
+	}()
+
+	// The new table must be published promptly (readers switch over)...
+	deadline := time.Now().Add(2 * time.Second)
+	for m.tab.Load() == oldTab {
+		if time.Now().After(deadline) {
+			t.Fatal("new table never published")
+		}
+		runtime.Gosched()
+	}
+	// ...but the grow must be parked in its grace period.
+	select {
+	case <-growDone:
+		t.Fatal("unzip completed while a pre-existing reader was inside its critical section")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The old generation's chains are still unspliced: the suspended
+	// reader's world is intact. Verify by walking an old chain fully.
+	count := 0
+	for i := range oldTab.buckets {
+		for e := oldTab.buckets[i].Load(); e != nil; e = e.next.Load() {
+			count++
+		}
+	}
+	// limit prefilled + the insert that triggered the grow (it lands in
+	// the old table before the resize runs).
+	if count != limit+1 {
+		t.Fatalf("old chains lost entries while a reader held them: %d of %d", count, limit+1)
+	}
+
+	reader.r.ReadUnlock()
+	inCS = false
+	select {
+	case <-growDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("unzip never completed after the reader left")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= limit; k++ {
+		if v, ok := w.Contains(k); !ok || v != k {
+			t.Fatalf("Contains(%d) = (%d, %v) after unzip", k, v, ok)
+		}
+	}
+}
+
+// TestUnzipVersusCopyEquivalence: both resize strategies must yield the
+// same dictionary for the same operation sequence.
+func TestUnzipVersusCopyEquivalence(t *testing.T) {
+	a := New[int, int]() // unzip
+	b := NewCopyResize[int, int]()
+	ha, hb := a.NewHandle(), b.NewHandle()
+	defer ha.Close()
+	defer hb.Close()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30000; i++ {
+		k := rng.Intn(2000)
+		if rng.Intn(3) == 0 {
+			if ha.Delete(k) != hb.Delete(k) {
+				t.Fatalf("op %d: Delete(%d) diverged", i, k)
+			}
+		} else {
+			if ha.Insert(k, k) != hb.Insert(k, k) {
+				t.Fatalf("op %d: Insert(%d) diverged", i, k)
+			}
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes diverged: %d vs %d", a.Len(), b.Len())
+	}
+	ka, kb := a.Keys(), b.Keys()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("key sets diverged at %d: %d vs %d", i, ka[i], kb[i])
+		}
+	}
+	if a.Buckets() <= initialBuckets || b.Buckets() <= initialBuckets {
+		t.Fatal("no growth happened; test is vacuous")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnzipInterleavedChain constructs, deterministically, the chain
+// shape the unzip exists for: one old bucket whose chain alternates
+// between its two future buckets entry by entry (head insertion makes
+// chain order the reverse of insertion order, so the shape is fully
+// controlled). Every splice path — same-side gaps on both sides plus
+// both tail terminations — executes, and the result is checked entry by
+// entry.
+func TestUnzipInterleavedChain(t *testing.T) {
+	m := New[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+
+	// Collect keys by their (old bucket, new bucket) routing. Sides of
+	// old bucket 0: new buckets 0 and initialBuckets.
+	oldT := m.tab.Load()
+	nextShape := newTable[int, int](2 * initialBuckets)
+	var sideA, sideB []int
+	for k := 0; len(sideA) < 3 || len(sideB) < 3; k++ {
+		if m.bucket(oldT, k) != 0 {
+			continue
+		}
+		if m.bucket(nextShape, k) == 0 {
+			sideA = append(sideA, k)
+		} else {
+			sideB = append(sideB, k)
+		}
+	}
+
+	// Insert alternating so the chain reads A B A B A B from the head.
+	order := []int{sideB[2], sideA[2], sideB[1], sideA[1], sideB[0], sideA[0]}
+	for _, k := range order {
+		if !h.Insert(k, k*7) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+
+	m.growUnzip(initialBuckets) // force the resize regardless of load
+
+	next := m.tab.Load()
+	if len(next.buckets) != 2*initialBuckets {
+		t.Fatalf("unzip did not double the table")
+	}
+	collect := func(b int) []int {
+		var ks []int
+		for e := next.buckets[b].Load(); e != nil; e = e.next.Load() {
+			ks = append(ks, e.key)
+		}
+		return ks
+	}
+	gotA, gotB := collect(0), collect(initialBuckets)
+	if len(gotA) != 3 || len(gotB) != 3 {
+		t.Fatalf("unzipped chains wrong length: A=%v B=%v", gotA, gotB)
+	}
+	for i := 0; i < 3; i++ {
+		if gotA[i] != sideA[i] || gotB[i] != sideB[i] {
+			t.Fatalf("unzip scrambled chains: A=%v (want %v), B=%v (want %v)",
+				gotA, sideA, gotB, sideB)
+		}
+	}
+	for _, k := range order {
+		if v, ok := h.Contains(k); !ok || v != k*7 {
+			t.Fatalf("Contains(%d) = (%d, %v) after unzip", k, v, ok)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package seqbst implements the textbook sequential internal binary search
+// tree that Citrus is derived from (the paper's §3 notes that Citrus
+// "greatly resembles the sequential algorithm"). It is used as the
+// single-threaded oracle in tests and as the zero-synchronization baseline
+// in benchmarks; a sync.Mutex-wrapped variant (NewLocked) serves as the
+// coarse-grained-locking strawman.
+package seqbst
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+)
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	value       V
+	left, right *node[K, V]
+}
+
+// Tree is a sequential internal BST. Not safe for concurrent use; see
+// Locked for a coarse-grained concurrent wrapper.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+// New returns an empty sequential tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] { return &Tree[K, V]{} }
+
+// Contains returns the value stored under key, if any.
+func (t *Tree[K, V]) Contains(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch c := cmp.Compare(key, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (t *Tree[K, V]) Insert(key K, value V) bool {
+	link := &t.root
+	for *link != nil {
+		n := *link
+		switch c := cmp.Compare(key, n.key); {
+		case c < 0:
+			link = &n.left
+		case c > 0:
+			link = &n.right
+		default:
+			return false
+		}
+	}
+	*link = &node[K, V]{key: key, value: value}
+	t.size++
+	return true
+}
+
+// Delete removes key; it returns false if key is absent. A node with two
+// children is replaced by its successor, exactly the transformation Citrus
+// performs concurrently.
+func (t *Tree[K, V]) Delete(key K) bool {
+	link := &t.root
+	for *link != nil && (*link).key != key {
+		if cmp.Less(key, (*link).key) {
+			link = &(*link).left
+		} else {
+			link = &(*link).right
+		}
+	}
+	n := *link
+	if n == nil {
+		return false
+	}
+	switch {
+	case n.left == nil:
+		*link = n.right
+	case n.right == nil:
+		*link = n.left
+	default:
+		// Two children: splice out the successor and move its pair here.
+		sl := &n.right
+		for (*sl).left != nil {
+			sl = &(*sl).left
+		}
+		succ := *sl
+		n.key, n.value = succ.key, succ.value
+		*sl = succ.right
+	}
+	t.size--
+	return true
+}
+
+// Len reports the number of keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Keys returns all keys in ascending order.
+func (t *Tree[K, V]) Keys() []K {
+	ks := make([]K, 0, t.size)
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		ks = append(ks, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	var walk func(n *node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// CheckInvariants verifies the BST ordering property and the size counter.
+func (t *Tree[K, V]) CheckInvariants() error {
+	count := 0
+	var prev *K
+	var check func(n *node[K, V]) error
+	check = func(n *node[K, V]) error {
+		if n == nil {
+			return nil
+		}
+		if err := check(n.left); err != nil {
+			return err
+		}
+		if prev != nil && cmp.Compare(n.key, *prev) <= 0 {
+			return fmt.Errorf("BST order violated: %v after %v", n.key, *prev)
+		}
+		k := n.key
+		prev = &k
+		count++
+		return check(n.right)
+	}
+	if err := check(t.root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size counter %d, counted %d nodes", t.size, count)
+	}
+	return nil
+}
+
+// Locked wraps Tree with a single mutex: the coarse-grained baseline. Its
+// Handle methods are safe for concurrent use from any number of goroutines.
+type Locked[K cmp.Ordered, V any] struct {
+	mu sync.Mutex
+	t  *Tree[K, V]
+}
+
+// NewLocked returns an empty mutex-guarded tree.
+func NewLocked[K cmp.Ordered, V any]() *Locked[K, V] {
+	return &Locked[K, V]{t: New[K, V]()}
+}
+
+// Contains returns the value stored under key, if any.
+func (l *Locked[K, V]) Contains(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Contains(key)
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (l *Locked[K, V]) Insert(key K, value V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Insert(key, value)
+}
+
+// Delete removes key; it returns false if key is absent.
+func (l *Locked[K, V]) Delete(key K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Delete(key)
+}
+
+// Len reports the number of keys.
+func (l *Locked[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Len()
+}
+
+// Keys returns all keys in ascending order.
+func (l *Locked[K, V]) Keys() []K {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Keys()
+}
+
+// CheckInvariants verifies the underlying tree.
+func (l *Locked[K, V]) CheckInvariants() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.CheckInvariants()
+}

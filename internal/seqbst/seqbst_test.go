@@ -1,0 +1,153 @@
+package seqbst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New[string, int]()
+	if _, ok := tr.Contains("a"); ok {
+		t.Fatal("Contains on empty tree = true")
+	}
+	if !tr.Insert("a", 1) || tr.Insert("a", 2) {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := tr.Contains("a"); !ok || v != 1 {
+		t.Fatalf("Contains(a) = (%d, %v)", v, ok)
+	}
+	if !tr.Delete("a") || tr.Delete("a") {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteShapes(t *testing.T) {
+	cases := []struct {
+		keys []int
+		del  int
+	}{
+		{[]int{50}, 50},
+		{[]int{50, 30}, 50},
+		{[]int{50, 70}, 50},
+		{[]int{50, 30, 70}, 50},                 // two children, succ is right child
+		{[]int{50, 30, 80, 60, 55, 65}, 50},     // deep successor with right subtree
+		{[]int{50, 30, 80, 60, 90, 55, 70}, 80}, // interior two-child delete
+	}
+	for _, tc := range cases {
+		tr := New[int, int]()
+		for _, k := range tc.keys {
+			tr.Insert(k, k*3)
+		}
+		if !tr.Delete(tc.del) {
+			t.Fatalf("keys %v: Delete(%d) = false", tc.keys, tc.del)
+		}
+		for _, k := range tc.keys {
+			v, ok := tr.Contains(k)
+			if k == tc.del {
+				if ok {
+					t.Fatalf("keys %v: deleted %d still present", tc.keys, k)
+				}
+			} else if !ok || v != k*3 {
+				t.Fatalf("keys %v after Delete(%d): Contains(%d) = (%d, %v)", tc.keys, tc.del, k, v, ok)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("keys %v: %v", tc.keys, err)
+		}
+	}
+}
+
+// TestQuickAgainstMap is a testing/quick property: any operation script
+// leaves the tree agreeing with a map oracle.
+func TestQuickAgainstMap(t *testing.T) {
+	property := func(keys []uint8, dels []uint8) bool {
+		tr := New[int, int]()
+		oracle := map[int]int{}
+		for i, kb := range keys {
+			k := int(kb % 64)
+			_, present := oracle[k]
+			if tr.Insert(k, i) == present {
+				return false
+			}
+			if !present {
+				oracle[k] = i
+			}
+		}
+		for _, kb := range dels {
+			k := int(kb % 64)
+			_, present := oracle[k]
+			if tr.Delete(k) != present {
+				return false
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok := tr.Contains(k); !ok || got != v {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysSortedAndRange(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		tr.Insert(rng.Intn(1000), i)
+	}
+	ks := tr.Keys()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Keys() unsorted at %d", i)
+		}
+	}
+	count := 0
+	tr.Range(func(k, v int) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("Range early-stop visited %d", count)
+	}
+}
+
+// TestLockedIsConcurrencySafe is the coarse-grained baseline's contract.
+func TestLockedIsConcurrencySafe(t *testing.T) {
+	l := NewLocked[int, int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w * 1000; k < w*1000+500; k++ {
+				if !l.Insert(k, k) {
+					t.Errorf("Insert(%d) = false", k)
+				}
+			}
+			for k := w * 1000; k < w*1000+500; k += 2 {
+				if !l.Delete(k) {
+					t.Errorf("Delete(%d) = false", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := l.Len(); got != 8*250 {
+		t.Fatalf("Len() = %d, want %d", got, 8*250)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package skiplist implements the lazy lock-based optimistic skiplist of
+// Herlihy, Lev, Luchangco & Shavit ("A Simple Optimistic Skiplist
+// Algorithm", SIROCCO 2007) — the "Skiplist" series in the Citrus paper's
+// evaluation (its C port by Gramoli lives in synchrobench).
+//
+// Updates lock only the predecessors of the affected node and validate
+// after locking (like Citrus); membership queries are lock-free and rely
+// on two per-node flags: fullyLinked (the node is linked at every level)
+// and marked (the node is logically deleted). A contains is linearizable
+// because a key is in the set exactly when an unmarked, fully linked node
+// with that key is in the bottom-level list.
+package skiplist
+
+import (
+	"cmp"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxLevel bounds tower heights; 2^32 expected keys is far beyond any
+// workload here.
+const maxLevel = 32
+
+// pInverse is the inverse of the level-promotion probability (p = 1/2).
+const pInverse = 2
+
+type kind uint8
+
+const (
+	kindNormal kind = iota
+	kindHead
+	kindTail
+)
+
+type node[K cmp.Ordered, V any] struct {
+	mu          sync.Mutex
+	key         K
+	value       V
+	kind        kind
+	topLayer    int
+	next        [maxLevel]atomic.Pointer[node[K, V]]
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+}
+
+// compareKey orders key against n's key with the head/tail sentinels as
+// −∞/+∞.
+func (n *node[K, V]) compareKey(key K) int {
+	switch n.kind {
+	case kindHead:
+		return +1
+	case kindTail:
+		return -1
+	default:
+		return cmp.Compare(key, n.key)
+	}
+}
+
+// List is the concurrent skiplist. Create with New; access through
+// per-goroutine Handles (the handle carries the level-generator state).
+type List[K cmp.Ordered, V any] struct {
+	head *node[K, V]
+	tail *node[K, V]
+	seed atomic.Uint64
+}
+
+// New returns an empty skiplist.
+func New[K cmp.Ordered, V any]() *List[K, V] {
+	l := &List[K, V]{
+		head: &node[K, V]{kind: kindHead, topLayer: maxLevel - 1},
+		tail: &node[K, V]{kind: kindTail, topLayer: maxLevel - 1},
+	}
+	l.head.fullyLinked.Store(true)
+	l.tail.fullyLinked.Store(true)
+	for i := 0; i < maxLevel; i++ {
+		l.head.next[i].Store(l.tail)
+	}
+	l.seed.Store(0x9E3779B97F4A7C15)
+	return l
+}
+
+// A Handle is one goroutine's access point; it owns a private PRNG for
+// tower heights. Handles must not be shared between goroutines.
+type Handle[K cmp.Ordered, V any] struct {
+	l   *List[K, V]
+	rng uint64
+}
+
+// NewHandle returns a handle for the calling goroutine.
+func (l *List[K, V]) NewHandle() *Handle[K, V] {
+	return &Handle[K, V]{l: l, rng: l.seed.Add(0x9E3779B97F4A7C15)}
+}
+
+// Close releases the handle (no-op; present for API symmetry).
+func (h *Handle[K, V]) Close() {}
+
+// randomLevel draws a geometric(1/pInverse) tower height in [0, maxLevel).
+func (h *Handle[K, V]) randomLevel() int {
+	// xorshift64*
+	x := h.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	h.rng = x
+	r := x * 0x2545F4914F6CDD1D
+	lvl := 0
+	for r%pInverse == 0 && lvl < maxLevel-1 {
+		lvl++
+		r /= pInverse
+	}
+	return lvl
+}
+
+// find locates key, filling preds/succs per layer, and returns the highest
+// layer at which a node with the key was found (or -1).
+func (l *List[K, V]) find(key K, preds, succs *[maxLevel]*node[K, V]) int {
+	found := -1
+	pred := l.head
+	for layer := maxLevel - 1; layer >= 0; layer-- {
+		curr := pred.next[layer].Load()
+		for curr.compareKey(key) > 0 {
+			pred = curr
+			curr = pred.next[layer].Load()
+		}
+		if found == -1 && curr.compareKey(key) == 0 {
+			found = layer
+		}
+		preds[layer] = pred
+		succs[layer] = curr
+	}
+	return found
+}
+
+// Contains returns the value stored under key, if any. Lock-free.
+func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	var preds, succs [maxLevel]*node[K, V]
+	lFound := h.l.find(key, &preds, &succs)
+	if lFound != -1 {
+		n := succs[lFound]
+		if n.fullyLinked.Load() && !n.marked.Load() {
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds (key, value); it returns false if key is already present.
+func (h *Handle[K, V]) Insert(key K, value V) bool {
+	topLayer := h.randomLevel()
+	var preds, succs [maxLevel]*node[K, V]
+	for {
+		lFound := h.l.find(key, &preds, &succs)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				// Key present (possibly mid-insert): wait until it is
+				// fully linked so our false return is linearizable.
+				for !found.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				return false
+			}
+			// Marked node on its way out: retry until it is unlinked.
+			continue
+		}
+
+		// Lock all predecessors bottom-up and validate.
+		valid := true
+		highestLocked := -1
+		var prevPred *node[K, V]
+		for layer := 0; valid && layer <= topLayer; layer++ {
+			pred, succ := preds[layer], succs[layer]
+			if pred != prevPred { // don't lock the same node twice
+				pred.mu.Lock()
+				highestLocked = layer
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() &&
+				pred.next[layer].Load() == succ
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+
+		n := &node[K, V]{key: key, value: value, topLayer: topLayer}
+		for layer := 0; layer <= topLayer; layer++ {
+			n.next[layer].Store(succs[layer])
+		}
+		for layer := 0; layer <= topLayer; layer++ {
+			preds[layer].next[layer].Store(n)
+		}
+		n.fullyLinked.Store(true) // linearization point
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}
+
+// Delete removes key; it returns false if key is absent.
+func (h *Handle[K, V]) Delete(key K) bool {
+	var victim *node[K, V]
+	isMarked := false
+	topLayer := -1
+	var preds, succs [maxLevel]*node[K, V]
+	for {
+		lFound := h.l.find(key, &preds, &succs)
+		if !isMarked {
+			if lFound == -1 {
+				return false
+			}
+			victim = succs[lFound]
+			if victim.topLayer != lFound || !victim.fullyLinked.Load() || victim.marked.Load() {
+				return false
+			}
+			topLayer = victim.topLayer
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true) // linearization point
+			isMarked = true
+		}
+
+		valid := true
+		highestLocked := -1
+		var prevPred *node[K, V]
+		for layer := 0; valid && layer <= topLayer; layer++ {
+			pred := preds[layer]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = layer
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[layer].Load() == victim
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+
+		for layer := topLayer; layer >= 0; layer-- {
+			preds[layer].next[layer].Store(victim.next[layer].Load())
+		}
+		victim.mu.Unlock()
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}
+
+// unlockPreds unlocks the distinct predecessors locked up to layer
+// highestLocked (inclusive).
+func unlockPreds[K cmp.Ordered, V any](preds *[maxLevel]*node[K, V], highestLocked int) {
+	var prev *node[K, V]
+	for layer := 0; layer <= highestLocked; layer++ {
+		if preds[layer] != prev {
+			preds[layer].mu.Unlock()
+			prev = preds[layer]
+		}
+	}
+}
+
+// Len reports the number of keys. Quiescent use only.
+func (l *List[K, V]) Len() int {
+	n := 0
+	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
+		n++
+	}
+	return n
+}
+
+// Keys returns all keys in ascending order. Quiescent use only.
+func (l *List[K, V]) Keys() []K {
+	var ks []K
+	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
+		ks = append(ks, c.key)
+	}
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false. Quiescent use only.
+func (l *List[K, V]) Range(fn func(key K, value V) bool) {
+	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
+		if !fn(c.key, c.value) {
+			return
+		}
+	}
+}
+
+// CheckInvariants verifies, for a quiescent list, that every layer is
+// sorted, every node is fully linked and unmarked, and each tower is a
+// sublist of the one below.
+func (l *List[K, V]) CheckInvariants() error {
+	for layer := 0; layer < maxLevel; layer++ {
+		prev := l.head
+		for c := l.head.next[layer].Load(); ; c = c.next[layer].Load() {
+			if c == nil {
+				return fmt.Errorf("layer %d: nil link", layer)
+			}
+			if c.kind == kindTail {
+				break
+			}
+			if c.kind != kindNormal {
+				return fmt.Errorf("layer %d: sentinel in the middle", layer)
+			}
+			if c.marked.Load() {
+				return fmt.Errorf("layer %d: reachable marked node %v", layer, c.key)
+			}
+			if !c.fullyLinked.Load() {
+				return fmt.Errorf("layer %d: reachable non-fully-linked node %v", layer, c.key)
+			}
+			if c.topLayer < layer {
+				return fmt.Errorf("layer %d: node %v has topLayer %d", layer, c.key, c.topLayer)
+			}
+			if prev.kind == kindNormal && cmp.Compare(c.key, prev.key) <= 0 {
+				return fmt.Errorf("layer %d: order violated (%v after %v)", layer, c.key, prev.key)
+			}
+			prev = c
+		}
+	}
+	// Towers must appear at every lower layer: count per layer must be
+	// non-increasing with height.
+	prevCount := -1
+	for layer := maxLevel - 1; layer >= 0; layer-- {
+		count := 0
+		for c := l.head.next[layer].Load(); c.kind != kindTail; c = c.next[layer].Load() {
+			count++
+		}
+		if prevCount != -1 && count < prevCount {
+			return fmt.Errorf("layer %d has %d nodes, layer above has %d", layer, count, prevCount)
+		}
+		prevCount = count
+	}
+	return nil
+}

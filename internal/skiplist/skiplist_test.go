@@ -1,0 +1,183 @@
+package skiplist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	l := New[int, string]()
+	h := l.NewHandle()
+	defer h.Close()
+	if _, ok := h.Contains(3); ok {
+		t.Fatal("Contains on empty list = true")
+	}
+	if !h.Insert(3, "three") || h.Insert(3, "tres") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Contains(3); !ok || v != "three" {
+		t.Fatalf("Contains(3) = (%q, %v)", v, ok)
+	}
+	if !h.Delete(3) || h.Delete(3) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTowerDistribution verifies randomLevel draws a geometric(1/2)
+// distribution: roughly half the towers at each level relative to the one
+// below, and no tower at absurd heights for small n.
+func TestTowerDistribution(t *testing.T) {
+	l := New[int, int]()
+	h := l.NewHandle()
+	defer h.Close()
+	counts := make([]int, maxLevel)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[h.randomLevel()]++
+	}
+	if counts[0] < n/3 || counts[0] > 2*n/3 {
+		t.Fatalf("level-0 towers: %d of %d, want ≈ half", counts[0], n)
+	}
+	for lvl := 1; lvl < 8; lvl++ {
+		expected := float64(n) / math.Pow(2, float64(lvl+1))
+		got := float64(counts[lvl])
+		if got < expected*0.8 || got > expected*1.25 {
+			t.Fatalf("level-%d towers: %.0f, want ≈ %.0f", lvl, got, expected)
+		}
+	}
+}
+
+// TestTowersAreSublists checks the defining skiplist shape after many
+// operations: every level is a sublist of the level below.
+func TestTowersAreSublists(t *testing.T) {
+	l := New[int, int]()
+	h := l.NewHandle()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(500)
+		if rng.Intn(3) == 0 {
+			h.Delete(k)
+		} else {
+			h.Insert(k, k)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit sublist check at each level.
+	for lvl := 1; lvl < maxLevel; lvl++ {
+		lower := map[int]bool{}
+		for c := l.head.next[lvl-1].Load(); c.kind != kindTail; c = c.next[lvl-1].Load() {
+			lower[c.key] = true
+		}
+		for c := l.head.next[lvl].Load(); c.kind != kindTail; c = c.next[lvl].Load() {
+			if !lower[c.key] {
+				t.Fatalf("key %d at level %d missing from level %d", c.key, lvl, lvl-1)
+			}
+		}
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	l := New[int, int]()
+	h := l.NewHandle()
+	defer h.Close()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		h.Insert(k, k*2)
+	}
+	var keys []int
+	l.Range(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("Range pair (%d, %d)", k, v)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", keys, want)
+		}
+	}
+	// Early termination.
+	n := 0
+	l.Range(func(int, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("Range visited %d after early stop, want 2", n)
+	}
+}
+
+// TestConcurrentDisjointKeys has writers on disjoint key sets with
+// continuous readers; the optimistic lock/validate path gets exercised on
+// shared predecessors (towers overlap even when keys don't).
+func TestConcurrentDisjointKeys(t *testing.T) {
+	l := New[int, int]()
+	const writers = 6
+	const perWriter = 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := l.NewHandle()
+			defer h.Close()
+			for round := 0; round < 3; round++ {
+				for k := w; k < writers*perWriter; k += writers {
+					if !h.Insert(k, k) {
+						t.Errorf("Insert(%d) = false", k)
+						return
+					}
+				}
+				for k := w; k < writers*perWriter; k += writers {
+					if round == 2 && k%3 == 0 {
+						continue
+					}
+					if !h.Delete(k) {
+						t.Errorf("Delete(%d) = false", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	h := l.NewHandle()
+	defer h.Close()
+	for k := 0; k < writers*perWriter; k++ {
+		_, ok := h.Contains(k)
+		if want := k%3 == 0; ok != want {
+			t.Fatalf("Contains(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestLenAndKeys(t *testing.T) {
+	l := New[int, int]()
+	h := l.NewHandle()
+	defer h.Close()
+	for i := 0; i < 100; i++ {
+		h.Insert(i, i)
+	}
+	for i := 0; i < 100; i += 2 {
+		h.Delete(i)
+	}
+	if got := l.Len(); got != 50 {
+		t.Fatalf("Len() = %d, want 50", got)
+	}
+	ks := l.Keys()
+	if len(ks) != 50 || ks[0] != 1 || ks[49] != 99 {
+		t.Fatalf("Keys() = %v", ks)
+	}
+}

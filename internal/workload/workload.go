@@ -1,0 +1,145 @@
+// Package workload generates the synthetic dictionary workloads of the
+// Citrus paper's evaluation (§5): each thread continuously executes
+// operations drawn from a fixed distribution with keys drawn uniformly
+// from a fixed range, against a structure pre-filled to half the range.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/go-citrus/citrus/internal/dict"
+)
+
+// Mix is an operation distribution in percent. The paper names workloads
+// by their contains share ("100% contains", "98% contains", "50%
+// contains") with the remainder split evenly between insert and delete.
+type Mix struct {
+	ContainsPct int
+	InsertPct   int
+	DeletePct   int
+}
+
+// ReadMostly returns the paper's standard mix with the given contains
+// percentage and the remainder split evenly between inserts and deletes.
+func ReadMostly(containsPct int) Mix {
+	rest := 100 - containsPct
+	return Mix{ContainsPct: containsPct, InsertPct: rest / 2, DeletePct: rest - rest/2}
+}
+
+// UpdateOnly is the single-writer mix of Figure 9: 50% insert, 50% delete.
+func UpdateOnly() Mix { return Mix{InsertPct: 50, DeletePct: 50} }
+
+// ReadOnly is 100% contains.
+func ReadOnly() Mix { return Mix{ContainsPct: 100} }
+
+func (m Mix) String() string {
+	return fmt.Sprintf("%d%%c/%d%%i/%d%%d", m.ContainsPct, m.InsertPct, m.DeletePct)
+}
+
+// Valid reports whether the mix sums to 100%.
+func (m Mix) Valid() bool {
+	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 &&
+		m.ContainsPct+m.InsertPct+m.DeletePct == 100
+}
+
+// RNG is the per-worker pseudo-random generator: xorshift64*, the same
+// class of cheap thread-local generator used by synchrobench-style
+// harnesses, so key generation does not serialize workers or dominate the
+// measured operation cost.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed (0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value uniform in [0, n).
+func (r *RNG) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// OpKind is a dictionary operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpContains OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+// NextOp draws an operation kind from the mix.
+func (r *RNG) NextOp(m Mix) OpKind {
+	p := r.Intn(100)
+	switch {
+	case p < m.ContainsPct:
+		return OpContains
+	case p < m.ContainsPct+m.InsertPct:
+		return OpInsert
+	default:
+		return OpDelete
+	}
+}
+
+// Apply executes one randomly drawn operation against h, with the key
+// drawn uniformly, and returns its kind.
+func Apply(h dict.Handle[int, int], r *RNG, m Mix, keyRange int) OpKind {
+	kind := r.NextOp(m)
+	ApplyOp(h, kind, r.Intn(keyRange))
+	return kind
+}
+
+// ApplyOp executes one operation of the given kind on the given key;
+// callers that need a non-uniform key distribution (see Zipf) draw the
+// key themselves.
+func ApplyOp(h dict.Handle[int, int], kind OpKind, key int) {
+	switch kind {
+	case OpContains:
+		h.Contains(key)
+	case OpInsert:
+		h.Insert(key, key)
+	default:
+		h.Delete(key)
+	}
+}
+
+// Prefill inserts exactly keyRange/2 distinct uniformly chosen keys, as
+// in the paper's setup ("the tree was pre-filled to the size of half the
+// key range"). It is deterministic for a given seed.
+func Prefill(m dict.Map[int, int], keyRange int, seed int64) {
+	perm := rand.New(rand.NewSource(seed)).Perm(keyRange)
+	h := m.NewHandle()
+	defer h.Close()
+	for _, k := range perm[:keyRange/2] {
+		h.Insert(k, k)
+	}
+}
+
+func (k OpKind) String() string {
+	switch k {
+	case OpContains:
+		return "contains"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/go-citrus/citrus/internal/impls"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := NewRNG(9)
+	const n, buckets = 400000, 16
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := r.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want ≈%d", b, c, want)
+		}
+	}
+}
+
+func TestMixConstructors(t *testing.T) {
+	for _, pct := range []int{0, 50, 98, 100} {
+		m := ReadMostly(pct)
+		if !m.Valid() {
+			t.Fatalf("ReadMostly(%d) = %+v invalid", pct, m)
+		}
+		if m.ContainsPct != pct {
+			t.Fatalf("ReadMostly(%d).ContainsPct = %d", pct, m.ContainsPct)
+		}
+		if diff := m.InsertPct - m.DeletePct; diff < -1 || diff > 1 {
+			t.Fatalf("ReadMostly(%d) update split uneven: %+v", pct, m)
+		}
+	}
+	if m := UpdateOnly(); !m.Valid() || m.ContainsPct != 0 {
+		t.Fatalf("UpdateOnly() = %+v", m)
+	}
+	if m := ReadOnly(); !m.Valid() || m.ContainsPct != 100 {
+		t.Fatalf("ReadOnly() = %+v", m)
+	}
+}
+
+// TestMixValidQuick: ReadMostly always sums to 100 for any percentage.
+func TestMixValidQuick(t *testing.T) {
+	property := func(p uint8) bool {
+		return ReadMostly(int(p) % 101).Valid()
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeMixesDrawOnlyTheirOps(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if op := r.NextOp(ReadOnly()); op != OpContains {
+			t.Fatalf("ReadOnly drew %v", op)
+		}
+		if op := r.NextOp(UpdateOnly()); op == OpContains {
+			t.Fatal("UpdateOnly drew a contains")
+		}
+	}
+}
+
+func TestPrefillDeterministicAndSized(t *testing.T) {
+	m1 := impls.NewCitrus[int, int]()
+	m2 := impls.NewCitrus[int, int]()
+	Prefill(m1, 2000, 7)
+	Prefill(m2, 2000, 7)
+	if m1.Len() != 1000 || m2.Len() != 1000 {
+		t.Fatalf("prefill sizes %d, %d; want 1000", m1.Len(), m2.Len())
+	}
+	k1, k2 := m1.Keys(), m2.Keys()
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("prefill not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestApplyCoversAllOps(t *testing.T) {
+	m := impls.NewCitrus[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	r := NewRNG(3)
+	seen := map[OpKind]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[Apply(h, r, ReadMostly(50), 64)] = true
+	}
+	if !seen[OpContains] || !seen[OpInsert] || !seen[OpDelete] {
+		t.Fatalf("Apply drew only %v", seen)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import "math"
+
+// Zipf draws keys from a bounded Zipf distribution — an extension beyond
+// the paper's uniform workloads, for studying hot-key contention (skewed
+// accesses concentrate updates on a few subtrees, which stresses the
+// fine-grained-locking story very differently from uniform keys).
+//
+// The sampler uses rejection-inversion from the hat function of the
+// Zipf-Mandelbrot density (W. Hörmann & G. Derflinger, "Rejection-
+// inversion to generate variates from monotone discrete distributions",
+// TOMACS 1996) — the same algorithm as math/rand's Zipf — re-hosted on
+// the workload RNG so each worker keeps its private generator. The
+// exponent s must be > 1 (the algorithm's requirement); rank 0 is the
+// hottest key.
+type Zipf struct {
+	rng  *RNG
+	imax float64
+	v    float64
+	q    float64
+
+	oneMinusQ    float64
+	oneMinusQInv float64
+	hxm          float64
+	hx0MinusHxm  float64
+	s            float64
+}
+
+// NewZipf returns a sampler over ranks [0, imax] with exponent s > 1 and
+// value offset v ≥ 1 (v = 1 gives the classic Zipf law). It returns nil
+// for invalid parameters, matching math/rand.NewZipf.
+func NewZipf(rng *RNG, s, v float64, imax uint64) *Zipf {
+	if s <= 1.0 || v < 1 {
+		return nil
+	}
+	z := &Zipf{rng: rng, imax: float64(imax), v: v, q: s}
+	z.oneMinusQ = 1.0 - z.q
+	z.oneMinusQInv = 1.0 / z.oneMinusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0MinusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1.0)))
+	return z
+}
+
+// h is the integral of the hat function.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(z.v+x)) * z.oneMinusQInv
+}
+
+// hinv is h's inverse.
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - z.v
+}
+
+// float64 returns a uniform value in [0, 1) from the worker RNG.
+func (z *Zipf) float64() float64 {
+	return float64(z.rng.Next()>>11) / (1 << 53)
+}
+
+// Uint64 draws a rank in [0, imax], with P(k) ∝ ((v+k)^(-s)).
+func (z *Zipf) Uint64() uint64 {
+	if z == nil {
+		panic("workload: draw from nil Zipf (invalid parameters)")
+	}
+	for {
+		r := z.float64()
+		ur := z.hxm + r*z.hx0MinusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}
+
+// Intn draws a key in [0, n): the Zipf rank scattered over the key space
+// by a fixed multiplicative hash, so the hottest keys are not neighbours
+// in the tree (neighbouring hot keys would measure lock contention on
+// one subtree rather than skew itself; pass-through rank order is
+// available via Uint64 when that is the point).
+func (z *Zipf) Intn(n int) int {
+	rank := z.Uint64()
+	return int((rank * 0x9E3779B97F4A7C15) % uint64(n))
+}

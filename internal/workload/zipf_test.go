@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfRejectsInvalidParams(t *testing.T) {
+	r := NewRNG(1)
+	if NewZipf(r, 1.0, 1, 100) != nil {
+		t.Fatal("s = 1.0 accepted")
+	}
+	if NewZipf(r, 1.5, 0.5, 100) != nil {
+		t.Fatal("v < 1 accepted")
+	}
+	if NewZipf(r, 1.5, 1, 100) == nil {
+		t.Fatal("valid parameters rejected")
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(NewRNG(2), 1.3, 1, 99)
+	for i := 0; i < 100000; i++ {
+		if k := z.Uint64(); k > 99 {
+			t.Fatalf("rank %d out of [0, 99]", k)
+		}
+	}
+}
+
+// TestZipfMatchesStdlib cross-checks our sampler against math/rand's
+// implementation of the same algorithm: the head-of-distribution mass
+// must agree closely.
+func TestZipfMatchesStdlib(t *testing.T) {
+	const (
+		s    = 1.2
+		v    = 1.0
+		imax = 1000
+		n    = 300000
+	)
+	ours := NewZipf(NewRNG(3), s, v, imax)
+	std := rand.NewZipf(rand.New(rand.NewSource(4)), s, v, imax)
+
+	count := func(draw func() uint64) (rank0, rank1, top10 int) {
+		for i := 0; i < n; i++ {
+			k := draw()
+			if k == 0 {
+				rank0++
+			}
+			if k == 1 {
+				rank1++
+			}
+			if k < 10 {
+				top10++
+			}
+		}
+		return
+	}
+	o0, o1, o10 := count(ours.Uint64)
+	s0, s1, s10 := count(std.Uint64)
+
+	within := func(a, b int, tol float64) bool {
+		fa, fb := float64(a), float64(b)
+		return fa > fb*(1-tol) && fa < fb*(1+tol)
+	}
+	if !within(o0, s0, 0.05) || !within(o1, s1, 0.07) || !within(o10, s10, 0.05) {
+		t.Fatalf("head mass differs from stdlib: ours (%d, %d, %d), stdlib (%d, %d, %d)",
+			o0, o1, o10, s0, s1, s10)
+	}
+}
+
+func TestZipfMonotoneHead(t *testing.T) {
+	z := NewZipf(NewRNG(5), 1.4, 1, 500)
+	counts := make([]int, 501)
+	for i := 0; i < 400000; i++ {
+		counts[z.Uint64()]++
+	}
+	// Frequencies over the first ranks must be (statistically) decreasing
+	// and rank 0 must dominate.
+	for r := 1; r < 5; r++ {
+		if counts[r] >= counts[r-1] {
+			t.Fatalf("rank %d (%d draws) not below rank %d (%d draws)", r, counts[r], r-1, counts[r-1])
+		}
+	}
+	if counts[0] < 400000/5 {
+		t.Fatalf("rank 0 drew only %d of 400000; not a skewed head", counts[0])
+	}
+}
+
+func TestZipfIntnScattersWithinRange(t *testing.T) {
+	z := NewZipf(NewRNG(6), 1.3, 1, 1<<20)
+	seen := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		k := z.Intn(1000)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("Intn out of range: %d", k)
+		}
+		seen[k]++
+	}
+	// Still skewed: the hottest scattered key dominates the median one.
+	hottest := 0
+	for _, c := range seen {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest < 10000 {
+		t.Fatalf("hottest key drew %d of 100000; scatter destroyed the skew", hottest)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(NewRNG(7), 1.5, 1, 100)
+	b := NewZipf(NewRNG(7), 1.5, 1, 100)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ClassicDomain mirrors the classic user-space RCU design of Desnoyers,
+// McKenney, Stern, Dagenais & Walpole (IEEE TPDS 2012): readers copy a
+// global grace-period counter into their own slot on ReadLock, and
+// Synchronize — serialized behind a single global mutex — advances the
+// global counter and waits for every reader to either leave its critical
+// section or observe the new counter value, twice per grace period.
+//
+// The global mutex is the point: every updater that needs a grace period
+// queues behind every other one. This is the behaviour the paper's Figure 8
+// measures and indicts; Domain is the fix. Keep ClassicDomain for
+// comparison and for workloads with at most one synchronizing updater,
+// where it performs identically.
+//
+// The zero value is ready to use.
+type ClassicDomain struct {
+	mu      sync.Mutex // registration copy-on-write
+	syncMu  sync.Mutex // serializes Synchronize callers (the bottleneck)
+	gp      atomic.Uint64
+	readers atomic.Pointer[[]*ClassicHandle]
+}
+
+// NewClassicDomain returns a new, empty ClassicDomain.
+func NewClassicDomain() *ClassicDomain {
+	d := &ClassicDomain{}
+	// Start at 1 so a reader's slot value 0 unambiguously means "not in a
+	// read-side critical section".
+	d.gp.Store(1)
+	return d
+}
+
+// A ClassicHandle is a reader registered with a ClassicDomain. Its slot
+// holds 0 outside critical sections and the observed grace-period counter
+// inside one.
+type ClassicHandle struct {
+	_    [cacheLinePad]byte
+	slot atomic.Uint64
+	_    [cacheLinePad - 8]byte
+
+	d *ClassicDomain
+}
+
+// Register adds a reader to the domain and returns its handle.
+func (d *ClassicDomain) Register() Reader { return d.register() }
+
+func (d *ClassicDomain) register() *ClassicHandle {
+	if d.gp.Load() == 0 {
+		d.gp.CompareAndSwap(0, 1) // zero-value domain: establish epoch 1
+	}
+	h := &ClassicHandle{d: d}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.readers.Load()
+	var rs []*ClassicHandle
+	if old != nil {
+		rs = make([]*ClassicHandle, len(*old), len(*old)+1)
+		copy(rs, *old)
+	}
+	rs = append(rs, h)
+	d.readers.Store(&rs)
+	return h
+}
+
+// ReadLock enters a read-side critical section by publishing the current
+// global grace-period counter in the reader's slot. Wait-free.
+func (h *ClassicHandle) ReadLock() {
+	if h.slot.Load() != 0 {
+		panic("rcu: nested ReadLock on the same ClassicHandle")
+	}
+	h.slot.Store(h.d.gp.Load())
+}
+
+// ReadUnlock leaves the read-side critical section. Wait-free.
+func (h *ClassicHandle) ReadUnlock() {
+	if h.slot.Load() == 0 {
+		panic("rcu: ReadUnlock outside a read-side critical section")
+	}
+	h.slot.Store(0)
+}
+
+// Synchronize waits for all pre-existing read-side critical sections in the
+// handle's domain.
+func (h *ClassicHandle) Synchronize() { h.d.Synchronize() }
+
+// Unregister removes the handle from its domain. The handle must not be
+// inside a read-side critical section.
+func (h *ClassicHandle) Unregister() {
+	if h.slot.Load() != 0 {
+		panic("rcu: Unregister inside a read-side critical section")
+	}
+	d := h.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.readers.Load()
+	if old == nil {
+		return
+	}
+	rs := make([]*ClassicHandle, 0, len(*old))
+	for _, r := range *old {
+		if r != h {
+			rs = append(rs, r)
+		}
+	}
+	d.readers.Store(&rs)
+	h.d = nil
+}
+
+// Synchronize blocks until every pre-existing read-side critical section
+// has completed. All callers serialize behind one mutex — the bottleneck
+// the paper's Figure 8 measures.
+//
+// The original C implementation flips a one-bit phase twice per grace
+// period because a single flip admits a reordering race between a reader
+// sampling the counter and the synchronizer scanning slots. With Go's
+// sequentially consistent atomics and a monotonic epoch a single pass is
+// sound: a reader slot below the new epoch belongs to a pre-existing
+// section (wait for it); a slot of zero or at/above the new epoch belongs
+// to no section or to one that started after this call (ignore it).
+func (d *ClassicDomain) Synchronize() {
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	newGP := d.gp.Add(1)
+	rsp := d.readers.Load()
+	if rsp == nil {
+		return
+	}
+	for _, r := range *rsp {
+		for spins := 0; ; spins++ {
+			c := r.slot.Load()
+			if c == 0 || c >= newGP {
+				break
+			}
+			if spins >= spinsBeforeYield {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Readers reports the number of currently registered readers. Intended for
+// tests and instrumentation.
+func (d *ClassicDomain) Readers() int {
+	rsp := d.readers.Load()
+	if rsp == nil {
+		return 0
+	}
+	return len(*rsp)
+}

@@ -1,0 +1,59 @@
+// Package rcu provides user-space read-copy-update (RCU) synchronization
+// for goroutines.
+//
+// RCU is a synchronization mechanism that favors readers: a read-side
+// critical section, delimited by ReadLock and ReadUnlock, never blocks and
+// never writes to shared memory other than the reader's own registration
+// slot. The burden of synchronization falls on updaters, which call
+// Synchronize to wait for all *pre-existing* read-side critical sections to
+// complete (the "grace period"). Read-side critical sections that begin
+// after Synchronize was called are not waited for.
+//
+// The package provides two grace-period implementations ("flavors"):
+//
+//   - Domain is the scalable flavor introduced in §5 of Arbel & Attiya,
+//     "Concurrent Updates with RCU: Search Tree as an Example" (PODC 2014).
+//     Each registered reader owns a word that packs a critical-section
+//     counter and an "inside critical section" flag. Synchronize snapshots
+//     every reader's word and waits, per reader, until the word changes —
+//     i.e. until the reader either leaves its section (flag cleared) or
+//     starts a later one (counter advanced). Concurrent synchronizers do
+//     not coordinate and acquire no locks, so update-heavy workloads scale.
+//
+//   - ClassicDomain mirrors the classic user-space RCU design of Desnoyers
+//     et al. (IEEE TPDS 2012): a global grace-period counter and a global
+//     mutex that serializes all Synchronize callers, which perform two
+//     counter flips per grace period. It exists as the baseline for the
+//     paper's Figure 8, which shows this design collapsing once many
+//     updaters synchronize concurrently.
+//
+// Unlike kernel or C user-space RCU, this package is not needed for memory
+// reclamation in Go — the garbage collector already guarantees that memory
+// is not reused while a reader can still reach it. What Synchronize buys is
+// *ordering*: an updater can ensure every reader that might have observed
+// the old state of a data structure has finished before it takes a step
+// that would confuse such readers. The Citrus tree uses exactly this to
+// move a node's successor without producing false negatives in concurrent
+// wait-free searches.
+//
+// # Usage
+//
+// Each goroutine that executes read-side critical sections registers once
+// with a flavor and uses its own Reader:
+//
+//	dom := rcu.NewDomain()
+//	r := dom.Register()
+//	defer r.Unregister()
+//
+//	r.ReadLock()
+//	// ... read shared data structures ...
+//	r.ReadUnlock()
+//
+// An updater, typically after unpublishing a pointer, waits out readers:
+//
+//	dom.Synchronize()
+//
+// A Reader must not be shared between goroutines, read-side critical
+// sections must not nest, and a goroutine must never call Synchronize while
+// inside its own read-side critical section (self-deadlock).
+package rcu

@@ -1,0 +1,57 @@
+package rcu_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// The canonical RCU pattern: readers traverse a published object inside
+// a read-side critical section; the writer swaps the pointer and waits a
+// grace period before doing anything a lingering reader could observe.
+func ExampleDomain() {
+	type config struct{ limit int }
+
+	dom := rcu.NewDomain()
+	var current atomic.Pointer[config]
+	current.Store(&config{limit: 10})
+
+	// Reader side (normally another goroutine).
+	reader := dom.Register()
+	reader.ReadLock()
+	cfg := current.Load()
+	fmt.Println("reader sees limit", cfg.limit)
+	reader.ReadUnlock()
+
+	// Writer side: unpublish, wait for pre-existing readers, recycle.
+	old := current.Swap(&config{limit: 20})
+	dom.Synchronize()
+	old.limit = -1 // safe: no reader can still hold `old`
+
+	reader.ReadLock()
+	fmt.Println("reader sees limit", current.Load().limit)
+	reader.ReadUnlock()
+	reader.Unregister()
+	// Output:
+	// reader sees limit 10
+	// reader sees limit 20
+}
+
+// Reclaimer is the asynchronous variant: updaters hand cleanup to Defer
+// instead of blocking in Synchronize themselves.
+func ExampleReclaimer() {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+
+	var retired atomic.Int32
+	for i := 0; i < 3; i++ {
+		rec.Defer(func() { retired.Add(1) })
+	}
+	rec.Barrier() // rcu_barrier: all previously deferred callbacks ran
+	fmt.Println("retired:", retired.Load())
+
+	rec.Close()
+	// Output:
+	// retired: 3
+}

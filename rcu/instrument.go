@@ -1,0 +1,68 @@
+package rcu
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// InstrumentedFlavor wraps a Flavor and counts grace periods and the time
+// spent waiting in them. It is used by the benchmark harness to report
+// how often a workload synchronizes (in Citrus: one grace period per
+// delete of a node with two children) and what each wait costs.
+//
+// Reader registration is pass-through, so read-side critical sections pay
+// nothing for the instrumentation.
+type InstrumentedFlavor struct {
+	inner Flavor
+
+	syncs     atomic.Int64
+	syncNanos atomic.Int64
+}
+
+var _ Flavor = (*InstrumentedFlavor)(nil)
+
+// Instrument wraps flavor with grace-period accounting.
+func Instrument(flavor Flavor) *InstrumentedFlavor {
+	return &InstrumentedFlavor{inner: flavor}
+}
+
+// Register passes through to the wrapped flavor, but hands back a reader
+// whose Synchronize is also accounted.
+func (f *InstrumentedFlavor) Register() Reader {
+	return &instrumentedReader{Reader: f.inner.Register(), f: f}
+}
+
+// Synchronize waits for pre-existing readers via the wrapped flavor,
+// recording the call and its duration.
+func (f *InstrumentedFlavor) Synchronize() {
+	start := time.Now()
+	f.inner.Synchronize()
+	f.syncs.Add(1)
+	f.syncNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// Syncs reports the number of Synchronize calls observed.
+func (f *InstrumentedFlavor) Syncs() int64 { return f.syncs.Load() }
+
+// SyncTime reports the cumulative time spent inside Synchronize.
+func (f *InstrumentedFlavor) SyncTime() time.Duration {
+	return time.Duration(f.syncNanos.Load())
+}
+
+// MeanSync reports the average grace-period wait, or 0 if none occurred.
+func (f *InstrumentedFlavor) MeanSync() time.Duration {
+	n := f.Syncs()
+	if n == 0 {
+		return 0
+	}
+	return f.SyncTime() / time.Duration(n)
+}
+
+type instrumentedReader struct {
+	Reader
+	f *InstrumentedFlavor
+}
+
+// Synchronize routes through the instrumented flavor so per-reader grace
+// periods are counted too.
+func (r *instrumentedReader) Synchronize() { r.f.Synchronize() }

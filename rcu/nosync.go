@@ -1,0 +1,37 @@
+package rcu
+
+// NoSync wraps a flavor so that Synchronize returns immediately, while
+// readers still register and pay the normal read-side costs.
+//
+// This deliberately BREAKS the RCU property — pre-existing readers are
+// not waited for — so it must never be used where grace periods carry
+// correctness (it makes the Citrus tree return false negatives, see the
+// tests). It exists for two measurement purposes:
+//
+//   - ablations: running a structure over NoSync isolates the end-to-end
+//     throughput cost of its grace periods (cmd/citrusbench -figure a3);
+//   - mutation tests: a test that still passes over NoSync is not
+//     actually exercising the grace-period guarantee it claims to.
+func NoSync(flavor Flavor) Flavor { return &noSyncFlavor{inner: flavor} }
+
+type noSyncFlavor struct {
+	inner Flavor
+}
+
+var _ Flavor = (*noSyncFlavor)(nil)
+
+// Register passes through to the wrapped flavor, neutering the reader's
+// Synchronize like the flavor's.
+func (f *noSyncFlavor) Register() Reader {
+	return noSyncReader{Reader: f.inner.Register()}
+}
+
+// Synchronize returns immediately, waiting for no one.
+func (f *noSyncFlavor) Synchronize() {}
+
+type noSyncReader struct {
+	Reader
+}
+
+// Synchronize returns immediately, waiting for no one.
+func (noSyncReader) Synchronize() {}

@@ -1,0 +1,44 @@
+package rcu
+
+// A Reader is a per-goroutine read-side handle of an RCU flavor.
+//
+// A Reader must be used by at most one goroutine at a time. ReadLock and
+// ReadUnlock are wait-free (a constant number of steps, no loops, no
+// locks), as the RCU API requires.
+type Reader interface {
+	// ReadLock enters a read-side critical section. Critical sections must
+	// not nest.
+	ReadLock()
+
+	// ReadUnlock leaves the current read-side critical section.
+	ReadUnlock()
+
+	// Synchronize waits for all read-side critical sections that existed
+	// when the call started, in the Reader's flavor. It must not be called
+	// from inside the Reader's own read-side critical section.
+	Synchronize()
+
+	// Unregister removes the Reader from its flavor. It must be called
+	// outside any read-side critical section. After Unregister the Reader
+	// must not be used.
+	Unregister()
+}
+
+// A Flavor is a grace-period provider: a registry of readers plus a
+// Synchronize implementation. Domain and ClassicDomain implement Flavor.
+type Flavor interface {
+	// Register adds the calling goroutine as a reader and returns its
+	// handle. Register may be called concurrently.
+	Register() Reader
+
+	// Synchronize blocks until every read-side critical section that was
+	// in progress when Synchronize was called has completed.
+	Synchronize()
+}
+
+var (
+	_ Flavor = (*Domain)(nil)
+	_ Flavor = (*ClassicDomain)(nil)
+	_ Reader = (*Handle)(nil)
+	_ Reader = (*ClassicHandle)(nil)
+)

@@ -1,0 +1,397 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flavors returns one fresh instance of every Flavor, keyed by name, so
+// semantic tests run against both implementations.
+func flavors() map[string]Flavor {
+	return map[string]Flavor{
+		"Domain":        NewDomain(),
+		"ClassicDomain": NewClassicDomain(),
+	}
+}
+
+func TestSynchronizeEmptyDomain(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			// Must return immediately with no registered readers.
+			f.Synchronize()
+		})
+	}
+}
+
+func TestSynchronizeNoActiveReaders(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer r.Unregister()
+			r.ReadLock()
+			r.ReadUnlock()
+			f.Synchronize() // idle reader must not be waited for
+		})
+	}
+}
+
+// TestSynchronizeWaitsForPreexistingReader is the core RCU property: a
+// read-side critical section that started before Synchronize must complete
+// before Synchronize returns.
+func TestSynchronizeWaitsForPreexistingReader(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer r.Unregister()
+
+			inCS := make(chan struct{})
+			release := make(chan struct{})
+			var readerDone atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.ReadLock()
+				close(inCS)
+				<-release
+				readerDone.Store(true)
+				r.ReadUnlock()
+			}()
+
+			<-inCS
+			syncDone := make(chan struct{})
+			go func() {
+				f.Synchronize()
+				close(syncDone)
+			}()
+
+			// Synchronize must not return while the reader is inside.
+			select {
+			case <-syncDone:
+				t.Fatal("Synchronize returned while a pre-existing reader was in its critical section")
+			case <-time.After(20 * time.Millisecond):
+			}
+
+			close(release)
+			<-syncDone
+			if !readerDone.Load() {
+				t.Fatal("Synchronize returned before the pre-existing critical section completed")
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestSynchronizeIgnoresLaterReader checks the other half of the RCU
+// contract: a reader that enters a new critical section after Synchronize
+// begins must not delay it. The reader here leaves its pre-existing section
+// and immediately enters (and stays in) a new one.
+func TestSynchronizeIgnoresLaterReader(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer func() {
+				r.ReadUnlock()
+				r.Unregister()
+			}()
+
+			inCS := make(chan struct{})
+			swapped := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.ReadLock()
+				close(inCS)
+				<-swapped // synchronizer is waiting on us
+				r.ReadUnlock()
+				r.ReadLock() // new section, started after Synchronize
+			}()
+
+			<-inCS
+			syncDone := make(chan struct{})
+			go func() {
+				f.Synchronize()
+				close(syncDone)
+			}()
+			// Give Synchronize time to take its snapshot.
+			time.Sleep(10 * time.Millisecond)
+			close(swapped)
+			wg.Wait()
+
+			select {
+			case <-syncDone:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Synchronize blocked on a critical section that started after it")
+			}
+		})
+	}
+}
+
+func TestConcurrentSynchronizers(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			const (
+				readers = 4
+				writers = 4
+				iters   = 200
+			)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < readers; i++ {
+				r := f.Register()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer r.Unregister()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						r.ReadLock()
+						r.ReadUnlock()
+					}
+				}()
+			}
+			var syncs sync.WaitGroup
+			for i := 0; i < writers; i++ {
+				syncs.Add(1)
+				go func() {
+					defer syncs.Done()
+					for j := 0; j < iters; j++ {
+						f.Synchronize()
+					}
+				}()
+			}
+			syncs.Wait()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestGracePeriodOrdering drives the canonical RCU publication pattern: a
+// writer unpublishes a pointer, synchronizes, and only then invalidates the
+// old object. Readers that still hold the old object must be done by then.
+func TestGracePeriodOrdering(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			type object struct {
+				valid atomic.Bool
+			}
+			var ptr atomic.Pointer[object]
+			first := &object{}
+			first.valid.Store(true)
+			ptr.Store(first)
+
+			const nReaders = 4
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var violations atomic.Int64
+			for i := 0; i < nReaders; i++ {
+				r := f.Register()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer r.Unregister()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						r.ReadLock()
+						o := ptr.Load()
+						if !o.valid.Load() {
+							violations.Add(1)
+						}
+						r.ReadUnlock()
+					}
+				}()
+			}
+
+			w := f.Register()
+			for i := 0; i < 300; i++ {
+				next := &object{}
+				next.valid.Store(true)
+				old := ptr.Swap(next)
+				w.Synchronize()
+				// All readers that could have loaded old are done with it.
+				old.valid.Store(false)
+			}
+			w.Unregister()
+			close(stop)
+			wg.Wait()
+			if n := violations.Load(); n != 0 {
+				t.Fatalf("readers observed %d invalidated objects inside critical sections", n)
+			}
+		})
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			count := func() int {
+				switch d := f.(type) {
+				case *Domain:
+					return d.Readers()
+				case *ClassicDomain:
+					return d.Readers()
+				}
+				t.Fatal("unknown flavor")
+				return -1
+			}
+			var hs []Reader
+			for i := 0; i < 10; i++ {
+				hs = append(hs, f.Register())
+			}
+			if got := count(); got != 10 {
+				t.Fatalf("Readers() = %d, want 10", got)
+			}
+			for i, h := range hs {
+				h.Unregister()
+				if got := count(); got != 10-i-1 {
+					t.Fatalf("Readers() = %d after %d unregisters, want %d", got, i+1, 10-i-1)
+				}
+			}
+			// Unregistered readers no longer affect grace periods.
+			f.Synchronize()
+		})
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			const n = 32
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := f.Register()
+					for j := 0; j < 50; j++ {
+						r.ReadLock()
+						r.ReadUnlock()
+					}
+					f.Synchronize()
+					r.Unregister()
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestNestedReadLockPanics(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("nested ReadLock did not panic")
+				}
+				r.ReadUnlock()
+				r.Unregister()
+			}()
+			r.ReadLock()
+			r.ReadLock()
+		})
+	}
+}
+
+func TestUnlockWithoutLockPanics(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("ReadUnlock outside a critical section did not panic")
+				}
+				r.Unregister()
+			}()
+			r.ReadUnlock()
+		})
+	}
+}
+
+func TestUnregisterInsideCSPanics(t *testing.T) {
+	for name, f := range flavors() {
+		t.Run(name, func(t *testing.T) {
+			r := f.Register()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Unregister inside a critical section did not panic")
+				}
+				r.ReadUnlock()
+				r.Unregister()
+			}()
+			r.ReadLock()
+			r.Unregister()
+		})
+	}
+}
+
+// TestHandleStateEncoding pins down the counter<<1|flag encoding of the
+// scalable flavor, which Synchronize's change-detection relies on.
+func TestHandleStateEncoding(t *testing.T) {
+	d := NewDomain()
+	h := d.register()
+	if got := h.state.Load(); got != 0 {
+		t.Fatalf("initial state = %d, want 0", got)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		h.ReadLock()
+		if got := h.state.Load(); got != i<<1|1 {
+			t.Fatalf("state after ReadLock %d = %#x, want %#x", i, got, i<<1|1)
+		}
+		h.ReadUnlock()
+		if got := h.state.Load(); got != i<<1 {
+			t.Fatalf("state after ReadUnlock %d = %#x, want %#x", i, got, i<<1)
+		}
+	}
+	h.Unregister()
+}
+
+// TestClassicSlotEncoding pins down the classic flavor's slot protocol:
+// zero outside critical sections, the observed epoch inside.
+func TestClassicSlotEncoding(t *testing.T) {
+	d := NewClassicDomain()
+	h := d.register()
+	if got := h.slot.Load(); got != 0 {
+		t.Fatalf("initial slot = %d, want 0", got)
+	}
+	h.ReadLock()
+	if got, gp := h.slot.Load(), d.gp.Load(); got != gp {
+		t.Fatalf("slot inside CS = %d, want current epoch %d", got, gp)
+	}
+	h.ReadUnlock()
+	d.Synchronize()
+	h.ReadLock()
+	if got, gp := h.slot.Load(), d.gp.Load(); got != gp || gp < 2 {
+		t.Fatalf("slot = %d, epoch = %d; want slot==epoch and epoch advanced", got, gp)
+	}
+	h.ReadUnlock()
+	h.Unregister()
+}
+
+func TestZeroValueDomainsUsable(t *testing.T) {
+	var d Domain
+	r := d.Register()
+	r.ReadLock()
+	r.ReadUnlock()
+	d.Synchronize()
+	r.Unregister()
+
+	var cd ClassicDomain
+	cr := cd.Register()
+	cr.ReadLock()
+	cr.ReadUnlock()
+	cd.Synchronize()
+	cr.Unregister()
+}

@@ -1,0 +1,122 @@
+package rcu
+
+import "sync"
+
+// Reclaimer provides asynchronous grace-period-deferred callbacks — the
+// analog of the kernel's call_rcu/rcu_barrier, and the "efficient memory
+// reclamation" integration named as future work in §7 of the Citrus
+// paper. An updater that has just unpublished an object hands the cleanup
+// to Defer instead of blocking in Synchronize itself; a background
+// goroutine batches callbacks, waits one grace period per batch, and runs
+// them.
+//
+// In Go the garbage collector frees unreachable memory on its own, so
+// Defer is for the cases the GC cannot see: returning buffers to pools,
+// closing descriptors held by readers, decrementing external reference
+// counts, or recycling objects in place (see examples/rcucache for why
+// recycling without a grace period is unsound).
+//
+// A Reclaimer owns one background goroutine; Close drains all pending
+// callbacks (waiting the required grace period) and stops it.
+type Reclaimer struct {
+	flavor Flavor
+
+	mu      sync.Mutex
+	pending []func()
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	closed  bool
+}
+
+// NewReclaimer starts a reclaimer on the given flavor.
+func NewReclaimer(flavor Flavor) *Reclaimer {
+	r := &Reclaimer{
+		flavor: flavor,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+// Defer schedules fn to run after all read-side critical sections that
+// currently exist have completed. Callbacks run on the reclaimer's
+// goroutine, in submission order. Defer never blocks on readers. It must
+// not be called after Close (it panics, matching use-after-close of
+// other resources).
+func (r *Reclaimer) Defer(fn func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("rcu: Defer on closed Reclaimer")
+	}
+	r.pending = append(r.pending, fn)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default: // a wakeup is already queued
+	}
+}
+
+// Barrier blocks until every callback deferred before the call has run
+// (the analog of rcu_barrier). It must not be called from inside a
+// read-side critical section or from a callback.
+func (r *Reclaimer) Barrier() {
+	ch := make(chan struct{})
+	r.Defer(func() { close(ch) })
+	<-ch
+}
+
+// Close drains all pending callbacks — waiting the grace periods they
+// require — and stops the background goroutine. Close is idempotent.
+func (r *Reclaimer) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+}
+
+// loop is the reclaimer goroutine: batch, synchronize, run, repeat.
+func (r *Reclaimer) loop() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.wake:
+			r.drainOnce()
+		case <-r.stop:
+			// Final drain: anything deferred before Close must still run
+			// after a proper grace period.
+			for r.drainOnce() {
+			}
+			return
+		}
+	}
+}
+
+// drainOnce takes the current batch, waits one grace period, runs the
+// batch. It reports whether it ran anything.
+func (r *Reclaimer) drainOnce() bool {
+	r.mu.Lock()
+	batch := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	if len(batch) == 0 {
+		return false
+	}
+	// One grace period covers the whole batch: every callback was
+	// deferred before this point, so every reader that could still see
+	// the retired objects is pre-existing here.
+	r.flavor.Synchronize()
+	for _, fn := range batch {
+		fn()
+	}
+	return true
+}
