@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-paper stress fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper stress fuzz vet fmt clean
 
 all: build vet test
+
+# What CI runs (see .github/workflows/ci.yml): build, vet, full test
+# suite, then the race detector over the packages with the most
+# concurrency-sensitive invariants.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./rcu/... ./internal/core/...
 
 build:
 	$(GO) build ./...

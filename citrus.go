@@ -109,6 +109,53 @@ func (t *Tree[K, V]) Height() int { return t.inner.Height() }
 // only; returns nil when the structure is sound.
 func (t *Tree[K, V]) CheckInvariants() error { return t.inner.CheckInvariants() }
 
+// Stats is a point-in-time snapshot of a Tree's cumulative operation
+// counters. Every count is monotonically non-decreasing, so two
+// snapshots can be subtracted for interval rates. See
+// docs/OBSERVABILITY.md for what each counter means in terms of the
+// paper's algorithm.
+type Stats struct {
+	Contains        int64 `json:"contains"`          // Contains/Get calls
+	Inserts         int64 `json:"inserts"`           // Insert calls that added a key
+	InsertExisting  int64 `json:"insert_existing"`   // Insert calls that found the key present
+	InsertRetries   int64 `json:"insert_retries"`    // insert validation failures (retried)
+	Deletes         int64 `json:"deletes"`           // Delete calls that removed a key
+	DeleteMisses    int64 `json:"delete_misses"`     // Delete calls that found no key
+	DeleteRetries   int64 `json:"delete_retries"`    // delete validation failures (retried)
+	TwoChildDeletes int64 `json:"two_child_deletes"` // successor-relocation deletes = inline grace periods
+
+	NodesRetired int64 `json:"nodes_retired"` // recycling only: nodes handed to the pool
+	NodesReused  int64 `json:"nodes_reused"`  // recycling only: pooled nodes reused by inserts
+
+	// RCU carries the flavor's grace-period accounting when the flavor
+	// keeps any (rcu.Domain and rcu.ClassicDomain do); nil otherwise.
+	// If the flavor is shared between trees it covers all of them.
+	RCU *rcu.Stats `json:"rcu,omitempty"`
+}
+
+// Stats returns a snapshot of the tree's operation counters, recycling
+// effectiveness, and the underlying RCU domain's grace-period
+// statistics. It is safe to call at any time, from any goroutine,
+// concurrently with operations and handle churn; recording costs the
+// operations themselves two uncontended plain atomic accesses, so the
+// wait-free read side keeps its paper-guaranteed shape.
+func (t *Tree[K, V]) Stats() Stats {
+	s := t.inner.Stats()
+	return Stats{
+		Contains:        s.Contains,
+		Inserts:         s.Inserts,
+		InsertExisting:  s.InsertExisting,
+		InsertRetries:   s.InsertRetries,
+		Deletes:         s.Deletes,
+		DeleteMisses:    s.DeleteMisses,
+		DeleteRetries:   s.DeleteRetries,
+		TwoChildDeletes: s.TwoChildDeletes,
+		NodesRetired:    s.NodesRetired,
+		NodesReused:     s.NodesReused,
+		RCU:             s.RCU,
+	}
+}
+
 // A Handle is one goroutine's access point to a Tree.
 type Handle[K cmp.Ordered, V any] struct {
 	inner *core.Handle[K, V]
@@ -131,6 +178,7 @@ func (h *Handle[K, V]) Insert(key K, value V) bool { return h.inner.Insert(key, 
 // Delete removes key from the tree. It returns false if key is absent.
 func (h *Handle[K, V]) Delete(key K) bool { return h.inner.Delete(key) }
 
-// Close unregisters the handle from the tree's RCU flavor. The handle
-// must not be used afterwards.
+// Close unregisters the handle from the tree's RCU flavor. Close is
+// idempotent; any operation on the handle after Close panics with
+// "citrus: Handle used after Close".
 func (h *Handle[K, V]) Close() { h.inner.Close() }

@@ -1,0 +1,18 @@
+package citrusstat
+
+import "expvar"
+
+// Publish registers fn under name in the process-wide expvar registry,
+// so the stats it returns appear on the standard /debug/vars endpoint.
+// The value is re-evaluated on every scrape; return plain data (e.g. a
+// stats snapshot struct or map) and it is rendered as JSON.
+//
+// Unlike expvar.Publish, Publish is idempotent: republishing an
+// already-registered name is a no-op instead of a panic, so servers can
+// be constructed repeatedly in tests.
+func Publish(name string, fn func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(fn))
+}

@@ -1,0 +1,133 @@
+package citrusstat
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 {
+		t.Fatal("empty histogram has samples")
+	}
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram has a percentile")
+	}
+	if h.Mean() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram has a mean/sum")
+	}
+	if h.Summary() != "no latency samples" {
+		t.Fatalf("Summary() = %q", h.Summary())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	if got := h.Total(); got != 1010 {
+		t.Fatalf("Total() = %d", got)
+	}
+	if p50 := h.Percentile(50); p50 < 100*time.Nanosecond || p50 > 256*time.Nanosecond {
+		t.Fatalf("p50 = %v, want ≈128ns", p50)
+	}
+	if p999 := h.Percentile(99.9); p999 < time.Millisecond || p999 > 4*time.Millisecond {
+		t.Fatalf("p99.9 = %v, want ≈1–2ms", p999)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramExactSumAndMean(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if got := h.Sum(); got != 400*time.Nanosecond {
+		t.Fatalf("Sum() = %v, want 400ns exactly", got)
+	}
+	if got := h.Mean(); got != 200*time.Nanosecond {
+		t.Fatalf("Mean() = %v, want 200ns exactly", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(0)              // clamps to the 1ns bucket, contributes 0 to the sum
+	h.Record(10 * time.Hour) // clamps to the top bucket, exact in the sum
+	if h.Total() != 2 {
+		t.Fatal("clamped samples lost")
+	}
+	if h.Sum() != 10*time.Hour {
+		t.Fatalf("Sum() = %v", h.Sum())
+	}
+}
+
+func TestSnapshotSubAndJSON(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	before := h.Snapshot()
+	h.Record(time.Microsecond)
+	h.Record(2 * time.Microsecond)
+	delta := h.Snapshot().Sub(before)
+	if delta.Total() != 2 {
+		t.Fatalf("delta Total() = %d, want 2", delta.Total())
+	}
+	if delta.Sum() != 3*time.Microsecond {
+		t.Fatalf("delta Sum() = %v, want 3µs", delta.Sum())
+	}
+
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != 3 || back.SumNanos != h.Snapshot().SumNanos {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Total(); got != goroutines*per {
+		t.Fatalf("Total() = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	calls := 0
+	Publish("citrusstat_test_var", func() any { calls++; return map[string]int{"x": 1} })
+	Publish("citrusstat_test_var", func() any { t.Error("second Publish won"); return nil })
+	v := expvar.Get("citrusstat_test_var")
+	if v == nil {
+		t.Fatal("var not published")
+	}
+	if got := v.String(); got != `{"x":1}` {
+		t.Fatalf("published value = %s", got)
+	}
+	if calls != 1 {
+		t.Fatalf("first function called %d times", calls)
+	}
+}

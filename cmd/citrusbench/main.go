@@ -54,6 +54,7 @@ func run(args []string) error {
 		csvPath  = fs.String("csv", "", "also append machine-readable results to this CSV file")
 		verify   = fs.Bool("verify", true, "check structural invariants after every cell")
 		implStr  = fs.String("impl", "", "comma-separated series filter (substring match on series names)")
+		stats    = fs.Bool("stats", false, "after the selected figures, run Citrus once per thread count and print a native-observability stats table (grace periods, p50/p99 grace-period wait, retry and recycle rates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -171,6 +172,71 @@ func run(args []string) error {
 	if !matched {
 		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, all, or a panel id)", *figure)
 	}
+	if *stats {
+		if err := runStats(workerCounts, *duration, keyRangeScale, csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStats exercises Citrus (with node recycling) once per thread count
+// and prints the library's own observability counters — the same
+// numbers a production service reads from Tree.Stats()/Domain.Stats()
+// at runtime — rather than harness-side instrumentation.
+func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File) error {
+	fmt.Println("== Final stats: native Tree/Domain observability (50% contains, key range [0,2e5], recycling on) ==")
+	fmt.Printf("%-8s %12s %8s %12s %10s %10s %9s %9s %8s\n",
+		"threads", "ops/s", "GPs", "mean GP", "p50 GP", "p99 GP", "ins-rty", "del-rty", "recycle")
+	fmt.Println(strings.Repeat("-", 95))
+	for _, w := range workerCounts {
+		dom := rcu.NewDomain()
+		rec := rcu.NewReclaimer(dom)
+		var m dict.Map[int, int]
+		factory := func() dict.Map[int, int] {
+			m = impls.NewCitrusRecyclingWithFlavor[int, int](dom, rec, "Citrus (stats)")
+			return m
+		}
+		cfg := harness.Config{
+			Workers:  w,
+			KeyRange: harness.KeyRangeSmall / keyRangeScale,
+			Mix:      harness.Uniform(workload.ReadMostly(50)),
+			Duration: duration,
+			Seed:     0x57A75,
+			Prefill:  true,
+		}
+		res, err := harness.Run(factory, cfg)
+		if err != nil {
+			rec.Close()
+			return err
+		}
+		rec.Barrier() // let deferred recycling drain so reuse counts settle
+		s := m.(impls.TreeStatser).TreeStats()
+		rec.Close()
+		if s.RCU == nil {
+			return fmt.Errorf("stats run: flavor reported no RCU stats")
+		}
+		gp := s.RCU.SyncWait
+		retryRate := func(retries, attempts int64) string {
+			if attempts == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", float64(retries)/float64(attempts)*100)
+		}
+		recycleRate := "-"
+		if s.NodesRetired > 0 {
+			recycleRate = fmt.Sprintf("%.0f%%", float64(s.NodesReused)/float64(s.NodesRetired)*100)
+		}
+		fmt.Printf("%-8d %12.0f %8d %12v %10v %10v %9s %9s %8s\n",
+			w, res.Throughput(), s.RCU.Synchronizes, gp.Mean(), gp.Percentile(50), gp.Percentile(99),
+			retryRate(s.InsertRetries, s.Inserts+s.InsertExisting+s.InsertRetries),
+			retryRate(s.DeleteRetries, s.Deletes+s.DeleteMisses+s.DeleteRetries),
+			recycleRate)
+		if csv != nil {
+			fmt.Fprintf(csv, "stats,Citrus,%d,%.0f\n", w, res.Throughput())
+		}
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -238,15 +304,18 @@ func runSkewAblation(workerCounts []int, duration time.Duration, reps, keyRangeS
 // per two-child delete) and what each grace period costs, across thread
 // counts — the accounting behind the paper's observation that Citrus
 // "continues to scale, though the cost of synchronize_rcu is evident".
+// The numbers come from the domain's native Stats (not a wrapper
+// flavor), so this is also an end-to-end check of the observability
+// layer the library ships.
 func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File) error {
 	fmt.Println("== Ablation A1: grace-period frequency and cost in Citrus (50% contains, key range [0,2e5]) ==")
 	fmt.Printf("%-8s %12s %10s %12s %11s %10s %10s\n",
 		"threads", "ops/s", "syncs/s", "mean sync", "sync share", "op p50", "op p99")
 	fmt.Println(strings.Repeat("-", 80))
 	for _, w := range workerCounts {
-		instr := rcu.Instrument(rcu.NewDomain())
+		dom := rcu.NewDomain()
 		factory := func() dict.Map[int, int] {
-			return impls.NewCitrusWithFlavor[int, int](instr, "Citrus (instrumented)")
+			return impls.NewCitrusWithFlavor[int, int](dom, "Citrus (native stats)")
 		}
 		cfg := harness.Config{
 			Workers:        w,
@@ -261,10 +330,11 @@ func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, 
 		if err != nil {
 			return err
 		}
+		st := dom.Stats()
 		secs := res.Elapsed.Seconds()
-		share := instr.SyncTime().Seconds() / (secs * float64(w)) * 100
+		share := st.SyncWait.Sum().Seconds() / (secs * float64(w)) * 100
 		fmt.Printf("%-8d %12.0f %10.0f %12v %10.2f%% %10v %10v\n",
-			w, res.Throughput(), float64(instr.Syncs())/secs, instr.MeanSync(), share,
+			w, res.Throughput(), float64(st.Synchronizes)/secs, st.SyncWait.Mean(), share,
 			res.Latency.Percentile(50), res.Latency.Percentile(99))
 		if csv != nil {
 			fmt.Fprintf(csv, "a1,Citrus,%d,%.0f\n", w, res.Throughput())

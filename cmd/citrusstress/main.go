@@ -52,6 +52,7 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 2*time.Second, "how long to stress each implementation")
 		threads  = fs.Int("threads", 8, "worker goroutines")
 		keyRange = fs.Int("keyrange", 128, "key range (small ranges maximize conflicts)")
+		stats    = fs.Bool("stats", false, "print the library's native operation/grace-period stats after each run (Citrus implementations only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,17 +79,17 @@ func run(args []string) error {
 		var err error
 		switch *mode {
 		case "churn":
-			err = stressChurn(f.New, *duration, *threads, *keyRange)
+			err = stressChurn(f.New, *duration, *threads, *keyRange, *stats)
 		case "linear":
 			err = stressLinearizability(f.New, *duration, *threads)
 		case "falseneg":
-			err = stressFalseNegatives(f.New, *duration, *threads, *keyRange)
+			err = stressFalseNegatives(f.New, *duration, *threads, *keyRange, *stats)
 		case "recycle":
 			if !strings.HasPrefix(f.Name, "Citrus") || strings.Contains(f.Name, "standard") {
 				fmt.Println("SKIP (recycling is a Citrus feature)")
 				continue
 			}
-			err = stressRecycling(*duration, *threads, *keyRange)
+			err = stressRecycling(*duration, *threads, *keyRange, *stats)
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
@@ -101,9 +102,36 @@ func run(args []string) error {
 	return nil
 }
 
+// printTreeStats renders a core.Stats snapshot — the same numbers a
+// service reads at runtime — under a finished stress line.
+func printTreeStats(s core.Stats) {
+	fmt.Printf("\n    ops:  contains=%d inserts=%d (+%d existing, %d retries) deletes=%d (+%d missing, %d retries) two-child=%d",
+		s.Contains, s.Inserts, s.InsertExisting, s.InsertRetries,
+		s.Deletes, s.DeleteMisses, s.DeleteRetries, s.TwoChildDeletes)
+	if s.NodesRetired > 0 {
+		fmt.Printf("\n    pool: retired=%d reused=%d (%.0f%%)",
+			s.NodesRetired, s.NodesReused, float64(s.NodesReused)/float64(s.NodesRetired)*100)
+	}
+	if s.RCU != nil {
+		gp := s.RCU.SyncWait
+		fmt.Printf("\n    rcu:  grace periods=%d mean=%v p50≤%v p99≤%v spins=%d yields=%d readers(hw)=%d",
+			s.RCU.Synchronizes, gp.Mean(), gp.Percentile(50), gp.Percentile(99),
+			s.RCU.SyncSpins, s.RCU.SyncYields, s.RCU.ReaderHighWater)
+	}
+	fmt.Print("\n    ")
+}
+
+// printMapStats prints native stats when the implementation exposes
+// them (the Citrus-backed maps do; others silently don't).
+func printMapStats(m dict.Map[int, int]) {
+	if ts, ok := m.(impls.TreeStatser); ok {
+		printTreeStats(ts.TreeStats())
+	}
+}
+
 // stressRecycling churns Citrus with node recycling enabled and reports
 // pool effectiveness alongside the usual integrity checks.
-func stressRecycling(d time.Duration, threads, keyRange int) error {
+func stressRecycling(d time.Duration, threads, keyRange int, showStats bool) error {
 	dom := rcu.NewDomain()
 	rec := rcu.NewReclaimer(dom)
 	defer rec.Close()
@@ -152,10 +180,13 @@ func stressRecycling(d time.Duration, threads, keyRange int) error {
 		rate = float64(reused) / float64(retired) * 100
 	}
 	fmt.Printf("(%d ops, %d retired, %d reused = %.0f%%) ", total.Load(), retired, reused, rate)
+	if showStats {
+		printTreeStats(tr.Stats())
+	}
 	return nil
 }
 
-func stressChurn(factory dict.Factory[int, int], d time.Duration, threads, keyRange int) error {
+func stressChurn(factory dict.Factory[int, int], d time.Duration, threads, keyRange int, showStats bool) error {
 	m := factory()
 	var (
 		stop  atomic.Bool
@@ -197,6 +228,9 @@ func stressChurn(factory dict.Factory[int, int], d time.Duration, threads, keyRa
 		}
 	}
 	fmt.Printf("(%d ops, %d keys) ", total.Load(), m.Len())
+	if showStats {
+		printMapStats(m)
+	}
 	return nil
 }
 
@@ -253,7 +287,7 @@ func stressLinearizability(factory dict.Factory[int, int], d time.Duration, thre
 	return nil
 }
 
-func stressFalseNegatives(factory dict.Factory[int, int], d time.Duration, threads, keyRange int) error {
+func stressFalseNegatives(factory dict.Factory[int, int], d time.Duration, threads, keyRange int, showStats bool) error {
 	m := factory()
 	{
 		h := m.NewHandle()
@@ -312,5 +346,8 @@ func stressFalseNegatives(factory dict.Factory[int, int], d time.Duration, threa
 		return fmt.Errorf("%d false negatives in %d reads", v, reads.Load())
 	}
 	fmt.Printf("(%d reads, 0 misses) ", reads.Load())
+	if showStats {
+		printMapStats(m)
+	}
 	return m.CheckInvariants()
 }

@@ -13,6 +13,16 @@
 // DELs from different connections update the tree concurrently — the
 // exact service shape (read-mostly, point lookups) that Citrus targets.
 //
+// Alongside the TCP port the server exposes the library's runtime
+// observability layer over HTTP (-http, default 127.0.0.1:7171):
+//
+//	/metrics       → JSON snapshot: tree op counters, RCU grace-period
+//	                 stats (count + wait histogram), server counters
+//	/debug/citrus  → the same plus human-oriented derived figures
+//	                 (retry rates, grace-period p50/p99/mean)
+//	/debug/vars    → standard expvar, including the same snapshot under
+//	                 the "citrus" key (see citrusstat.Publish)
+//
 // Run `go run ./examples/kvserver` to start the server, load it with a
 // built-in concurrent demo client, print stats, and exit. Use -serve to
 // keep it running for external clients (`nc 127.0.0.1 7170`).
@@ -20,41 +30,65 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	citrus "github.com/go-citrus/citrus"
+	"github.com/go-citrus/citrus/citrusstat"
+	"github.com/go-citrus/citrus/rcu"
 )
 
 type server struct {
-	tree *citrus.Tree[int64, string]
-	ops  atomic.Int64
+	tree  *citrus.Tree[int64, string]
+	dom   *rcu.Domain
+	ops   atomic.Int64
+	conns atomic.Int64
+}
+
+func newServer() *server {
+	dom := rcu.NewDomain()
+	return &server{tree: citrus.NewWithFlavor[int64, string](dom), dom: dom}
 }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7170", "listen address")
+	httpAddr := flag.String("http", "127.0.0.1:7171", "HTTP observability address (/metrics, /debug/citrus, /debug/vars); empty disables")
 	serve := flag.Bool("serve", false, "keep serving after the demo instead of exiting")
 	flag.Parse()
-	if err := run(*addr, *serve); err != nil {
+	if err := run(*addr, *httpAddr, *serve); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, keepServing bool) error {
-	srv := &server{tree: citrus.New[int64, string]()}
+func run(addr, httpAddr string, keepServing bool) error {
+	srv := newServer()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	log.Printf("kvserver listening on %s", ln.Addr())
+
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listener: %w", err)
+		}
+		defer hln.Close()
+		citrusstat.Publish("citrus", func() any { return srv.metrics() })
+		go http.Serve(hln, srv.statsMux()) //nolint:errcheck // closed with the listener
+		log.Printf("stats on http://%s/metrics (also /debug/citrus, /debug/vars)", hln.Addr())
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -95,9 +129,74 @@ func run(addr string, keepServing bool) error {
 	return nil
 }
 
+// metrics is the machine-oriented snapshot served at /metrics and
+// published through expvar. Everything in it comes from the library's
+// native stats layer; the server adds only its own request counters.
+func (s *server) metrics() map[string]any {
+	return map[string]any{
+		"server": map[string]int64{
+			"ops":   s.ops.Load(),
+			"conns": s.conns.Load(),
+			"keys":  int64(s.tree.Len()),
+		},
+		"tree": s.tree.Stats(),
+		"rcu":  s.dom.Stats(),
+	}
+}
+
+// debugCitrus adds human-oriented derived figures (rates, latency
+// summary) on top of the raw snapshot.
+func (s *server) debugCitrus() map[string]any {
+	ts := s.tree.Stats()
+	rs := s.dom.Stats()
+	updates := ts.Inserts + ts.InsertExisting + ts.Deletes + ts.DeleteMisses
+	rate := func(n int64) float64 {
+		if updates == 0 {
+			return 0
+		}
+		return float64(n) / float64(updates)
+	}
+	return map[string]any{
+		"snapshot": s.metrics(),
+		"derived": map[string]any{
+			"insert_retry_rate":  rate(ts.InsertRetries),
+			"delete_retry_rate":  rate(ts.DeleteRetries),
+			"grace_period_mean":  rs.SyncWait.Mean().String(),
+			"grace_period_p50":   rs.SyncWait.Percentile(50).String(),
+			"grace_period_p99":   rs.SyncWait.Percentile(99).String(),
+			"grace_period_note":  "one grace period per two-child delete (paper line 74)",
+			"two_child_deletes":  ts.TwoChildDeletes,
+			"grace_periods":      rs.Synchronizes,
+			"sync_wait_summary":  rs.SyncWait.Summary(),
+			"reader_high_water":  rs.ReaderHighWater,
+			"registered_readers": rs.Readers,
+		},
+	}
+}
+
+// statsMux serves the observability endpoints.
+func (s *server) statsMux() *http.ServeMux {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v) //nolint:errcheck // best-effort over HTTP
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.metrics())
+	})
+	mux.HandleFunc("/debug/citrus", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.debugCitrus())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 // handle serves one connection with its own per-goroutine tree handle.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.conns.Add(1)
 	h := s.tree.NewHandle()
 	defer h.Close()
 

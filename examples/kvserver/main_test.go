@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -8,7 +10,7 @@ import (
 )
 
 func newTestServer() (*server, *citrus.Handle[int64, string]) {
-	s := &server{tree: citrus.New[int64, string]()}
+	s := newServer()
 	return s, s.tree.NewHandle()
 }
 
@@ -49,9 +51,81 @@ func TestExecProtocol(t *testing.T) {
 
 func TestServerEndToEnd(t *testing.T) {
 	// The full demo: listener, concurrent TCP clients, verification of
-	// every reply, invariant check — on an ephemeral port.
-	if err := run("127.0.0.1:0", false); err != nil {
+	// every reply, invariant check — on ephemeral ports for both the
+	// line protocol and the HTTP observability endpoint.
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServerEndToEndNoHTTP(t *testing.T) {
+	if err := run("127.0.0.1:0", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsEndpoint exercises /metrics and /debug/citrus against a
+// server that has done real work, decoding the JSON and checking that
+// the library's counters made it through.
+func TestMetricsEndpoint(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	s.exec(h, "SET 2 two")
+	s.exec(h, "SET 1 one")
+	s.exec(h, "SET 3 three")
+	s.exec(h, "GET 1")
+	s.exec(h, "DEL 2") // two children → one grace period
+
+	mux := s.statsMux()
+	get := func(path string) map[string]any {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+			t.Fatalf("GET %s: Content-Type %q", path, ct)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, rec.Body.String())
+		}
+		return m
+	}
+
+	m := get("/metrics")
+	srvVars, ok := m["server"].(map[string]any)
+	if !ok || srvVars["ops"].(float64) != 5 || srvVars["keys"].(float64) != 2 {
+		t.Fatalf("/metrics server section wrong: %v", m["server"])
+	}
+	tree, ok := m["tree"].(map[string]any)
+	if !ok || tree["inserts"].(float64) != 3 || tree["two_child_deletes"].(float64) != 1 {
+		t.Fatalf("/metrics tree section wrong: %v", m["tree"])
+	}
+	rcuVars, ok := m["rcu"].(map[string]any)
+	if !ok || rcuVars["synchronizes"].(float64) != 1 {
+		t.Fatalf("/metrics rcu section wrong: %v", m["rcu"])
+	}
+
+	d := get("/debug/citrus")
+	derived, ok := d["derived"].(map[string]any)
+	if !ok || derived["grace_periods"].(float64) != 1 || derived["two_child_deletes"].(float64) != 1 {
+		t.Fatalf("/debug/citrus derived section wrong: %v", d["derived"])
+	}
+	if _, ok := d["snapshot"].(map[string]any); !ok {
+		t.Fatalf("/debug/citrus missing snapshot: %v", d)
+	}
+
+	// /debug/vars serves standard expvar and must at least be valid JSON.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars: status %d", rec.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars: bad JSON: %v", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"sync"
 
 	"github.com/go-citrus/citrus/rcu"
 )
@@ -14,6 +15,12 @@ type Tree[K cmp.Ordered, V any] struct {
 	flavor  rcu.Flavor
 	root    *node[K, V] // −∞ sentinel; its right child is the +∞ sentinel
 	recycle *nodePool[K, V]
+
+	// Handle registry for Stats: live handles' counter stripes plus the
+	// folded totals of closed ones (see stats.go).
+	hmu          sync.Mutex
+	handles      map[*Handle[K, V]]struct{}
+	closedTotals opTotals
 }
 
 // NewTree returns an empty tree whose searches and grace periods use the
@@ -30,20 +37,39 @@ func NewTree[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
 // used concurrently; each worker goroutine should create its own with
 // NewHandle and Close it when done.
 type Handle[K cmp.Ordered, V any] struct {
-	t *Tree[K, V]
-	r rcu.Reader
+	t   *Tree[K, V]
+	r   rcu.Reader
+	ops opCounters // owner-written stripe of the tree's Stats
 }
 
 // NewHandle registers a new per-goroutine handle.
 func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
-	return &Handle[K, V]{t: t, r: t.flavor.Register()}
+	h := &Handle[K, V]{t: t, r: t.flavor.Register()}
+	t.addHandle(h)
+	return h
 }
 
-// Close unregisters the handle from the tree's RCU flavor. The handle must
-// not be used afterwards.
+// Close unregisters the handle from the tree's RCU flavor and folds its
+// operation counters into the tree's totals. Close is idempotent; any
+// operation on the handle after Close panics with a descriptive message
+// instead of dereferencing nil.
 func (h *Handle[K, V]) Close() {
+	if h.r == nil {
+		return // already closed
+	}
+	h.t.dropHandle(h)
 	h.r.Unregister()
 	h.r = nil
+}
+
+// reader returns the handle's RCU reader, turning use-after-Close into
+// a descriptive panic rather than a raw nil dereference.
+func (h *Handle[K, V]) reader() rcu.Reader {
+	r := h.r
+	if r == nil {
+		panic("citrus: Handle used after Close")
+	}
+	return r
 }
 
 // Tree returns the tree this handle accesses.
@@ -55,7 +81,8 @@ func (h *Handle[K, V]) Tree() *Tree[K, V] { return h.t }
 // is nil otherwise, plus prev's tag for dir, read inside the critical
 // section (line 13).
 func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V], dir int) {
-	h.r.ReadLock() // line 2
+	r := h.reader()
+	r.ReadLock() // line 2
 	prev = h.t.root
 	curr = prev.child[right].Load() // line 4: root is never nil
 	c := curr.compareKey(key)       // line 5: root's right child is never nil
@@ -73,7 +100,7 @@ func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V
 		}
 	}
 	tag = prev.tag[dir].Load() // line 13: save tag inside the critical section
-	h.r.ReadUnlock()           // line 14
+	r.ReadUnlock()             // line 14
 	return prev, tag, curr, dir
 }
 
@@ -89,7 +116,9 @@ func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V
 // soon as the grace period ends, and only reads inside the critical
 // section are covered by it.
 func (h *Handle[K, V]) Contains(key K) (V, bool) {
-	h.r.ReadLock()
+	r := h.reader()
+	h.ops.contains.inc()
+	r.ReadLock()
 	prev := h.t.root
 	curr := prev.child[right].Load()
 	c := curr.compareKey(key)
@@ -107,12 +136,12 @@ func (h *Handle[K, V]) Contains(key K) (V, bool) {
 		}
 	}
 	if curr == nil { // the key was not found (line 18)
-		h.r.ReadUnlock()
+		r.ReadUnlock()
 		var zero V
 		return zero, false
 	}
 	v := curr.value // line 20, inside the critical section
-	h.r.ReadUnlock()
+	r.ReadUnlock()
 	return v, true
 }
 
@@ -122,6 +151,7 @@ func (h *Handle[K, V]) Insert(key K, value V) bool {
 	for { // line 22
 		prev, tag, curr, dir := h.get(key)
 		if curr != nil { // the key was found (line 24)
+			h.ops.insertExisting.inc()
 			return false
 		}
 		prev.mu.Lock() // line 26
@@ -129,9 +159,11 @@ func (h *Handle[K, V]) Insert(key K, value V) bool {
 			n := h.t.newNodeReusing(key, value) // line 28: create a new leaf node
 			prev.child[dir].Store(n)            // line 29
 			prev.mu.Unlock()
+			h.ops.inserts.inc()
 			return true
 		}
 		prev.mu.Unlock() // line 32: validation failed, release and retry
+		h.ops.insertRetries.inc()
 	}
 }
 
@@ -141,6 +173,7 @@ func (h *Handle[K, V]) Delete(key K) bool {
 	for { // line 43
 		prev, _, curr, dir := h.get(key)
 		if curr == nil { // the key was not found (line 45)
+			h.ops.deleteMisses.inc()
 			return false
 		}
 		prev.mu.Lock()                     // line 47
@@ -148,6 +181,7 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		if !validate(prev, 0, curr, dir) { // line 49
 			curr.mu.Unlock()
 			prev.mu.Unlock()
+			h.ops.deleteRetries.inc()
 			continue // line 84: validation failed, release locks and retry
 		}
 
@@ -165,6 +199,7 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			curr.mu.Unlock()
 			prev.mu.Unlock() // line 55: release all locks
 			h.t.retire(curr) // reclamation extension: pool after a grace period
+			h.ops.deletes.inc()
 			return true
 		}
 
@@ -215,7 +250,9 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			prev.mu.Unlock()
 			h.t.retire(curr) // reclamation extension
 			h.t.retire(succ)
-			return true // line 83
+			h.ops.deletes.inc()
+			h.ops.twoChildDeletes.inc() // one inline grace period (line 74)
+			return true                 // line 83
 		}
 
 		// line 84: validation failed, release locks and retry.
@@ -225,5 +262,6 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		}
 		curr.mu.Unlock()
 		prev.mu.Unlock()
+		h.ops.deleteRetries.inc()
 	}
 }

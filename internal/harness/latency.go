@@ -1,76 +1,15 @@
 package harness
 
-import (
-	"fmt"
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "github.com/go-citrus/citrus/citrusstat"
 
-// latencyBuckets is the number of power-of-two histogram buckets; bucket
-// i counts samples in [2^i, 2^(i+1)) nanoseconds, which spans 1ns to
-// ~4.6h — more than any dictionary operation.
-const latencyBuckets = 44
+// LatencyHist is the lock-free power-of-two histogram shared by all
+// workers of a run. It is the same implementation the library's runtime
+// observability layer uses for grace-period waits (package citrusstat),
+// so harness tables and live /metrics endpoints report through one code
+// path.
+type LatencyHist = citrusstat.Histogram
 
 // sampleShift subsamples latency measurements: timing every operation
 // would roughly double the cost of a 100ns tree lookup and distort the
 // experiment, so one in 2^sampleShift operations is timed.
 const sampleShift = 6
-
-// LatencyHist is a lock-free power-of-two histogram shared by all
-// workers of a run.
-type LatencyHist struct {
-	counts [latencyBuckets]atomic.Int64
-}
-
-// Record adds one sample.
-func (h *LatencyHist) Record(d time.Duration) {
-	n := d.Nanoseconds()
-	if n < 1 {
-		n = 1
-	}
-	b := 63 - bits.LeadingZeros64(uint64(n))
-	if b >= latencyBuckets {
-		b = latencyBuckets - 1
-	}
-	h.counts[b].Add(1)
-}
-
-// Total reports the number of recorded samples.
-func (h *LatencyHist) Total() int64 {
-	var t int64
-	for i := range h.counts {
-		t += h.counts[i].Load()
-	}
-	return t
-}
-
-// Percentile returns an upper bound for the p-th percentile (p in
-// [0, 100]), at power-of-two resolution.
-func (h *LatencyHist) Percentile(p float64) time.Duration {
-	total := h.Total()
-	if total == 0 {
-		return 0
-	}
-	want := int64(p / 100 * float64(total))
-	if want < 1 {
-		want = 1
-	}
-	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= want {
-			return time.Duration(uint64(1) << uint(i+1)) // bucket upper edge
-		}
-	}
-	return time.Duration(uint64(1) << latencyBuckets)
-}
-
-// Summary formats the standard percentiles.
-func (h *LatencyHist) Summary() string {
-	if h.Total() == 0 {
-		return "no latency samples"
-	}
-	return fmt.Sprintf("p50≤%v p99≤%v p99.9≤%v (n=%d sampled)",
-		h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.Total())
-}

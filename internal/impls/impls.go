@@ -71,6 +71,21 @@ func NewCitrusWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor, name string) d
 	return &citrusMap[K, V]{t: core.NewTree[K, V](flavor), name: name}
 }
 
+// NewCitrusRecyclingWithFlavor returns a Citrus tree with node
+// recycling through rec, for stats/ablation runs that report pool
+// effectiveness. The caller owns rec's lifecycle.
+func NewCitrusRecyclingWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor, rec *rcu.Reclaimer, name string) dict.Map[K, V] {
+	return &citrusMap[K, V]{t: core.NewTreeWithRecycling[K, V](flavor, rec), name: name}
+}
+
+// TreeStatser is implemented by the Citrus-backed maps: it exposes the
+// core tree's operation counters (and, via Stats.RCU, the flavor's
+// grace-period accounting) to the benchmark and stress binaries.
+// Other implementations don't implement it; callers type-assert.
+type TreeStatser interface {
+	TreeStats() core.Stats
+}
+
 type citrusMap[K cmp.Ordered, V any] struct {
 	t    *core.Tree[K, V]
 	name string
@@ -81,6 +96,7 @@ func (m *citrusMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *citrusMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *citrusMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
 func (m *citrusMap[K, V]) Name() string                 { return m.name }
+func (m *citrusMap[K, V]) TreeStats() core.Stats        { return m.t.Stats() }
 
 // NewBonsai returns the RCU path-copying weight-balanced tree.
 func NewBonsai[K cmp.Ordered, V any]() dict.Map[K, V] {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ClassicDomain mirrors the classic user-space RCU design of Desnoyers,
@@ -25,6 +26,10 @@ type ClassicDomain struct {
 	syncMu  sync.Mutex // serializes Synchronize callers (the bottleneck)
 	gp      atomic.Uint64
 	readers atomic.Pointer[[]*ClassicHandle]
+
+	// stats accumulates grace-period accounting. Only Register and
+	// Synchronize write it; the read-side primitives never touch it.
+	stats syncStats
 }
 
 // NewClassicDomain returns a new, empty ClassicDomain.
@@ -65,12 +70,16 @@ func (d *ClassicDomain) register() *ClassicHandle {
 	}
 	rs = append(rs, h)
 	d.readers.Store(&rs)
+	d.stats.noteReaders(len(rs))
 	return h
 }
 
 // ReadLock enters a read-side critical section by publishing the current
 // global grace-period counter in the reader's slot. Wait-free.
 func (h *ClassicHandle) ReadLock() {
+	if h.d == nil {
+		panic("rcu: ClassicHandle used after Unregister")
+	}
 	if h.slot.Load() != 0 {
 		panic("rcu: nested ReadLock on the same ClassicHandle")
 	}
@@ -87,15 +96,25 @@ func (h *ClassicHandle) ReadUnlock() {
 
 // Synchronize waits for all pre-existing read-side critical sections in the
 // handle's domain.
-func (h *ClassicHandle) Synchronize() { h.d.Synchronize() }
+func (h *ClassicHandle) Synchronize() {
+	d := h.d
+	if d == nil {
+		panic("rcu: ClassicHandle used after Unregister")
+	}
+	d.Synchronize()
+}
 
 // Unregister removes the handle from its domain. The handle must not be
-// inside a read-side critical section.
+// inside a read-side critical section. Unregister is idempotent; any
+// other use of the handle afterwards panics with a descriptive message.
 func (h *ClassicHandle) Unregister() {
 	if h.slot.Load() != 0 {
 		panic("rcu: Unregister inside a read-side critical section")
 	}
 	d := h.d
+	if d == nil {
+		return // already unregistered
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := d.readers.Load()
@@ -124,25 +143,40 @@ func (h *ClassicHandle) Unregister() {
 // section (wait for it); a slot of zero or at/above the new epoch belongs
 // to no section or to one that started after this call (ignore it).
 func (d *ClassicDomain) Synchronize() {
+	// Start the clock before queueing on syncMu: the wait reported in
+	// Stats includes the serialization behind other synchronizers, which
+	// is the cost Figure 8 is about.
+	start := time.Now()
+	var totalSpins, totalYields int64
 	d.syncMu.Lock()
-	defer d.syncMu.Unlock()
+	defer func() {
+		d.syncMu.Unlock()
+		d.stats.record(start, totalSpins, totalYields)
+	}()
 	newGP := d.gp.Add(1)
 	rsp := d.readers.Load()
 	if rsp == nil {
 		return
 	}
 	for _, r := range *rsp {
-		for spins := 0; ; spins++ {
+		spins := 0
+		for ; ; spins++ {
 			c := r.slot.Load()
 			if c == 0 || c >= newGP {
 				break
 			}
 			if spins >= spinsBeforeYield {
 				runtime.Gosched()
+				totalYields++
 			}
 		}
+		totalSpins += int64(spins)
 	}
 }
+
+// Stats reports the domain's cumulative grace-period accounting. It may
+// be called at any time from any goroutine; all counters are monotonic.
+func (d *ClassicDomain) Stats() Stats { return d.stats.snapshot(d.Readers()) }
 
 // Readers reports the number of currently registered readers. Intended for
 // tests and instrumentation.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // cacheLinePad is the padding unit used to keep each reader's state word on
@@ -34,6 +35,10 @@ const spinsBeforeYield = 64
 type Domain struct {
 	mu      sync.Mutex // guards registration changes (copy-on-write)
 	readers atomic.Pointer[[]*Handle]
+
+	// stats accumulates grace-period accounting. Only Register and
+	// Synchronize write it; the read-side primitives never touch it.
+	stats syncStats
 }
 
 // NewDomain returns a new, empty Domain.
@@ -70,12 +75,16 @@ func (d *Domain) register() *Handle {
 	}
 	rs = append(rs, h)
 	d.readers.Store(&rs)
+	d.stats.noteReaders(len(rs))
 	return h
 }
 
 // ReadLock enters a read-side critical section: one atomic store that
 // advances the counter and sets the flag. Wait-free.
 func (h *Handle) ReadLock() {
+	if h.d == nil {
+		panic("rcu: Handle used after Unregister")
+	}
 	s := h.state.Load()
 	if s&1 != 0 {
 		panic("rcu: nested ReadLock on the same Handle")
@@ -96,15 +105,25 @@ func (h *Handle) ReadUnlock() {
 
 // Synchronize waits for all pre-existing read-side critical sections in the
 // handle's domain.
-func (h *Handle) Synchronize() { h.d.Synchronize() }
+func (h *Handle) Synchronize() {
+	d := h.d
+	if d == nil {
+		panic("rcu: Handle used after Unregister")
+	}
+	d.Synchronize()
+}
 
 // Unregister removes the handle from its domain. The handle must not be
-// inside a read-side critical section.
+// inside a read-side critical section. Unregister is idempotent; any
+// other use of the handle afterwards panics with a descriptive message.
 func (h *Handle) Unregister() {
 	if h.state.Load()&1 != 0 {
 		panic("rcu: Unregister inside a read-side critical section")
 	}
 	d := h.d
+	if d == nil {
+		return // already unregistered
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := d.readers.Load()
@@ -125,8 +144,11 @@ func (h *Handle) Unregister() {
 // progress when the call started has completed. It takes no locks, so any
 // number of goroutines may synchronize concurrently without serializing.
 func (d *Domain) Synchronize() {
+	start := time.Now()
+	var totalSpins, totalYields int64
 	rsp := d.readers.Load()
 	if rsp == nil {
+		d.stats.record(start, 0, 0)
 		return
 	}
 	readers := *rsp
@@ -141,19 +163,28 @@ func (d *Domain) Synchronize() {
 		active = active || snap[i]&1 != 0
 	}
 	if !active {
+		d.stats.record(start, 0, 0)
 		return
 	}
 	for i, r := range readers {
 		if snap[i]&1 == 0 {
 			continue
 		}
-		for spins := 0; r.state.Load() == snap[i]; spins++ {
+		spins := 0
+		for ; r.state.Load() == snap[i]; spins++ {
 			if spins >= spinsBeforeYield {
 				runtime.Gosched()
+				totalYields++
 			}
 		}
+		totalSpins += int64(spins)
 	}
+	d.stats.record(start, totalSpins, totalYields)
 }
+
+// Stats reports the domain's cumulative grace-period accounting. It may
+// be called at any time from any goroutine; all counters are monotonic.
+func (d *Domain) Stats() Stats { return d.stats.snapshot(d.Readers()) }
 
 // Readers reports the number of currently registered readers. Intended for
 // tests and instrumentation.

@@ -1,22 +1,26 @@
 package rcu
 
 import (
-	"sync/atomic"
 	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
 )
 
 // InstrumentedFlavor wraps a Flavor and counts grace periods and the time
-// spent waiting in them. It is used by the benchmark harness to report
-// how often a workload synchronizes (in Citrus: one grace period per
-// delete of a node with two children) and what each wait costs.
+// spent waiting in them, recording each wait into a shared
+// citrusstat.Histogram.
+//
+// Domain and ClassicDomain now carry this accounting natively (see their
+// Stats methods), so wrapping them buys nothing — the benchmark binaries
+// read native stats directly. InstrumentedFlavor remains for flavors
+// without native accounting (e.g. NoSync, or a third-party Flavor) and
+// as the uniform adapter when the concrete flavor type is unknown.
 //
 // Reader registration is pass-through, so read-side critical sections pay
 // nothing for the instrumentation.
 type InstrumentedFlavor struct {
 	inner Flavor
-
-	syncs     atomic.Int64
-	syncNanos atomic.Int64
+	wait  citrusstat.Histogram
 }
 
 var _ Flavor = (*InstrumentedFlavor)(nil)
@@ -37,25 +41,31 @@ func (f *InstrumentedFlavor) Register() Reader {
 func (f *InstrumentedFlavor) Synchronize() {
 	start := time.Now()
 	f.inner.Synchronize()
-	f.syncs.Add(1)
-	f.syncNanos.Add(time.Since(start).Nanoseconds())
+	f.wait.Record(time.Since(start))
 }
 
 // Syncs reports the number of Synchronize calls observed.
-func (f *InstrumentedFlavor) Syncs() int64 { return f.syncs.Load() }
+func (f *InstrumentedFlavor) Syncs() int64 { return f.wait.Total() }
 
 // SyncTime reports the cumulative time spent inside Synchronize.
-func (f *InstrumentedFlavor) SyncTime() time.Duration {
-	return time.Duration(f.syncNanos.Load())
-}
+func (f *InstrumentedFlavor) SyncTime() time.Duration { return f.wait.Sum() }
 
 // MeanSync reports the average grace-period wait, or 0 if none occurred.
-func (f *InstrumentedFlavor) MeanSync() time.Duration {
-	n := f.Syncs()
-	if n == 0 {
-		return 0
+func (f *InstrumentedFlavor) MeanSync() time.Duration { return f.wait.Mean() }
+
+// Stats reports grace-period statistics. When the wrapped flavor keeps
+// native accounting (Domain, ClassicDomain) its richer stats are
+// returned directly; otherwise the wrapper synthesizes a snapshot from
+// what it observed (Synchronize calls routed through the wrapper only,
+// no spin/reader accounting).
+func (f *InstrumentedFlavor) Stats() Stats {
+	if src, ok := f.inner.(StatsSource); ok {
+		return src.Stats()
 	}
-	return f.SyncTime() / time.Duration(n)
+	return Stats{
+		Synchronizes: f.Syncs(),
+		SyncWait:     f.wait.Snapshot(),
+	}
 }
 
 type instrumentedReader struct {

@@ -1,0 +1,101 @@
+package rcu
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
+)
+
+// Stats is a point-in-time snapshot of a flavor's grace-period activity.
+// All counters are cumulative since the domain was created and
+// monotonically non-decreasing, so two snapshots can be subtracted for
+// interval rates.
+//
+// In Citrus terms (the paper's §4): Synchronizes counts the line-74
+// synchronize_rcu calls — one per delete of a node with two children —
+// and SyncWait is the distribution of what each of those waits cost,
+// the quantity behind the paper's Figure 8 comparison of RCU flavors.
+type Stats struct {
+	// Synchronizes is the number of completed Synchronize calls (grace
+	// periods driven to completion on this domain).
+	Synchronizes int64 `json:"synchronizes"`
+
+	// SyncSpins is the total number of busy-poll iterations synchronizers
+	// spent re-reading reader state words; SyncYields is how many of
+	// those turned into runtime.Gosched calls after spinsBeforeYield
+	// consecutive re-reads. High yields relative to Synchronizes means
+	// grace periods are routinely blocked on long-running readers.
+	SyncSpins  int64 `json:"sync_spins"`
+	SyncYields int64 `json:"sync_yields"`
+
+	// Readers is the number of currently registered readers;
+	// ReaderHighWater the maximum ever simultaneously registered.
+	Readers         int   `json:"readers"`
+	ReaderHighWater int64 `json:"reader_high_water"`
+
+	// SyncWait is the wall-clock distribution of Synchronize calls
+	// (entry to return, including any queueing a flavor imposes — for
+	// ClassicDomain that includes waiting behind other synchronizers,
+	// which is exactly the bottleneck the paper measures).
+	SyncWait citrusstat.Snapshot `json:"sync_wait"`
+}
+
+// A StatsSource is a flavor that can report grace-period statistics.
+// Domain, ClassicDomain and InstrumentedFlavor implement it; consumers
+// (e.g. citrus.Tree.Stats) type-assert against it so flavors without
+// accounting keep working.
+type StatsSource interface {
+	Stats() Stats
+}
+
+var (
+	_ StatsSource = (*Domain)(nil)
+	_ StatsSource = (*ClassicDomain)(nil)
+	_ StatsSource = (*InstrumentedFlavor)(nil)
+)
+
+// syncStats is the accounting block embedded in both domain flavors.
+// Everything here is written on the update (Synchronize/Register) path
+// only: the read-side primitives never touch it, keeping ReadLock and
+// ReadUnlock at their two plain atomic operations.
+type syncStats struct {
+	syncs     atomic.Int64
+	spins     atomic.Int64
+	yields    atomic.Int64
+	highWater atomic.Int64
+	wait      citrusstat.Histogram
+}
+
+// noteReaders records a new registration count for the high-water mark.
+// Callers hold the domain's registration mutex, so load+store does not
+// race with other writers; Stats readers see it atomically.
+func (s *syncStats) noteReaders(n int) {
+	if int64(n) > s.highWater.Load() {
+		s.highWater.Store(int64(n))
+	}
+}
+
+// record accounts one completed Synchronize.
+func (s *syncStats) record(start time.Time, spins, yields int64) {
+	s.syncs.Add(1)
+	if spins != 0 {
+		s.spins.Add(spins)
+	}
+	if yields != 0 {
+		s.yields.Add(yields)
+	}
+	s.wait.Record(time.Since(start))
+}
+
+// snapshot builds the exported view.
+func (s *syncStats) snapshot(readers int) Stats {
+	return Stats{
+		Synchronizes:    s.syncs.Load(),
+		SyncSpins:       s.spins.Load(),
+		SyncYields:      s.yields.Load(),
+		Readers:         readers,
+		ReaderHighWater: s.highWater.Load(),
+		SyncWait:        s.wait.Snapshot(),
+	}
+}

@@ -1,0 +1,221 @@
+package rcu
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDomainStatsCountSynchronize(t *testing.T) {
+	d := NewDomain()
+	if s := d.Stats(); s.Synchronizes != 0 || s.SyncWait.Total() != 0 {
+		t.Fatalf("fresh domain has stats: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		d.Synchronize()
+	}
+	s := d.Stats()
+	if s.Synchronizes != 5 {
+		t.Fatalf("Synchronizes = %d, want 5", s.Synchronizes)
+	}
+	if s.SyncWait.Total() != 5 {
+		t.Fatalf("SyncWait.Total() = %d, want 5", s.SyncWait.Total())
+	}
+}
+
+func TestDomainStatsMeasureBlockedGracePeriod(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	defer r.Unregister()
+	r.ReadLock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.Synchronize()
+	}()
+	time.Sleep(30 * time.Millisecond)
+	r.ReadUnlock()
+	<-done
+
+	s := d.Stats()
+	if s.Synchronizes != 1 {
+		t.Fatalf("Synchronizes = %d, want 1", s.Synchronizes)
+	}
+	if got := s.SyncWait.Sum(); got < 20*time.Millisecond {
+		t.Fatalf("SyncWait sum = %v, want ≥ the blocked interval", got)
+	}
+	if s.SyncWait.Mean() < 20*time.Millisecond {
+		t.Fatalf("SyncWait mean = %v, want ≥ 20ms", s.SyncWait.Mean())
+	}
+	// 30ms of spinning is far beyond spinsBeforeYield, so the
+	// synchronizer must have both spun and yielded.
+	if s.SyncSpins == 0 || s.SyncYields == 0 {
+		t.Fatalf("blocked synchronize recorded spins=%d yields=%d, want both > 0",
+			s.SyncSpins, s.SyncYields)
+	}
+}
+
+func TestDomainStatsReaderHighWater(t *testing.T) {
+	testReaderHighWater(t, NewDomain())
+	testReaderHighWater(t, NewClassicDomain())
+}
+
+type statsFlavor interface {
+	Flavor
+	StatsSource
+}
+
+func testReaderHighWater(t *testing.T, d statsFlavor) {
+	t.Helper()
+	rs := make([]Reader, 4)
+	for i := range rs {
+		rs[i] = d.Register()
+	}
+	for _, r := range rs {
+		r.Unregister()
+	}
+	s := d.Stats()
+	if s.Readers != 0 {
+		t.Fatalf("%T: Readers = %d after unregistering all, want 0", d, s.Readers)
+	}
+	if s.ReaderHighWater != 4 {
+		t.Fatalf("%T: ReaderHighWater = %d, want 4", d, s.ReaderHighWater)
+	}
+}
+
+func TestClassicDomainStatsIncludeQueueing(t *testing.T) {
+	d := NewClassicDomain()
+	r := d.Register()
+	defer r.Unregister()
+	r.ReadLock()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Synchronize()
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	r.ReadUnlock()
+	wg.Wait()
+	s := d.Stats()
+	if s.Synchronizes != 2 {
+		t.Fatalf("Synchronizes = %d, want 2", s.Synchronizes)
+	}
+	// Both callers blocked ~30ms (one on the reader, one queued behind
+	// the first), so the cumulative wait must reflect the serialization.
+	if got := s.SyncWait.Sum(); got < 40*time.Millisecond {
+		t.Fatalf("SyncWait sum = %v, want ≥ ~2× the blocked interval", got)
+	}
+}
+
+// TestUnregisterIdempotent is the regression test for the handle
+// lifecycle bug: a second Unregister used to crash with a raw
+// nil-pointer dereference (h.d was nil'd by the first call).
+func TestUnregisterIdempotent(t *testing.T) {
+	for _, d := range []Flavor{NewDomain(), NewClassicDomain()} {
+		r := d.Register()
+		r.Unregister()
+		r.Unregister() // must be a no-op, not a nil-deref panic
+		r.Unregister()
+	}
+}
+
+// TestUseAfterUnregisterPanicsDescriptively is the regression test for
+// the other half of the lifecycle bug: Synchronize (and ReadLock) on an
+// unregistered handle used to fail with an opaque nil-pointer
+// dereference instead of naming the misuse.
+func TestUseAfterUnregisterPanicsDescriptively(t *testing.T) {
+	wantPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s after Unregister did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "used after Unregister") {
+				t.Fatalf("%s after Unregister panicked with %v, want a descriptive message", name, r)
+			}
+		}()
+		fn()
+	}
+	for _, d := range []Flavor{NewDomain(), NewClassicDomain()} {
+		r := d.Register()
+		r.Unregister()
+		wantPanic("Synchronize", r.Synchronize)
+		wantPanic("ReadLock", r.ReadLock)
+	}
+}
+
+// TestStatsRace hammers Stats snapshots concurrently with
+// Register/Unregister churn and grace periods, asserting every counter
+// is monotonic. Run with -race (the CI race target covers ./rcu/...).
+func TestStatsRace(t *testing.T) {
+	d := NewDomain()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Reader churn: register, enter/leave critical sections, unregister.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				r := d.Register()
+				for j := 0; j < 4; j++ {
+					r.ReadLock()
+					r.ReadUnlock()
+				}
+				r.Unregister()
+			}
+		}()
+	}
+	// Synchronizers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				d.Synchronize()
+			}
+		}()
+	}
+	// Stats pollers asserting monotonicity.
+	errs := make(chan string, 4)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev Stats
+			for !stop.Load() {
+				s := d.Stats()
+				if s.Synchronizes < prev.Synchronizes ||
+					s.SyncSpins < prev.SyncSpins ||
+					s.SyncYields < prev.SyncYields ||
+					s.ReaderHighWater < prev.ReaderHighWater ||
+					s.SyncWait.Total() < prev.SyncWait.Total() ||
+					s.SyncWait.SumNanos < prev.SyncWait.SumNanos {
+					select {
+					case errs <- "stats went backwards":
+					default:
+					}
+					return
+				}
+				prev = s
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
