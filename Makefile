@@ -7,13 +7,17 @@ GO ?= go
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): build, vet, full test
-# suite, then the race detector over the packages with the most
-# concurrency-sensitive invariants.
+# suite, the race detector over the packages with the most
+# concurrency-sensitive invariants (including the citrustrace rings and
+# the public tracing toggles), then a short citrusbench smoke run that
+# exercises the -json report and the a4 tracing-overhead A/B.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./rcu/... ./internal/core/...
+	$(GO) test -race ./rcu/... ./internal/core/... ./citrustrace/...
+	$(GO) test -race -run 'Trace|Tracing' .
+	$(GO) run ./cmd/citrusbench -figure 10c,a4 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
 
 build:
 	$(GO) build ./...
@@ -52,4 +56,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzOpsAgainstOracle -fuzztime 60s ./internal/core
 
 clean:
-	rm -f bench_results.csv test_output.txt bench_output.txt
+	rm -f bench_results.csv bench_smoke.json test_output.txt bench_output.txt

@@ -46,6 +46,7 @@ package citrus
 import (
 	"cmp"
 
+	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/internal/core"
 	"github.com/go-citrus/citrus/rcu"
 )
@@ -154,6 +155,60 @@ func (t *Tree[K, V]) Stats() Stats {
 		NodesReused:     s.NodesReused,
 		RCU:             s.RCU,
 	}
+}
+
+// EnableTracing attaches a fresh flight recorder to the tree and
+// returns it: from now on every operation records typed events
+// (operation spans, contended per-node lock waits, validation retries,
+// retire/reclaim) into per-handle ring buffers, and — when the tree's
+// RCU flavor supports it (rcu.Domain and rcu.ClassicDomain do) — the
+// flavor records grace-period spans with a per-reader wait breakdown.
+// See package citrustrace for the event taxonomy and the ring-buffer
+// overwrite semantics.
+//
+// Tracing is designed to be cheap but is not free while enabled (about
+// two timestamp reads and a ring write per operation); when disabled —
+// the default — the hot paths pay one predictable branch and allocate
+// nothing. EnableTracing may be called at any time, concurrently with
+// operations; calling it again replaces the recorder. If the flavor is
+// shared between trees, its grace-period events go to the most recently
+// attached recorder.
+func (t *Tree[K, V]) EnableTracing(opts ...citrustrace.Option) *citrustrace.Recorder {
+	rec := citrustrace.New(opts...)
+	if td, ok := t.inner.Flavor().(rcu.Traceable); ok {
+		td.SetTracer(rec.SyncTracer("rcu"))
+	}
+	t.inner.SetTracer(rec)
+	return rec
+}
+
+// DisableTracing detaches the tree's flight recorder (and the flavor's
+// grace-period tracer, when one was attached). Operations already in
+// flight finish recording into the recorder they started with; the
+// recorder itself stays valid, so a final DumpTrace after disabling
+// still returns the captured window.
+func (t *Tree[K, V]) DisableTracing() {
+	t.inner.SetTracer(nil)
+	if td, ok := t.inner.Flavor().(rcu.Traceable); ok {
+		td.SetTracer(nil)
+	}
+}
+
+// TraceRecorder reports the currently attached flight recorder, nil
+// when tracing is disabled.
+func (t *Tree[K, V]) TraceRecorder() *citrustrace.Recorder { return t.inner.Tracer() }
+
+// DumpTrace snapshots the flight recorder: every ring's surviving
+// events merged and time-ordered. It is safe to call at any time, from
+// any goroutine, concurrently with operations and with tracing toggles;
+// writers are never blocked. With tracing disabled it returns an empty
+// Trace. Serialize the result with Trace.WriteJSON or
+// Trace.WriteChromeTrace (chrome://tracing / Perfetto).
+func (t *Tree[K, V]) DumpTrace() citrustrace.Trace {
+	if rec := t.inner.Tracer(); rec != nil {
+		return rec.Snapshot()
+	}
+	return citrustrace.Trace{}
 }
 
 // A Handle is one goroutine's access point to a Tree.

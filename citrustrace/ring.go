@@ -1,0 +1,90 @@
+package citrustrace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// A Ring is one fixed-size event buffer inside a Recorder. Recording is
+// lock-free: the writer claims a slot with one atomic add and publishes
+// it with a sequence store, so any number of goroutines may share a ring
+// (the per-handle tree rings happen to be single-writer, which makes the
+// claim uncontended; the per-domain grace-period ring is genuinely
+// multi-writer). Old events are overwritten once the ring is full.
+//
+// Snapshots run concurrently with writers and take no locks either: a
+// slot is read optimistically and discarded if its sequence word changed
+// underneath the read (seqlock-style). A torn read is therefore dropped,
+// never surfaced.
+type Ring struct {
+	id    uint32
+	label string
+	rec   *Recorder
+	mask  uint64
+	head  atomic.Uint64 // total events ever claimed
+	slots []slot
+}
+
+// slot is one ring entry. All fields are atomics so that flight-recorder
+// snapshots racing with the writer stay within the Go memory model; the
+// writer publishes seq last (claim index + 1), and invalidates it first.
+type slot struct {
+	seq   atomic.Uint64
+	start atomic.Int64
+	dur   atomic.Int64
+	meta  atomic.Uint64 // EventType
+	a     atomic.Uint64
+	b     atomic.Uint64
+	c     atomic.Uint64
+}
+
+// ID reports the ring's recorder-unique id (the Ring field of its
+// events).
+func (g *Ring) ID() uint32 { return g.id }
+
+// Label reports the ring's human-readable label ("reader-3", "rcu", …).
+func (g *Ring) Label() string { return g.label }
+
+// Record appends one event. start is converted to the recorder's epoch;
+// instant events pass dur 0. Record never blocks and never allocates.
+func (g *Ring) Record(t EventType, start time.Time, dur time.Duration, a, b, c uint64) {
+	i := g.head.Add(1) - 1
+	s := &g.slots[i&g.mask]
+	s.seq.Store(0) // invalidate while the payload is torn
+	s.start.Store(int64(start.Sub(g.rec.epoch)))
+	s.dur.Store(int64(dur))
+	s.meta.Store(uint64(t))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.seq.Store(i + 1) // publish
+}
+
+// Recorded reports how many events were ever recorded into the ring
+// (including overwritten ones).
+func (g *Ring) Recorded() int64 { return int64(g.head.Load()) }
+
+// snapshot appends the ring's currently valid events to dst.
+func (g *Ring) snapshot(dst []Event) []Event {
+	for i := range g.slots {
+		s := &g.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue // empty or mid-write
+		}
+		ev := Event{
+			Start: time.Duration(s.start.Load()),
+			Dur:   time.Duration(s.dur.Load()),
+			Type:  EventType(s.meta.Load()),
+			Ring:  g.id,
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+			C:     s.c.Load(),
+		}
+		if s.seq.Load() != seq || ev.Type == EvNone || int(ev.Type) >= int(numEventTypes) {
+			continue // torn by a concurrent overwrite
+		}
+		dst = append(dst, ev)
+	}
+	return dst
+}

@@ -1,0 +1,67 @@
+package citrustrace
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"sync/atomic"
+	"time"
+)
+
+// SyncTracer records grace-period events for an RCU domain: one EvSync
+// span per Synchronize call plus one EvReaderWait span per reader the
+// grace period actually waited on, all into a shared multi-writer ring.
+// It also brackets every grace period in a runtime/trace region named
+// "rcu.synchronize", so a runtime trace collected while the domain is
+// traced (e.g. via /debug/pprof/trace) shows GP waits as regions in
+// `go tool trace`.
+//
+// Obtain one from Recorder.SyncTracer and install it with
+// rcu.Domain.SetTracer / rcu.ClassicDomain.SetTracer.
+type SyncTracer struct {
+	ring   *Ring
+	nextGP atomic.Uint64
+}
+
+// SyncTracer returns a tracer recording into the recorder's shared ring
+// under label (conventionally "rcu").
+func (r *Recorder) SyncTracer(label string) *SyncTracer {
+	return &SyncTracer{ring: r.SharedRing(label)}
+}
+
+// SyncBegin opens a span for one grace period. The returned SyncSpan
+// must be finished with End on the same goroutine (runtime/trace
+// regions require it); ReaderWait may be called any number of times in
+// between.
+func (t *SyncTracer) SyncBegin() SyncSpan {
+	return SyncSpan{
+		t:      t,
+		gp:     t.nextGP.Add(1),
+		start:  time.Now(),
+		region: rtrace.StartRegion(context.Background(), "rcu.synchronize"),
+	}
+}
+
+// A SyncSpan is one in-progress grace period being traced.
+type SyncSpan struct {
+	t      *SyncTracer
+	gp     uint64
+	start  time.Time
+	region *rtrace.Region
+}
+
+// GP reports the span's grace-period id.
+func (s *SyncSpan) GP() uint64 { return s.gp }
+
+// ReaderWait records that the grace period waited on one reader that
+// was inside a read-side critical section when it began: the reader's
+// handle id, when the wait started, how long it lasted, and how many
+// spin iterations it cost.
+func (s *SyncSpan) ReaderWait(readerID uint64, start time.Time, wait time.Duration, spins int64) {
+	s.t.ring.Record(EvReaderWait, start, wait, s.gp, readerID, uint64(spins))
+}
+
+// End closes the grace-period span with its total spin/yield cost.
+func (s *SyncSpan) End(spins, yields int64) {
+	s.t.ring.Record(EvSync, s.start, time.Since(s.start), s.gp, uint64(spins), uint64(yields))
+	s.region.End()
+}

@@ -1,0 +1,289 @@
+package citrustrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRecordAndSnapshot(t *testing.T) {
+	rec := New(WithRingSize(64))
+	g := rec.NewRing("test")
+	base := rec.Epoch()
+	for i := 0; i < 10; i++ {
+		g.Record(EvContains, base.Add(time.Duration(i)*time.Microsecond), time.Microsecond, uint64(i%2), 0, 0)
+	}
+	tr := rec.Snapshot()
+	if len(tr.Events) != 10 {
+		t.Fatalf("got %d events, want 10", len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if ev.Type != EvContains {
+			t.Errorf("event %d: type %v, want contains", i, ev.Type)
+		}
+		if ev.Ring != g.ID() {
+			t.Errorf("event %d: ring %d, want %d", i, ev.Ring, g.ID())
+		}
+		if i > 0 && ev.Start < tr.Events[i-1].Start {
+			t.Errorf("events out of order at %d: %v < %v", i, ev.Start, tr.Events[i-1].Start)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped %d, want 0", tr.Dropped())
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	rec := New(WithRingSize(8))
+	g := rec.NewRing("wrap")
+	base := rec.Epoch()
+	const total = 100
+	for i := 0; i < total; i++ {
+		g.Record(EvInsert, base.Add(time.Duration(i)*time.Millisecond), 0, uint64(i), 0, 0)
+	}
+	tr := rec.Snapshot()
+	if len(tr.Events) != 8 {
+		t.Fatalf("got %d events, want ring size 8", len(tr.Events))
+	}
+	// The survivors must be the newest 8 (A carries the sequence).
+	for _, ev := range tr.Events {
+		if ev.A < total-8 {
+			t.Errorf("event A=%d survived; older than the newest 8", ev.A)
+		}
+	}
+	if got := tr.Dropped(); got != total-8 {
+		t.Errorf("dropped %d, want %d", got, total-8)
+	}
+	if g.Recorded() != total {
+		t.Errorf("recorded %d, want %d", g.Recorded(), total)
+	}
+}
+
+func TestWithRingSizeRoundsUp(t *testing.T) {
+	rec := New(WithRingSize(100))
+	g := rec.NewRing("x")
+	if len(g.slots) != 128 {
+		t.Errorf("ring size %d, want 128 (next power of two)", len(g.slots))
+	}
+	rec = New(WithRingSize(1))
+	if g := rec.NewRing("y"); len(g.slots) != 8 {
+		t.Errorf("ring size %d, want minimum 8", len(g.slots))
+	}
+}
+
+func TestSnapshotMergesAndOrdersAcrossRings(t *testing.T) {
+	rec := New(WithRingSize(16))
+	a := rec.NewRing("a")
+	b := rec.NewRing("b")
+	base := rec.Epoch()
+	// Interleave timestamps across the two rings.
+	a.Record(EvInsert, base.Add(3*time.Microsecond), 0, 0, 0, 0)
+	b.Record(EvDelete, base.Add(1*time.Microsecond), 0, 0, 0, 0)
+	a.Record(EvInsert, base.Add(2*time.Microsecond), 0, 0, 0, 0)
+	b.Record(EvDelete, base.Add(4*time.Microsecond), 0, 0, 0, 0)
+	tr := rec.Snapshot()
+	if len(tr.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(tr.Events))
+	}
+	wantOrder := []EventType{EvDelete, EvInsert, EvInsert, EvDelete}
+	for i, ev := range tr.Events {
+		if ev.Type != wantOrder[i] {
+			t.Errorf("position %d: %v, want %v", i, ev.Type, wantOrder[i])
+		}
+	}
+	if len(tr.Rings) != 2 {
+		t.Fatalf("got %d rings, want 2", len(tr.Rings))
+	}
+	if tr.Rings[0].Label != "a" || tr.Rings[1].Label != "b" {
+		t.Errorf("ring labels %q/%q, want a/b", tr.Rings[0].Label, tr.Rings[1].Label)
+	}
+}
+
+func TestSharedRingIsSingletonPerLabel(t *testing.T) {
+	rec := New()
+	if rec.SharedRing("rcu") != rec.SharedRing("rcu") {
+		t.Error("SharedRing returned different rings for the same label")
+	}
+	if rec.SharedRing("rcu") == rec.SharedRing("reclaim") {
+		t.Error("SharedRing returned the same ring for different labels")
+	}
+}
+
+// TestConcurrentRecordAndSnapshot hammers a shared ring from several
+// writers while snapshotting continuously; under -race this is the
+// proof that the flight recorder can run against a live workload.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	rec := New(WithRingSize(64))
+	g := rec.SharedRing("shared")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g.Record(EvSync, time.Now(), time.Duration(i), uint64(w), uint64(i), 0)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		tr := rec.Snapshot()
+		for _, ev := range tr.Events {
+			if ev.Type != EvSync {
+				t.Errorf("torn event surfaced: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rec := New(WithRingSize(16))
+	g := rec.NewRing("reader-1")
+	g.Record(EvDelete, time.Now(), 5*time.Microsecond, 2, 1, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Rings []struct {
+			Label string `json:"label"`
+		} `json:"rings"`
+		Events []struct {
+			Type string `json:"type"`
+			A    uint64 `json:"a"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Type != "delete" || tr.Events[0].A != 2 {
+		t.Errorf("unexpected events: %+v", tr.Events)
+	}
+	if len(tr.Rings) != 1 || tr.Rings[0].Label != "reader-1" {
+		t.Errorf("unexpected rings: %+v", tr.Rings)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rec := New(WithRingSize(16))
+	ops := rec.NewRing("reader-1")
+	now := time.Now()
+	ops.Record(EvInsert, now, 3*time.Microsecond, 1, 0, 0)
+	ops.Record(EvValidateFail, now.Add(time.Microsecond), 0, SiteValidateInsert, 0, 0)
+	st := rec.SyncTracer("rcu")
+	span := st.SyncBegin()
+	span.ReaderWait(7, now, 2*time.Microsecond, 5)
+	span.End(5, 0)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   uint32         `json:"tid"`
+			Dur   *float64       `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		byName[ev.Name+"/"+ev.Phase]++
+		switch ev.Name {
+		case "insert":
+			if ev.Phase != "X" || ev.Dur == nil {
+				t.Errorf("insert should be a complete event with dur: %+v", ev)
+			}
+		case "validate-fail":
+			if ev.Phase != "i" {
+				t.Errorf("validate-fail should be an instant: %+v", ev)
+			}
+			if ev.Args["site"] != "validate-insert" {
+				t.Errorf("validate-fail args: %+v", ev.Args)
+			}
+		case "reader-wait":
+			if got := ev.Args["reader"].(float64); got != 7 {
+				t.Errorf("reader-wait attributed to reader %v, want 7", got)
+			}
+		}
+	}
+	// Two thread_name metadata events (ops ring + rcu ring) and the four
+	// recorded events.
+	if byName["thread_name/M"] != 2 {
+		t.Errorf("thread_name metadata events: %d, want 2", byName["thread_name/M"])
+	}
+	for _, want := range []string{"insert/X", "validate-fail/i", "synchronize/X", "reader-wait/X"} {
+		if byName[want] != 1 {
+			t.Errorf("missing chrome event %s (have %v)", want, byName)
+		}
+	}
+}
+
+func TestSyncTracerGPCorrelation(t *testing.T) {
+	rec := New()
+	st := rec.SyncTracer("rcu")
+	s1 := st.SyncBegin()
+	s1.End(0, 0)
+	s2 := st.SyncBegin()
+	s2.ReaderWait(3, time.Now(), time.Microsecond, 10)
+	s2.End(10, 1)
+	if s1.GP() == s2.GP() {
+		t.Fatal("grace periods share an id")
+	}
+	tr := rec.Snapshot()
+	var syncs, waits int
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case EvSync:
+			syncs++
+		case EvReaderWait:
+			waits++
+			if ev.A != s2.GP() || ev.B != 3 {
+				t.Errorf("reader wait gp=%d reader=%d, want gp=%d reader=3", ev.A, ev.B, s2.GP())
+			}
+		}
+	}
+	if syncs != 2 || waits != 1 {
+		t.Errorf("got %d syncs, %d reader waits; want 2, 1", syncs, waits)
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	for ty := EvNone; ty < numEventTypes; ty++ {
+		if ty.String() == "" {
+			t.Errorf("event type %d has no name", ty)
+		}
+	}
+	if EventType(200).String() != "event-200" {
+		t.Errorf("unknown type formatting: %s", EventType(200).String())
+	}
+	if SiteName(SiteDeleteSucc) != "delete-succ" || SiteName(99) != "site-99" {
+		t.Error("site naming broken")
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	rec := New(WithRingSize(64))
+	g := rec.NewRing("alloc")
+	now := time.Now()
+	if avg := testing.AllocsPerRun(1000, func() {
+		g.Record(EvContains, now, time.Microsecond, 1, 0, 0)
+	}); avg != 0 {
+		t.Errorf("Record allocates %.1f objects per call, want 0", avg)
+	}
+}

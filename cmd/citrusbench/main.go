@@ -7,6 +7,7 @@
 //	-figure 9     single writer, N−1 readers (panels 9a, 9b)
 //	-figure 10    contains ratio × key range grid (panels 10a..10f)
 //	-figure a1    ablation: grace-period frequency and cost in Citrus
+//	-figure a4    A/B: Citrus with event tracing off vs on (citrustrace)
 //	-figure all   everything
 //
 // Panels can also be addressed individually (-figure 10c). The paper runs
@@ -16,7 +17,9 @@
 //
 // Output is a table per panel on stdout (series as columns, thread counts
 // as rows, the same layout as the paper's plots) and optionally a CSV
-// (-csv results.csv) with one row per (figure, series, threads) cell.
+// (-csv results.csv) with one row per (figure, series, threads) cell, or
+// a structured JSON report (-json results.json) that also carries the
+// grace-period stats (-stats) and the a4 tracing-overhead A/B.
 package main
 
 import (
@@ -45,13 +48,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("citrusbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "figure to regenerate: 8, 9, 10, a1, all, or a panel id like 10c")
+		figure   = fs.String("figure", "all", "comma-separated figures to regenerate: 8, 9, 10, a1..a4, all, or panel ids like 10c")
 		duration = fs.Duration("duration", 500*time.Millisecond, "measured duration per cell")
 		reps     = fs.Int("reps", 1, "repetitions per cell (arithmetic mean is reported)")
 		threads  = fs.String("threads", "", "comma-separated worker counts (default 1,2,4,8,16,32,64)")
 		quick    = fs.Bool("quick", false, "tiny preset for smoke runs (100ms, threads 1,2,4, small key ranges)")
 		paper    = fs.Bool("paper", false, "the paper's parameters: 5s per cell, 5 reps (slow)")
 		csvPath  = fs.String("csv", "", "also append machine-readable results to this CSV file")
+		jsonPath = fs.String("json", "", "also write a structured JSON report to this file")
+		note     = fs.String("note", "", "free-form note recorded in the JSON report (baseline citation, machine, etc.)")
 		verify   = fs.Bool("verify", true, "check structural invariants after every cell")
 		implStr  = fs.String("impl", "", "comma-separated series filter (substring match on series names)")
 		stats    = fs.Bool("stats", false, "after the selected figures, run Citrus once per thread count and print a native-observability stats table (grace periods, p50/p99 grace-period wait, retry and recycle rates)")
@@ -85,6 +90,11 @@ func run(args []string) error {
 		}
 	}
 
+	var rep *report
+	if *jsonPath != "" {
+		rep = newReport(*duration, *reps, workerCounts, *note)
+	}
+
 	var csv *os.File
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -99,15 +109,34 @@ func run(args []string) error {
 	fmt.Printf("citrusbench: GOMAXPROCS=%d, duration=%v, reps=%d, threads=%v\n\n",
 		runtime.GOMAXPROCS(0), *duration, *reps, workerCounts)
 
-	want := func(f harness.Figure) bool {
-		switch *figure {
-		case "all":
-			return true
-		case "8", "9", "10":
-			return strings.HasPrefix(f.ID, *figure)
-		default:
-			return f.ID == *figure
+	figures := strings.Split(*figure, ",")
+	for i := range figures {
+		figures[i] = strings.TrimSpace(figures[i])
+	}
+	selected := func(id string) bool {
+		for _, f := range figures {
+			if f == id || f == "all" {
+				return true
+			}
 		}
+		return false
+	}
+	want := func(f harness.Figure) bool {
+		for _, sel := range figures {
+			switch sel {
+			case "all":
+				return true
+			case "8", "9", "10":
+				if strings.HasPrefix(f.ID, sel) {
+					return true
+				}
+			default:
+				if f.ID == sel {
+					return true
+				}
+			}
+		}
+		return false
 	}
 
 	filterSeries := func(series []impls.NamedFactory[int, int]) []impls.NamedFactory[int, int] {
@@ -149,34 +178,104 @@ func run(args []string) error {
 		if csv != nil {
 			harness.WriteCSV(csv, f.ID, cells)
 		}
+		rep.addCells(f.ID, cells)
 	}
 
-	if *figure == "a1" || *figure == "all" {
+	if selected("a1") {
 		matched = true
-		if err := runAblation(workerCounts, *duration, keyRangeScale, csv); err != nil {
+		if err := runAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
 			return err
 		}
 	}
-	if *figure == "a2" || *figure == "all" {
+	if selected("a2") {
 		matched = true
-		if err := runSkewAblation(workerCounts, *duration, *reps, keyRangeScale, *verify, csv); err != nil {
+		if err := runSkewAblation(workerCounts, *duration, *reps, keyRangeScale, *verify, csv, rep); err != nil {
 			return err
 		}
 	}
-	if *figure == "a3" || *figure == "all" {
+	if selected("a3") {
 		matched = true
-		if err := runNoSyncAblation(workerCounts, *duration, *reps, keyRangeScale, csv); err != nil {
+		if err := runNoSyncAblation(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
+			return err
+		}
+	}
+	if selected("a4") {
+		matched = true
+		if err := runTracingOverhead(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
 			return err
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, all, or a panel id)", *figure)
+		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, a4, all, or a panel id)", *figure)
 	}
 	if *stats {
-		if err := runStats(workerCounts, *duration, keyRangeScale, csv); err != nil {
+		if err := runStats(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
 			return err
 		}
 	}
+	if rep != nil {
+		if err := rep.write(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runTracingOverhead is the A4 A/B: the Figure 10c workload on plain
+// Citrus vs Citrus with a citrustrace flight recorder attached for the
+// whole run. The delta is the steady-state cost of tracing while
+// enabled; the disabled path's cost (a predictable branch) is below
+// measurement noise and pinned by an allocation test instead.
+func runTracingOverhead(workerCounts []int, duration time.Duration, reps, keyRangeScale int, csv *os.File, rep *report) error {
+	fmt.Println("== Ablation A4: event-tracing overhead (50% contains, key range [0,2e5]) ==")
+	series := []impls.NamedFactory[int, int]{
+		{Name: impls.NameCitrus, New: impls.NewCitrus[int, int]},
+		{Name: "Citrus (tracing on)", New: impls.AblationTracedCitrus},
+	}
+	cfg := harness.Config{
+		KeyRange: harness.KeyRangeSmall / keyRangeScale,
+		Mix:      harness.Uniform(workload.ReadMostly(50)),
+		Duration: duration,
+		Seed:     0xA4,
+		Prefill:  true,
+	}
+	cells, err := harness.Sweep(series, workerCounts, cfg, reps)
+	if err != nil {
+		return err
+	}
+	harness.WriteTable(os.Stdout, cells)
+	// Pair up baseline/traced by thread count for the overhead summary.
+	base := map[int]float64{}
+	for _, c := range cells {
+		if c.Impl == impls.NameCitrus {
+			base[c.Workers] = c.Throughput
+		}
+	}
+	fmt.Printf("%-8s %14s %14s %10s\n", "threads", "tracing off", "tracing on", "overhead")
+	fmt.Println(strings.Repeat("-", 50))
+	for _, c := range cells {
+		if c.Impl == impls.NameCitrus {
+			continue
+		}
+		b := base[c.Workers]
+		var pct float64
+		if b > 0 {
+			pct = (b - c.Throughput) / b * 100
+		}
+		fmt.Printf("%-8d %14.0f %14.0f %9.2f%%\n", c.Workers, b, c.Throughput, pct)
+		rep.addOverhead(reportOverhead{
+			Threads:     c.Workers,
+			BaselineOps: b,
+			TracedOps:   c.Throughput,
+			OverheadPct: pct,
+		})
+	}
+	fmt.Println()
+	if csv != nil {
+		harness.WriteCSV(csv, "a4", cells)
+	}
+	rep.addCells("a4", cells)
 	return nil
 }
 
@@ -184,7 +283,7 @@ func run(args []string) error {
 // and prints the library's own observability counters — the same
 // numbers a production service reads from Tree.Stats()/Domain.Stats()
 // at runtime — rather than harness-side instrumentation.
-func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File) error {
+func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File, rep *report) error {
 	fmt.Println("== Final stats: native Tree/Domain observability (50% contains, key range [0,2e5], recycling on) ==")
 	fmt.Printf("%-8s %12s %8s %12s %10s %10s %9s %9s %8s\n",
 		"threads", "ops/s", "GPs", "mean GP", "p50 GP", "p99 GP", "ins-rty", "del-rty", "recycle")
@@ -235,6 +334,19 @@ func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv
 		if csv != nil {
 			fmt.Fprintf(csv, "stats,Citrus,%d,%.0f\n", w, res.Throughput())
 		}
+		rep.addGP(reportGP{
+			Threads:         w,
+			OpsPerSec:       res.Throughput(),
+			Synchronizes:    s.RCU.Synchronizes,
+			MeanWaitNanos:   gp.Mean().Nanoseconds(),
+			P50WaitNanos:    gp.Percentile(50).Nanoseconds(),
+			P99WaitNanos:    gp.Percentile(99).Nanoseconds(),
+			InsertRetries:   s.InsertRetries,
+			DeleteRetries:   s.DeleteRetries,
+			TwoChildDeletes: s.TwoChildDeletes,
+			NodesRetired:    s.NodesRetired,
+			NodesReused:     s.NodesReused,
+		})
 	}
 	fmt.Println()
 	return nil
@@ -245,7 +357,7 @@ func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv
 // end-to-end price of the grace period in delete (the paper's line 74).
 // The mutant is NOT a correct dictionary — its searches can return false
 // negatives — so this is strictly a cost measurement.
-func runNoSyncAblation(workerCounts []int, duration time.Duration, reps, keyRangeScale int, csv *os.File) error {
+func runNoSyncAblation(workerCounts []int, duration time.Duration, reps, keyRangeScale int, csv *os.File, rep *report) error {
 	fmt.Println("== Ablation A3: end-to-end cost of grace periods (50% contains, key range [0,2e5]) ==")
 	series := []impls.NamedFactory[int, int]{
 		{Name: impls.NameCitrus, New: impls.NewCitrus[int, int]},
@@ -269,6 +381,7 @@ func runNoSyncAblation(workerCounts []int, duration time.Duration, reps, keyRang
 	if csv != nil {
 		harness.WriteCSV(csv, "a3", cells)
 	}
+	rep.addCells("a3", cells)
 	return nil
 }
 
@@ -277,7 +390,7 @@ func runNoSyncAblation(workerCounts []int, duration time.Duration, reps, keyRang
 // concentrate on a few hot subtrees. Fine-grained designs keep working;
 // designs serializing all updaters behave as before (their bottleneck was
 // already global).
-func runSkewAblation(workerCounts []int, duration time.Duration, reps, keyRangeScale int, verify bool, csv *os.File) error {
+func runSkewAblation(workerCounts []int, duration time.Duration, reps, keyRangeScale int, verify bool, csv *os.File, rep *report) error {
 	fmt.Println("== Ablation A2 (extension): 50% contains under Zipf(1.2) skew, key range [0,2e5] ==")
 	cfg := harness.Config{
 		KeyRange: harness.KeyRangeSmall / keyRangeScale,
@@ -297,6 +410,7 @@ func runSkewAblation(workerCounts []int, duration time.Duration, reps, keyRangeS
 	if csv != nil {
 		harness.WriteCSV(csv, "a2", cells)
 	}
+	rep.addCells("a2", cells)
 	return nil
 }
 
@@ -307,7 +421,7 @@ func runSkewAblation(workerCounts []int, duration time.Duration, reps, keyRangeS
 // The numbers come from the domain's native Stats (not a wrapper
 // flavor), so this is also an end-to-end check of the observability
 // layer the library ships.
-func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File) error {
+func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File, rep *report) error {
 	fmt.Println("== Ablation A1: grace-period frequency and cost in Citrus (50% contains, key range [0,2e5]) ==")
 	fmt.Printf("%-8s %12s %10s %12s %11s %10s %10s\n",
 		"threads", "ops/s", "syncs/s", "mean sync", "sync share", "op p50", "op p99")
@@ -339,6 +453,7 @@ func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, 
 		if csv != nil {
 			fmt.Fprintf(csv, "a1,Citrus,%d,%.0f\n", w, res.Throughput())
 		}
+		rep.addCells("a1", []harness.Cell{{Impl: "Citrus", Workers: w, Throughput: res.Throughput()}})
 	}
 	fmt.Println()
 	return nil

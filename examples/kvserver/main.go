@@ -22,6 +22,16 @@
 //	                 (retry rates, grace-period p50/p99/mean)
 //	/debug/vars    → standard expvar, including the same snapshot under
 //	                 the "citrus" key (see citrusstat.Publish)
+//	/debug/trace   → citrustrace flight-recorder dump when tracing is on
+//	                 (-trace); ?format=chrome serves the Chrome
+//	                 trace_event form for chrome://tracing / Perfetto
+//	/debug/pprof/  → standard net/http/pprof: CPU and heap profiles,
+//	                 goroutine dumps (labeled with op=SET/GET/DEL per
+//	                 in-flight command), mutex and block profiles when
+//	                 enabled via -mutexprofilefraction/-blockprofilerate,
+//	                 and the runtime execution tracer (/debug/pprof/trace),
+//	                 in which RCU grace periods appear as
+//	                 "rcu.synchronize" regions
 //
 // Run `go run ./examples/kvserver` to start the server, load it with a
 // built-in concurrent demo client, print stats, and exit. Use -serve to
@@ -30,6 +40,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -38,6 +49,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,16 +76,25 @@ func newServer() *server {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7170", "listen address")
-	httpAddr := flag.String("http", "127.0.0.1:7171", "HTTP observability address (/metrics, /debug/citrus, /debug/vars); empty disables")
+	httpAddr := flag.String("http", "127.0.0.1:7171", "HTTP observability address (/metrics, /debug/citrus, /debug/vars, /debug/trace, /debug/pprof); empty disables")
 	serve := flag.Bool("serve", false, "keep serving after the demo instead of exiting")
+	traceOn := flag.Bool("trace", false, "enable the citrustrace flight recorder at startup (dump at /debug/trace)")
+	mutexFrac := flag.Int("mutexprofilefraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events (0 disables)")
+	blockRate := flag.Int("blockprofilerate", 0, "runtime.SetBlockProfileRate: sample blocking events ≥ n ns (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *httpAddr, *serve); err != nil {
+	runtime.SetMutexProfileFraction(*mutexFrac)
+	runtime.SetBlockProfileRate(*blockRate)
+	if err := run(*addr, *httpAddr, *serve, *traceOn); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, httpAddr string, keepServing bool) error {
+func run(addr, httpAddr string, keepServing, traceOn bool) error {
 	srv := newServer()
+	if traceOn {
+		srv.tree.EnableTracing()
+		log.Printf("flight recorder enabled (dump at /debug/trace)")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -87,7 +110,7 @@ func run(addr, httpAddr string, keepServing bool) error {
 		defer hln.Close()
 		citrusstat.Publish("citrus", func() any { return srv.metrics() })
 		go http.Serve(hln, srv.statsMux()) //nolint:errcheck // closed with the listener
-		log.Printf("stats on http://%s/metrics (also /debug/citrus, /debug/vars)", hln.Addr())
+		log.Printf("stats on http://%s/metrics (also /debug/citrus, /debug/vars, /debug/trace, /debug/pprof)", hln.Addr())
 	}
 
 	var wg sync.WaitGroup
@@ -190,7 +213,35 @@ func (s *server) statsMux() *http.ServeMux {
 		writeJSON(w, s.debugCitrus())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", s.serveTrace)
+	// net/http/pprof registers on DefaultServeMux; this server uses its
+	// own mux, so route the handlers explicitly. /debug/pprof/trace is
+	// the runtime execution tracer — grace-period waits show up there as
+	// "rcu.synchronize" regions (go tool trace, "User-defined regions").
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
+}
+
+// serveTrace dumps the flight recorder: the native JSON form by
+// default, the Chrome trace_event form with ?format=chrome.
+func (s *server) serveTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.tree.TraceRecorder()
+	if rec == nil {
+		http.Error(w, "tracing disabled (start kvserver with -trace)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="citrus-trace.json"`)
+		rec.WriteChromeTrace(w) //nolint:errcheck // best-effort over HTTP
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rec.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
 }
 
 // handle serves one connection with its own per-goroutine tree handle.
@@ -215,20 +266,30 @@ func (s *server) handle(conn net.Conn) {
 	}
 }
 
-// exec executes one protocol line.
+// exec executes one protocol line. The goroutine carries an op=<verb>
+// pprof label for the duration, so goroutine and CPU profiles break
+// down by command type (go tool pprof -tags).
 func (s *server) exec(h *citrus.Handle[int64, string], line string) (reply string, quit bool) {
 	s.ops.Add(1)
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command", false
 	}
+	verb := strings.ToUpper(fields[0])
+	rpprof.Do(context.Background(), rpprof.Labels("op", verb), func(context.Context) {
+		reply, quit = s.execVerb(h, verb, fields)
+	})
+	return reply, quit
+}
+
+func (s *server) execVerb(h *citrus.Handle[int64, string], verb string, fields []string) (reply string, quit bool) {
 	parseKey := func() (int64, error) {
 		if len(fields) < 2 {
 			return 0, errors.New("missing key")
 		}
 		return strconv.ParseInt(fields[1], 10, 64)
 	}
-	switch strings.ToUpper(fields[0]) {
+	switch verb {
 	case "SET":
 		key, err := parseKey()
 		if err != nil || len(fields) < 3 {

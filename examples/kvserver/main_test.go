@@ -53,13 +53,19 @@ func TestServerEndToEnd(t *testing.T) {
 	// The full demo: listener, concurrent TCP clients, verification of
 	// every reply, invariant check — on ephemeral ports for both the
 	// line protocol and the HTTP observability endpoint.
-	if err := run("127.0.0.1:0", "127.0.0.1:0", false); err != nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServerEndToEndNoHTTP(t *testing.T) {
-	if err := run("127.0.0.1:0", "", false); err != nil {
+	if err := run("127.0.0.1:0", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerEndToEndTraced(t *testing.T) {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,6 +132,77 @@ func TestMetricsEndpoint(t *testing.T) {
 	var vars map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
 		t.Fatalf("/debug/vars: bad JSON: %v", err)
+	}
+}
+
+// TestTraceEndpoint covers /debug/trace in all three modes: disabled
+// (404), native JSON, and the Chrome trace_event form.
+func TestTraceEndpoint(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	mux := s.statsMux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/trace with tracing disabled: status %d, want 404", rec.Code)
+	}
+
+	s.tree.EnableTracing()
+	s.exec(h, "SET 2 two")
+	s.exec(h, "SET 1 one")
+	s.exec(h, "SET 3 three")
+	s.exec(h, "DEL 2") // two children → one grace period
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace: status %d", rec.Code)
+	}
+	var tr struct {
+		Events []struct {
+			Type string `json:"type"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("/debug/trace: bad JSON: %v", err)
+	}
+	byType := map[string]int{}
+	for _, ev := range tr.Events {
+		byType[ev.Type]++
+	}
+	if byType["insert"] != 3 || byType["delete"] != 1 {
+		t.Fatalf("/debug/trace events wrong: %v", byType)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=chrome", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace?format=chrome: status %d", rec.Code)
+	}
+	var ct struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ct); err != nil {
+		t.Fatalf("chrome trace: bad JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+// TestPprofEndpoint checks that net/http/pprof is routed on the stats
+// mux (the index page lists the standard profiles).
+func TestPprofEndpoint(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	rec := httptest.NewRecorder()
+	s.statsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/: status %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") || !strings.Contains(body, "heap") {
+		t.Fatalf("/debug/pprof/ index does not list profiles:\n%.200s", body)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"cmp"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -63,7 +65,14 @@ func (t *Tree[K, V]) retire(n *node[K, V]) {
 		return
 	}
 	p.retired.Add(1)
-	p.rec.Defer(func() { p.put(n) })
+	p.rec.Defer(func() {
+		p.put(n)
+		// The grace period has elapsed and the node is pooled; this runs
+		// on the reclaimer goroutine, so the event goes to a shared ring.
+		if rec := t.tracer.Load(); rec != nil {
+			rec.SharedRing("reclaim").Record(citrustrace.EvReclaim, time.Now(), 0, 1, 0, 0)
+		}
+	})
 }
 
 // put reinitializes a node whose grace period has elapsed and pools it.

@@ -3,7 +3,10 @@ package core
 import (
 	"cmp"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -15,6 +18,10 @@ type Tree[K cmp.Ordered, V any] struct {
 	flavor  rcu.Flavor
 	root    *node[K, V] // −∞ sentinel; its right child is the +∞ sentinel
 	recycle *nodePool[K, V]
+
+	// tracer is the attached flight recorder, nil while tracing is
+	// disabled (see trace.go). Every operation loads it once.
+	tracer atomic.Pointer[citrustrace.Recorder]
 
 	// Handle registry for Stats: live handles' counter stripes plus the
 	// folded totals of closed ones (see stats.go).
@@ -40,6 +47,13 @@ type Handle[K cmp.Ordered, V any] struct {
 	t   *Tree[K, V]
 	r   rcu.Reader
 	ops opCounters // owner-written stripe of the tree's Stats
+
+	// Tracing state, owner-written like ops: the handle's event ring
+	// under the recorder it was created for, and a reusable per-op
+	// trace context so traced operations allocate nothing (trace.go).
+	ring    *citrustrace.Ring
+	ringRec *citrustrace.Recorder
+	tc      opTrace
 }
 
 // NewHandle registers a new per-goroutine handle.
@@ -116,6 +130,9 @@ func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V
 // soon as the grace period ends, and only reads inside the critical
 // section are covered by it.
 func (h *Handle[K, V]) Contains(key K) (V, bool) {
+	if h.t.tracer.Load() != nil {
+		return h.containsTraced(key)
+	}
 	r := h.reader()
 	h.ops.contains.inc()
 	r.ReadLock()
@@ -148,40 +165,47 @@ func (h *Handle[K, V]) Contains(key K) (V, bool) {
 // Insert adds (key, value) to the dictionary (lines 21–32). It returns
 // false if the key is already present.
 func (h *Handle[K, V]) Insert(key K, value V) bool {
-	for { // line 22
+	tc := h.traceStart() // nil (one predictable branch) unless tracing
+	for {                // line 22
 		prev, tag, curr, dir := h.get(key)
 		if curr != nil { // the key was found (line 24)
 			h.ops.insertExisting.inc()
+			tc.end(citrustrace.EvInsert, 0)
 			return false
 		}
-		prev.mu.Lock() // line 26
+		tc.lock(&prev.mu, citrustrace.SiteInsertParent) // line 26
 		if validate(prev, tag, nil, dir) {
 			n := h.t.newNodeReusing(key, value) // line 28: create a new leaf node
 			prev.child[dir].Store(n)            // line 29
 			prev.mu.Unlock()
 			h.ops.inserts.inc()
+			tc.end(citrustrace.EvInsert, 1)
 			return true
 		}
 		prev.mu.Unlock() // line 32: validation failed, release and retry
 		h.ops.insertRetries.inc()
+		tc.validateFail(citrustrace.SiteValidateInsert)
 	}
 }
 
 // Delete removes key from the dictionary (lines 42–84). It returns false
 // if the key is not present.
 func (h *Handle[K, V]) Delete(key K) bool {
-	for { // line 43
+	tc := h.traceStart() // nil (one predictable branch) unless tracing
+	for {                // line 43
 		prev, _, curr, dir := h.get(key)
 		if curr == nil { // the key was not found (line 45)
 			h.ops.deleteMisses.inc()
+			tc.end(citrustrace.EvDelete, 0)
 			return false
 		}
-		prev.mu.Lock()                     // line 47
-		curr.mu.Lock()                     // line 48
-		if !validate(prev, 0, curr, dir) { // line 49
+		tc.lock(&prev.mu, citrustrace.SiteDeleteParent) // line 47
+		tc.lock(&curr.mu, citrustrace.SiteDeleteTarget) // line 48
+		if !validate(prev, 0, curr, dir) {              // line 49
 			curr.mu.Unlock()
 			prev.mu.Unlock()
 			h.ops.deleteRetries.inc()
+			tc.validateFail(citrustrace.SiteValidateDelete)
 			continue // line 84: validation failed, release locks and retry
 		}
 
@@ -200,6 +224,8 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			prev.mu.Unlock() // line 55: release all locks
 			h.t.retire(curr) // reclamation extension: pool after a grace period
 			h.ops.deletes.inc()
+			tc.retired(1)
+			tc.end(citrustrace.EvDelete, 1)
 			return true
 		}
 
@@ -217,9 +243,9 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		succDir := right // line 65
 		if curr != prevSucc {
 			succDir = left
-			prevSucc.mu.Lock() // line 67: do not lock twice
+			tc.lock(&prevSucc.mu, citrustrace.SiteDeleteSuccParent) // line 67: do not lock twice
 		}
-		succ.mu.Lock() // line 68
+		tc.lock(&succ.mu, citrustrace.SiteDeleteSucc) // line 68
 
 		if validate(prevSucc, 0, succ, succDir) &&
 			validate(succ, succ.tag[left].Load(), nil, left) { // line 69
@@ -230,8 +256,13 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			n.mu.Lock()              // line 71
 			curr.marked = true       // line 72
 			prev.child[dir].Store(n) // line 73
+			var w0 time.Time
+			if tc != nil {
+				w0 = time.Now()
+			}
 			h.t.flavor.Synchronize() // line 74: wait for readers
-			succ.marked = true       // line 75: remove the old successor
+			tc.syncWait(w0)
+			succ.marked = true // line 75: remove the old successor
 			succRight := succ.child[right].Load()
 			if prevSucc == curr { // line 76: succ is the right child of curr
 				n.child[right].Store(succRight) // line 77
@@ -252,7 +283,9 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			h.t.retire(succ)
 			h.ops.deletes.inc()
 			h.ops.twoChildDeletes.inc() // one inline grace period (line 74)
-			return true                 // line 83
+			tc.retired(2)
+			tc.end(citrustrace.EvDelete, 2)
+			return true // line 83
 		}
 
 		// line 84: validation failed, release locks and retry.
@@ -263,5 +296,6 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		curr.mu.Unlock()
 		prev.mu.Unlock()
 		h.ops.deleteRetries.inc()
+		tc.validateFail(citrustrace.SiteValidateDeleteSucc)
 	}
 }

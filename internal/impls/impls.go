@@ -15,6 +15,7 @@ package impls
 import (
 	"cmp"
 
+	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/internal/avl"
 	"github.com/go-citrus/citrus/internal/bonsai"
 	"github.com/go-citrus/citrus/internal/core"
@@ -62,6 +63,21 @@ func NewCitrusClassic[K cmp.Ordered, V any]() dict.Map[K, V] {
 // the end-to-end cost of grace periods.
 func AblationNoSyncCitrus() dict.Map[int, int] {
 	return NewCitrusWithFlavor[int, int](rcu.NoSync(rcu.NewDomain()), "Citrus (no grace periods)")
+}
+
+// AblationTracedCitrus builds the A4 ablation subject: Citrus with a
+// citrustrace flight recorder attached (per-handle operation rings plus
+// the domain's grace-period ring), so the throughput delta against
+// plain Citrus is the end-to-end cost of event tracing while enabled.
+// The recorder is created per tree and never snapshotted during the
+// run, matching the flight-recorder deployment mode.
+func AblationTracedCitrus() dict.Map[int, int] {
+	dom := rcu.NewDomain()
+	t := core.NewTree[int, int](dom)
+	rec := citrustrace.New()
+	dom.SetTracer(rec.SyncTracer("rcu"))
+	t.SetTracer(rec)
+	return &citrusMap[int, int]{t: t, name: "Citrus (tracing on)"}
 }
 
 // NewCitrusWithFlavor returns a Citrus tree on an arbitrary RCU flavor

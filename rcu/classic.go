@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/go-citrus/citrus/citrustrace"
 )
 
 // ClassicDomain mirrors the classic user-space RCU design of Desnoyers,
@@ -26,6 +28,11 @@ type ClassicDomain struct {
 	syncMu  sync.Mutex // serializes Synchronize callers (the bottleneck)
 	gp      atomic.Uint64
 	readers atomic.Pointer[[]*ClassicHandle]
+	nextID  atomic.Uint64 // reader handle ids, for trace attribution
+
+	// tracer, when set, receives one grace-period span per Synchronize
+	// with a per-reader wait breakdown (see Domain.tracer).
+	tracer atomic.Pointer[citrustrace.SyncTracer]
 
 	// stats accumulates grace-period accounting. Only Register and
 	// Synchronize write it; the read-side primitives never touch it.
@@ -49,8 +56,14 @@ type ClassicHandle struct {
 	slot atomic.Uint64
 	_    [cacheLinePad - 8]byte
 
-	d *ClassicDomain
+	d  *ClassicDomain
+	id uint64
 }
+
+// ID reports the handle's domain-unique reader id, stable for the
+// handle's lifetime. Tracing uses it to attribute grace-period waits to
+// specific readers (citrustrace.EvReaderWait).
+func (h *ClassicHandle) ID() uint64 { return h.id }
 
 // Register adds a reader to the domain and returns its handle.
 func (d *ClassicDomain) Register() Reader { return d.register() }
@@ -59,7 +72,7 @@ func (d *ClassicDomain) register() *ClassicHandle {
 	if d.gp.Load() == 0 {
 		d.gp.CompareAndSwap(0, 1) // zero-value domain: establish epoch 1
 	}
-	h := &ClassicHandle{d: d}
+	h := &ClassicHandle{d: d, id: d.nextID.Add(1)}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := d.readers.Load()
@@ -143,14 +156,23 @@ func (h *ClassicHandle) Unregister() {
 // section (wait for it); a slot of zero or at/above the new epoch belongs
 // to no section or to one that started after this call (ignore it).
 func (d *ClassicDomain) Synchronize() {
-	// Start the clock before queueing on syncMu: the wait reported in
-	// Stats includes the serialization behind other synchronizers, which
-	// is the cost Figure 8 is about.
+	// Start the clock — and the trace span — before queueing on syncMu:
+	// the wait reported in Stats and in the EvSync event includes the
+	// serialization behind other synchronizers, which is the cost
+	// Figure 8 is about.
 	start := time.Now()
+	var span *citrustrace.SyncSpan
+	if tr := d.tracer.Load(); tr != nil {
+		s := tr.SyncBegin()
+		span = &s
+	}
 	var totalSpins, totalYields int64
 	d.syncMu.Lock()
 	defer func() {
 		d.syncMu.Unlock()
+		if span != nil {
+			span.End(totalSpins, totalYields)
+		}
 		d.stats.record(start, totalSpins, totalYields)
 	}()
 	newGP := d.gp.Add(1)
@@ -160,10 +182,17 @@ func (d *ClassicDomain) Synchronize() {
 	}
 	for _, r := range *rsp {
 		spins := 0
+		var waitStart time.Time
 		for ; ; spins++ {
 			c := r.slot.Load()
 			if c == 0 || c >= newGP {
 				break
+			}
+			if span != nil && waitStart.IsZero() {
+				// First failed check: the reader is inside a
+				// pre-existing critical section this grace period must
+				// wait out.
+				waitStart = time.Now()
 			}
 			if spins >= spinsBeforeYield {
 				runtime.Gosched()
@@ -171,8 +200,16 @@ func (d *ClassicDomain) Synchronize() {
 			}
 		}
 		totalSpins += int64(spins)
+		if span != nil && !waitStart.IsZero() {
+			span.ReaderWait(r.id, waitStart, time.Since(waitStart), int64(spins))
+		}
 	}
 }
+
+// SetTracer attaches tr's grace-period event recording to the domain
+// (see citrustrace.SyncTracer); nil detaches. Safe to toggle at any
+// time, concurrently with Synchronize calls.
+func (d *ClassicDomain) SetTracer(tr *citrustrace.SyncTracer) { d.tracer.Store(tr) }
 
 // Stats reports the domain's cumulative grace-period accounting. It may
 // be called at any time from any goroutine; all counters are monotonic.
