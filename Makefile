@@ -2,22 +2,24 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper stress fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper stress torture torture-smoke fuzz vet fmt clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): build, vet, full test
 # suite, the race detector over the packages with the most
 # concurrency-sensitive invariants (including the citrustrace rings and
-# the public tracing toggles), then a short citrusbench smoke run that
-# exercises the -json report and the a4 tracing-overhead A/B.
+# the public tracing toggles), a short citrusbench smoke run that
+# exercises the -json report and the a4 tracing-overhead A/B, and a
+# fixed-seed torture smoke run.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./rcu/... ./internal/core/... ./citrustrace/...
+	$(GO) test -race ./rcu/... ./internal/core/... ./citrustrace/... ./internal/schedpoint/... ./internal/torture/...
 	$(GO) test -race -run 'Trace|Tracing' .
 	$(GO) run ./cmd/citrusbench -figure 10c,a4 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
+	$(MAKE) torture-smoke
 
 build:
 	$(GO) build ./...
@@ -51,9 +53,23 @@ stress:
 	$(GO) run ./cmd/citrusstress -mode linear -duration 5s
 	$(GO) run ./cmd/citrusstress -mode falseneg -duration 5s
 
+# Seeded fault-injection torture (docs/VERIFICATION.md "Torture").
+# Long sweep: five seeds, 30s each, across both Citrus flavors plus a
+# recycling configuration. Failures print their reproduction seed.
+torture:
+	$(GO) run ./cmd/citrustorture -seed 1 -seeds 5 -duration 30s -json citrustorture.json
+	$(GO) run ./cmd/citrustorture -flavor classic -seed 1 -seeds 5 -duration 30s -json citrustorture-classic.json
+	$(GO) run ./cmd/citrustorture -recycle -seed 1 -seeds 5 -duration 30s -json citrustorture-recycle.json
+
+# CI-sized fixed-seed smoke: one correct-build run that must pass.
+# The negative controls (nosync, ignoretags) run as tests in
+# internal/torture, so `go test ./...` already proves the harness bites.
+torture-smoke:
+	$(GO) run ./cmd/citrustorture -seed 1 -duration 2s -json citrustorture-smoke.json
+
 # Coverage-guided exploration of the core tree against the map oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzOpsAgainstOracle -fuzztime 60s ./internal/core
 
 clean:
-	rm -f bench_results.csv bench_smoke.json test_output.txt bench_output.txt
+	rm -f bench_results.csv bench_smoke.json test_output.txt bench_output.txt citrustorture*.json

@@ -49,3 +49,43 @@ func TestFalsenegModeShort(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecycleModeShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed stress")
+	}
+	err := run([]string{"-impl", "Citrus", "-mode", "recycle", "-duration", "50ms", "-threads", "4", "-keyrange", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecycleModeSkipsNonCitrus: recycling is a Citrus feature; other
+// implementations are skipped, not failed.
+func TestRecycleModeSkipsNonCitrus(t *testing.T) {
+	if err := run([]string{"-impl", "Skiplist", "-mode", "recycle", "-duration", "1ms"}); err != nil {
+		t.Fatalf("recycle mode on a non-Citrus impl should SKIP, got %v", err)
+	}
+}
+
+func TestStatsFlagShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed stress")
+	}
+	err := run([]string{"-impl", "Citrus", "-mode", "churn", "-duration", "50ms", "-threads", "2", "-keyrange", "32", "-stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBadDurationRejected(t *testing.T) {
+	if err := run([]string{"-duration", "soon"}); err == nil {
+		t.Fatal("unparseable -duration accepted")
+	}
+}

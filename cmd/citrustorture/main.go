@@ -1,0 +1,208 @@
+// Command citrustorture is the repository's rcutorture analog: a
+// time-boxed, seeded fault-injection harness that drives the search
+// structures through the rare interleavings the Citrus paper's proofs
+// are about and watches them with three oracles — the reclamation
+// epoch-accounting shadow (with node poisoning), the structural
+// invariant suite, and an exhaustive linearizability checker whose
+// failing histories are shrunk to a minimal core.
+//
+// The -seed flag drives every schedule-injection decision and every
+// workload draw, so a failure report's seed is a reproduction recipe:
+//
+//	citrustorture -flavor nosync -seed 42 -duration 4s
+//
+// runs the same injection schedule again. -seeds N sweeps N
+// consecutive seeds; -json writes the machine-readable verdicts CI
+// archives. The exit status is 1 iff any run failed.
+//
+// Negative controls (see docs/VERIFICATION.md): `-flavor nosync` and
+// `-mutant ignoretags -recycle` are deliberately broken builds that
+// MUST fail; they verify the harness can see the failures it hunts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/torture"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "citrustorture:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the JSON document written by -json: every run's verdict
+// plus the sweep-level outcome.
+type report struct {
+	Passed bool               `json:"passed"`
+	Runs   []*torture.Verdict `json:"runs"`
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("citrustorture", flag.ContinueOnError)
+	var (
+		implName = fs.String("impl", "citrus", "subject: citrus, a registry name (see -list), or all")
+		list     = fs.Bool("list", false, "list subject names and exit")
+		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, or nosync (negative control)")
+		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
+		recycle  = fs.Bool("recycle", false, "torture citrus with node recycling (disables poisoning)")
+		seed     = fs.Uint64("seed", 1, "master seed: injection schedule + workloads derive from it")
+		seeds    = fs.Int("seeds", 1, "sweep this many consecutive seeds starting at -seed")
+		duration = fs.Duration("duration", 2*time.Second, "time box per run")
+		threads  = fs.Int("threads", 8, "churn worker goroutines")
+		keyRange = fs.Int("keyrange", 64, "churn key range (small ranges maximize conflicts)")
+		maxSleep = fs.Duration("maxsleep", 0, "cap on injected sleeps (0 = schedpoint default)")
+		jsonPath = fs.String("json", "", "write the verdict report as JSON to this file ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "citrus")
+		for _, f := range impls.All[int, int]() {
+			if !strings.EqualFold(f.Name, "citrus") {
+				fmt.Fprintln(out, f.Name)
+			}
+		}
+		return nil
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)
+	}
+
+	type subjectCfg struct {
+		impl, flavor string
+	}
+	var subjects []subjectCfg
+	if *implName == "all" {
+		if *flavor != "" || *mutant != "" || *recycle {
+			return fmt.Errorf("-impl all cannot be combined with -flavor/-mutant/-recycle")
+		}
+		subjects = append(subjects, subjectCfg{"citrus", "scalable"}, subjectCfg{"citrus", "classic"})
+		for _, f := range impls.All[int, int]() {
+			if !strings.HasPrefix(f.Name, "Citrus") {
+				subjects = append(subjects, subjectCfg{f.Name, ""})
+			}
+		}
+	} else {
+		subjects = append(subjects, subjectCfg{*implName, *flavor})
+	}
+
+	rep := report{Passed: true}
+	for _, sub := range subjects {
+		for i := 0; i < *seeds; i++ {
+			cfg := torture.Config{
+				Seed:     *seed + uint64(i),
+				Duration: *duration,
+				Threads:  *threads,
+				KeyRange: *keyRange,
+				Impl:     sub.impl,
+				Flavor:   sub.flavor,
+				Mutant:   *mutant,
+				Recycle:  *recycle,
+				MaxSleep: *maxSleep,
+			}
+			v, err := torture.Run(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, v)
+			printVerdict(out, v)
+			if !v.Passed {
+				rep.Passed = false
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			if _, err := out.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Passed {
+		return fmt.Errorf("%d of %d run(s) failed; reproduce with the seeds printed above", countFailed(rep.Runs), len(rep.Runs))
+	}
+	return nil
+}
+
+func countFailed(runs []*torture.Verdict) int {
+	n := 0
+	for _, v := range runs {
+		if !v.Passed {
+			n++
+		}
+	}
+	return n
+}
+
+// printVerdict renders one run's outcome for a human: a PASS/FAIL
+// line with the reproduction seed, the failure list, and the shrunk
+// history when linearizability was the oracle that fired.
+func printVerdict(out *os.File, v *torture.Verdict) {
+	label := v.Impl
+	if v.Flavor != "" && v.Flavor != "scalable" {
+		label += "/" + v.Flavor
+	}
+	if v.Mutant != "" {
+		label += "+" + v.Mutant
+	}
+	if v.Recycle {
+		label += "+recycle"
+	}
+	status := "PASS"
+	if !v.Passed {
+		status = "FAIL"
+	}
+	fmt.Fprintf(out, "%-32s seed=%-6d %s  (%d rounds, %d ops, %d reclaim checks, %d point hits, %dms)\n",
+		label, v.Seed, status, v.Rounds, v.Ops, v.ReclaimChecks, totalHits(v.PointHits), v.ElapsedMS)
+	for _, f := range v.Failures {
+		fmt.Fprintf(out, "    failure: %s\n", f)
+	}
+	for _, op := range v.MinimalHistory {
+		fmt.Fprintf(out, "    history: %s\n", op)
+	}
+	if !v.Passed {
+		fmt.Fprintf(out, "    reproduce: go run ./cmd/citrustorture %s\n", reproArgs(v))
+	}
+}
+
+// reproArgs reconstructs the flag line that reruns a verdict's exact
+// configuration and injection schedule.
+func reproArgs(v *torture.Verdict) string {
+	args := fmt.Sprintf("-impl %q -seed %d", v.Impl, v.Seed)
+	if v.Flavor != "" {
+		args += " -flavor " + v.Flavor
+	}
+	if v.Mutant != "" {
+		args += " -mutant " + v.Mutant
+	}
+	if v.Recycle {
+		args += " -recycle"
+	}
+	return args
+}
+
+func totalHits(hits map[string]uint64) uint64 {
+	var n uint64
+	for _, h := range hits {
+		n += h
+	}
+	return n
+}

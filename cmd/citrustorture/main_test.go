@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownImplRejected(t *testing.T) {
+	if err := run([]string{"-impl", "nope", "-duration", "50ms"}, os.Stdout); err == nil {
+		t.Fatal("unknown -impl accepted")
+	}
+}
+
+func TestUnknownFlavorRejected(t *testing.T) {
+	if err := run([]string{"-flavor", "nope", "-duration", "50ms"}, os.Stdout); err == nil {
+		t.Fatal("unknown -flavor accepted")
+	}
+}
+
+func TestBadSeedsRejected(t *testing.T) {
+	if err := run([]string{"-seeds", "0"}, os.Stdout); err == nil {
+		t.Fatal("-seeds 0 accepted")
+	}
+}
+
+func TestAllRejectsCitrusKnobs(t *testing.T) {
+	if err := run([]string{"-impl", "all", "-flavor", "nosync"}, os.Stdout); err == nil {
+		t.Fatal("-impl all combined with -flavor accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, os.Stdout); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestSmokePassWritesJSON: a short correct-build run passes and the
+// -json report round-trips with the fields CI consumes.
+func TestSmokePassWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdict.json")
+	err := run([]string{"-seed", "3", "-duration", "150ms", "-threads", "4", "-keyrange", "32", "-json", path}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("verdict JSON does not parse: %v\n%s", err, data)
+	}
+	if !rep.Passed || len(rep.Runs) != 1 {
+		t.Fatalf("report = %+v, want one passed run", rep)
+	}
+	v := rep.Runs[0]
+	if v.Seed != 3 || !v.Passed || v.Ops == 0 || len(v.PointHits) == 0 {
+		t.Fatalf("verdict missing substance: %+v", v)
+	}
+}
+
+// TestNegativeControlExitsNonZero: the nosync control must turn into a
+// non-nil error (exit 1) and a failing JSON report.
+func TestNegativeControlExitsNonZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdict.json")
+	err := run([]string{"-flavor", "nosync", "-seed", "1", "-duration", "4s", "-json", path}, os.Stdout)
+	if err == nil {
+		t.Fatal("nosync run reported success")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	data, err2 := os.ReadFile(path)
+	if err2 != nil {
+		t.Fatalf("JSON report not written on failure: %v", err2)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed || len(rep.Runs) != 1 || rep.Runs[0].Passed {
+		t.Fatalf("failing run's report claims success: %+v", rep)
+	}
+}
+
+// TestSeedSweep: -seeds N runs N consecutive seeds.
+func TestSeedSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdict.json")
+	err := run([]string{"-seed", "5", "-seeds", "2", "-duration", "120ms", "-threads", "4", "-keyrange", "32", "-json", path}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Seed != 5 || rep.Runs[1].Seed != 6 {
+		t.Fatalf("sweep ran wrong seeds: %+v", rep.Runs)
+	}
+}

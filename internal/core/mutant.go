@@ -1,0 +1,37 @@
+package core
+
+import "sync/atomic"
+
+// Mutants — deliberately broken algorithm variants for torture negative
+// controls, in the spirit of rcu.NoSync: a verification harness is only
+// credible if disabling the mechanism under test makes the harness
+// fail. Production code must never set a mutant; the switch exists so
+// cmd/citrustorture can prove, in CI, that its oracles bite.
+
+// Mutant selects an algorithm mutation.
+type Mutant uint32
+
+const (
+	// MutantNone is the correct algorithm.
+	MutantNone Mutant = iota
+
+	// MutantIgnoreTags disables the paper's line-38 tag validation: an
+	// update that found a nil child link validates successfully even if
+	// the link was recycled since the tag was read. With node recycling
+	// enabled this recreates the Figure 5 ABA — a stale insert can link
+	// its node under a recycled parent now living elsewhere in the
+	// tree, corrupting BST order.
+	MutantIgnoreTags
+)
+
+// activeMutant is read by validate on its nil-link path (one atomic
+// load under the already-held parent lock — off the wait-free read
+// path entirely).
+var activeMutant atomic.Uint32
+
+// SetMutant installs a mutant process-wide. Torture harnesses must
+// restore MutantNone when done.
+func SetMutant(m Mutant) { activeMutant.Store(uint32(m)) }
+
+// CurrentMutant reports the installed mutant.
+func CurrentMutant() Mutant { return Mutant(activeMutant.Load()) }

@@ -21,6 +21,14 @@ const (
 	kindNormal kind = iota
 	kindNegInf      // the root sentinel; every node is in its right subtree
 	kindPosInf      // the root's right child; every key is in its left subtree
+
+	// kindPoisoned marks a tree's poison sentinel: in torture mode,
+	// reclaimed nodes' child links are swung to it, so any search that
+	// reaches memory after its grace period supposedly expired lands on
+	// the sentinel and is counted as a reclamation violation
+	// (torture.go). Never reachable from the root in a correct
+	// execution.
+	kindPoisoned
 )
 
 // node is a Citrus tree node.
@@ -56,6 +64,14 @@ func (n *node[K, V]) compareKey(key K) int {
 		return -1 // key < +∞: searches descend left of the sentinel
 	case kindNegInf:
 		return +1
+	case kindPoisoned:
+		// A search inside a read-side critical section walked through a
+		// reclaimed node — a Lemma 2 / grace-period violation. Count the
+		// trip on the sentinel itself (its tags are otherwise unused)
+		// and steer left: the sentinel's children are nil, so the
+		// search terminates as a miss.
+		n.tag[left].Add(1)
+		return -1
 	default:
 		return cmp.Compare(key, n.key)
 	}
@@ -83,6 +99,9 @@ func validate[K cmp.Ordered, V any](prev *node[K, V], tag uint64, curr *node[K, 
 	}
 	if curr != nil { // if curr ≠ ⊥ validate curr's marked bit (line 36)
 		return !curr.marked
+	}
+	if Mutant(activeMutant.Load()) == MutantIgnoreTags {
+		return true // MUTANT: line 38's ABA defense disabled (mutant.go)
 	}
 	return prev.tag[dir].Load() == tag // otherwise validate tag (line 38)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/internal/schedpoint"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -56,21 +57,46 @@ func NewTreeWithRecycling[K cmp.Ordered, V any](flavor rcu.Flavor, rec *rcu.Recl
 }
 
 // retire hands an unlinked node to the reclaimer (no-op without
-// recycling). Callers guarantee n is unreachable from the root; readers
-// may still be crossing it, which is exactly what the deferred grace
-// period covers.
+// recycling or torture mode). Callers guarantee n is unreachable from
+// the root; readers may still be crossing it, which is exactly what the
+// deferred grace period covers — and exactly what torture mode's oracle
+// check and poisoning verify at the moment the grace period ends.
 func (t *Tree[K, V]) retire(n *node[K, V]) {
-	p := t.recycle
-	if p == nil {
+	p, tor := t.recycle, t.torture
+	if p == nil && tor == nil {
 		return
 	}
-	p.retired.Add(1)
-	p.rec.Defer(func() {
-		p.put(n)
-		// The grace period has elapsed and the node is pooled; this runs
-		// on the reclaimer goroutine, so the event goes to a shared ring.
-		if rec := t.tracer.Load(); rec != nil {
-			rec.SharedRing("reclaim").Record(citrustrace.EvReclaim, time.Now(), 0, 1, 0, 0)
+	var rec *rcu.Reclaimer
+	if p != nil {
+		p.retired.Add(1)
+		rec = p.rec
+	} else {
+		rec = tor.rec
+	}
+	var stamp uint64
+	if tor != nil && tor.oracle != nil {
+		stamp = tor.oracle.RetireStamp()
+	}
+	rec.Defer(func() {
+		// The grace period has elapsed; this runs on the reclaimer
+		// goroutine.
+		schedpoint.Hit(schedpoint.CoreBeforeReclaim)
+		if tor != nil {
+			if tor.oracle != nil {
+				if err := tor.oracle.CheckReclaim(stamp); err != nil {
+					tor.fail(err)
+				}
+			}
+			if tor.poison {
+				t.poisonNode(n)
+				return // poisoned nodes are never pooled
+			}
+		}
+		if p != nil {
+			p.put(n)
+			if rec := t.tracer.Load(); rec != nil {
+				rec.SharedRing("reclaim").Record(citrustrace.EvReclaim, time.Now(), 0, 1, 0, 0)
+			}
 		}
 	})
 }

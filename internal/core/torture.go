@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Torture mode — the reclamation-safety oracle's tree-side half.
+//
+// In torture mode every retired node goes through a Reclaimer, and its
+// reclamation (a) is checked against an epoch-accounting oracle that
+// knows which readers could still reach it, and (b) poisons the node:
+// its child links are swung to a per-tree poison sentinel, so a search
+// that reaches the node after its grace period supposedly expired walks
+// onto the sentinel and is counted (compareKey's kindPoisoned case).
+// Together these turn Lemma 2 / Figure 5 violations — which otherwise
+// surface only as an eventual oracle mismatch — into immediate,
+// attributable failures: "node X was reclaimed while reader R's
+// critical section could still reach it".
+
+// A ReclaimOracle decides, per reclamation, whether any reader's
+// read-side critical section could still reach the node being
+// reclaimed. internal/torture.Oracle is the implementation; core sees
+// only the interface to avoid an import cycle.
+type ReclaimOracle interface {
+	// RetireStamp is called when a node is unlinked and retired; the
+	// returned stamp identifies the retirement instant.
+	RetireStamp() uint64
+
+	// CheckReclaim is called when the node's grace period has
+	// supposedly elapsed and it is about to be reclaimed. It returns a
+	// non-nil error if a reader that entered its critical section
+	// before the stamp is still inside it.
+	CheckReclaim(stamp uint64) error
+}
+
+// tortureState is a tree's torture configuration and violation record.
+type tortureState[K any, V any] struct {
+	rec    *rcu.Reclaimer
+	oracle ReclaimOracle
+	poison bool
+
+	violations atomic.Int64
+	mu         sync.Mutex
+	first      error
+}
+
+func (ts *tortureState[K, V]) fail(err error) {
+	ts.violations.Add(1)
+	ts.mu.Lock()
+	if ts.first == nil {
+		ts.first = err
+	}
+	ts.mu.Unlock()
+}
+
+// EnableTorture puts the tree in torture mode: retired nodes are handed
+// to rec, checked against oracle (if non-nil) when reclaimed, and — if
+// poison is set — poisoned instead of released. It must be called
+// before the tree is shared between goroutines and at most once.
+//
+// Poisoning is incompatible with node recycling (a poisoned node must
+// never be reused); EnableTorture panics on that combination. On a
+// recycling tree rec may be nil (the pool's reclaimer is used).
+func (t *Tree[K, V]) EnableTorture(rec *rcu.Reclaimer, oracle ReclaimOracle, poison bool) {
+	if t.torture != nil {
+		panic("citrus: EnableTorture called twice")
+	}
+	if poison && t.recycle != nil {
+		panic("citrus: poisoning is incompatible with node recycling")
+	}
+	if rec == nil {
+		if t.recycle == nil {
+			panic("citrus: EnableTorture needs a Reclaimer on a non-recycling tree")
+		}
+		rec = t.recycle.rec
+	}
+	t.torture = &tortureState[K, V]{rec: rec, oracle: oracle, poison: poison}
+	if poison {
+		t.poisonSentinel = &node[K, V]{kind: kindPoisoned, marked: true}
+	}
+}
+
+// TortureReport returns the number of reclamation-oracle violations
+// observed so far and the first violation's error (nil if none). Only
+// meaningful in torture mode; safe to call at any time.
+func (t *Tree[K, V]) TortureReport() (violations int64, first error) {
+	ts := t.torture
+	if ts == nil {
+		return 0, nil
+	}
+	ts.mu.Lock()
+	first = ts.first
+	ts.mu.Unlock()
+	return ts.violations.Load(), first
+}
+
+// PoisonTrips reports how many times a search walked through a
+// reclaimed (poisoned) node — each trip is one observed grace-period
+// violation. Zero on trees without poisoning.
+func (t *Tree[K, V]) PoisonTrips() int64 {
+	s := t.poisonSentinel
+	if s == nil {
+		return 0
+	}
+	return int64(s.tag[left].Load())
+}
+
+// poisonNode swings a reclaimed node's child links to the tree's poison
+// sentinel. The stores are atomic, so a reader erroneously still
+// walking the node (the violation being hunted) observes either the old
+// link or the sentinel, never a torn pointer; its key, value and marked
+// flag are left intact so stale lock-holding updaters (which legally
+// touch retired nodes — see recycle.go rule 2) keep failing validation
+// exactly as on an unpoisoned tree.
+func (t *Tree[K, V]) poisonNode(n *node[K, V]) {
+	n.child[left].Store(t.poisonSentinel)
+	n.child[right].Store(t.poisonSentinel)
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// stampOracle is a minimal ReclaimOracle for white-box tests: it counts
+// stamps and checks, and reports a violation when told to.
+type stampOracle struct {
+	stamps  int
+	checks  int
+	violate error
+}
+
+func (o *stampOracle) RetireStamp() uint64 {
+	o.stamps++
+	return uint64(o.stamps)
+}
+
+func (o *stampOracle) CheckReclaim(uint64) error {
+	o.checks++
+	return o.violate
+}
+
+// TestPoisonSwingsChildrenAndCountsTrips: after a deleted node's grace
+// period, poison mode swings its child links to the sentinel; a search
+// step walking through the stale node lands on the sentinel and is
+// counted as a trip.
+func TestPoisonSwingsChildrenAndCountsTrips(t *testing.T) {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	defer rec.Close()
+	tr := NewTree[int, int](dom)
+	orc := &stampOracle{}
+	tr.EnableTorture(rec, orc, true)
+
+	h := tr.NewHandle()
+	defer h.Close()
+	for _, k := range []int{10, 5, 15} {
+		h.Insert(k, k)
+	}
+	// Hold the node for 5 the way a suspended search would.
+	inf := tr.root.child[right].Load()
+	n10 := inf.child[left].Load()
+	n5 := n10.child[left].Load()
+	if n5.key != 5 {
+		t.Fatalf("layout: expected 5, got %d", n5.key)
+	}
+	if !h.Delete(5) {
+		t.Fatal("Delete(5) = false")
+	}
+	rec.Barrier() // grace period + reclaim callbacks have run
+
+	if orc.stamps != 1 || orc.checks != 1 {
+		t.Fatalf("oracle saw %d stamps, %d checks; want 1, 1", orc.stamps, orc.checks)
+	}
+	if got := n5.child[left].Load(); got == nil || got.kind != kindPoisoned {
+		t.Fatalf("reclaimed node's left child = %v, want the poison sentinel", got)
+	}
+	if tr.PoisonTrips() != 0 {
+		t.Fatalf("PoisonTrips = %d before any stale walk, want 0", tr.PoisonTrips())
+	}
+	// A stale reader stepping through n5 reaches the sentinel and
+	// compares against it — that is the violation observation.
+	stale := n5.child[left].Load()
+	if c := stale.compareKey(7); c != -1 {
+		t.Fatalf("poison sentinel compareKey = %d, want -1", c)
+	}
+	if got := tr.PoisonTrips(); got != 1 {
+		t.Fatalf("PoisonTrips = %d after a stale walk, want 1", got)
+	}
+	// The sentinel dead-ends: both children nil, so searches terminate.
+	if stale.child[left].Load() != nil || stale.child[right].Load() != nil {
+		t.Fatal("poison sentinel has children; searches through it would not terminate")
+	}
+	// The live tree is untouched.
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after poisoned delete: %v", err)
+	}
+	if _, ok := h.Contains(10); !ok {
+		t.Fatal("key 10 lost")
+	}
+}
+
+// TestTortureOracleViolationRecorded: a CheckReclaim error is counted
+// and surfaced through TortureReport.
+func TestTortureOracleViolationRecorded(t *testing.T) {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	defer rec.Close()
+	tr := NewTree[int, int](dom)
+	orc := &stampOracle{violate: errViolation}
+	tr.EnableTorture(rec, orc, false)
+
+	h := tr.NewHandle()
+	defer h.Close()
+	h.Insert(1, 1)
+	h.Delete(1)
+	rec.Barrier()
+
+	n, first := tr.TortureReport()
+	if n != 1 || first != errViolation {
+		t.Fatalf("TortureReport = (%d, %v), want (1, %v)", n, first, errViolation)
+	}
+}
+
+var errViolation = &violationErr{}
+
+type violationErr struct{}
+
+func (*violationErr) Error() string { return "synthetic reclamation violation" }
+
+// TestEnableTortureRejectsPoisonWithRecycling: a poisoned node must
+// never re-enter the allocation pool.
+func TestEnableTortureRejectsPoisonWithRecycling(t *testing.T) {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	defer rec.Close()
+	tr := NewTreeWithRecycling[int, int](dom, rec)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableTorture(poison) on a recycling tree did not panic")
+		}
+	}()
+	tr.EnableTorture(rec, nil, true)
+}
+
+// TestTortureWithRecyclingStillPools: oracle checks compose with node
+// recycling — retired nodes are checked, then pooled as usual.
+func TestTortureWithRecyclingStillPools(t *testing.T) {
+	dom := rcu.NewDomain()
+	rec := rcu.NewReclaimer(dom)
+	defer rec.Close()
+	tr := NewTreeWithRecycling[int, int](dom, rec)
+	orc := &stampOracle{}
+	tr.EnableTorture(nil, orc, false) // nil rec: reuse the pool's
+
+	h := tr.NewHandle()
+	defer h.Close()
+	for k := 0; k < 8; k++ {
+		h.Insert(k, k)
+	}
+	for k := 0; k < 8; k++ {
+		h.Delete(k)
+	}
+	rec.Barrier()
+	if orc.checks == 0 {
+		t.Fatal("no oracle checks on the recycling path")
+	}
+	retired, _ := tr.RecycleStats()
+	if int(retired) != orc.stamps {
+		t.Fatalf("stamps = %d, want %d (one per retired node)", orc.stamps, retired)
+	}
+	for k := 0; k < 8; k++ {
+		h.Insert(k, k)
+	}
+	if _, reused := tr.RecycleStats(); reused == 0 {
+		t.Fatal("oracle checks disabled pooling: no nodes reused")
+	}
+}
+
+// TestMutantIgnoreTagsDisablesLine38: validate with a stale tag fails
+// on the correct build and passes under the mutant — the white-box pin
+// that the torture negative control relies on.
+func TestMutantIgnoreTagsDisablesLine38(t *testing.T) {
+	n := &node[int, int]{key: 10}
+	n.tag[left].Add(2) // the slot was recycled since the tag was read
+	staleTag := uint64(0)
+	if validate(n, staleTag, nil, left) {
+		t.Fatal("correct validate accepted a stale tag")
+	}
+	SetMutant(MutantIgnoreTags)
+	defer SetMutant(MutantNone)
+	if !validate(n, staleTag, nil, left) {
+		t.Fatal("MutantIgnoreTags still rejects stale tags; the mutant is not wired through validate")
+	}
+	// The other validate clauses stay intact under the mutant.
+	n.marked = true
+	if validate(n, staleTag, nil, left) {
+		t.Fatal("mutant disabled the marked check too; it must only skip line 38")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/internal/schedpoint"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -130,6 +131,7 @@ func (h *Handle[K, V]) containsTraced(key K) (V, bool) {
 	c := curr.compareKey(key)
 	dir := right
 	for curr != nil && c != 0 {
+		schedpoint.Hit(schedpoint.CoreReadCS) // torture: suspend mid-descent
 		prev = curr
 		if c < 0 {
 			dir = left

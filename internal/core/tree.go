@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/internal/schedpoint"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -28,6 +29,11 @@ type Tree[K cmp.Ordered, V any] struct {
 	hmu          sync.Mutex
 	handles      map[*Handle[K, V]]struct{}
 	closedTotals opTotals
+
+	// Torture mode (nil in production): reclamation-oracle checks and
+	// node poisoning for cmd/citrustorture (see torture.go).
+	torture        *tortureState[K, V]
+	poisonSentinel *node[K, V]
 }
 
 // NewTree returns an empty tree whose searches and grace periods use the
@@ -102,6 +108,10 @@ func (h *Handle[K, V]) get(key K) (prev *node[K, V], tag uint64, curr *node[K, V
 	c := curr.compareKey(key)       // line 5: root's right child is never nil
 	dir = right
 	for curr != nil && c != 0 { // line 7
+		// Torture window: a search suspended mid-descent holds pointers
+		// into subtrees that concurrent deletes may be dismantling — the
+		// interleaving Lemma 2 and Figure 4 are about.
+		schedpoint.Hit(schedpoint.CoreReadCS)
 		prev = curr
 		if c < 0 { // line 9: currentKey > key ? left : right
 			dir = left
@@ -141,6 +151,7 @@ func (h *Handle[K, V]) Contains(key K) (V, bool) {
 	c := curr.compareKey(key)
 	dir := right
 	for curr != nil && c != 0 {
+		schedpoint.Hit(schedpoint.CoreReadCS) // torture: suspend mid-descent
 		prev = curr
 		if c < 0 {
 			dir = left
@@ -173,10 +184,17 @@ func (h *Handle[K, V]) Insert(key K, value V) bool {
 			tc.end(citrustrace.EvInsert, 0)
 			return false
 		}
+		// Torture window: (prev, tag) go stale here — the window tag
+		// validation (Lemma 3 / Figure 5) exists for.
+		schedpoint.Hit(schedpoint.CoreSearchToLock)
 		tc.lock(&prev.mu, citrustrace.SiteInsertParent) // line 26
 		if validate(prev, tag, nil, dir) {
 			n := h.t.newNodeReusing(key, value) // line 28: create a new leaf node
-			prev.child[dir].Store(n)            // line 29
+			// Torture window: validated but not yet linked, stretching
+			// the lock hold every concurrent conflicting update must
+			// fail validation against.
+			schedpoint.Hit(schedpoint.CoreValidateToLink)
+			prev.child[dir].Store(n) // line 29
 			prev.mu.Unlock()
 			h.ops.inserts.inc()
 			tc.end(citrustrace.EvInsert, 1)
@@ -199,6 +217,9 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			tc.end(citrustrace.EvDelete, 0)
 			return false
 		}
+		// Torture window: (prev, curr) go stale here; validation (line
+		// 49) must catch every interleaving this admits.
+		schedpoint.Hit(schedpoint.CoreSearchToLock)
 		tc.lock(&prev.mu, citrustrace.SiteDeleteParent) // line 47
 		tc.lock(&curr.mu, citrustrace.SiteDeleteTarget) // line 48
 		if !validate(prev, 0, curr, dir) {              // line 49
@@ -214,7 +235,10 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		if currLeft == nil || currRight == nil {
 			// curr has a single child (lines 50–56).
 			curr.marked = true // line 51
-			repl := currLeft   // line 52: notNoneChild
+			// Torture window: marked but still linked — the
+			// marked-before-removed discipline of Lemma 1.
+			schedpoint.Hit(schedpoint.CoreMarkToGrace)
+			repl := currLeft // line 52: notNoneChild
 			if repl == nil {
 				repl = currRight
 			}
@@ -256,6 +280,10 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			n.mu.Lock()              // line 71
 			curr.marked = true       // line 72
 			prev.child[dir].Store(n) // line 73
+			// Torture window: the copy is published and curr is marked,
+			// but the grace period of line 74 has not begun — searches
+			// suspended at the old successor position are still walking.
+			schedpoint.Hit(schedpoint.CoreMarkToGrace)
 			var w0 time.Time
 			if tc != nil {
 				w0 = time.Now()

@@ -1,0 +1,8 @@
+//go:build !race
+
+package schedpoint
+
+// raceEnabled reports whether the race detector instruments this build;
+// the disabled-path overhead pin relaxes its bound under -race, where
+// every atomic load pays the detector's bookkeeping.
+const raceEnabled = false

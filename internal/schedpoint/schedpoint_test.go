@@ -1,0 +1,196 @@
+package schedpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledHitAllocatesNothing pins half of the disabled-path
+// contract: with no policy enabled, Hit allocates nothing at any point.
+func TestDisabledHitAllocatesNothing(t *testing.T) {
+	Disable()
+	if avg := testing.AllocsPerRun(1000, func() {
+		for pt := Point(0); pt < NumPoints; pt++ {
+			Hit(pt)
+		}
+	}); avg != 0 {
+		t.Errorf("disabled Hit allocates %.2f objects per sweep, want 0", avg)
+	}
+}
+
+// TestDisabledHitIsBranchCheap pins the other half: the disabled path
+// is one atomic load plus a branch. The bound is deliberately loose —
+// two orders of magnitude above the expected ~1ns — so it fails only if
+// someone puts real work (a map lookup, a lock, a time read) ahead of
+// the nil check, not on a slow CI machine.
+func TestDisabledHitIsBranchCheap(t *testing.T) {
+	Disable()
+	const iters = 1_000_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		Hit(CoreReadCS)
+	}
+	perOp := time.Since(start) / iters
+	bound := 150 * time.Nanosecond
+	if raceEnabled {
+		bound = 1500 * time.Nanosecond // the detector instruments the load
+	}
+	if perOp > bound {
+		t.Errorf("disabled Hit costs %v/op, want ≤ %v", perOp, bound)
+	}
+}
+
+func BenchmarkDisabledHit(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		Hit(CoreReadCS)
+	}
+}
+
+func BenchmarkEnabledHitNopOnly(b *testing.B) {
+	p := NewPolicy(1)
+	for pt := Point(0); pt < NumPoints; pt++ {
+		p.SetWeights(pt, Weights{}) // always nop: isolates dispatch cost
+	}
+	Enable(p)
+	defer Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hit(CoreReadCS)
+	}
+}
+
+// TestDecisionsDeterministicPerSeed: the action chosen for the n-th hit
+// of a point is a pure function of (seed, point, n).
+func TestDecisionsDeterministicPerSeed(t *testing.T) {
+	w := Weights{Gosched: 3000, Spin: 2000, Sleep: 1000}
+	seq := func(seed uint64, pt Point) []act {
+		out := make([]act, 256)
+		for i := range out {
+			out[i] = action(splitmix64(seed^uint64(pt)<<56^uint64(i+1)), w)
+		}
+		return out
+	}
+	a := seq(42, CoreSearchToLock)
+	b := seq(42, CoreSearchToLock)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(43, CoreSearchToLock)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("seeds 42 and 43 produced identical 256-decision sequences")
+	}
+}
+
+// TestActionRespectsWeights: degenerate weight tables force every draw
+// into the expected action.
+func TestActionRespectsWeights(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    Weights
+		want act
+	}{
+		{"all nop", Weights{}, actNop},
+		{"all gosched", Weights{Gosched: weightScale}, actGosched},
+		{"all spin", Weights{Spin: weightScale}, actSpin},
+		{"all sleep", Weights{Sleep: weightScale}, actSleep},
+	} {
+		for i := uint64(0); i < 1000; i++ {
+			if got := action(splitmix64(i), tc.w); got != tc.want {
+				t.Fatalf("%s: draw %d classified %v, want %v", tc.name, i, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestHitCountsPerPoint: every strike is counted under its own point,
+// and Hits is keyed by the documented names.
+func TestHitCountsPerPoint(t *testing.T) {
+	p := NewPolicy(7)
+	for pt := Point(0); pt < NumPoints; pt++ {
+		p.SetWeights(pt, Weights{}) // count without perturbing
+	}
+	Enable(p)
+	defer Disable()
+	for i := 0; i < 5; i++ {
+		Hit(CoreSearchToLock)
+	}
+	Hit(RCUSyncScan)
+	hits := p.Hits()
+	if hits[CoreSearchToLock.String()] != 5 {
+		t.Errorf("core.search.lock hits = %d, want 5", hits[CoreSearchToLock.String()])
+	}
+	if hits[RCUSyncScan.String()] != 1 {
+		t.Errorf("rcu.sync.scan hits = %d, want 1", hits[RCUSyncScan.String()])
+	}
+	if got := p.TotalHits(); got != 6 {
+		t.Errorf("TotalHits = %d, want 6", got)
+	}
+	if _, ok := hits["core.mark.grace"]; !ok {
+		t.Error("Hits map is missing the documented point name core.mark.grace")
+	}
+}
+
+// TestEnableDisableUnderFire: toggling the policy while goroutines
+// hammer Hit is safe (exercised under -race in CI).
+func TestEnableDisableUnderFire(t *testing.T) {
+	p := NewPolicy(3)
+	p.SetMaxSleep(10 * time.Microsecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Hit(CoreReadCS)
+					Hit(RCUReadLockPublish)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if i%2 == 0 {
+			Enable(p)
+		} else {
+			Disable()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	Disable()
+	if p.TotalHits() == 0 {
+		t.Error("no hits recorded while the policy was enabled")
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	seen := map[string]bool{}
+	for pt := Point(0); pt < NumPoints; pt++ {
+		n := pt.String()
+		if n == "" || n == "schedpoint.invalid" {
+			t.Fatalf("point %d has no name", pt)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate point name %q", n)
+		}
+		seen[n] = true
+	}
+	if NumPoints.String() != "schedpoint.invalid" {
+		t.Error("out-of-range point did not stringify as invalid")
+	}
+}

@@ -1,0 +1,181 @@
+// Package torture is the seeded fault-injection torture harness behind
+// cmd/citrustorture: an rcutorture-style adversarial layer that drives
+// the repository's search structures through the rare interleavings the
+// paper's §4 proof obligations are about, using the schedule-injection
+// points of internal/schedpoint, and watches them with three oracles —
+// the linearizability checker, the structural invariant suite, and this
+// package's reclamation-safety Oracle.
+package torture
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Oracle is an epoch-accounting shadow of an RCU flavor: it wraps a
+// real flavor, stamps every reader's critical-section entry with a
+// global retirement epoch, and can decide — at the instant a retired
+// node is reclaimed — whether any reader that could still reach the
+// node is inside its critical section. It implements rcu.Flavor (so a
+// tree runs on it transparently) and core.ReclaimOracle (so the tree's
+// reclamation path consults it).
+//
+// Soundness: a violation is reported only if a reader (a) recorded its
+// entry epoch before the node's retirement stamp and (b) still holds
+// that entry at check time. With sequentially consistent atomics that
+// means the reader entered its section before the node was retired and
+// is still inside it when the node is reclaimed — exactly the
+// executions the RCU property (Figure 2) forbids. A reader between its
+// inner ReadLock and its entry store is invisible for one instruction,
+// so the oracle can miss a violation (it is a detector, not a prover)
+// but never invents one: the correct flavors pass under arbitrary
+// schedules.
+type Oracle struct {
+	inner rcu.Flavor
+	epoch atomic.Uint64 // bumped once per retirement; entry stamps quote it
+
+	mu      sync.Mutex // registration copy-on-write, as in rcu.Domain
+	readers atomic.Pointer[[]*oreader]
+	nextID  atomic.Uint64
+
+	checks     atomic.Int64
+	violations atomic.Int64
+	vmu        sync.Mutex
+	first      error
+}
+
+var _ rcu.Flavor = (*Oracle)(nil)
+
+// NewOracle returns an oracle shadowing the given flavor.
+func NewOracle(inner rcu.Flavor) *Oracle {
+	o := &Oracle{inner: inner}
+	o.epoch.Store(1) // entry stamp 0 means "outside any critical section"
+	return o
+}
+
+// oreader pairs a wrapped reader with its entry-epoch word, padded like
+// the rcu handles so the torture run measures the library's sharing
+// behaviour, not the oracle's.
+type oreader struct {
+	_     [128]byte
+	entry atomic.Uint64 // 0 = outside; else epoch observed at entry
+	_     [120]byte
+
+	o     *Oracle
+	inner rcu.Reader
+	id    uint64
+}
+
+// Register wraps a reader of the shadowed flavor.
+func (o *Oracle) Register() rcu.Reader {
+	r := &oreader{o: o, inner: o.inner.Register(), id: o.nextID.Add(1)}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	old := o.readers.Load()
+	var rs []*oreader
+	if old != nil {
+		rs = make([]*oreader, len(*old), len(*old)+1)
+		copy(rs, *old)
+	}
+	rs = append(rs, r)
+	o.readers.Store(&rs)
+	return r
+}
+
+// Synchronize passes through to the shadowed flavor.
+func (o *Oracle) Synchronize() { o.inner.Synchronize() }
+
+// RetireStamp records a retirement instant: it advances the epoch and
+// returns the new value. Implements core.ReclaimOracle.
+func (o *Oracle) RetireStamp() uint64 { return o.epoch.Add(1) }
+
+// CheckReclaim reports whether the node retired at stamp may be
+// reclaimed now: it returns a non-nil error iff some reader entered its
+// critical section before the retirement and is still inside it —
+// i.e. the grace period that was supposed to separate retirement from
+// reclamation did not happen. Implements core.ReclaimOracle.
+func (o *Oracle) CheckReclaim(stamp uint64) error {
+	o.checks.Add(1)
+	rsp := o.readers.Load()
+	if rsp == nil {
+		return nil
+	}
+	for _, r := range *rsp {
+		if e := r.entry.Load(); e != 0 && e < stamp {
+			o.violations.Add(1)
+			err := fmt.Errorf("torture: reclamation violation: reader %d entered its read-side critical section at epoch %d and is still inside it, but a node retired at epoch %d is being reclaimed (no grace period separated them)", r.id, e, stamp)
+			o.vmu.Lock()
+			if o.first == nil {
+				o.first = err
+			}
+			o.vmu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// Checks reports how many reclamations the oracle examined.
+func (o *Oracle) Checks() int64 { return o.checks.Load() }
+
+// Violations reports how many reclamations were flagged.
+func (o *Oracle) Violations() int64 { return o.violations.Load() }
+
+// FirstViolation returns the first flagged reclamation's error, nil if
+// none.
+func (o *Oracle) FirstViolation() error {
+	o.vmu.Lock()
+	defer o.vmu.Unlock()
+	return o.first
+}
+
+// ReadLock enters the shadowed reader's critical section, then records
+// the entry epoch. Recording after the inner ReadLock keeps the oracle
+// conservative: a delayed entry store can only make the reader look
+// younger (missing a real violation), never older (inventing one).
+func (r *oreader) ReadLock() {
+	r.inner.ReadLock()
+	r.entry.Store(r.o.epoch.Load())
+}
+
+// ReadUnlock clears the entry stamp, then leaves the shadowed reader's
+// critical section — the reverse order of ReadLock, for the same
+// conservatism.
+func (r *oreader) ReadUnlock() {
+	r.entry.Store(0)
+	r.inner.ReadUnlock()
+}
+
+// Synchronize passes through to the oracle's flavor.
+func (r *oreader) Synchronize() { r.o.Synchronize() }
+
+// Unregister removes the reader from the oracle and the shadowed
+// flavor.
+func (r *oreader) Unregister() {
+	o := r.o
+	o.mu.Lock()
+	old := o.readers.Load()
+	if old != nil {
+		rs := make([]*oreader, 0, len(*old))
+		for _, x := range *old {
+			if x != r {
+				rs = append(rs, x)
+			}
+		}
+		o.readers.Store(&rs)
+	}
+	o.mu.Unlock()
+	r.inner.Unregister()
+}
+
+// ID exposes the wrapped reader's id when it has one, so trace
+// attribution keeps working through the oracle.
+func (r *oreader) ID() uint64 {
+	if ider, ok := r.inner.(interface{ ID() uint64 }); ok {
+		return ider.ID()
+	}
+	return r.id
+}

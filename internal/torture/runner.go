@@ -1,0 +1,402 @@
+package torture
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/internal/dict"
+	"github.com/go-citrus/citrus/internal/impls"
+	"github.com/go-citrus/citrus/internal/linearizability"
+	"github.com/go-citrus/citrus/internal/schedpoint"
+	"github.com/go-citrus/citrus/internal/workload"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// Config selects what to torture and how hard. The zero value is not
+// runnable; Run fills defaults for Duration/Threads/KeyRange but the
+// subject fields mean: Impl "" or "citrus" is the Citrus tree under the
+// flavor/mutant/recycle knobs, any other value must match a registry
+// name from internal/impls (case-insensitive), for which the knobs must
+// be left at their zero values.
+type Config struct {
+	Seed     uint64        // master seed: injection policy + workloads derive from it
+	Duration time.Duration // total time box (default 2s)
+	Threads  int           // churn workers (default 8)
+	KeyRange int           // churn key range (default 64; small = conflict-heavy)
+
+	Impl    string // "", "citrus", or an impls registry name
+	Flavor  string // "", "scalable", "classic", "nosync" — Citrus only
+	Mutant  string // "", "ignoretags" — Citrus only
+	Recycle bool   // node recycling (Citrus only; disables poisoning)
+
+	MaxSleep time.Duration // cap on injected sleeps (0 = schedpoint default)
+}
+
+// Verdict is a run's machine-readable outcome, designed to be emitted
+// as JSON by cmd/citrustorture and archived by CI. Reproduce a failure
+// by re-running with the same Config — Seed drives every injection
+// decision and every workload draw.
+type Verdict struct {
+	Seed    uint64 `json:"seed"`
+	Impl    string `json:"impl"`
+	Flavor  string `json:"flavor,omitempty"`
+	Mutant  string `json:"mutant,omitempty"`
+	Recycle bool   `json:"recycle,omitempty"`
+
+	Passed         bool     `json:"passed"`
+	Failures       []string `json:"failures,omitempty"`
+	MinimalHistory []string `json:"minimal_history,omitempty"`
+
+	Rounds            int               `json:"rounds"`
+	Ops               int64             `json:"ops"`
+	PermanentReads    int64             `json:"permanent_reads"`
+	FalseNegatives    int64             `json:"false_negatives"`
+	ValueCorruptions  int64             `json:"value_corruptions"`
+	ReclaimChecks     int64             `json:"reclaim_checks"`
+	ReclaimViolations int64             `json:"reclaim_violations"`
+	PoisonTrips       int64             `json:"poison_trips"`
+	NodesRetired      int64             `json:"nodes_retired,omitempty"`
+	NodesReused       int64             `json:"nodes_reused,omitempty"`
+	PointHits         map[string]uint64 `json:"point_hits"`
+	ElapsedMS         int64             `json:"elapsed_ms"`
+}
+
+func (v *Verdict) fail(format string, args ...any) {
+	v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+}
+
+// subject is one torture target: a handle factory plus the quiescent
+// hooks the round checks need. Citrus subjects carry the full oracle
+// wiring; registry subjects only the generic dict surface.
+type subject struct {
+	newHandle func() dict.Handle[int, int]
+	keys      func() []int
+	check     func() error
+	barrier   func()                // flush retirements; nil when not applicable
+	fold      func(v *Verdict)      // accumulate oracle/pool stats; nil ok
+	violation func() (int64, error) // oracle verdict; nil when no oracle
+	close     func()
+}
+
+// buildSubject constructs a fresh torture target for cfg. Each round
+// and each linearizability burst gets its own, so a corrupted structure
+// from one round cannot mask or fabricate failures in the next.
+func buildSubject(cfg Config) (*subject, error) {
+	name := cfg.Impl
+	if name == "" || strings.EqualFold(name, "citrus") {
+		return buildCitrusSubject(cfg)
+	}
+	if cfg.Flavor != "" || cfg.Mutant != "" || cfg.Recycle {
+		return nil, fmt.Errorf("flavor/mutant/recycle apply only to the citrus subject, not %q", name)
+	}
+	for _, f := range impls.All[int, int]() {
+		if strings.EqualFold(f.Name, name) {
+			m := f.New()
+			return &subject{
+				newHandle: m.NewHandle,
+				keys:      m.Keys,
+				check:     m.CheckInvariants,
+				close:     func() {},
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown implementation %q", name)
+}
+
+func buildCitrusSubject(cfg Config) (*subject, error) {
+	var inner rcu.Flavor
+	switch cfg.Flavor {
+	case "", "scalable":
+		inner = rcu.NewDomain()
+	case "classic":
+		inner = rcu.NewClassicDomain()
+	case "nosync":
+		inner = rcu.NoSync(rcu.NewDomain())
+	default:
+		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync)", cfg.Flavor)
+	}
+	o := NewOracle(inner)
+	rec := rcu.NewReclaimer(o)
+	var tr *core.Tree[int, int]
+	if cfg.Recycle {
+		tr = core.NewTreeWithRecycling[int, int](o, rec)
+		tr.EnableTorture(rec, o, false) // poisoned nodes must never be pooled
+	} else {
+		tr = core.NewTree[int, int](o)
+		tr.EnableTorture(rec, o, true)
+	}
+	return &subject{
+		newHandle: func() dict.Handle[int, int] { return tr.NewHandle() },
+		keys:      tr.Keys,
+		check:     tr.CheckInvariants,
+		barrier:   rec.Barrier,
+		fold: func(v *Verdict) {
+			v.ReclaimChecks += o.Checks()
+			v.ReclaimViolations += o.Violations()
+			v.PoisonTrips += tr.PoisonTrips()
+			retired, reused := tr.RecycleStats()
+			v.NodesRetired += retired
+			v.NodesReused += reused
+		},
+		violation: func() (int64, error) {
+			if n, first := tr.TortureReport(); n != 0 {
+				return n, first
+			}
+			if o.Violations() != 0 {
+				return o.Violations(), o.FirstViolation()
+			}
+			if trips := tr.PoisonTrips(); trips != 0 {
+				return trips, fmt.Errorf("a search walked a reclaimed (poisoned) node %d time(s)", trips)
+			}
+			return 0, nil
+		},
+		close: rec.Close,
+	}, nil
+}
+
+// splitmix64 is the standard seed expander (Steele et al.), used to
+// derive independent per-round and per-worker streams from the master
+// seed — the same derivation schedpoint uses for injection decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Run executes one torture run and returns its verdict. The only error
+// return is a config error; a subject failing its oracles is a Passed:
+// false verdict, not an error.
+//
+// A run is a sequence of rounds against fresh subjects, each round
+// three movements: (1) churn — Threads workers hammer a small key
+// range under the seeded injection policy, with keys ≡ 0 (mod 4)
+// permanent so any Contains miss on them is a caught false negative
+// (the Figure 4 failure mode) and any wrong value a caught corruption;
+// (2) quiesce — retirements are flushed, the reclamation oracle's
+// verdict is read, structural invariants are checked, and quiescent
+// iteration is cross-checked against point queries; (3) a small
+// recorded history is checked for linearizability, and a failing
+// history is shrunk to a locally minimal core before it is reported.
+func Run(cfg Config) (*Verdict, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.KeyRange < 8 {
+		cfg.KeyRange = 64
+	}
+	if _, err := buildSubject(cfg); err != nil {
+		return nil, err // validate impl/flavor before spending the time box
+	}
+	switch cfg.Mutant {
+	case "":
+	case "ignoretags":
+		core.SetMutant(core.MutantIgnoreTags)
+		defer core.SetMutant(core.MutantNone)
+	default:
+		return nil, fmt.Errorf("unknown mutant %q (ignoretags)", cfg.Mutant)
+	}
+
+	pol := schedpoint.NewPolicy(cfg.Seed)
+	if cfg.MaxSleep > 0 {
+		pol.SetMaxSleep(cfg.MaxSleep)
+	}
+	schedpoint.Enable(pol)
+	defer schedpoint.Disable()
+
+	v := &Verdict{Seed: cfg.Seed, Impl: cfg.Impl, Flavor: cfg.Flavor, Mutant: cfg.Mutant, Recycle: cfg.Recycle}
+	if v.Impl == "" {
+		v.Impl = "citrus"
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for round := 0; time.Now().Before(deadline) && len(v.Failures) == 0; round++ {
+		slice := 150 * time.Millisecond
+		if rem := time.Until(deadline); rem < slice {
+			slice = rem
+		}
+		roundSeed := splitmix64(cfg.Seed ^ uint64(round)<<32)
+		runRound(cfg, v, roundSeed, slice)
+		v.Rounds++
+	}
+	v.PointHits = pol.Hits()
+	v.ElapsedMS = time.Since(start).Milliseconds()
+	v.Passed = len(v.Failures) == 0
+	return v, nil
+}
+
+// runRound runs one churn+quiesce+history round against a fresh
+// subject. Failures are appended to v; the caller stops on the first.
+func runRound(cfg Config, v *Verdict, roundSeed uint64, slice time.Duration) {
+	s, err := buildSubject(cfg)
+	if err != nil {
+		v.fail("subject: %v", err)
+		return
+	}
+	defer s.close()
+
+	// Permanent keys (≡ 0 mod 4) are inserted up front and never
+	// deleted; every draw of one is a membership probe.
+	{
+		h := s.newHandle()
+		for k := 0; k < cfg.KeyRange; k += 4 {
+			h.Insert(k, k)
+		}
+		h.Close()
+	}
+
+	var (
+		stop        atomic.Bool
+		ops         atomic.Int64
+		permReads   atomic.Int64
+		falseNegs   atomic.Int64
+		corruptions atomic.Int64
+		wg          sync.WaitGroup
+	)
+	mix := workload.Mix{ContainsPct: 20, InsertPct: 40, DeletePct: 40}
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := s.newHandle()
+			defer h.Close()
+			rng := workload.NewRNG(seed)
+			n := int64(0)
+			for !stop.Load() {
+				k := rng.Intn(cfg.KeyRange)
+				if k%4 == 0 {
+					permReads.Add(1)
+					v, ok := h.Contains(k)
+					if !ok {
+						falseNegs.Add(1)
+					} else if v != k {
+						corruptions.Add(1)
+					}
+				} else {
+					switch rng.NextOp(mix) {
+					case workload.OpContains:
+						if v, ok := h.Contains(k); ok && v != k {
+							corruptions.Add(1)
+						}
+					case workload.OpInsert:
+						h.Insert(k, k)
+					default:
+						h.Delete(k)
+					}
+				}
+				n++
+			}
+			ops.Add(n)
+		}(splitmix64(roundSeed ^ uint64(w)))
+	}
+	time.Sleep(slice)
+	stop.Store(true)
+	wg.Wait()
+	v.Ops += ops.Load()
+	v.PermanentReads += permReads.Load()
+	v.FalseNegatives += falseNegs.Load()
+	v.ValueCorruptions += corruptions.Load()
+
+	// Quiesce: flush retirements so the oracle has seen every
+	// reclamation this round caused, then read the verdicts.
+	if s.barrier != nil {
+		s.barrier()
+	}
+	if fn := falseNegs.Load(); fn != 0 {
+		v.fail("%d false negative(s) on permanently present keys in %d probes (the line 74 guarantee failed)", fn, permReads.Load())
+	}
+	if c := corruptions.Load(); c != 0 {
+		v.fail("%d value corruption(s): Contains returned a value that was never stored under that key", c)
+	}
+	if s.violation != nil {
+		if n, first := s.violation(); n != 0 {
+			v.fail("reclamation oracle: %d violation(s); first: %v", n, first)
+		}
+	}
+	if err := s.check(); err != nil {
+		v.fail("structural invariants: %v", err)
+	}
+	if len(v.Failures) == 0 {
+		h := s.newHandle()
+		inKeys := map[int]bool{}
+		for _, k := range s.keys() {
+			inKeys[k] = true
+		}
+		for k := 0; k < cfg.KeyRange; k++ {
+			if _, ok := h.Contains(k); ok != inKeys[k] {
+				v.fail("membership mismatch on key %d: Contains=%v, quiescent iteration=%v", k, ok, inKeys[k])
+				break
+			}
+		}
+		h.Close()
+	}
+	if s.fold != nil {
+		s.fold(v)
+	}
+	if len(v.Failures) != 0 {
+		return
+	}
+	runHistory(cfg, v, splitmix64(roundSeed^0xD1CEB0C5))
+}
+
+// runHistory records one small, highly concurrent history against a
+// fresh subject and checks it for linearizability; a failing history is
+// shrunk to a locally minimal core for the verdict.
+func runHistory(cfg Config, v *Verdict, seed uint64) {
+	s, err := buildSubject(cfg)
+	if err != nil {
+		v.fail("history subject: %v", err)
+		return
+	}
+	defer s.close()
+
+	procs := cfg.Threads
+	if procs > 4 {
+		procs = 4 // keep the history inside the exhaustive checker's reach
+	}
+	rec := linearizability.NewRecorder()
+	handles := make([]*linearizability.RecordingHandle, procs)
+	for p := 0; p < procs; p++ {
+		handles[p] = rec.Wrap(s.newHandle(), p)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := handles[p]
+			rng := workload.NewRNG(splitmix64(seed ^ uint64(p)))
+			for i := 0; i < 8; i++ {
+				k := rng.Intn(3)
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, p*100+i) // distinct values expose stale reads
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	var ops []linearizability.Op
+	for _, h := range handles {
+		ops = append(ops, h.Ops()...)
+		h.Close()
+	}
+	if err := linearizability.Check(ops, 0); err != nil {
+		minimal := linearizability.Shrink(ops, 0)
+		v.fail("linearizability: %v (minimal core: %d ops)", err, len(minimal))
+		for _, op := range minimal {
+			v.MinimalHistory = append(v.MinimalHistory, op.String())
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package torture
+
+import (
+	"testing"
+	"time"
+)
+
+// The negative controls: torture runs against deliberately broken
+// builds must FAIL, quickly and attributably — they are the "tests for
+// the tests" (docs/VERIFICATION.md). Each uses a fixed seed so a
+// regression here is a deterministic repro, not a flake.
+
+// TestNegativeControlNoSync: Citrus over a flavor whose Synchronize
+// returns immediately must be caught — by the reclamation oracle, the
+// poison tripwire, or a false negative on a permanent key.
+func TestNegativeControlNoSync(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     1,
+		Duration: 4 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Flavor:   "nosync",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Fatalf("torture passed the nosync mutant: verdict %+v", v)
+	}
+	t.Logf("nosync caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
+}
+
+// TestNegativeControlIgnoreTags: disabling the line 38 tag validation
+// under node recycling must be caught — recycled nodes accept stale
+// (tag, nil-slot) validations, so inserts publish under nodes living a
+// different life elsewhere in the tree.
+func TestNegativeControlIgnoreTags(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     1,
+		Duration: 10 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Mutant:   "ignoretags",
+		Recycle:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Fatalf("torture passed the ignoretags mutant: verdict %+v", v)
+	}
+	t.Logf("ignoretags caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
+}
+
+// TestRealBuildSurvivesManySeeds: the correct tree on both flavors must
+// pass under distinct injection schedules — the oracle suite has no
+// false positives. Ten seeds per the acceptance criteria.
+func TestRealBuildSurvivesManySeeds(t *testing.T) {
+	dur := 250 * time.Millisecond
+	if testing.Short() {
+		dur = 120 * time.Millisecond
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		flavor := "scalable"
+		if seed%2 == 0 {
+			flavor = "classic"
+		}
+		v, err := Run(Config{
+			Seed:     seed,
+			Duration: dur,
+			Threads:  8,
+			KeyRange: 64,
+			Flavor:   flavor,
+			Recycle:  seed%3 == 0, // mix pooled and poisoned configurations
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Passed {
+			t.Fatalf("seed %d (%s): correct build failed torture: %v (history: %v)",
+				seed, flavor, v.Failures, v.MinimalHistory)
+		}
+		if total := totalHits(v.PointHits); total == 0 {
+			t.Fatalf("seed %d: no schedule points fired; the injection layer is dead", seed)
+		}
+		if v.ReclaimChecks == 0 {
+			t.Fatalf("seed %d: the oracle checked no reclamations; the torture wiring is dead", seed)
+		}
+	}
+}
+
+func totalHits(hits map[string]uint64) uint64 {
+	var n uint64
+	for _, h := range hits {
+		n += h
+	}
+	return n
+}
+
+// TestSeedReproducesFailure: the replay story — rerunning a failing
+// configuration with its printed seed fails again.
+func TestSeedReproducesFailure(t *testing.T) {
+	cfg := Config{
+		Seed:     42,
+		Duration: 4 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Flavor:   "nosync",
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Passed {
+		t.Fatal("setup: nosync did not fail on seed 42")
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Passed {
+		t.Fatalf("seed 42 failed once (%v) but passed on replay", first.Failures)
+	}
+}
+
+// TestRegistryImplSmoke: the runner handles non-Citrus registry
+// subjects (no oracle, still churn + invariants + linearizability).
+func TestRegistryImplSmoke(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     7,
+		Duration: 150 * time.Millisecond,
+		Threads:  4,
+		KeyRange: 32,
+		Impl:     "Skiplist",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Passed {
+		t.Fatalf("skiplist failed torture smoke: %v", v.Failures)
+	}
+	if v.ReclaimChecks != 0 {
+		t.Fatal("a non-Citrus subject reported oracle checks")
+	}
+}
+
+// TestConfigValidation: bad knobs are config errors, not verdicts.
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Impl: "NoSuchTree"},
+		{Flavor: "bogus"},
+		{Mutant: "bogus"},
+		{Impl: "Skiplist", Flavor: "classic"}, // knobs on a non-citrus subject
+		{Impl: "Skiplist", Recycle: true},
+	}
+	for _, cfg := range cases {
+		cfg.Duration = 50 * time.Millisecond
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v) accepted an invalid config", cfg)
+		}
+	}
+}

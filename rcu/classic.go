@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/internal/schedpoint"
 )
 
 // ClassicDomain mirrors the classic user-space RCU design of Desnoyers,
@@ -88,7 +89,10 @@ func (d *ClassicDomain) register() *ClassicHandle {
 }
 
 // ReadLock enters a read-side critical section by publishing the current
-// global grace-period counter in the reader's slot. Wait-free.
+// global grace-period counter in the reader's slot. Wait-free: the
+// torture injection point between the counter read and the slot store
+// compiles to a single predictable branch unless a schedpoint policy is
+// enabled.
 func (h *ClassicHandle) ReadLock() {
 	if h.d == nil {
 		panic("rcu: ClassicHandle used after Unregister")
@@ -96,7 +100,12 @@ func (h *ClassicHandle) ReadLock() {
 	if h.slot.Load() != 0 {
 		panic("rcu: nested ReadLock on the same ClassicHandle")
 	}
-	h.slot.Store(h.d.gp.Load())
+	gp := h.d.gp.Load()
+	// Torture window: the reader holds a counter value it has not yet
+	// published — the exact reordering race the original URCU defends
+	// against with its double phase flip (see Synchronize's comment).
+	schedpoint.Hit(schedpoint.RCUReadLockPublish)
+	h.slot.Store(gp)
 }
 
 // ReadUnlock leaves the read-side critical section. Wait-free.
@@ -175,12 +184,17 @@ func (d *ClassicDomain) Synchronize() {
 		}
 		d.stats.record(start, totalSpins, totalYields)
 	}()
+	// Torture window: before the counter flip, the new grace period is
+	// decided but not yet visible to entering readers.
+	schedpoint.Hit(schedpoint.RCUSyncFlip)
 	newGP := d.gp.Add(1)
 	rsp := d.readers.Load()
 	if rsp == nil {
 		return
 	}
 	for _, r := range *rsp {
+		// Torture window: mid-scan between readers.
+		schedpoint.Hit(schedpoint.RCUSyncScan)
 		spins := 0
 		var waitStart time.Time
 		for ; ; spins++ {

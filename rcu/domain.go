@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/internal/schedpoint"
 )
 
 // cacheLinePad is the padding unit used to keep each reader's state word on
@@ -95,7 +96,10 @@ func (d *Domain) register() *Handle {
 }
 
 // ReadLock enters a read-side critical section: one atomic store that
-// advances the counter and sets the flag. Wait-free.
+// advances the counter and sets the flag. Wait-free: the torture
+// injection point between the state read and the publishing store
+// compiles to a single predictable branch unless a schedpoint policy is
+// enabled.
 func (h *Handle) ReadLock() {
 	if h.d == nil {
 		panic("rcu: Handle used after Unregister")
@@ -104,6 +108,9 @@ func (h *Handle) ReadLock() {
 	if s&1 != 0 {
 		panic("rcu: nested ReadLock on the same Handle")
 	}
+	// Torture window: a reader suspended here has decided to enter but
+	// has not yet published its critical section to synchronizers.
+	schedpoint.Hit(schedpoint.RCUReadLockPublish)
 	// (counter+1)<<1 | 1 == s + 3 when the flag bit is clear.
 	h.state.Store(s + 3)
 }
@@ -172,6 +179,9 @@ func (d *Domain) Synchronize() {
 		}
 		d.stats.record(start, totalSpins, totalYields)
 	}()
+	// Torture window: everything before the snapshot — readers entering
+	// now must not be waited for, readers already inside must be.
+	schedpoint.Hit(schedpoint.RCUSyncFlip)
 	rsp := d.readers.Load()
 	if rsp == nil {
 		return
@@ -194,6 +204,9 @@ func (d *Domain) Synchronize() {
 		if snap[i]&1 == 0 {
 			continue
 		}
+		// Torture window: mid-scan, earlier readers' snapshots are stale
+		// while this one is still being waited out.
+		schedpoint.Hit(schedpoint.RCUSyncScan)
 		// r was inside a pre-existing read-side critical section: this
 		// grace period is attributable to it.
 		var waitStart time.Time
