@@ -10,15 +10,17 @@ all: build vet test
 # suite, the race detector over the packages with the most
 # concurrency-sensitive invariants (including the citrustrace rings and
 # the public tracing toggles), a short citrusbench smoke run that
-# exercises the -json report and the a4 tracing-overhead A/B, and a
-# fixed-seed torture smoke run.
+# exercises the -json report plus the a4 tracing-overhead and a5
+# grace-period-combining A/Bs, the committed BENCH_PR4.json combining
+# ablation, and a fixed-seed torture smoke run.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./rcu/... ./internal/core/... ./citrustrace/... ./internal/schedpoint/... ./internal/torture/...
 	$(GO) test -race -run 'Trace|Tracing' .
-	$(GO) run ./cmd/citrusbench -figure 10c,a4 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
+	$(GO) run ./cmd/citrusbench -figure 10c,a4,a5 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
+	$(GO) run ./cmd/citrusbench -figure 10c,a5 -threads 1,2,4,8,16 -impl Citrus -json BENCH_PR4.json -note "CI combining ablation"
 	$(MAKE) torture-smoke
 
 build:
@@ -62,7 +64,7 @@ torture:
 	$(GO) run ./cmd/citrustorture -recycle -seed 1 -seeds 5 -duration 30s -json citrustorture-recycle.json
 
 # CI-sized fixed-seed smoke: one correct-build run that must pass.
-# The negative controls (nosync, ignoretags) run as tests in
+# The negative controls (nosync, snapearly, ignoretags) run as tests in
 # internal/torture, so `go test ./...` already proves the harness bites.
 torture-smoke:
 	$(GO) run ./cmd/citrustorture -seed 1 -duration 2s -json citrustorture-smoke.json

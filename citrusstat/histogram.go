@@ -31,15 +31,17 @@ type Histogram struct {
 	sum    atomic.Int64 // exact nanoseconds across all samples
 }
 
-// Record adds one sample.
+// Record adds one sample. Non-positive durations — a clock that went
+// backwards, or a wait shorter than the clock's resolution — are clamped
+// to 1ns for both the sum and the bucket, so Total, Sum and Mean stay
+// mutually consistent (a clamped sample contributes exactly 1ns, never a
+// counted-but-sumless entry that would skew Mean low).
 func (h *Histogram) Record(d time.Duration) {
 	n := d.Nanoseconds()
-	if n > 0 {
-		h.sum.Add(n)
-	}
 	if n < 1 {
 		n = 1
 	}
+	h.sum.Add(n)
 	b := 63 - bits.LeadingZeros64(uint64(n))
 	if b >= NumBuckets {
 		b = NumBuckets - 1

@@ -60,13 +60,37 @@ func TestHistogramExactSumAndMean(t *testing.T) {
 
 func TestHistogramExtremes(t *testing.T) {
 	var h Histogram
-	h.Record(0)              // clamps to the 1ns bucket, contributes 0 to the sum
+	h.Record(0)              // clamps to 1ns in both the bucket and the sum
 	h.Record(10 * time.Hour) // clamps to the top bucket, exact in the sum
 	if h.Total() != 2 {
 		t.Fatal("clamped samples lost")
 	}
-	if h.Sum() != 10*time.Hour {
+	if h.Sum() != 10*time.Hour+time.Nanosecond {
 		t.Fatalf("Sum() = %v", h.Sum())
+	}
+}
+
+// TestHistogramNonPositiveClampConsistent pins the Record contract for
+// non-positive samples: each is clamped to 1ns in BOTH the bucket and
+// the sum, so Total, Sum and Mean agree. Before this was pinned,
+// negative durations (a clock stepping backwards mid-wait) were counted
+// in bucket 0 but excluded from the sum, silently dragging Mean below
+// every recorded sample.
+func TestHistogramNonPositiveClampConsistent(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Nanosecond)
+	h.Record(0)
+	if got := h.Total(); got != 2 {
+		t.Fatalf("Total() = %d, want 2", got)
+	}
+	if got := h.Sum(); got != 2*time.Nanosecond {
+		t.Fatalf("Sum() = %v, want 2ns (each clamped sample contributes 1ns)", got)
+	}
+	if got := h.Mean(); got != time.Nanosecond {
+		t.Fatalf("Mean() = %v, want 1ns", got)
+	}
+	if got := h.Snapshot().Counts[0]; got != 2 {
+		t.Fatalf("bucket 0 count = %d, want 2", got)
 	}
 }
 

@@ -59,6 +59,10 @@ func chromeArgs(ev Event) map[string]any {
 		return map[string]any{"gp": ev.A, "spins": ev.B, "yields": ev.C}
 	case EvReaderWait:
 		return map[string]any{"gp": ev.A, "reader": ev.B, "spins": ev.C}
+	case EvGPLead:
+		return map[string]any{"gp": ev.A, "seq": ev.B, "readers_waited": ev.C}
+	case EvGPShare:
+		return map[string]any{"gp": ev.A, "target_seq": ev.B, "inflight_seq": ev.C}
 	case EvRetire, EvReclaim:
 		return map[string]any{"nodes": ev.A}
 	default:
@@ -70,7 +74,7 @@ func chromeArgs(ev Event) map[string]any {
 // filtered in the viewer.
 func chromeCat(t EventType) string {
 	switch t {
-	case EvSync, EvReaderWait, EvSyncWait:
+	case EvSync, EvReaderWait, EvSyncWait, EvGPLead, EvGPShare:
 		return "rcu"
 	case EvRetire, EvReclaim:
 		return "reclaim"
@@ -117,7 +121,8 @@ func (t Trace) WriteChromeTrace(w io.Writer) error {
 // measured duration rounds to zero.
 func isSpan(t EventType) bool {
 	switch t {
-	case EvContains, EvInsert, EvDelete, EvLockWait, EvSyncWait, EvSync, EvReaderWait:
+	case EvContains, EvInsert, EvDelete, EvLockWait, EvSyncWait, EvSync, EvReaderWait,
+		EvGPLead, EvGPShare:
 		return true
 	}
 	return false

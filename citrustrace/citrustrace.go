@@ -81,6 +81,22 @@ const (
 	// iterations spent on this reader.
 	EvReaderWait
 
+	// EvGPLead is a span recorded by the scalable domain when a
+	// Synchronize call led a grace-period scan under combining: the
+	// election was won and the reader scan ran on this goroutine. A =
+	// grace-period id (correlates with the surrounding EvSync), B = the
+	// sequence value published when the scan completed, C = how many
+	// readers the scan actually waited on.
+	EvGPLead
+
+	// EvGPShare is a span recorded by the scalable domain for one
+	// follower episode under combining: the call piggybacked on a grace
+	// period led elsewhere, covering the wait from observing the
+	// in-flight sequence to its completion. A = grace-period id of the
+	// sharing call's own span (EvSync), B = the sequence target the
+	// call needs, C = the in-flight sequence value it waited out.
+	EvGPShare
+
 	// EvRetire is an instant event: a delete handed unlinked nodes to
 	// deferred reclamation. A = number of nodes retired.
 	EvRetire
@@ -103,6 +119,8 @@ var eventTypeNames = [numEventTypes]string{
 	EvSyncWait:     "sync-wait",
 	EvSync:         "synchronize",
 	EvReaderWait:   "reader-wait",
+	EvGPLead:       "gp-lead",
+	EvGPShare:      "gp-share",
 	EvRetire:       "retire",
 	EvReclaim:      "reclaim",
 }

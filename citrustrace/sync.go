@@ -60,6 +60,20 @@ func (s *SyncSpan) ReaderWait(readerID uint64, start time.Time, wait time.Durati
 	s.t.ring.Record(EvReaderWait, start, wait, s.gp, readerID, uint64(spins))
 }
 
+// GPLead records that the call led one grace-period scan under
+// combining: the scan's start, the sequence value it published on
+// completion, and how many readers it waited on.
+func (s *SyncSpan) GPLead(start time.Time, seq uint64, waited int) {
+	s.t.ring.Record(EvGPLead, start, time.Since(start), s.gp, seq, uint64(waited))
+}
+
+// GPShare records one follower episode under combining: the wait's
+// start, the sequence target the call needs, and the in-flight sequence
+// value it waited out.
+func (s *SyncSpan) GPShare(start time.Time, target, inflight uint64) {
+	s.t.ring.Record(EvGPShare, start, time.Since(start), s.gp, target, inflight)
+}
+
 // End closes the grace-period span with its total spin/yield cost.
 func (s *SyncSpan) End(spins, yields int64) {
 	s.t.ring.Record(EvSync, s.start, time.Since(s.start), s.gp, uint64(spins), uint64(yields))

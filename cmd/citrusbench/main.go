@@ -8,6 +8,7 @@
 //	-figure 10    contains ratio × key range grid (panels 10a..10f)
 //	-figure a1    ablation: grace-period frequency and cost in Citrus
 //	-figure a4    A/B: Citrus with event tracing off vs on (citrustrace)
+//	-figure a5    A/B: grace-period combining on vs off, update-only mix
 //	-figure all   everything
 //
 // Panels can also be addressed individually (-figure 10c). The paper runs
@@ -48,7 +49,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("citrusbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "comma-separated figures to regenerate: 8, 9, 10, a1..a4, all, or panel ids like 10c")
+		figure   = fs.String("figure", "all", "comma-separated figures to regenerate: 8, 9, 10, a1..a5, all, or panel ids like 10c")
 		duration = fs.Duration("duration", 500*time.Millisecond, "measured duration per cell")
 		reps     = fs.Int("reps", 1, "repetitions per cell (arithmetic mean is reported)")
 		threads  = fs.String("threads", "", "comma-separated worker counts (default 1,2,4,8,16,32,64)")
@@ -205,8 +206,14 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if selected("a5") {
+		matched = true
+		if err := runCombiningAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
+			return err
+		}
+	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, a4, all, or a panel id)", *figure)
+		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, a4, a5, all, or a panel id)", *figure)
 	}
 	if *stats {
 		if err := runStats(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
@@ -276,6 +283,70 @@ func runTracingOverhead(workerCounts []int, duration time.Duration, reps, keyRan
 		harness.WriteCSV(csv, "a4", cells)
 	}
 	rep.addCells("a4", cells)
+	return nil
+}
+
+// runCombiningAblation is the A5 A/B behind the grace-period combining
+// engine: the update-only mix of Figure 9 (every two-child delete pays a
+// Synchronize) on plain Citrus with combining on vs off, per thread
+// count. The per-domain lead/share accounting shows the mechanism at
+// work — with combining on, concurrent synchronizers collapse onto few
+// led scans (leads ≪ synchronizes at high thread counts) and the mean
+// per-call synchronize wait drops; with combining off, every call leads
+// its own scan, the pre-combining behavior.
+func runCombiningAblation(workerCounts []int, duration time.Duration, keyRangeScale int, csv *os.File, rep *report) error {
+	fmt.Println("== Ablation A5: grace-period combining (update-only mix, key range [0,2e5]) ==")
+	fmt.Printf("%-8s %-10s %12s %9s %8s %8s %8s %11s %10s %11s\n",
+		"threads", "combining", "ops/s", "syncs", "leads", "shares", "exped", "mean sync", "p99 sync", "mean follow")
+	fmt.Println(strings.Repeat("-", 104))
+	for _, w := range workerCounts {
+		for _, combining := range []bool{true, false} {
+			dom := rcu.NewDomain()
+			dom.SetCombining(combining)
+			name := "Citrus (combining off)"
+			if combining {
+				name = "Citrus (combining on)"
+			}
+			factory := func() dict.Map[int, int] {
+				return impls.NewCitrusWithFlavor[int, int](dom, name)
+			}
+			cfg := harness.Config{
+				Workers:  w,
+				KeyRange: harness.KeyRangeSmall / keyRangeScale,
+				Mix:      harness.Uniform(workload.UpdateOnly()),
+				Duration: duration,
+				Seed:     0xA5,
+				Prefill:  true,
+			}
+			res, err := harness.Run(factory, cfg)
+			if err != nil {
+				return err
+			}
+			st := dom.Stats()
+			fw := st.FollowerWait
+			fmt.Printf("%-8d %-10v %12.0f %9d %8d %8d %8d %11v %10v %11v\n",
+				w, combining, res.Throughput(), st.Synchronizes, st.SyncLeads, st.SyncShares,
+				st.SyncExpedited, st.SyncWait.Mean(), st.SyncWait.Percentile(99), fw.Mean())
+			if csv != nil {
+				fmt.Fprintf(csv, "a5,%s,%d,%.0f\n", name, w, res.Throughput())
+			}
+			rep.addCells("a5", []harness.Cell{{Impl: name, Workers: w, Throughput: res.Throughput()}})
+			rep.addCombining(reportCombining{
+				Threads:           w,
+				Combining:         combining,
+				OpsPerSec:         res.Throughput(),
+				Synchronizes:      st.Synchronizes,
+				Leads:             st.SyncLeads,
+				Shares:            st.SyncShares,
+				Expedited:         st.SyncExpedited,
+				MeanWaitNanos:     st.SyncWait.Mean().Nanoseconds(),
+				P99WaitNanos:      st.SyncWait.Percentile(99).Nanoseconds(),
+				FollowerWaits:     fw.Total(),
+				FollowerMeanNanos: fw.Mean().Nanoseconds(),
+			})
+		}
+	}
+	fmt.Println()
 	return nil
 }
 

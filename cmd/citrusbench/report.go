@@ -35,6 +35,11 @@ type report struct {
 	// TracingOverhead: the a4 A/B (plain Citrus vs tracing-enabled
 	// Citrus on the same workload), present when figure a4 ran.
 	TracingOverhead []reportOverhead `json:"tracing_overhead,omitempty"`
+
+	// CombiningAblation: the a5 A/B (update-heavy Citrus with
+	// grace-period combining on vs off), with the domain's native
+	// lead/share accounting; present when figure a5 ran.
+	CombiningAblation []reportCombining `json:"combining_ablation,omitempty"`
 }
 
 type reportCell struct {
@@ -56,6 +61,20 @@ type reportGP struct {
 	TwoChildDeletes int64   `json:"two_child_deletes"`
 	NodesRetired    int64   `json:"nodes_retired"`
 	NodesReused     int64   `json:"nodes_reused"`
+}
+
+type reportCombining struct {
+	Threads           int     `json:"threads"`
+	Combining         bool    `json:"combining"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	Synchronizes      int64   `json:"synchronizes"`
+	Leads             int64   `json:"leads"`
+	Shares            int64   `json:"shares"`
+	Expedited         int64   `json:"expedited"`
+	MeanWaitNanos     int64   `json:"mean_wait_ns"`
+	P99WaitNanos      int64   `json:"p99_wait_ns"`
+	FollowerWaits     int64   `json:"follower_waits"`
+	FollowerMeanNanos int64   `json:"follower_mean_ns"`
 }
 
 type reportOverhead struct {
@@ -97,6 +116,13 @@ func (r *report) addGP(gp reportGP) {
 		return
 	}
 	r.GraceStats = append(r.GraceStats, gp)
+}
+
+func (r *report) addCombining(c reportCombining) {
+	if r == nil {
+		return
+	}
+	r.CombiningAblation = append(r.CombiningAblation, c)
 }
 
 func (r *report) addOverhead(o reportOverhead) {

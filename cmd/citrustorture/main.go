@@ -15,9 +15,11 @@
 // consecutive seeds; -json writes the machine-readable verdicts CI
 // archives. The exit status is 1 iff any run failed.
 //
-// Negative controls (see docs/VERIFICATION.md): `-flavor nosync` and
-// `-mutant ignoretags -recycle` are deliberately broken builds that
-// MUST fail; they verify the harness can see the failures it hunts.
+// Negative controls (see docs/VERIFICATION.md): `-flavor nosync`,
+// `-flavor snapearly` (grace-period combining with its sequence target
+// computed one stride early) and `-mutant ignoretags -recycle` are
+// deliberately broken builds that MUST fail; they verify the harness
+// can see the failures it hunts.
 package main
 
 import (
@@ -51,7 +53,7 @@ func run(args []string, out *os.File) error {
 	var (
 		implName = fs.String("impl", "citrus", "subject: citrus, a registry name (see -list), or all")
 		list     = fs.Bool("list", false, "list subject names and exit")
-		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, or nosync (negative control)")
+		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, or a negative control (nosync, snapearly)")
 		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
 		recycle  = fs.Bool("recycle", false, "torture citrus with node recycling (disables poisoning)")
 		seed     = fs.Uint64("seed", 1, "master seed: injection schedule + workloads derive from it")

@@ -77,7 +77,7 @@ func (t *Tree[K, V]) retire(n *node[K, V]) {
 	if tor != nil && tor.oracle != nil {
 		stamp = tor.oracle.RetireStamp()
 	}
-	rec.Defer(func() {
+	deferred := rec.TryDefer(func() {
 		// The grace period has elapsed; this runs on the reclaimer
 		// goroutine.
 		schedpoint.Hit(schedpoint.CoreBeforeReclaim)
@@ -99,6 +99,15 @@ func (t *Tree[K, V]) retire(n *node[K, V]) {
 			}
 		}
 	})
+	if !deferred {
+		// The reclaimer is closed (a delete racing shutdown). Drop the
+		// node to the garbage collector: it is unreachable from the root,
+		// was never pooled, and the GC frees it only once readers quit —
+		// so correctness needs nothing further, only the recycling
+		// economy is lost. Oracle accounting is skipped for the same
+		// reason poisoning is: the node never re-enters circulation.
+		return
+	}
 }
 
 // put reinitializes a node whose grace period has elapsed and pools it.

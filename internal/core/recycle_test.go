@@ -289,6 +289,62 @@ func TestRecyclingContainsOnChurnedKeys(t *testing.T) {
 	}
 }
 
+// TestRecyclingDeleteRacesClose is the regression test for the
+// retire/Close lifecycle panic: a delete that unlinks a node while the
+// owner concurrently closes the reclaimer used to hit Defer's
+// panic-on-closed. retire now uses TryDefer and drops the node to the
+// GC when it loses the race. Run under -race; the tree must stay
+// operable (inserts fall back to allocation) and invariant-clean.
+func TestRecyclingDeleteRacesClose(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		dom := rcu.NewDomain()
+		rec := rcu.NewReclaimer(dom)
+		tr := NewTreeWithRecycling[int, int](dom, rec)
+		w := tr.NewHandle()
+		const n = 256
+		for k := 0; k < n; k++ {
+			w.Insert(k, k)
+		}
+		w.Close()
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				h := tr.NewHandle()
+				defer h.Close()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := rng.Intn(n)
+					if rng.Intn(2) == 0 {
+						h.Delete(k)
+					} else {
+						h.Insert(k, k)
+					}
+				}
+			}(int64(iter*10 + i))
+		}
+		// Close while deletes are in full flight: before the fix this
+		// panicked in retire's rec.Defer.
+		time.Sleep(time.Duration(1+iter) * time.Millisecond)
+		rec.Close()
+		time.Sleep(5 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
 // TestRecyclingClosedReclaimerDrains: closing the reclaimer mid-life
 // must not lose retirements or wedge the tree.
 func TestRecyclingClosedReclaimerDrains(t *testing.T) {

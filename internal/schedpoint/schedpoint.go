@@ -73,6 +73,13 @@ const (
 	// mid-tree, where Lemma 2 and the Figure 4 guarantee are live.
 	CoreReadCS
 
+	// RCUGPElect sits in the scalable domain's grace-period combining
+	// path, between a Synchronize call snapshotting the sequence target
+	// it needs and the leader-election loop — the window in which a
+	// shared grace period could, if the protocol were wrong, be one
+	// that never snapshotted this call's pre-existing readers.
+	RCUGPElect
+
 	// NumPoints is the number of injection points.
 	NumPoints
 )
@@ -86,6 +93,7 @@ var pointNames = [NumPoints]string{
 	CoreMarkToGrace:    "core.mark.grace",
 	CoreBeforeReclaim:  "core.reclaim",
 	CoreReadCS:         "core.read.cs",
+	RCUGPElect:         "rcu.gp.elect",
 }
 
 func (p Point) String() string {
@@ -145,6 +153,10 @@ func NewPolicy(seed uint64) *Policy {
 	p.weights[CoreReadCS].Sleep = 300
 	p.weights[CoreBeforeReclaim].Sleep = 300
 	p.weights[CoreSearchToLock].Sleep = 300
+	// Stretching the election window is what lets a mis-combined grace
+	// period (one that never snapshotted the waiter's readers) actually
+	// release a waiter while a stale reader is still mid-descent.
+	p.weights[RCUGPElect].Sleep = 300
 	return p
 }
 

@@ -29,7 +29,7 @@ type Config struct {
 	KeyRange int           // churn key range (default 64; small = conflict-heavy)
 
 	Impl    string // "", "citrus", or an impls registry name
-	Flavor  string // "", "scalable", "classic", "nosync" — Citrus only
+	Flavor  string // "", "scalable", "classic", "nosync", "snapearly" — Citrus only
 	Mutant  string // "", "ignoretags" — Citrus only
 	Recycle bool   // node recycling (Citrus only; disables poisoning)
 
@@ -116,8 +116,15 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 		inner = rcu.NewClassicDomain()
 	case "nosync":
 		inner = rcu.NoSync(rcu.NewDomain())
+	case "snapearly":
+		// Negative control for grace-period combining: sequence targets
+		// are computed one stride early, so Synchronize can return before
+		// pre-existing readers finish. The oracles must catch it.
+		sd := rcu.NewDomain()
+		sd.SetSnapEarlyMutant(true)
+		inner = sd
 	default:
-		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync)", cfg.Flavor)
+		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly)", cfg.Flavor)
 	}
 	o := NewOracle(inner)
 	rec := rcu.NewReclaimer(o)

@@ -52,6 +52,28 @@ func TestNegativeControlIgnoreTags(t *testing.T) {
 	t.Logf("ignoretags caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
 }
 
+// TestNegativeControlSnapEarly: the combining mutant that computes its
+// sequence target one grace-period stride early — releasing a
+// Synchronize caller before pre-existing readers finish — must be
+// caught, proving the oracle suite covers the combining protocol's one
+// soundness obligation and not just an absent Synchronize.
+func TestNegativeControlSnapEarly(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     1,
+		Duration: 4 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Flavor:   "snapearly",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Fatalf("torture passed the snapearly mutant: verdict %+v", v)
+	}
+	t.Logf("snapearly caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
+}
+
 // TestRealBuildSurvivesManySeeds: the correct tree on both flavors must
 // pass under distinct injection schedules — the oracle suite has no
 // false positives. Ten seeds per the acceptance criteria.

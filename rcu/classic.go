@@ -175,14 +175,16 @@ func (d *ClassicDomain) Synchronize() {
 		s := tr.SyncBegin()
 		span = &s
 	}
-	var totalSpins, totalYields int64
+	var cost syncCost
 	d.syncMu.Lock()
 	defer func() {
 		d.syncMu.Unlock()
 		if span != nil {
-			span.End(totalSpins, totalYields)
+			span.End(cost.spins, cost.yields)
 		}
-		d.stats.record(start, totalSpins, totalYields)
+		// Every classic Synchronize leads its own grace period; there is
+		// no combining to share or expedite.
+		d.stats.record(start, cost, true, false, false)
 	}()
 	// Torture window: before the counter flip, the new grace period is
 	// decided but not yet visible to entering readers.
@@ -195,9 +197,10 @@ func (d *ClassicDomain) Synchronize() {
 	for _, r := range *rsp {
 		// Torture window: mid-scan between readers.
 		schedpoint.Hit(schedpoint.RCUSyncScan)
-		spins := 0
+		var spins int64
 		var waitStart time.Time
-		for ; ; spins++ {
+		sleep := minWaiterSleep
+		for attempt := int64(0); ; attempt++ {
 			c := r.slot.Load()
 			if c == 0 || c >= newGP {
 				break
@@ -208,14 +211,27 @@ func (d *ClassicDomain) Synchronize() {
 				// wait out.
 				waitStart = time.Now()
 			}
-			if spins >= spinsBeforeYield {
+			switch {
+			case attempt < spinsBeforeYield:
+				spins++
+			case attempt < spinsBeforeYield+yieldsBeforeSleep:
 				runtime.Gosched()
-				totalYields++
+				cost.yields++
+				cost.rechecks++
+			default:
+				// Descheduled or long-running reader: stop burning the
+				// core and sleep between re-checks (see Domain).
+				time.Sleep(sleep)
+				if sleep < maxWaiterSleep {
+					sleep *= 2
+				}
+				cost.sleeps++
+				cost.rechecks++
 			}
 		}
-		totalSpins += int64(spins)
+		cost.spins += spins
 		if span != nil && !waitStart.IsZero() {
-			span.ReaderWait(r.id, waitStart, time.Since(waitStart), int64(spins))
+			span.ReaderWait(r.id, waitStart, time.Since(waitStart), spins)
 		}
 	}
 }

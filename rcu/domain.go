@@ -20,6 +20,47 @@ const cacheLinePad = 128
 // cycles from the reader being waited on.
 const spinsBeforeYield = 64
 
+// yieldsBeforeSleep is how many Gosched rounds a waiter takes after the
+// spin budget before it starts sleeping. A reader that has not finished
+// after this many yields is almost certainly descheduled (or genuinely
+// long-running), and yielding forever against it burns a full core — the
+// wait-loop bug this bound fixes. Sleeping instead costs at most one
+// sleep quantum of added grace-period latency.
+const yieldsBeforeSleep = 128
+
+// Waiter sleeps escalate from minWaiterSleep, doubling per sleep, to
+// maxWaiterSleep. The cap bounds how stale a waiter's view of the world
+// can get (a completed grace period is noticed within one quantum);
+// raising it trades grace-period age for less wakeup churn — the
+// age/memory trade-off knob of the combining literature, set here to
+// favor promptness.
+const (
+	minWaiterSleep = 2 * time.Microsecond
+	maxWaiterSleep = 100 * time.Microsecond
+)
+
+// Grace-period sequence encoding (the kernel's rcu_seq idea): bit 0 is
+// "a grace period is in flight", and the value advances by gpSeqStride
+// per completed grace period. A caller that needs a grace period
+// snapshots the sequence it must reach (seqSnap) and is done once the
+// sequence passes it (seqDone) — no matter who drove it there.
+const (
+	gpSeqStateMask = 1
+	gpSeqStride    = 2
+)
+
+// seqSnap returns the sequence value at which a full grace period will
+// have elapsed for a caller observing s now (rcu_seq_snap): one full
+// stride past the current value, rounded past any in-flight grace
+// period — whose reader snapshot may predate this caller, so it cannot
+// be trusted to cover the caller's pre-existing readers.
+func seqSnap(s uint64) uint64 {
+	return (s + 2*gpSeqStateMask + 1) &^ uint64(gpSeqStateMask)
+}
+
+// seqDone reports whether the sequence has reached target (rcu_seq_done).
+func seqDone(s, target uint64) bool { return s >= target }
+
 // Domain is the scalable RCU flavor of Arbel & Attiya (PODC 2014, §5).
 //
 // Each registered reader owns one word packing a critical-section counter
@@ -30,15 +71,35 @@ const spinsBeforeYield = 64
 // reader has then either left the pre-existing section or entered a later
 // one, and either way is no longer in a section that predates the call.
 //
-// Synchronize acquires no locks and concurrent synchronizers do not
-// coordinate, which is what lets update-heavy workloads scale (Figure 8 of
-// the paper).
+// Synchronize acquires no locks, so any number of goroutines may
+// synchronize concurrently (Figure 8 of the paper). On top of that,
+// concurrent synchronizers COMBINE their grace periods through a shared
+// sequence (gpSeq, Linux Tree RCU's gp_seq idea): each caller snapshots
+// the sequence it needs, one caller is elected leader and runs the
+// reader scan, and every other caller whose requirement is covered
+// piggybacks on the leader's grace period instead of scanning all
+// readers itself. N concurrent two-child deleters thus pay O(1) scans
+// between them instead of N, without serializing: losing the election
+// never blocks progress, it only means someone else is doing the work.
 //
 // The zero value is ready to use.
 type Domain struct {
 	mu      sync.Mutex // guards registration changes (copy-on-write)
 	readers atomic.Pointer[[]*Handle]
 	nextID  atomic.Uint64 // reader handle ids, for trace attribution
+
+	// gpSeq is the shared grace-period sequence: bit 0 set while a
+	// leader is scanning, value advancing by gpSeqStride per completed
+	// grace period. See seqSnap/seqDone.
+	gpSeq atomic.Uint64
+
+	// nocombine disables grace-period combining (every Synchronize
+	// scans for itself, the pre-combining behavior); for ablation
+	// benchmarks. snapEarly is the torture harness's negative-control
+	// mutant: targets are computed one stride early, deliberately
+	// breaking the combining protocol's covering obligation.
+	nocombine atomic.Bool
+	snapEarly atomic.Bool
 
 	// tracer, when set, receives one grace-period span per Synchronize
 	// with a per-reader wait breakdown. Off by default; with no tracer
@@ -163,8 +224,19 @@ func (h *Handle) Unregister() {
 }
 
 // Synchronize blocks until every read-side critical section that was in
-// progress when the call started has completed. It takes no locks, so any
-// number of goroutines may synchronize concurrently without serializing.
+// progress when the call started has completed. It takes no locks, and
+// concurrent callers combine: one leads the reader scan, the rest wait
+// on the shared sequence (see the Domain doc comment).
+//
+// Soundness of sharing: a follower observing sequence q at entry is
+// released at seqSnap(q), i.e. only by a grace period whose leader won
+// its election CAS *after* the follower's load of q (the CAS is ordered
+// after q in the sequence's modification order — an earlier leader
+// would have made the load return an in-flight value that seqSnap
+// rounds past). The leader snapshots reader state after that CAS, so
+// every reader inside a critical section at the follower's call entry
+// is either still inside — snapshotted and waited for — or already
+// left; both satisfy the follower.
 func (d *Domain) Synchronize() {
 	start := time.Now()
 	var span *citrustrace.SyncSpan
@@ -172,19 +244,69 @@ func (d *Domain) Synchronize() {
 		s := tr.SyncBegin()
 		span = &s
 	}
-	var totalSpins, totalYields int64
+	var cost syncCost
+	var led, shared bool
 	defer func() {
 		if span != nil {
-			span.End(totalSpins, totalYields)
+			span.End(cost.spins, cost.yields)
 		}
-		d.stats.record(start, totalSpins, totalYields)
+		d.stats.record(start, cost, led, shared, !led && !shared)
 	}()
 	// Torture window: everything before the snapshot — readers entering
 	// now must not be waited for, readers already inside must be.
 	schedpoint.Hit(schedpoint.RCUSyncFlip)
+	if d.nocombine.Load() {
+		d.scanReaders(span, &cost)
+		led = true
+		return
+	}
+	target := seqSnap(d.gpSeq.Load())
+	if d.snapEarly.Load() {
+		target -= gpSeqStride // negative control: see SetSnapEarlyMutant
+	}
+	// Torture window: the sequence target is fixed but the election has
+	// not happened — the window in which a stale target or a mis-ordered
+	// election would let a shared grace period miss this call's readers.
+	schedpoint.Hit(schedpoint.RCUGPElect)
+	for {
+		cur := d.gpSeq.Load()
+		if seqDone(cur, target) {
+			return
+		}
+		if cur&gpSeqStateMask == 0 {
+			// Idle: try to lead the next grace period. Losing the race
+			// just means reloading — the winner is doing our work.
+			if !d.gpSeq.CompareAndSwap(cur, cur+1) {
+				continue
+			}
+			led = true
+			scanStart := time.Now()
+			waited := d.scanReaders(span, &cost)
+			d.gpSeq.Add(gpSeqStride - 1) // publish completion at cur+2
+			if span != nil {
+				span.GPLead(scanStart, cur+gpSeqStride, waited)
+			}
+			continue
+		}
+		// A grace period is in flight: follow it. The in-flight scan (or
+		// a successor we may still need to lead) will release us.
+		shared = true
+		followStart := time.Now()
+		d.followSeq(cur, &cost)
+		d.stats.followWait(time.Since(followStart))
+		if span != nil {
+			span.GPShare(followStart, target, cur)
+		}
+	}
+}
+
+// scanReaders runs one snapshot-and-wait pass over all registered
+// readers — a full grace period with respect to the instant it is
+// called — and reports how many readers it actually waited on.
+func (d *Domain) scanReaders(span *citrustrace.SyncSpan, cost *syncCost) int {
 	rsp := d.readers.Load()
 	if rsp == nil {
-		return
+		return 0
 	}
 	readers := *rsp
 	// Snapshot first, then wait per reader. A reader whose word changed
@@ -198,8 +320,9 @@ func (d *Domain) Synchronize() {
 		active = active || snap[i]&1 != 0
 	}
 	if !active {
-		return
+		return 0
 	}
+	waited := 0
 	for i, r := range readers {
 		if snap[i]&1 == 0 {
 			continue
@@ -209,23 +332,83 @@ func (d *Domain) Synchronize() {
 		schedpoint.Hit(schedpoint.RCUSyncScan)
 		// r was inside a pre-existing read-side critical section: this
 		// grace period is attributable to it.
+		waited++
 		var waitStart time.Time
 		if span != nil {
 			waitStart = time.Now()
 		}
-		spins := 0
-		for ; r.state.Load() == snap[i]; spins++ {
-			if spins >= spinsBeforeYield {
+		var spins int64
+		sleep := minWaiterSleep
+		for attempt := int64(0); r.state.Load() == snap[i]; attempt++ {
+			switch {
+			case attempt < spinsBeforeYield:
+				spins++
+			case attempt < spinsBeforeYield+yieldsBeforeSleep:
 				runtime.Gosched()
-				totalYields++
+				cost.yields++
+				cost.rechecks++
+			default:
+				// The reader is descheduled or long-running; yielding
+				// forever against it burns this core. Sleep instead.
+				time.Sleep(sleep)
+				if sleep < maxWaiterSleep {
+					sleep *= 2
+				}
+				cost.sleeps++
+				cost.rechecks++
 			}
 		}
-		totalSpins += int64(spins)
+		cost.spins += spins
 		if span != nil {
-			span.ReaderWait(r.id, waitStart, time.Since(waitStart), int64(spins))
+			span.ReaderWait(r.id, waitStart, time.Since(waitStart), spins)
+		}
+	}
+	return waited
+}
+
+// followSeq waits, with the same spin → yield → sleep escalation as the
+// reader scan, for the grace-period sequence to move past cur — i.e.
+// for the in-flight grace period observed at cur to complete.
+func (d *Domain) followSeq(cur uint64, cost *syncCost) {
+	sleep := minWaiterSleep
+	for attempt := int64(0); d.gpSeq.Load() == cur; attempt++ {
+		switch {
+		case attempt < spinsBeforeYield:
+			cost.spins++
+		case attempt < spinsBeforeYield+yieldsBeforeSleep:
+			runtime.Gosched()
+			cost.yields++
+			cost.rechecks++
+		default:
+			time.Sleep(sleep)
+			if sleep < maxWaiterSleep {
+				sleep *= 2
+			}
+			cost.sleeps++
+			cost.rechecks++
 		}
 	}
 }
+
+// SetCombining toggles grace-period combining (on by default, including
+// for zero-value Domains). With combining off every Synchronize call
+// runs its own reader scan, the pre-combining behavior — kept for
+// ablation benchmarks (cmd/citrusbench -figure a5) and as an escape
+// hatch. Safe to toggle at any time: in-flight calls finish under the
+// rule they started with, and both paths provide full grace periods, so
+// mixing them is sound.
+func (d *Domain) SetCombining(on bool) { d.nocombine.Store(!on) }
+
+// SetSnapEarlyMutant deliberately BREAKS the domain for the torture
+// harness's negative control (cmd/citrustorture -flavor snapearly):
+// sequence targets are computed one grace-period stride early, so a
+// caller is released by the in-flight grace period — whose reader
+// snapshot may predate the caller — or, when the domain is idle,
+// returns without waiting at all. This violates exactly the covering
+// obligation the combining protocol must uphold; the torture oracles
+// must catch it (see docs/VERIFICATION.md). Never enable it anywhere
+// else.
+func (d *Domain) SetSnapEarlyMutant(on bool) { d.snapEarly.Store(on) }
 
 // SetTracer attaches tr's grace-period event recording to the domain
 // (see citrustrace.SyncTracer); nil detaches. Safe to toggle at any

@@ -45,12 +45,31 @@ func NewReclaimer(flavor Flavor) *Reclaimer {
 // currently exist have completed. Callbacks run on the reclaimer's
 // goroutine, in submission order. Defer never blocks on readers. It must
 // not be called after Close (it panics, matching use-after-close of
-// other resources).
+// other resources); callers that legitimately race Close should use
+// TryDefer instead.
 func (r *Reclaimer) Defer(fn func()) {
+	if !r.TryDefer(fn) {
+		panic("rcu: Defer on closed Reclaimer")
+	}
+}
+
+// TryDefer schedules fn like Defer, but reports false instead of
+// panicking when the reclaimer is already closed (fn is then never
+// run). It is the right call on paths where shutdown is a peer of
+// normal operation — e.g. a tree delete retiring a node while the
+// owner concurrently closes the reclaimer: the caller falls back to
+// whatever not-deferring means for it (for node recycling, dropping
+// the node to the garbage collector).
+//
+// The decision is atomic with Close draining: a true return guarantees
+// fn runs after its grace period — if Close is already underway, the
+// final drain still sees fn — and a false return guarantees it never
+// runs.
+func (r *Reclaimer) TryDefer(fn func()) bool {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		panic("rcu: Defer on closed Reclaimer")
+		return false
 	}
 	r.pending = append(r.pending, fn)
 	r.mu.Unlock()
@@ -58,6 +77,7 @@ func (r *Reclaimer) Defer(fn func()) {
 	case r.wake <- struct{}{}:
 	default: // a wakeup is already queued
 	}
+	return true
 }
 
 // Barrier blocks until every callback deferred before the call has run

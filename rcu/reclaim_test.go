@@ -127,6 +127,58 @@ func TestDeferAfterClosePanics(t *testing.T) {
 	r.Defer(func() {})
 }
 
+func TestTryDeferAfterCloseReturnsFalse(t *testing.T) {
+	r := NewReclaimer(NewDomain())
+	var ran atomic.Bool
+	if !r.TryDefer(func() { ran.Store(true) }) {
+		t.Fatal("TryDefer on an open reclaimer returned false")
+	}
+	r.Close()
+	if !ran.Load() {
+		t.Fatal("callback accepted by TryDefer did not run by Close")
+	}
+	if r.TryDefer(func() { t.Error("callback ran after a false TryDefer") }) {
+		t.Fatal("TryDefer after Close returned true")
+	}
+}
+
+// TestTryDeferConcurrentClose races TryDefer against Close from many
+// goroutines: every accepted callback must run exactly once, every
+// rejected one never.
+func TestTryDeferConcurrentClose(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		r := NewReclaimer(NewDomain())
+		var accepted, ran atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					if r.TryDefer(func() { ran.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			runtime.Gosched()
+			r.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Close has returned in all goroutines, so the final drain is done.
+		if got, want := ran.Load(), accepted.Load(); got != want {
+			t.Fatalf("iter %d: %d callbacks ran, %d were accepted", iter, got, want)
+		}
+	}
+}
+
 // TestReclaimerConcurrentDefer hammers Defer from many goroutines with
 // active readers cycling, then verifies exactly-once execution.
 func TestReclaimerConcurrentDefer(t *testing.T) {

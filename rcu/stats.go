@@ -21,13 +21,33 @@ type Stats struct {
 	// periods driven to completion on this domain).
 	Synchronizes int64 `json:"synchronizes"`
 
-	// SyncSpins is the total number of busy-poll iterations synchronizers
-	// spent re-reading reader state words; SyncYields is how many of
-	// those turned into runtime.Gosched calls after spinsBeforeYield
-	// consecutive re-reads. High yields relative to Synchronizes means
-	// grace periods are routinely blocked on long-running readers.
-	SyncSpins  int64 `json:"sync_spins"`
-	SyncYields int64 `json:"sync_yields"`
+	// SyncSpins counts busy-poll iterations before the first yield of a
+	// wait (the cheap phase); SyncRechecks counts re-reads after waiting
+	// escalated past busy-spinning — each one preceded by a Gosched or a
+	// brief sleep. They used to be conflated into one counter, which hid
+	// whether synchronizers were burning cycles or parked behind
+	// descheduled readers. SyncYields is the number of runtime.Gosched
+	// calls, SyncSleeps the number of brief sleeps taken after the yield
+	// budget was exhausted too. High sleeps relative to Synchronizes
+	// means grace periods are routinely blocked on long-running readers.
+	SyncSpins    int64 `json:"sync_spins"`
+	SyncRechecks int64 `json:"sync_rechecks"`
+	SyncYields   int64 `json:"sync_yields"`
+	SyncSleeps   int64 `json:"sync_sleeps"`
+
+	// Grace-period combining accounting (Domain only; ClassicDomain
+	// reports every call as a lead, since each runs its own scan).
+	// SyncLeads counts calls that ran a reader scan themselves;
+	// SyncShares counts calls that piggybacked on a grace period led by
+	// another caller (a call that follows an in-flight grace period and
+	// then leads the next one counts in both); SyncExpedited counts
+	// calls satisfied without scanning or waiting because the needed
+	// sequence completed between the call's snapshot and its first
+	// check. Leads well below Synchronizes under concurrent updaters is
+	// combining working.
+	SyncLeads     int64 `json:"sync_leads"`
+	SyncShares    int64 `json:"sync_shares"`
+	SyncExpedited int64 `json:"sync_expedited"`
 
 	// Readers is the number of currently registered readers;
 	// ReaderHighWater the maximum ever simultaneously registered.
@@ -39,6 +59,13 @@ type Stats struct {
 	// ClassicDomain that includes waiting behind other synchronizers,
 	// which is exactly the bottleneck the paper measures).
 	SyncWait citrusstat.Snapshot `json:"sync_wait"`
+
+	// FollowerWait is the distribution of individual follower episodes
+	// under grace-period combining: how long a Synchronize call blocked
+	// waiting for a grace period someone else was leading (one sample
+	// per episode, so a call that followed two grace periods records
+	// two). Always empty for ClassicDomain.
+	FollowerWait citrusstat.Snapshot `json:"follower_wait"`
 }
 
 // A StatsSource is a flavor that can report grace-period statistics.
@@ -62,9 +89,27 @@ var (
 type syncStats struct {
 	syncs     atomic.Int64
 	spins     atomic.Int64
+	rechecks  atomic.Int64
 	yields    atomic.Int64
+	sleeps    atomic.Int64
+	leads     atomic.Int64
+	shares    atomic.Int64
+	expedited atomic.Int64
 	highWater atomic.Int64
 	wait      citrusstat.Histogram
+	follower  citrusstat.Histogram
+}
+
+// syncCost accumulates one Synchronize call's waiting effort, split by
+// phase: busy spins before the first yield, then re-checks each paired
+// with a Gosched (yields) or a brief sleep (sleeps). Kept as a plain
+// struct so the wait loops touch no shared cache lines until the final
+// record.
+type syncCost struct {
+	spins    int64
+	rechecks int64
+	yields   int64
+	sleeps   int64
 }
 
 // noteReaders records a new registration count for the high-water mark.
@@ -76,26 +121,51 @@ func (s *syncStats) noteReaders(n int) {
 	}
 }
 
-// record accounts one completed Synchronize.
-func (s *syncStats) record(start time.Time, spins, yields int64) {
+// record accounts one completed Synchronize. led/shared/expedited
+// classify how the call's grace periods were obtained (see Stats).
+func (s *syncStats) record(start time.Time, c syncCost, led, shared, expedited bool) {
 	s.syncs.Add(1)
-	if spins != 0 {
-		s.spins.Add(spins)
+	if c.spins != 0 {
+		s.spins.Add(c.spins)
 	}
-	if yields != 0 {
-		s.yields.Add(yields)
+	if c.rechecks != 0 {
+		s.rechecks.Add(c.rechecks)
+	}
+	if c.yields != 0 {
+		s.yields.Add(c.yields)
+	}
+	if c.sleeps != 0 {
+		s.sleeps.Add(c.sleeps)
+	}
+	if led {
+		s.leads.Add(1)
+	}
+	if shared {
+		s.shares.Add(1)
+	}
+	if expedited {
+		s.expedited.Add(1)
 	}
 	s.wait.Record(time.Since(start))
 }
+
+// followWait records one follower episode's duration.
+func (s *syncStats) followWait(d time.Duration) { s.follower.Record(d) }
 
 // snapshot builds the exported view.
 func (s *syncStats) snapshot(readers int) Stats {
 	return Stats{
 		Synchronizes:    s.syncs.Load(),
 		SyncSpins:       s.spins.Load(),
+		SyncRechecks:    s.rechecks.Load(),
 		SyncYields:      s.yields.Load(),
+		SyncSleeps:      s.sleeps.Load(),
+		SyncLeads:       s.leads.Load(),
+		SyncShares:      s.shares.Load(),
+		SyncExpedited:   s.expedited.Load(),
 		Readers:         readers,
 		ReaderHighWater: s.highWater.Load(),
 		SyncWait:        s.wait.Snapshot(),
+		FollowerWait:    s.follower.Snapshot(),
 	}
 }

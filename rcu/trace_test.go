@@ -145,7 +145,10 @@ func TestTracerToggleUnderLoad(t *testing.T) {
 			close(stop)
 			wg.Wait()
 			for _, ev := range rec.Snapshot().Events {
-				if ev.Type != citrustrace.EvSync && ev.Type != citrustrace.EvReaderWait {
+				switch ev.Type {
+				case citrustrace.EvSync, citrustrace.EvReaderWait,
+					citrustrace.EvGPLead, citrustrace.EvGPShare:
+				default:
 					t.Fatalf("unexpected event type %v in domain ring", ev.Type)
 				}
 			}
