@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper stress torture torture-smoke fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper stress torture torture-smoke torture-stall fuzz vet fmt clean
 
 all: build vet test
 
@@ -12,7 +12,8 @@ all: build vet test
 # the public tracing toggles), a short citrusbench smoke run that
 # exercises the -json report plus the a4 tracing-overhead and a5
 # grace-period-combining A/Bs, the committed BENCH_PR4.json combining
-# ablation, and a fixed-seed torture smoke run.
+# ablation, and fixed-seed torture smoke runs (correct build plus the
+# stalledreader robustness scenario).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -22,6 +23,7 @@ ci:
 	$(GO) run ./cmd/citrusbench -figure 10c,a4,a5 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
 	$(GO) run ./cmd/citrusbench -figure 10c,a5 -threads 1,2,4,8,16 -impl Citrus -json BENCH_PR4.json -note "CI combining ablation"
 	$(MAKE) torture-smoke
+	$(MAKE) torture-stall
 
 build:
 	$(GO) build ./...
@@ -68,6 +70,14 @@ torture:
 # internal/torture, so `go test ./...` already proves the harness bites.
 torture-smoke:
 	$(GO) run ./cmd/citrustorture -seed 1 -duration 2s -json citrustorture-smoke.json
+
+# The robustness scenario (docs/RCU.md "Robustness"): a reader parked in
+# its critical section while churn floods a watermarked reclaimer. The
+# run fails unless the stall detector fired, the high watermark tripped,
+# and the tree stayed correct — positive controls for the whole
+# degradation machinery on a fixed seed.
+torture-stall:
+	$(GO) run ./cmd/citrustorture -flavor stalledreader -seed 1 -duration 4s -json citrustorture-stall.json
 
 # Coverage-guided exploration of the core tree against the map oracle.
 fuzz:

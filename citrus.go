@@ -45,6 +45,7 @@ package citrus
 
 import (
 	"cmp"
+	"context"
 
 	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/internal/core"
@@ -124,6 +125,7 @@ type Stats struct {
 	DeleteMisses    int64 `json:"delete_misses"`     // Delete calls that found no key
 	DeleteRetries   int64 `json:"delete_retries"`    // delete validation failures (retried)
 	TwoChildDeletes int64 `json:"two_child_deletes"` // successor-relocation deletes = inline grace periods
+	DeleteTimeouts  int64 `json:"delete_timeouts"`   // DeleteCtx grace-period waits cut by the deadline
 
 	NodesRetired int64 `json:"nodes_retired"` // recycling only: nodes handed to the pool
 	NodesReused  int64 `json:"nodes_reused"`  // recycling only: pooled nodes reused by inserts
@@ -151,6 +153,7 @@ func (t *Tree[K, V]) Stats() Stats {
 		DeleteMisses:    s.DeleteMisses,
 		DeleteRetries:   s.DeleteRetries,
 		TwoChildDeletes: s.TwoChildDeletes,
+		DeleteTimeouts:  s.DeleteTimeouts,
 		NodesRetired:    s.NodesRetired,
 		NodesReused:     s.NodesReused,
 		RCU:             s.RCU,
@@ -232,6 +235,20 @@ func (h *Handle[K, V]) Insert(key K, value V) bool { return h.inner.Insert(key, 
 
 // Delete removes key from the tree. It returns false if key is absent.
 func (h *Handle[K, V]) Delete(key K) bool { return h.inner.Delete(key) }
+
+// DeleteCtx removes key from the tree like Delete, but bounds the
+// caller's wait with ctx: a two-child delete's inline grace-period wait
+// (the paper's line 74) is abandoned when ctx is done first, returning
+// (true, err) with err matching both rcu.ErrGracePeriodTimeout and
+// ctx.Err() under errors.Is. The delete has taken effect in that case —
+// the key is gone — and the remaining unlink of the old successor
+// completes on a background goroutine once the grace period elapses
+// (counted in Stats.DeleteTimeouts). A ctx already done, or done
+// between retries, returns (false, ctx.Err()) with the tree unchanged
+// by this call.
+func (h *Handle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error) {
+	return h.inner.DeleteCtx(ctx, key)
+}
 
 // Close unregisters the handle from the tree's RCU flavor. Close is
 // idempotent; any operation on the handle after Close panics with

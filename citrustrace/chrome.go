@@ -65,6 +65,8 @@ func chromeArgs(ev Event) map[string]any {
 		return map[string]any{"gp": ev.A, "target_seq": ev.B, "inflight_seq": ev.C}
 	case EvRetire, EvReclaim:
 		return map[string]any{"nodes": ev.A}
+	case EvStall:
+		return map[string]any{"gp": ev.A, "first_reader": ev.B, "stalled_readers": ev.C}
 	default:
 		return nil
 	}
@@ -74,7 +76,7 @@ func chromeArgs(ev Event) map[string]any {
 // filtered in the viewer.
 func chromeCat(t EventType) string {
 	switch t {
-	case EvSync, EvReaderWait, EvSyncWait, EvGPLead, EvGPShare:
+	case EvSync, EvReaderWait, EvSyncWait, EvGPLead, EvGPShare, EvStall:
 		return "rcu"
 	case EvRetire, EvReclaim:
 		return "reclaim"
@@ -122,7 +124,7 @@ func (t Trace) WriteChromeTrace(w io.Writer) error {
 func isSpan(t EventType) bool {
 	switch t {
 	case EvContains, EvInsert, EvDelete, EvLockWait, EvSyncWait, EvSync, EvReaderWait,
-		EvGPLead, EvGPShare:
+		EvGPLead, EvGPShare, EvStall:
 		return true
 	}
 	return false

@@ -106,6 +106,15 @@ const (
 	// nodes reclaimed.
 	EvReclaim
 
+	// EvStall is a span recorded by a domain when a Synchronize call
+	// crossed its stall threshold (rcu.SetStallTimeout): the wait so far,
+	// from call entry to the report. A = grace-period id (correlates
+	// with the surrounding EvSync), B = the id of the first reader the
+	// call is blocked on, C = how many readers it is blocked on. A long
+	// stall re-fires with doubling intervals, so one hung reader shows
+	// as a small series of growing EvStall spans.
+	EvStall
+
 	numEventTypes // sentinel
 )
 
@@ -123,6 +132,7 @@ var eventTypeNames = [numEventTypes]string{
 	EvGPShare:      "gp-share",
 	EvRetire:       "retire",
 	EvReclaim:      "reclaim",
+	EvStall:        "stall",
 }
 
 // String returns the event type's stable wire name (used in both the

@@ -74,6 +74,13 @@ func (s *SyncSpan) GPShare(start time.Time, target, inflight uint64) {
 	s.t.ring.Record(EvGPShare, start, time.Since(start), s.gp, target, inflight)
 }
 
+// Stall records that the grace period crossed its stall threshold and
+// is still waiting: the first blocking reader's handle id and how many
+// readers block it in total. The span covers entry-to-report.
+func (s *SyncSpan) Stall(firstReader uint64, stalled int) {
+	s.t.ring.Record(EvStall, s.start, time.Since(s.start), s.gp, firstReader, uint64(stalled))
+}
+
 // End closes the grace-period span with its total spin/yield cost.
 func (s *SyncSpan) End(spins, yields int64) {
 	s.t.ring.Record(EvSync, s.start, time.Since(s.start), s.gp, uint64(spins), uint64(yields))

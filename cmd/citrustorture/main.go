@@ -20,6 +20,12 @@
 // computed one stride early) and `-mutant ignoretags -recycle` are
 // deliberately broken builds that MUST fail; they verify the harness
 // can see the failures it hunts.
+//
+// `-flavor stalledreader` is a robustness scenario: a dedicated reader
+// parks inside its critical section while churn floods the reclaimer,
+// and the run additionally asserts — as a positive control — that the
+// stall detector fired and the reclaimer's high watermark tripped,
+// without the tree corrupting (see docs/RCU.md "Robustness").
 package main
 
 import (
@@ -53,7 +59,7 @@ func run(args []string, out *os.File) error {
 	var (
 		implName = fs.String("impl", "citrus", "subject: citrus, a registry name (see -list), or all")
 		list     = fs.Bool("list", false, "list subject names and exit")
-		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, or a negative control (nosync, snapearly)")
+		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, a negative control (nosync, snapearly), or the stalledreader robustness scenario")
 		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
 		recycle  = fs.Bool("recycle", false, "torture citrus with node recycling (disables poisoning)")
 		seed     = fs.Uint64("seed", 1, "master seed: injection schedule + workloads derive from it")

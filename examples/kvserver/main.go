@@ -14,10 +14,18 @@
 // exact service shape (read-mostly, point lookups) that Citrus targets.
 //
 // Alongside the TCP port the server exposes the library's runtime
-// observability layer over HTTP (-http, default 127.0.0.1:7171):
+// observability layer — and an HTTP face of the store — over HTTP
+// (-http, default 127.0.0.1:7171):
 //
+//	/kv/{key}      → GET / PUT / DELETE the key over HTTP, with
+//	                 per-request deadlines (-optimeout); writes are shed
+//	                 with 503 + Retry-After while the server is degraded
+//	/healthz       → 200 while healthy, 503 with a JSON reason list
+//	                 while degraded (stalled grace period, reclaimer
+//	                 backlog at its watermark)
 //	/metrics       → JSON snapshot: tree op counters, RCU grace-period
-//	                 stats (count + wait histogram), server counters
+//	                 stats (count + wait histogram), reclaimer queue
+//	                 stats, server counters
 //	/debug/citrus  → the same plus human-oriented derived figures
 //	                 (retry rates, grace-period p50/p99/mean)
 //	/debug/vars    → standard expvar, including the same snapshot under
@@ -33,6 +41,17 @@
 //	                 in which RCU grace periods appear as
 //	                 "rcu.synchronize" regions
 //
+// Graceful degradation: the RCU stall detector (-stall) watches every
+// grace period, and the tree's reclaimer runs with watermarks, so a
+// reader stuck in a critical section turns into a 503-shedding,
+// read-only-but-alive server instead of a hung one: GETs — wait-free by
+// construction — keep working, SET/DEL are shed (TCP "BUSY", HTTP 503 +
+// Retry-After), /healthz flips to 503, and DELs that do run bound their
+// grace-period wait with -optimeout, finishing cleanup in the
+// background on expiry. With -serve, SIGTERM/SIGINT drains: the
+// listeners close, in-flight connections get -drain to finish, and the
+// reclaimer flushes its queue before exit.
+//
 // Run `go run ./examples/kvserver` to start the server, load it with a
 // built-in concurrent demo client, print stats, and exit. Use -serve to
 // keep it running for external clients (`nc 127.0.0.1 7170`).
@@ -46,32 +65,106 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
+	"os"
+	"os/signal"
 	"runtime"
 	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	citrus "github.com/go-citrus/citrus"
 	"github.com/go-citrus/citrus/citrusstat"
 	"github.com/go-citrus/citrus/rcu"
 )
 
+// kvConfig carries the robustness knobs from flags into the server.
+type kvConfig struct {
+	opTimeout    time.Duration // per-write grace-period deadline (0 = unbounded)
+	stallTimeout time.Duration // RCU stall-detector threshold (0 = off)
+	recHigh      int           // reclaimer high watermark (expedited drain)
+	recCap       int           // reclaimer hard cap (backpressure, then shed)
+	drainTimeout time.Duration // how long shutdown waits for open connections
+}
+
+func defaultKVConfig() kvConfig {
+	return kvConfig{
+		opTimeout:    2 * time.Second,
+		stallTimeout: 250 * time.Millisecond,
+		recHigh:      1024,
+		recCap:       8192,
+		drainTimeout: 5 * time.Second,
+	}
+}
+
 type server struct {
 	tree  *citrus.Tree[int64, string]
 	dom   *rcu.Domain
+	rec   *rcu.Reclaimer
+	cfg   kvConfig
 	ops   atomic.Int64
 	conns atomic.Int64
+
+	// Degradation accounting, surfaced in /metrics and /healthz.
+	shedWrites   atomic.Int64 // SET/DEL rejected while degraded
+	gpTimeouts   atomic.Int64 // DELs whose grace-period wait hit the deadline
+	stallReports atomic.Int64 // stall-detector reports logged
 }
 
-func newServer() *server {
+func newServer(cfg kvConfig) *server {
 	dom := rcu.NewDomain()
-	return &server{tree: citrus.NewWithFlavor[int64, string](dom), dom: dom}
+	dom.SetSiteCapture(true)
+	rec := rcu.NewReclaimer(dom,
+		rcu.WithHighWatermark(cfg.recHigh),
+		rcu.WithHardCap(cfg.recCap))
+	s := &server{
+		tree: citrus.NewWithRecycling[int64, string](dom, rec),
+		dom:  dom,
+		rec:  rec,
+		cfg:  cfg,
+	}
+	if cfg.stallTimeout > 0 {
+		dom.SetStallTimeout(cfg.stallTimeout)
+		dom.SetStallHandler(func(r rcu.StallReport) {
+			s.stallReports.Add(1)
+			log.Printf("kvserver: %v", r)
+		})
+	}
+	return s
+}
+
+// degraded reports whether the server is shedding writes, with a
+// human-readable reason per trigger. Two triggers, matching the two
+// failure modes docs/RCU.md's degradation matrix describes: a
+// grace-period wait stalled past the detector threshold (a reader stuck
+// in its critical section), or the reclaimer's queue at/above its high
+// watermark (retired nodes accumulating faster than grace periods
+// retire them).
+func (s *server) degraded() (bool, []string) {
+	var reasons []string
+	if n := s.dom.Stats().ActiveStalls; n > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d grace-period wait(s) stalled past %v", n, s.cfg.stallTimeout))
+	}
+	if d := s.rec.QueueDepth(); s.cfg.recHigh > 0 && d >= int64(s.cfg.recHigh) {
+		reasons = append(reasons, fmt.Sprintf("reclaimer backlog %d at high watermark %d", d, s.cfg.recHigh))
+	}
+	return len(reasons) > 0, reasons
+}
+
+// writeCtx returns the context bounding one write's grace-period wait.
+func (s *server) writeCtx() (context.Context, context.CancelFunc) {
+	if s.cfg.opTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), s.cfg.opTimeout)
 }
 
 func main() {
@@ -81,16 +174,29 @@ func main() {
 	traceOn := flag.Bool("trace", false, "enable the citrustrace flight recorder at startup (dump at /debug/trace)")
 	mutexFrac := flag.Int("mutexprofilefraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events (0 disables)")
 	blockRate := flag.Int("blockprofilerate", 0, "runtime.SetBlockProfileRate: sample blocking events ≥ n ns (0 disables)")
+	def := defaultKVConfig()
+	opTimeout := flag.Duration("optimeout", def.opTimeout, "per-write grace-period deadline; expired DELs finish cleanup in the background (0 = unbounded)")
+	stall := flag.Duration("stall", def.stallTimeout, "RCU stall-detector threshold; stalled grace periods are logged and flip /healthz to degraded (0 disables)")
+	recHigh := flag.Int("reclaim-high", def.recHigh, "reclaimer high watermark: queue depth that triggers an expedited drain and write shedding")
+	recCap := flag.Int("reclaim-cap", def.recCap, "reclaimer hard cap: queue depth past which retired nodes are shed to the GC (0 = unbounded)")
+	drain := flag.Duration("drain", def.drainTimeout, "how long SIGTERM/SIGINT shutdown waits for open connections before exiting")
 	flag.Parse()
 	runtime.SetMutexProfileFraction(*mutexFrac)
 	runtime.SetBlockProfileRate(*blockRate)
-	if err := run(*addr, *httpAddr, *serve, *traceOn); err != nil {
+	cfg := kvConfig{
+		opTimeout:    *opTimeout,
+		stallTimeout: *stall,
+		recHigh:      *recHigh,
+		recCap:       *recCap,
+		drainTimeout: *drain,
+	}
+	if err := run(*addr, *httpAddr, *serve, *traceOn, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, httpAddr string, keepServing, traceOn bool) error {
-	srv := newServer()
+func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
+	srv := newServer(cfg)
 	if traceOn {
 		srv.tree.EnableTracing()
 		log.Printf("flight recorder enabled (dump at /debug/trace)")
@@ -144,11 +250,29 @@ func run(addr, httpAddr string, keepServing, traceOn bool) error {
 
 	if keepServing {
 		log.Printf("serving until interrupted (try: printf 'SET 1 hello\\nGET 1\\nQUIT\\n' | nc %s)", addr)
-		wg.Wait()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		sig := <-sigc
+		signal.Stop(sigc)
+		log.Printf("%v: draining (no new connections, up to %v for open ones)", sig, cfg.drainTimeout)
+		ln.Close()
+		drained := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(cfg.drainTimeout):
+			log.Printf("drain timeout: abandoning open connections")
+		}
+		srv.rec.Close() // flush retired nodes through their grace periods
+		log.Printf("drained: %d ops served", srv.ops.Load())
 		return nil
 	}
 	ln.Close()
 	wg.Wait()
+	srv.rec.Close()
 	return nil
 }
 
@@ -158,12 +282,16 @@ func run(addr, httpAddr string, keepServing, traceOn bool) error {
 func (s *server) metrics() map[string]any {
 	return map[string]any{
 		"server": map[string]int64{
-			"ops":   s.ops.Load(),
-			"conns": s.conns.Load(),
-			"keys":  int64(s.tree.Len()),
+			"ops":           s.ops.Load(),
+			"conns":         s.conns.Load(),
+			"keys":          int64(s.tree.Len()),
+			"shed_writes":   s.shedWrites.Load(),
+			"gp_timeouts":   s.gpTimeouts.Load(),
+			"stall_reports": s.stallReports.Load(),
 		},
-		"tree": s.tree.Stats(),
-		"rcu":  s.dom.Stats(),
+		"tree":      s.tree.Stats(),
+		"rcu":       s.dom.Stats(),
+		"reclaimer": s.rec.Stats(),
 	}
 }
 
@@ -206,6 +334,8 @@ func (s *server) statsMux() *http.ServeMux {
 		enc.Encode(v) //nolint:errcheck // best-effort over HTTP
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/kv/", s.serveKV)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.metrics())
 	})
@@ -224,6 +354,103 @@ func (s *server) statsMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
+}
+
+// serveHealthz is the load-balancer probe: 200 while healthy, 503 with
+// the reason list while degraded. A degraded server still serves reads
+// (wait-free by construction), so orchestrators that honor Retry-After
+// can keep read traffic flowing while routing writes elsewhere.
+func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	deg, reasons := s.degraded()
+	doc := map[string]any{
+		"status":              "ok",
+		"reasons":             reasons,
+		"active_stalls":       s.dom.Stats().ActiveStalls,
+		"reclaim_queue_depth": s.rec.QueueDepth(),
+		"shed_writes":         s.shedWrites.Load(),
+		"gp_timeouts":         s.gpTimeouts.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if deg {
+		doc["status"] = "degraded"
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort over HTTP
+}
+
+// serveKV is the HTTP face of the store: GET/PUT/DELETE on /kv/{key}.
+// Reads always serve; writes are shed with 503 + Retry-After while the
+// server is degraded, and DELETE bounds its grace-period wait with the
+// per-request deadline (a DELETE that hits the deadline HAS deleted the
+// key — the remaining unlink work finishes in the background — so it
+// still answers 200, with X-Citrus-GP-Timeout set).
+func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/kv/"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	h := s.tree.NewHandle()
+	defer h.Close()
+	s.ops.Add(1)
+	shed := func() bool {
+		deg, reasons := s.degraded()
+		if !deg {
+			return false
+		}
+		s.shedWrites.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "degraded: "+strings.Join(reasons, "; "), http.StatusServiceUnavailable)
+		return true
+	}
+	switch r.Method {
+	case http.MethodGet:
+		v, ok := h.Get(key)
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		io.WriteString(w, v) //nolint:errcheck // best-effort over HTTP
+	case http.MethodPut, http.MethodPost:
+		if shed() {
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !h.Insert(key, string(body)) {
+			http.Error(w, "exists", http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if shed() {
+			return
+		}
+		ctx, cancel := s.writeCtx()
+		defer cancel()
+		ok, err := h.DeleteCtx(ctx, key)
+		switch {
+		case err != nil && ok:
+			// Deleted — the key is gone — but the grace-period wait hit
+			// the deadline; unlink cleanup completes in the background.
+			s.gpTimeouts.Add(1)
+			w.Header().Set("X-Citrus-GP-Timeout", "1")
+		case err != nil:
+			http.Error(w, "deadline before delete took effect: "+err.Error(), http.StatusGatewayTimeout)
+			return
+		case !ok:
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // serveTrace dumps the flight recorder: the native JSON form by
@@ -289,11 +516,25 @@ func (s *server) execVerb(h *citrus.Handle[int64, string], verb string, fields [
 		}
 		return strconv.ParseInt(fields[1], 10, 64)
 	}
+	// Writes are shed while degraded; reads always serve. BUSY tells the
+	// client to back off and retry — the degradation is load- or
+	// stall-induced and clears on its own (see /healthz for why).
+	shed := func() (string, bool) {
+		deg, _ := s.degraded()
+		if deg {
+			s.shedWrites.Add(1)
+			return "BUSY degraded, retry later", true
+		}
+		return "", false
+	}
 	switch verb {
 	case "SET":
 		key, err := parseKey()
 		if err != nil || len(fields) < 3 {
 			return "ERR usage: SET <key> <value>", false
+		}
+		if reply, busy := shed(); busy {
+			return reply, false
 		}
 		if h.Insert(key, strings.Join(fields[2:], " ")) {
 			return "OK", false
@@ -313,7 +554,21 @@ func (s *server) execVerb(h *citrus.Handle[int64, string], verb string, fields [
 		if err != nil {
 			return "ERR usage: DEL <key>", false
 		}
-		if h.Delete(key) {
+		if reply, busy := shed(); busy {
+			return reply, false
+		}
+		ctx, cancel := s.writeCtx()
+		defer cancel()
+		ok, derr := h.DeleteCtx(ctx, key)
+		switch {
+		case derr != nil && ok:
+			// The delete took effect; only the grace-period wait timed
+			// out, and cleanup finishes in the background. Still OK.
+			s.gpTimeouts.Add(1)
+			return "OK", false
+		case derr != nil:
+			return "TIMEOUT deadline before delete took effect", false
+		case ok:
 			return "OK", false
 		}
 		return "NOT_FOUND", false

@@ -2,15 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	citrus "github.com/go-citrus/citrus"
 )
 
 func newTestServer() (*server, *citrus.Handle[int64, string]) {
-	s := newServer()
+	s := newServer(defaultKVConfig())
 	return s, s.tree.NewHandle()
 }
 
@@ -53,19 +55,19 @@ func TestServerEndToEnd(t *testing.T) {
 	// The full demo: listener, concurrent TCP clients, verification of
 	// every reply, invariant check — on ephemeral ports for both the
 	// line protocol and the HTTP observability endpoint.
-	if err := run("127.0.0.1:0", "127.0.0.1:0", false, false); err != nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false, false, defaultKVConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServerEndToEndNoHTTP(t *testing.T) {
-	if err := run("127.0.0.1:0", "", false, false); err != nil {
+	if err := run("127.0.0.1:0", "", false, false, defaultKVConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServerEndToEndTraced(t *testing.T) {
-	if err := run("127.0.0.1:0", "127.0.0.1:0", false, true); err != nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false, true, defaultKVConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -203,6 +205,167 @@ func TestPprofEndpoint(t *testing.T) {
 	}
 	if body := rec.Body.String(); !strings.Contains(body, "goroutine") || !strings.Contains(body, "heap") {
 		t.Fatalf("/debug/pprof/ index does not list profiles:\n%.200s", body)
+	}
+}
+
+// TestGracefulDegradation pins the acceptance scenario end to end: a
+// reader parked in its critical section stalls the grace period a
+// two-child DEL needs; the bounded DEL still takes effect and returns
+// within its deadline; the stall detector flips the server degraded
+// (healthz 503 + Retry-After, SET/DEL shed on both faces) while reads
+// keep serving on both faces; and releasing the reader recovers it.
+func TestGracefulDegradation(t *testing.T) {
+	cfg := defaultKVConfig()
+	cfg.stallTimeout = 10 * time.Millisecond
+	cfg.opTimeout = 300 * time.Millisecond
+	s := newServer(cfg)
+	h := s.tree.NewHandle()
+	defer h.Close()
+	mux := s.statsMux()
+
+	// Healthy baseline.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy /healthz: status %d\n%s", rec.Code, rec.Body)
+	}
+
+	// A root with two children: deleting it takes the grace-period path
+	// (paper line 74).
+	s.exec(h, "SET 2 two")
+	s.exec(h, "SET 1 one")
+	s.exec(h, "SET 3 three")
+
+	// Park a reader inside its read-side critical section.
+	pr := s.dom.Register()
+	defer pr.Unregister()
+	pr.ReadLock()
+	parked := true
+	defer func() {
+		if parked {
+			pr.ReadUnlock()
+		}
+	}()
+
+	// The bounded DEL: its grace-period wait must hit the deadline, yet
+	// the delete has linearized — OK, and the key is gone.
+	start := time.Now()
+	if got, _ := s.exec(h, "DEL 2"); got != "OK" {
+		t.Fatalf("DEL 2 under a parked reader = %q, want OK", got)
+	}
+	if waited := time.Since(start); waited > 4*cfg.opTimeout {
+		t.Fatalf("bounded DEL took %v, deadline was %v", waited, cfg.opTimeout)
+	}
+	if got, _ := s.exec(h, "GET 2"); got != "NOT_FOUND" {
+		t.Fatalf("GET 2 after timed-out DEL = %q, want NOT_FOUND", got)
+	}
+	if s.gpTimeouts.Load() == 0 {
+		t.Fatal("the bounded DEL did not count a grace-period timeout")
+	}
+
+	// Degraded: healthz 503 with Retry-After and a reason.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz: status %d\n%s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded /healthz has no Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "stalled") {
+		t.Fatalf("degraded /healthz names no stall:\n%s", rec.Body)
+	}
+
+	// Writes shed on both faces; reads serve on both faces.
+	if got, _ := s.exec(h, "SET 7 seven"); !strings.HasPrefix(got, "BUSY") {
+		t.Fatalf("degraded SET = %q, want BUSY…", got)
+	}
+	if got, _ := s.exec(h, "GET 1"); got != "VALUE one" {
+		t.Fatalf("degraded GET = %q, want VALUE one", got)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("PUT", "/kv/8", strings.NewReader("eight")))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("degraded PUT /kv/8: status %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/kv/1", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "one" {
+		t.Fatalf("degraded GET /kv/1: status %d body %q", rec.Code, rec.Body.String())
+	}
+	if s.shedWrites.Load() < 2 {
+		t.Fatalf("shed_writes = %d, want ≥ 2", s.shedWrites.Load())
+	}
+	if s.stallReports.Load() == 0 {
+		t.Fatal("the stall handler never fired")
+	}
+
+	// Release the reader: the grace period completes and the server
+	// recovers.
+	pr.ReadUnlock()
+	parked = false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after the reader unparked:\n%s", rec.Body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got, _ := s.exec(h, "SET 7 seven"); got != "OK" {
+		t.Fatalf("SET after recovery = %q, want OK", got)
+	}
+	if got, _ := s.exec(h, "GET 7"); got != "VALUE seven" {
+		t.Fatalf("GET after recovery = %q", got)
+	}
+}
+
+// TestKVEndpoint covers the HTTP face of the store in its healthy
+// paths: PUT create/conflict, GET hit/miss, DELETE hit/miss, bad keys,
+// bad methods.
+func TestKVEndpoint(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	mux := s.statsMux()
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+			mux.ServeHTTP(rec, httptest.NewRequest(method, path, rd))
+			return rec
+		}
+		mux.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+		return rec
+	}
+	if rec := do("PUT", "/kv/5", "five"); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT /kv/5: status %d", rec.Code)
+	}
+	if rec := do("PUT", "/kv/5", "again"); rec.Code != http.StatusConflict {
+		t.Fatalf("second PUT /kv/5: status %d", rec.Code)
+	}
+	if rec := do("GET", "/kv/5", ""); rec.Code != http.StatusOK || rec.Body.String() != "five" {
+		t.Fatalf("GET /kv/5: status %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := do("GET", "/kv/6", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /kv/6: status %d", rec.Code)
+	}
+	if rec := do("DELETE", "/kv/5", ""); rec.Code != http.StatusOK {
+		t.Fatalf("DELETE /kv/5: status %d", rec.Code)
+	}
+	if rec := do("DELETE", "/kv/5", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("second DELETE /kv/5: status %d", rec.Code)
+	}
+	if rec := do("GET", "/kv/notanumber", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET /kv/notanumber: status %d", rec.Code)
+	}
+	if rec := do("PATCH", "/kv/5", "x"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("PATCH /kv/5: status %d", rec.Code)
 	}
 }
 

@@ -100,12 +100,13 @@ func (t *Tree[K, V]) retire(n *node[K, V]) {
 		}
 	})
 	if !deferred {
-		// The reclaimer is closed (a delete racing shutdown). Drop the
-		// node to the garbage collector: it is unreachable from the root,
-		// was never pooled, and the GC frees it only once readers quit —
-		// so correctness needs nothing further, only the recycling
-		// economy is lost. Oracle accounting is skipped for the same
-		// reason poisoning is: the node never re-enters circulation.
+		// The reclaimer is closed (a delete racing shutdown) or its hard
+		// cap shed the callback (queue flooded behind a stalled reader).
+		// Drop the node to the garbage collector: it is unreachable from
+		// the root, was never pooled, and the GC frees it only once
+		// readers quit — so correctness needs nothing further, only the
+		// recycling economy is lost. Oracle accounting is skipped for the
+		// same reason poisoning is: the node never re-enters circulation.
 		return
 	}
 }

@@ -36,6 +36,7 @@ type opCounters struct {
 	deleteMisses    ownerCounter
 	deleteRetries   ownerCounter
 	twoChildDeletes ownerCounter
+	deleteTimeouts  ownerCounter
 }
 
 // opTotals is a plain (non-atomic) sum of opCounters stripes; the
@@ -43,6 +44,7 @@ type opCounters struct {
 type opTotals struct {
 	contains, inserts, insertExisting, insertRetries      int64
 	deletes, deleteMisses, deleteRetries, twoChildDeletes int64
+	deleteTimeouts                                        int64
 }
 
 func (t *opTotals) accumulate(c *opCounters) {
@@ -54,6 +56,7 @@ func (t *opTotals) accumulate(c *opCounters) {
 	t.deleteMisses += c.deleteMisses.load()
 	t.deleteRetries += c.deleteRetries.load()
 	t.twoChildDeletes += c.twoChildDeletes.load()
+	t.deleteTimeouts += c.deleteTimeouts.load()
 }
 
 // Stats is a point-in-time snapshot of a Tree's operation counters. All
@@ -75,6 +78,7 @@ type Stats struct {
 	DeleteMisses    int64 // Delete calls that found no key
 	DeleteRetries   int64 // delete validation failures (retried)
 	TwoChildDeletes int64 // deletes that relocated a successor (inline grace periods)
+	DeleteTimeouts  int64 // DeleteCtx calls whose grace-period wait hit the deadline
 
 	NodesRetired int64 // nodes handed to the recycling pool (0 without recycling)
 	NodesReused  int64 // pooled nodes reused by inserts (0 without recycling)
@@ -106,6 +110,7 @@ func (t *Tree[K, V]) Stats() Stats {
 		DeleteMisses:    tot.deleteMisses,
 		DeleteRetries:   tot.deleteRetries,
 		TwoChildDeletes: tot.twoChildDeletes,
+		DeleteTimeouts:  tot.deleteTimeouts,
 	}
 	if t.recycle != nil {
 		s.NodesRetired = t.recycle.retired.Load()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -209,13 +210,42 @@ func (h *Handle[K, V]) Insert(key K, value V) bool {
 // Delete removes key from the dictionary (lines 42–84). It returns false
 // if the key is not present.
 func (h *Handle[K, V]) Delete(key K) bool {
+	ok, _ := h.DeleteCtx(context.Background(), key)
+	return ok
+}
+
+// DeleteCtx removes key from the dictionary like Delete, but bounds the
+// caller's wait with ctx. The only unbounded wait in a delete is the
+// grace period of a two-child delete (the paper's line 74): when ctx is
+// done before that grace period completes, DeleteCtx returns
+// (true, err) — the delete has already taken effect (the successor copy
+// is published and the target unlinked; that is its linearization
+// point) — with err matching both rcu.ErrGracePeriodTimeout and
+// ctx.Err() under errors.Is. The remaining cleanup (unlinking the old
+// successor and releasing its locks) completes on a background
+// goroutine once the grace period truly elapses; keys other than the
+// old successor's position are never blocked by it, and a concurrent
+// delete of a nearby key simply fails validation and retries until the
+// cleanup lands.
+//
+// A ctx that is already done, or that expires between retries of the
+// optimistic loop, yields (false, ctx.Err()) with the tree unchanged by
+// this call. A ctx without deadline or cancellation degrades to Delete.
+func (h *Handle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error) {
+	cancellable := ctx != nil && ctx.Done() != nil
 	tc := h.traceStart() // nil (one predictable branch) unless tracing
 	for {                // line 43
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				tc.end(citrustrace.EvDelete, 0)
+				return false, err
+			}
+		}
 		prev, _, curr, dir := h.get(key)
 		if curr == nil { // the key was not found (line 45)
 			h.ops.deleteMisses.inc()
 			tc.end(citrustrace.EvDelete, 0)
-			return false
+			return false, nil
 		}
 		// Torture window: (prev, curr) go stale here; validation (line
 		// 49) must catch every interleaving this admits.
@@ -250,7 +280,7 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			h.ops.deletes.inc()
 			tc.retired(1)
 			tc.end(citrustrace.EvDelete, 1)
-			return true
+			return true, nil
 		}
 
 		// curr has two children (lines 57–83): replace it with a copy of
@@ -288,32 +318,41 @@ func (h *Handle[K, V]) Delete(key K) bool {
 			if tc != nil {
 				w0 = time.Now()
 			}
-			h.t.flavor.Synchronize() // line 74: wait for readers
-			tc.syncWait(w0)
-			succ.marked = true // line 75: remove the old successor
-			succRight := succ.child[right].Load()
-			if prevSucc == curr { // line 76: succ is the right child of curr
-				n.child[right].Store(succRight) // line 77
-				incrementTag(n, right)          // line 78
+			if cancellable { // line 74: wait for readers, bounded by ctx
+				done := rcu.BeginSynchronize(h.t.flavor)
+				select {
+				case <-done:
+				case <-ctx.Done():
+					// The delete has linearized (the copy is published,
+					// curr unlinked); only the old successor's unlink and
+					// the lock releases remain, and they must not run
+					// before the grace period ends. Hand them to a
+					// background goroutine and release the caller with
+					// the typed timeout. All owner-written accounting and
+					// tracing happens here, on the owning goroutine.
+					h.ops.deletes.inc()
+					h.ops.twoChildDeletes.inc()
+					h.ops.deleteTimeouts.inc()
+					tc.syncWait(w0)
+					tc.retired(2)
+					tc.end(citrustrace.EvDelete, 2)
+					t := h.t
+					go func() {
+						<-done
+						t.completeTwoChildDelete(prev, curr, prevSucc, succ, n)
+					}()
+					return true, rcu.GracePeriodTimeout(ctx.Err())
+				}
 			} else {
-				prevSucc.child[left].Store(succRight) // line 80
-				incrementTag(prevSucc, left)          // line 81
+				h.t.flavor.Synchronize() // line 74: wait for readers
 			}
-			// line 82: release all locks.
-			n.mu.Unlock()
-			succ.mu.Unlock()
-			if curr != prevSucc {
-				prevSucc.mu.Unlock()
-			}
-			curr.mu.Unlock()
-			prev.mu.Unlock()
-			h.t.retire(curr) // reclamation extension
-			h.t.retire(succ)
+			tc.syncWait(w0)
+			h.t.completeTwoChildDelete(prev, curr, prevSucc, succ, n) // lines 75–82
 			h.ops.deletes.inc()
 			h.ops.twoChildDeletes.inc() // one inline grace period (line 74)
 			tc.retired(2)
 			tc.end(citrustrace.EvDelete, 2)
-			return true // line 83
+			return true, nil // line 83
 		}
 
 		// line 84: validation failed, release locks and retry.
@@ -326,4 +365,32 @@ func (h *Handle[K, V]) Delete(key K) bool {
 		h.ops.deleteRetries.inc()
 		tc.validateFail(citrustrace.SiteValidateDeleteSucc)
 	}
+}
+
+// completeTwoChildDelete finishes a two-child delete after its grace
+// period has elapsed (the paper's lines 75–82): remove the old
+// successor, publish the tag increment, release all locks, and retire
+// the two unlinked nodes. Factored out so a DeleteCtx whose caller
+// abandoned the grace-period wait can finish on a background goroutine
+// (Go mutexes may be unlocked by a goroutine other than the locker).
+func (t *Tree[K, V]) completeTwoChildDelete(prev, curr, prevSucc, succ, n *node[K, V]) {
+	succ.marked = true // line 75: remove the old successor
+	succRight := succ.child[right].Load()
+	if prevSucc == curr { // line 76: succ is the right child of curr
+		n.child[right].Store(succRight) // line 77
+		incrementTag(n, right)          // line 78
+	} else {
+		prevSucc.child[left].Store(succRight) // line 80
+		incrementTag(prevSucc, left)          // line 81
+	}
+	// line 82: release all locks.
+	n.mu.Unlock()
+	succ.mu.Unlock()
+	if curr != prevSucc {
+		prevSucc.mu.Unlock()
+	}
+	curr.mu.Unlock()
+	prev.mu.Unlock()
+	t.retire(curr) // reclamation extension
+	t.retire(succ)
 }

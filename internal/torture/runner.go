@@ -29,7 +29,7 @@ type Config struct {
 	KeyRange int           // churn key range (default 64; small = conflict-heavy)
 
 	Impl    string // "", "citrus", or an impls registry name
-	Flavor  string // "", "scalable", "classic", "nosync", "snapearly" — Citrus only
+	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader" — Citrus only
 	Mutant  string // "", "ignoretags" — Citrus only
 	Recycle bool   // node recycling (Citrus only; disables poisoning)
 
@@ -59,6 +59,18 @@ type Verdict struct {
 	ReclaimChecks     int64             `json:"reclaim_checks"`
 	ReclaimViolations int64             `json:"reclaim_violations"`
 	PoisonTrips       int64             `json:"poison_trips"`
+
+	// Robustness accounting, populated by the stalledreader flavor (and
+	// by any flavor whose reclaimer sheds): stall reports fired by the
+	// domain, callbacks dropped at the reclaimer's hard cap, expedited
+	// drains armed by the high watermark, and the deepest the callback
+	// queue ever got. For stalledreader these double as the positive
+	// control: a run that trips neither the stall detector nor the
+	// watermark fails.
+	StallReports          int64 `json:"stall_reports,omitempty"`
+	ReclaimDropped        int64 `json:"reclaim_dropped,omitempty"`
+	ReclaimExpedited      int64 `json:"reclaim_expedited,omitempty"`
+	ReclaimQueueHighWater int64 `json:"reclaim_queue_high_water,omitempty"`
 	NodesRetired      int64             `json:"nodes_retired,omitempty"`
 	NodesReused       int64             `json:"nodes_reused,omitempty"`
 	PointHits         map[string]uint64 `json:"point_hits"`
@@ -107,8 +119,22 @@ func buildSubject(cfg Config) (*subject, error) {
 	return nil, fmt.Errorf("unknown implementation %q", name)
 }
 
+// Stalled-reader scenario knobs: the parker holds a read-side critical
+// section for stallPark with stallGap between parks; the domain's stall
+// threshold and the reclaimer watermarks are set low enough that every
+// park of a busy round trips both.
+const (
+	stallThreshold = 5 * time.Millisecond
+	stallPark      = 40 * time.Millisecond
+	stallGap       = 10 * time.Millisecond
+	stallHigh      = 16   // reclaimer high watermark
+	stallCap       = 1024 // reclaimer hard cap
+	stallBatch     = 64   // reclaimer drain batch
+)
+
 func buildCitrusSubject(cfg Config) (*subject, error) {
 	var inner rcu.Flavor
+	var stalldom *rcu.Domain
 	switch cfg.Flavor {
 	case "", "scalable":
 		inner = rcu.NewDomain()
@@ -123,11 +149,30 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 		sd := rcu.NewDomain()
 		sd.SetSnapEarlyMutant(true)
 		inner = sd
+	case "stalledreader":
+		// Robustness scenario: a dedicated reader goroutine parks inside
+		// its critical section, stalling every grace period it predates.
+		// The stall detector and the reclaimer watermarks must both trip
+		// (checked as a positive control in Run), and the tree must come
+		// through the abuse uncorrupted.
+		stalldom = rcu.NewDomain()
+		stalldom.SetSiteCapture(true)
+		stalldom.SetStallTimeout(stallThreshold)
+		inner = stalldom
 	default:
-		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly)", cfg.Flavor)
+		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader)", cfg.Flavor)
 	}
 	o := NewOracle(inner)
-	rec := rcu.NewReclaimer(o)
+	var recOpts []rcu.ReclaimerOption
+	var stallReports atomic.Int64
+	if stalldom != nil {
+		stalldom.SetStallHandler(func(rcu.StallReport) { stallReports.Add(1) })
+		recOpts = append(recOpts,
+			rcu.WithHighWatermark(stallHigh),
+			rcu.WithHardCap(stallCap),
+			rcu.WithDrainBatch(stallBatch))
+	}
+	rec := rcu.NewReclaimer(o, recOpts...)
 	var tr *core.Tree[int, int]
 	if cfg.Recycle {
 		tr = core.NewTreeWithRecycling[int, int](o, rec)
@@ -135,6 +180,35 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 	} else {
 		tr = core.NewTree[int, int](o)
 		tr.EnableTorture(rec, o, true)
+	}
+	stopParker := func() {}
+	if stalldom != nil {
+		// The parker registers through the oracle like every other
+		// reader, so its critical sections participate in the epoch
+		// accounting and its handle id is what stall reports name.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		pr := o.Register()
+		go func() {
+			defer close(done)
+			defer pr.Unregister()
+			for {
+				pr.ReadLock()
+				select {
+				case <-stop:
+					pr.ReadUnlock()
+					return
+				case <-time.After(stallPark):
+				}
+				pr.ReadUnlock()
+				select {
+				case <-stop:
+					return
+				case <-time.After(stallGap):
+				}
+			}
+		}()
+		stopParker = func() { close(stop); <-done }
 	}
 	return &subject{
 		newHandle: func() dict.Handle[int, int] { return tr.NewHandle() },
@@ -148,6 +222,13 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 			retired, reused := tr.RecycleStats()
 			v.NodesRetired += retired
 			v.NodesReused += reused
+			v.StallReports += stallReports.Load()
+			rs := rec.Stats()
+			v.ReclaimDropped += rs.Dropped
+			v.ReclaimExpedited += rs.ExpeditedDrains
+			if rs.QueueHighWater > v.ReclaimQueueHighWater {
+				v.ReclaimQueueHighWater = rs.QueueHighWater
+			}
 		},
 		violation: func() (int64, error) {
 			if n, first := tr.TortureReport(); n != 0 {
@@ -161,7 +242,10 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 			}
 			return 0, nil
 		},
-		close: rec.Close,
+		close: func() {
+			stopParker()
+			rec.Close()
+		},
 	}, nil
 }
 
@@ -232,6 +316,19 @@ func Run(cfg Config) (*Verdict, error) {
 		roundSeed := splitmix64(cfg.Seed ^ uint64(round)<<32)
 		runRound(cfg, v, roundSeed, slice)
 		v.Rounds++
+	}
+	if cfg.Flavor == "stalledreader" && len(v.Failures) == 0 {
+		// Positive control: the whole point of the scenario is to trip
+		// the robustness machinery. A run that survives without a single
+		// stall report or watermark crossing means the detector or the
+		// reclaimer bounds are broken (or the parker never parked), so
+		// the run must fail rather than quietly prove nothing.
+		if v.StallReports == 0 {
+			v.fail("positive control: the parked reader never tripped the stall detector (0 stall reports)")
+		}
+		if v.ReclaimExpedited == 0 {
+			v.fail("positive control: the delete churn never crossed the reclaimer high watermark (0 expedited drains)")
+		}
 	}
 	v.PointHits = pol.Hits()
 	v.ElapsedMS = time.Since(start).Milliseconds()

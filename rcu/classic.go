@@ -35,6 +35,10 @@ type ClassicDomain struct {
 	// with a per-reader wait breakdown (see Domain.tracer).
 	tracer atomic.Pointer[citrustrace.SyncTracer]
 
+	// stall is the stall-detection configuration (see stall.go), shared
+	// with Domain; off by default.
+	stall stallControl
+
 	// stats accumulates grace-period accounting. Only Register and
 	// Synchronize write it; the read-side primitives never touch it.
 	stats syncStats
@@ -57,14 +61,19 @@ type ClassicHandle struct {
 	slot atomic.Uint64
 	_    [cacheLinePad - 8]byte
 
-	d  *ClassicDomain
-	id uint64
+	d    *ClassicDomain
+	id   uint64
+	site string // registration call site; "" unless SetSiteCapture was on
 }
 
 // ID reports the handle's domain-unique reader id, stable for the
 // handle's lifetime. Tracing uses it to attribute grace-period waits to
 // specific readers (citrustrace.EvReaderWait).
 func (h *ClassicHandle) ID() uint64 { return h.id }
+
+// Site reports the handle's registration call site, "" unless the
+// domain's SetSiteCapture was enabled when the handle was registered.
+func (h *ClassicHandle) Site() string { return h.site }
 
 // Register adds a reader to the domain and returns its handle.
 func (d *ClassicDomain) Register() Reader { return d.register() }
@@ -74,6 +83,9 @@ func (d *ClassicDomain) register() *ClassicHandle {
 		d.gp.CompareAndSwap(0, 1) // zero-value domain: establish epoch 1
 	}
 	h := &ClassicHandle{d: d, id: d.nextID.Add(1)}
+	if d.stall.capture.Load() {
+		h.site = registrationSite()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := d.readers.Load()
@@ -176,9 +188,11 @@ func (d *ClassicDomain) Synchronize() {
 		span = &s
 	}
 	var cost syncCost
+	watch := d.stall.newStallWatch(start)
 	d.syncMu.Lock()
 	defer func() {
 		d.syncMu.Unlock()
+		watch.settle(&d.stats)
 		if span != nil {
 			span.End(cost.spins, cost.yields)
 		}
@@ -194,7 +208,8 @@ func (d *ClassicDomain) Synchronize() {
 	if rsp == nil {
 		return
 	}
-	for _, r := range *rsp {
+	readers := *rsp
+	for i, r := range readers {
 		// Torture window: mid-scan between readers.
 		schedpoint.Hit(schedpoint.RCUSyncScan)
 		var spins int64
@@ -227,6 +242,10 @@ func (d *ClassicDomain) Synchronize() {
 				}
 				cost.sleeps++
 				cost.rechecks++
+				if watch.due() {
+					watch.fire(&d.stall, &d.stats, span, "classic",
+						stalledClassic(readers[i:], newGP))
+				}
 			}
 		}
 		cost.spins += spins
@@ -236,13 +255,54 @@ func (d *ClassicDomain) Synchronize() {
 	}
 }
 
+// stalledClassic collects, from the readers a classic scan has not yet
+// cleared, those still inside a critical section that predates newGP —
+// the set the grace period is blocked on.
+func stalledClassic(readers []*ClassicHandle, newGP uint64) []StalledReader {
+	var out []StalledReader
+	for _, r := range readers {
+		if c := r.slot.Load(); c != 0 && c < newGP {
+			out = append(out, StalledReader{ID: r.id, Site: r.site})
+		}
+	}
+	return out
+}
+
 // SetTracer attaches tr's grace-period event recording to the domain
 // (see citrustrace.SyncTracer); nil detaches. Safe to toggle at any
 // time, concurrently with Synchronize calls.
 func (d *ClassicDomain) SetTracer(tr *citrustrace.SyncTracer) { d.tracer.Store(tr) }
 
+// SetStallTimeout arms the grace-period stall detector; see
+// Domain.SetStallTimeout for the exact semantics. For ClassicDomain the
+// threshold measures the whole call, including serialization behind
+// other synchronizers on the global mutex, but reports only fire while
+// blocked on readers (a call queued behind a stalled synchronizer
+// surfaces as that call's stall, not its own).
+func (d *ClassicDomain) SetStallTimeout(timeout time.Duration) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	d.stall.timeout.Store(int64(timeout))
+}
+
+// SetStallHandler installs fn as the stall-report sink (nil removes
+// it); see Domain.SetStallHandler.
+func (d *ClassicDomain) SetStallHandler(fn func(StallReport)) {
+	if fn == nil {
+		d.stall.handler.Store(nil)
+		return
+	}
+	d.stall.handler.Store(&fn)
+}
+
+// SetSiteCapture toggles registration-site capture for stall
+// attribution; see Domain.SetSiteCapture.
+func (d *ClassicDomain) SetSiteCapture(on bool) { d.stall.capture.Store(on) }
+
 // Stats reports the domain's cumulative grace-period accounting. It may
-// be called at any time from any goroutine; all counters are monotonic.
+// be called at any time from any goroutine; all counters are monotonic
+// except the ActiveStalls gauge.
 func (d *ClassicDomain) Stats() Stats { return d.stats.snapshot(d.Readers()) }
 
 // Readers reports the number of currently registered readers. Intended for

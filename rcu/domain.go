@@ -107,6 +107,12 @@ type Domain struct {
 	// branch, and the read side is untouched either way.
 	tracer atomic.Pointer[citrustrace.SyncTracer]
 
+	// stall is the stall-detection configuration (see stall.go); leak
+	// the leaked-handle detection configuration (see leak.go). Both are
+	// off by default and cost the hot paths nothing while off.
+	stall stallControl
+	leak  leakControl
+
 	// stats accumulates grace-period accounting. Only Register and
 	// Synchronize write it; the read-side primitives never touch it.
 	stats syncStats
@@ -127,8 +133,9 @@ type Handle struct {
 	state atomic.Uint64 // counter<<1 | flag
 	_     [cacheLinePad - 8]byte
 
-	d  *Domain
-	id uint64
+	d    *Domain
+	id   uint64
+	site string // registration call site; "" unless SetSiteCapture was on
 }
 
 // ID reports the handle's domain-unique reader id, stable for the
@@ -136,12 +143,28 @@ type Handle struct {
 // specific readers (citrustrace.EvReaderWait).
 func (h *Handle) ID() uint64 { return h.id }
 
-// Register adds a reader to the domain and returns its handle.
-func (d *Domain) Register() Reader { return d.register() }
+// Site reports the handle's registration call site, "" unless the
+// domain's SetSiteCapture (or SetLeakDetection) was enabled when the
+// handle was registered.
+func (h *Handle) Site() string { return h.site }
+
+// Register adds a reader to the domain and returns its handle. With
+// SetLeakDetection enabled the returned Reader additionally carries a
+// finalizer-armed leak guard (see leak.go).
+func (d *Domain) Register() Reader {
+	h := d.register()
+	if d.leak.enabled.Load() {
+		return d.guardLeak(h)
+	}
+	return h
+}
 
 // register is the concrete-typed Register used inside the package.
 func (d *Domain) register() *Handle {
 	h := &Handle{d: d, id: d.nextID.Add(1)}
+	if d.stall.capture.Load() || d.leak.enabled.Load() {
+		h.site = registrationSite()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := d.readers.Load()
@@ -246,7 +269,9 @@ func (d *Domain) Synchronize() {
 	}
 	var cost syncCost
 	var led, shared bool
+	watch := d.stall.newStallWatch(start)
 	defer func() {
+		watch.settle(&d.stats)
 		if span != nil {
 			span.End(cost.spins, cost.yields)
 		}
@@ -256,7 +281,7 @@ func (d *Domain) Synchronize() {
 	// now must not be waited for, readers already inside must be.
 	schedpoint.Hit(schedpoint.RCUSyncFlip)
 	if d.nocombine.Load() {
-		d.scanReaders(span, &cost)
+		d.scanReaders(span, &cost, &watch)
 		led = true
 		return
 	}
@@ -281,7 +306,7 @@ func (d *Domain) Synchronize() {
 			}
 			led = true
 			scanStart := time.Now()
-			waited := d.scanReaders(span, &cost)
+			waited := d.scanReaders(span, &cost, &watch)
 			d.gpSeq.Add(gpSeqStride - 1) // publish completion at cur+2
 			if span != nil {
 				span.GPLead(scanStart, cur+gpSeqStride, waited)
@@ -292,7 +317,7 @@ func (d *Domain) Synchronize() {
 		// a successor we may still need to lead) will release us.
 		shared = true
 		followStart := time.Now()
-		d.followSeq(cur, &cost)
+		d.followSeq(cur, &cost, span, &watch)
 		d.stats.followWait(time.Since(followStart))
 		if span != nil {
 			span.GPShare(followStart, target, cur)
@@ -303,7 +328,7 @@ func (d *Domain) Synchronize() {
 // scanReaders runs one snapshot-and-wait pass over all registered
 // readers — a full grace period with respect to the instant it is
 // called — and reports how many readers it actually waited on.
-func (d *Domain) scanReaders(span *citrustrace.SyncSpan, cost *syncCost) int {
+func (d *Domain) scanReaders(span *citrustrace.SyncSpan, cost *syncCost, watch *stallWatch) int {
 	rsp := d.readers.Load()
 	if rsp == nil {
 		return 0
@@ -356,6 +381,13 @@ func (d *Domain) scanReaders(span *citrustrace.SyncSpan, cost *syncCost) int {
 				}
 				cost.sleeps++
 				cost.rechecks++
+				if watch.due() {
+					// A grace-period stall: report the readers this scan
+					// is still blocked on (this one and any later reader
+					// whose snapshotted critical section persists).
+					watch.fire(&d.stall, &d.stats, span, "scalable",
+						stalledInScan(readers, snap, i))
+				}
 			}
 		}
 		cost.spins += spins
@@ -366,10 +398,23 @@ func (d *Domain) scanReaders(span *citrustrace.SyncSpan, cost *syncCost) int {
 	return waited
 }
 
+// stalledInScan collects, from a reader scan blocked at index i, every
+// reader still inside the critical section its snapshot caught: exactly
+// the set the grace period cannot complete without.
+func stalledInScan(readers []*Handle, snap []uint64, i int) []StalledReader {
+	var out []StalledReader
+	for j := i; j < len(readers); j++ {
+		if snap[j]&1 != 0 && readers[j].state.Load() == snap[j] {
+			out = append(out, StalledReader{ID: readers[j].id, Site: readers[j].site})
+		}
+	}
+	return out
+}
+
 // followSeq waits, with the same spin → yield → sleep escalation as the
 // reader scan, for the grace-period sequence to move past cur — i.e.
 // for the in-flight grace period observed at cur to complete.
-func (d *Domain) followSeq(cur uint64, cost *syncCost) {
+func (d *Domain) followSeq(cur uint64, cost *syncCost, span *citrustrace.SyncSpan, watch *stallWatch) {
 	sleep := minWaiterSleep
 	for attempt := int64(0); d.gpSeq.Load() == cur; attempt++ {
 		switch {
@@ -386,8 +431,30 @@ func (d *Domain) followSeq(cur uint64, cost *syncCost) {
 			}
 			cost.sleeps++
 			cost.rechecks++
+			if watch.due() {
+				// A follower cannot see the leader's snapshot, so the
+				// report names every reader currently inside a critical
+				// section — a superset of the true blockers.
+				watch.fire(&d.stall, &d.stats, span, "scalable", d.activeReaders())
+			}
 		}
 	}
+}
+
+// activeReaders lists the readers currently inside a read-side critical
+// section, for follower-side stall reports.
+func (d *Domain) activeReaders() []StalledReader {
+	rsp := d.readers.Load()
+	if rsp == nil {
+		return nil
+	}
+	var out []StalledReader
+	for _, r := range *rsp {
+		if r.state.Load()&1 != 0 {
+			out = append(out, StalledReader{ID: r.id, Site: r.site})
+		}
+	}
+	return out
 }
 
 // SetCombining toggles grace-period combining (on by default, including
@@ -415,8 +482,44 @@ func (d *Domain) SetSnapEarlyMutant(on bool) { d.snapEarly.Store(on) }
 // time, concurrently with Synchronize calls.
 func (d *Domain) SetTracer(tr *citrustrace.SyncTracer) { d.tracer.Store(tr) }
 
+// SetStallTimeout arms the grace-period stall detector: a Synchronize
+// call still waiting after timeout fires a StallReport (see
+// SetStallHandler), bumps Stats.Stalls, and raises Stats.ActiveStalls
+// until it completes. Repeated reports for one call double their
+// interval. timeout <= 0 disables detection (the default). Safe to
+// change at any time; in-flight calls keep the setting they started
+// with. Detection only reads time in the slow (sleeping) phase of the
+// wait loop, so healthy grace periods pay nothing.
+func (d *Domain) SetStallTimeout(timeout time.Duration) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	d.stall.timeout.Store(int64(timeout))
+}
+
+// SetStallHandler installs fn as the stall-report sink (nil removes
+// it). fn runs synchronously on the stalled Synchronize caller's
+// goroutine with no domain locks held; it must be safe for concurrent
+// use and should not block. With no handler installed stalls are still
+// counted in Stats and traced via citrustrace.EvStall.
+func (d *Domain) SetStallHandler(fn func(StallReport)) {
+	if fn == nil {
+		d.stall.handler.Store(nil)
+		return
+	}
+	d.stall.handler.Store(&fn)
+}
+
+// SetSiteCapture toggles registration-site capture: while on, Register
+// records the caller's "file:line (function)" on the handle, and stall
+// reports include it next to each blocking reader id. Costs one
+// runtime.Callers walk per Register; the read-side primitives are
+// untouched. Handles registered while capture was off report "".
+func (d *Domain) SetSiteCapture(on bool) { d.stall.capture.Store(on) }
+
 // Stats reports the domain's cumulative grace-period accounting. It may
-// be called at any time from any goroutine; all counters are monotonic.
+// be called at any time from any goroutine; all counters are monotonic
+// except the ActiveStalls gauge.
 func (d *Domain) Stats() Stats { return d.stats.snapshot(d.Readers()) }
 
 // Readers reports the number of currently registered readers. Intended for

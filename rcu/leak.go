@@ -1,0 +1,113 @@
+package rcu
+
+import (
+	"log"
+	"runtime"
+	"sync/atomic"
+)
+
+// Leaked-handle detection — a debug aid for the stall detector. A
+// reader handle that is registered but never unregistered pins every
+// future grace period the moment its goroutine parks inside a critical
+// section, and even outside one it makes every Synchronize scan it
+// forever. Because the domain's registry itself keeps the *Handle
+// reachable, a leaked handle is invisible to the garbage collector — so
+// the detector attaches a finalizer to a small guard object that only
+// the caller's wrapper references: when the caller drops its reader
+// without Unregister, the wrapper and guard become unreachable, the
+// finalizer runs on the next GC cycles, and the leak is reported with
+// the registration site.
+//
+// Off by default; enable with SetLeakDetection during development and
+// soak tests. Detection is heuristic by nature (finalizers run at the
+// GC's leisure) and adds one small allocation per Register, so it is
+// not meant for hot production paths.
+
+// A LeakReport describes one reader handle that was garbage-collected
+// while still registered — i.e. leaked without Unregister. The handle
+// remains registered (the registry still references it), so every
+// subsequent grace period keeps scanning it; the report exists so the
+// leak can be found and fixed at its source.
+type LeakReport struct {
+	// ID is the leaked handle's domain-unique reader id.
+	ID uint64 `json:"id"`
+
+	// Site is the registration call site ("file:line (function)"),
+	// captured at Register time.
+	Site string `json:"site"`
+}
+
+// leakControl is the leak-detection configuration block on Domain.
+type leakControl struct {
+	enabled atomic.Bool
+	handler atomic.Pointer[func(LeakReport)]
+	leaks   atomic.Int64
+}
+
+// leakGuard is the finalizer carrier: referenced only by the
+// leakGuardedHandle the caller holds, never by the domain's registry.
+type leakGuard struct {
+	id   uint64
+	site string
+}
+
+// leakGuardedHandle wraps a registered *Handle together with its guard.
+// All Reader methods promote from the embedded handle; Unregister
+// additionally disarms the finalizer.
+type leakGuardedHandle struct {
+	*Handle
+	guard *leakGuard
+}
+
+// Unregister disarms the leak finalizer and removes the handle from its
+// domain; see Handle.Unregister for the base semantics.
+func (h *leakGuardedHandle) Unregister() {
+	runtime.SetFinalizer(h.guard, nil)
+	h.Handle.Unregister()
+}
+
+// SetLeakDetection toggles leaked-handle detection (off by default).
+// While enabled, Register returns readers carrying a finalizer-armed
+// guard: dropping such a reader without Unregister logs a warning — or
+// calls the SetLeakHandler callback — with the handle id and its
+// registration site, once the garbage collector notices the loss.
+// Registration-site capture is implied while detection is on. Readers
+// registered while detection was off are not retrofitted.
+func (d *Domain) SetLeakDetection(on bool) { d.leak.enabled.Store(on) }
+
+// SetLeakHandler installs fn as the leak-report sink (nil restores the
+// default, which logs through the standard logger). fn runs on a
+// finalizer goroutine; it must not block and must be safe for
+// concurrent use.
+func (d *Domain) SetLeakHandler(fn func(LeakReport)) {
+	if fn == nil {
+		d.leak.handler.Store(nil)
+		return
+	}
+	d.leak.handler.Store(&fn)
+}
+
+// LeakedHandles reports how many registered readers have been detected
+// as leaked (dropped without Unregister) since the domain was created.
+// Always 0 while SetLeakDetection is off.
+func (d *Domain) LeakedHandles() int64 { return d.leak.leaks.Load() }
+
+// guardLeak wraps a freshly registered handle with a finalizer-armed
+// guard; called by Register when leak detection is enabled.
+func (d *Domain) guardLeak(h *Handle) Reader {
+	site := h.site
+	if site == "" {
+		site = registrationSite()
+	}
+	g := &leakGuard{id: h.id, site: site}
+	runtime.SetFinalizer(g, func(g *leakGuard) {
+		d.leak.leaks.Add(1)
+		rep := LeakReport{ID: g.id, Site: g.site}
+		if fn := d.leak.handler.Load(); fn != nil {
+			(*fn)(rep)
+			return
+		}
+		log.Printf("rcu: leaked reader handle %d registered at %s was dropped without Unregister; it stays registered and every grace period keeps scanning it", rep.ID, rep.Site)
+	})
+	return &leakGuardedHandle{Handle: h, guard: g}
+}

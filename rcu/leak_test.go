@@ -1,0 +1,89 @@
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLeakDetectorReportsDroppedHandle: a reader registered under leak
+// detection and dropped without Unregister is reported — with its id
+// and registration site — once the collector notices the loss.
+func TestLeakDetectorReportsDroppedHandle(t *testing.T) {
+	d := NewDomain()
+	d.SetLeakDetection(true)
+	var mu sync.Mutex
+	var reports []LeakReport
+	d.SetLeakHandler(func(r LeakReport) {
+		mu.Lock()
+		reports = append(reports, r)
+		mu.Unlock()
+	})
+
+	var id uint64
+	func() {
+		r := d.Register()
+		id = r.(interface{ ID() uint64 }).ID()
+		r.ReadLock()
+		r.ReadUnlock()
+		// ...and the handle goes out of scope without Unregister.
+	}()
+
+	// Finalizers need GC cycles to notice; two runs settle the common
+	// case, the loop absorbs collector scheduling.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		runtime.GC()
+		mu.Lock()
+		n := len(reports)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leak report within 10s of dropping a registered handle")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if reports[0].ID != id {
+		t.Fatalf("leak report names handle %d, want %d", reports[0].ID, id)
+	}
+	if reports[0].Site == "" {
+		t.Fatal("leak report has no registration site")
+	}
+	if d.LeakedHandles() == 0 {
+		t.Fatal("LeakedHandles did not count the leak")
+	}
+}
+
+// TestLeakDetectorUnregisterDisarms: a properly unregistered handle is
+// never reported, and a domain with detection off guards nothing.
+func TestLeakDetectorUnregisterDisarms(t *testing.T) {
+	d := NewDomain()
+	d.SetLeakDetection(true)
+	d.SetLeakHandler(func(r LeakReport) {
+		t.Errorf("leak reported for an unregistered handle: %+v", r)
+	})
+	func() {
+		r := d.Register()
+		r.ReadLock()
+		r.ReadUnlock()
+		r.Unregister()
+	}()
+	d.SetLeakDetection(false)
+	func() {
+		r := d.Register() // detection off: plain handle, no guard
+		_ = r
+	}()
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if n := d.LeakedHandles(); n != 0 {
+		t.Fatalf("LeakedHandles = %d, want 0", n)
+	}
+}

@@ -1,0 +1,180 @@
+package rcu
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// parkReader registers a reader on d, enters its critical section, and
+// returns a release func; while parked, every grace period on d blocks.
+func parkReader(t *testing.T, d Flavor) (release func()) {
+	t.Helper()
+	r := d.Register()
+	r.ReadLock()
+	var released atomic.Bool
+	t.Cleanup(func() {
+		if !released.Load() {
+			r.ReadUnlock()
+		}
+		r.Unregister()
+	})
+	return func() {
+		released.Store(true)
+		r.ReadUnlock()
+	}
+}
+
+// TestReclaimerHighWatermarkExpedites: crossing the high watermark arms
+// exactly one expedited drain per crossing — not one per enqueue above
+// it — and a second crossing counts again.
+func TestReclaimerHighWatermarkExpedites(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHighWatermark(8))
+	defer r.Close()
+
+	flood := func() {
+		release := parkReader(t, d)
+		for i := 0; i < 100; i++ {
+			r.Defer(func() {})
+		}
+		release()
+		r.Barrier()
+	}
+	flood()
+	if got := r.Stats().ExpeditedDrains; got != 1 {
+		t.Fatalf("ExpeditedDrains = %d after one crossing, want 1", got)
+	}
+	flood()
+	s := r.Stats()
+	if s.ExpeditedDrains != 2 {
+		t.Fatalf("ExpeditedDrains = %d after two crossings, want 2", s.ExpeditedDrains)
+	}
+	if s.QueueDepth != 0 || s.Executed != s.Deferred {
+		t.Fatalf("queue did not drain: %+v", s)
+	}
+}
+
+// TestReclaimerHardCapShedsFlood pins the acceptance scenario: a flood
+// of deferrals behind a parked reader never grows the queue past the
+// hard cap; the excess is dropped — counted, never silent — and every
+// accepted callback still runs after the reader leaves.
+func TestReclaimerHardCapShedsFlood(t *testing.T) {
+	const (
+		hardCap = 256
+		flood   = 10_000
+	)
+	d := NewDomain()
+	r := NewReclaimer(d,
+		WithHighWatermark(64),
+		WithHardCap(hardCap),
+		WithBackpressure(0)) // drop immediately: the flood must stay fast
+	defer r.Close()
+
+	release := parkReader(t, d)
+	var ran atomic.Int64
+	for i := 0; i < flood; i++ {
+		r.Defer(func() { ran.Add(1) })
+	}
+	if r.TryDefer(func() { ran.Add(1) }) {
+		t.Fatal("TryDefer succeeded at the hard cap under a parked reader")
+	}
+
+	s := r.Stats()
+	if s.QueueHighWater > hardCap {
+		t.Fatalf("queue high water %d exceeds the hard cap %d", s.QueueHighWater, hardCap)
+	}
+	if s.Dropped == 0 {
+		t.Fatal("the flood dropped nothing despite the cap")
+	}
+	if s.Deferred+s.Dropped != flood+1 {
+		t.Fatalf("accepted %d + dropped %d ≠ %d attempts", s.Deferred, s.Dropped, flood+1)
+	}
+	if s.ExpeditedDrains == 0 {
+		t.Fatal("the flood never armed an expedited drain")
+	}
+
+	release()
+	r.Barrier()
+	s = r.Stats()
+	if got := ran.Load(); got != s.Deferred-1 { // -1: the Barrier callback
+		t.Fatalf("%d callbacks ran, %d were accepted", got, s.Deferred-1)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after Barrier", s.QueueDepth)
+	}
+}
+
+// TestReclaimerBackpressureWaitsForRoom: at the cap, an enqueue blocks
+// for the backpressure window instead of dropping, and is accepted when
+// the drain makes room within it.
+func TestReclaimerBackpressureWaitsForRoom(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHardCap(1), WithBackpressure(10*time.Second))
+	defer r.Close()
+
+	release := parkReader(t, d)
+	r.Defer(func() {}) // fills the queue to its cap of 1
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		release() // the drain completes, making room mid-backpressure
+	}()
+	var second atomic.Bool
+	if !r.TryDefer(func() { second.Store(true) }) {
+		t.Fatal("backpressured TryDefer dropped despite room appearing within the window")
+	}
+	r.Barrier()
+	if !second.Load() {
+		t.Fatal("the backpressure-accepted callback never ran")
+	}
+	if s := r.Stats(); s.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", s.Dropped)
+	}
+}
+
+// TestReclaimerBarrierBypassesCap: Barrier must complete even when the
+// queue sits exactly at its hard cap — its callback bypasses the bound,
+// otherwise Barrier would deadlock against a full queue.
+func TestReclaimerBarrierBypassesCap(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHardCap(4), WithBackpressure(0))
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		r.TryDefer(func() {})
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Barrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Barrier deadlocked against a capped queue")
+	}
+}
+
+// TestReclaimerDrainBatchBounds: the normal drain pays one grace period
+// per bounded batch, so a backlog of N with batch B costs ~N/B grace
+// periods — not one, not N.
+func TestReclaimerDrainBatchBounds(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithDrainBatch(10))
+	defer r.Close()
+
+	// Queue 100 callbacks behind a parked reader so the drain sees the
+	// whole backlog at once, then release and flush.
+	release := parkReader(t, d)
+	for i := 0; i < 100; i++ {
+		r.Defer(func() {})
+	}
+	release()
+	r.Barrier()
+	s := r.Stats()
+	if s.GracePeriods < 100/10 {
+		t.Fatalf("GracePeriods = %d for a 100-deep backlog with batch 10, want ≥ 10", s.GracePeriods)
+	}
+	if s.Executed != s.Deferred {
+		t.Fatalf("executed %d of %d accepted callbacks", s.Executed, s.Deferred)
+	}
+}

@@ -49,6 +49,19 @@ type Stats struct {
 	SyncShares    int64 `json:"sync_shares"`
 	SyncExpedited int64 `json:"sync_expedited"`
 
+	// Stalls counts grace-period stall reports fired (see
+	// Domain.SetStallTimeout): a Synchronize call whose wait crossed the
+	// stall threshold contributes one per report, with per-call report
+	// intervals doubling. ActiveStalls is a gauge — NOT monotonic — of
+	// Synchronize calls currently stalled past the threshold; nonzero
+	// means some updater is blocked on a slow reader right now.
+	// SyncAbandoned counts SynchronizeCtx calls whose caller gave up
+	// (context done) before the grace period completed; each such grace
+	// period still ran to completion in the background.
+	Stalls        int64 `json:"stalls"`
+	ActiveStalls  int64 `json:"active_stalls"`
+	SyncAbandoned int64 `json:"sync_abandoned"`
+
 	// Readers is the number of currently registered readers;
 	// ReaderHighWater the maximum ever simultaneously registered.
 	Readers         int   `json:"readers"`
@@ -96,8 +109,16 @@ type syncStats struct {
 	shares    atomic.Int64
 	expedited atomic.Int64
 	highWater atomic.Int64
-	wait      citrusstat.Histogram
-	follower  citrusstat.Histogram
+
+	// Stall/robustness accounting (see stall.go, ctx.go). activeStalls
+	// is a gauge: raised once per Synchronize call that stalls, lowered
+	// when the call finally completes.
+	stalls       atomic.Int64
+	activeStalls atomic.Int64
+	abandoned    atomic.Int64
+
+	wait     citrusstat.Histogram
+	follower citrusstat.Histogram
 }
 
 // syncCost accumulates one Synchronize call's waiting effort, split by
@@ -163,6 +184,9 @@ func (s *syncStats) snapshot(readers int) Stats {
 		SyncLeads:       s.leads.Load(),
 		SyncShares:      s.shares.Load(),
 		SyncExpedited:   s.expedited.Load(),
+		Stalls:          s.stalls.Load(),
+		ActiveStalls:    s.activeStalls.Load(),
+		SyncAbandoned:   s.abandoned.Load(),
 		Readers:         readers,
 		ReaderHighWater: s.highWater.Load(),
 		SyncWait:        s.wait.Snapshot(),
