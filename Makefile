@@ -2,28 +2,33 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper stress torture torture-smoke torture-stall fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper bench-forest stress torture torture-smoke torture-stall torture-forest fuzz vet fmt clean
 
 all: build vet test
 
 # What CI runs (see .github/workflows/ci.yml): build, vet, full test
 # suite, the race detector over the packages with the most
 # concurrency-sensitive invariants (including the citrustrace rings and
-# the public tracing toggles), a short citrusbench smoke run that
+# the public tracing toggles), a GOMAXPROCS=4 race pass over the forest
+# and kvserver sharding paths, a short citrusbench smoke run that
 # exercises the -json report plus the a4 tracing-overhead and a5
 # grace-period-combining A/Bs, the committed BENCH_PR4.json combining
-# ablation, and fixed-seed torture smoke runs (correct build plus the
-# stalledreader robustness scenario).
+# ablation, the BENCH_PR6.json procs×shards sweep, and fixed-seed
+# torture smoke runs (correct build, the stalledreader robustness
+# scenario, and the forest subject with its shard-isolation control).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./rcu/... ./internal/core/... ./citrustrace/... ./internal/schedpoint/... ./internal/torture/...
 	$(GO) test -race -run 'Trace|Tracing' .
+	GOMAXPROCS=4 $(GO) test -race -run 'Forest|Sharded|Partition|Router' . ./internal/partition/... ./internal/impls/... ./examples/kvserver/...
 	$(GO) run ./cmd/citrusbench -figure 10c,a4,a5 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
 	$(GO) run ./cmd/citrusbench -figure 10c,a5 -threads 1,2,4,8,16 -impl Citrus -json BENCH_PR4.json -note "CI combining ablation"
+	$(MAKE) bench-forest
 	$(MAKE) torture-smoke
 	$(MAKE) torture-stall
+	$(MAKE) torture-forest
 
 build:
 	$(GO) build ./...
@@ -52,6 +57,13 @@ figures:
 figures-paper:
 	$(GO) run ./cmd/citrusbench -figure all -paper -csv bench_results.csv
 
+# The procs × shards sweep behind BENCH_PR6.json: figure 10c with
+# GOMAXPROCS 1 and 4, unsharded Citrus vs an 8-shard forest, effective
+# procs recorded on every data point. On a 1-CPU box -procs 4 measures
+# timesharing, and the tool warns exactly so.
+bench-forest:
+	$(GO) run ./cmd/citrusbench -figure 10c -threads 1,4,8 -procs 1,4 -shards 1,8 -impl Citrus -json BENCH_PR6.json -note "forest sweep"
+
 stress:
 	$(GO) run ./cmd/citrusstress -mode churn -duration 5s
 	$(GO) run ./cmd/citrusstress -mode linear -duration 5s
@@ -78,6 +90,14 @@ torture-smoke:
 # degradation machinery on a fixed seed.
 torture-stall:
 	$(GO) run ./cmd/citrustorture -flavor stalledreader -seed 1 -duration 4s -json citrustorture-stall.json
+
+# The sharded subject: per-shard reclamation oracles, misroute checks,
+# and — under stalledreader — the isolation positive control: shard 0
+# stalls, and the run fails unless the sibling shards' grace periods
+# kept completing.
+torture-forest:
+	$(GO) run ./cmd/citrustorture -impl forest -seed 1 -duration 2s -json citrustorture-forest.json
+	$(GO) run ./cmd/citrustorture -impl forest -flavor stalledreader -seed 1 -duration 4s -json citrustorture-forest-stall.json
 
 # Coverage-guided exploration of the core tree against the map oracle.
 fuzz:

@@ -61,6 +61,8 @@ func run(args []string) error {
 		verify   = fs.Bool("verify", true, "check structural invariants after every cell")
 		implStr  = fs.String("impl", "", "comma-separated series filter (substring match on series names)")
 		stats    = fs.Bool("stats", false, "after the selected figures, run Citrus once per thread count and print a native-observability stats table (grace periods, p50/p99 grace-period wait, retry and recycle rates)")
+		procsStr = fs.String("procs", "", "comma-separated GOMAXPROCS sweep (e.g. 1,2,4): the selected figures rerun under each value, and every data point records the procs it ran under")
+		shardStr = fs.String("shards", "", "comma-separated Citrus-forest shard counts added as extra series to the figure sweeps (e.g. 1,8); 1 is the degenerate single-tree forest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +79,42 @@ func run(args []string) error {
 			workerCounts = append(workerCounts, n)
 		}
 	}
+	// The procs axis: every value reruns the whole selected set under
+	// that GOMAXPROCS, and each data point records the value it actually
+	// ran under — a report whose header says one thing while cells ran
+	// under another is exactly the mislabeling this flag exists to end.
+	procsList := []int{runtime.GOMAXPROCS(0)}
+	if *procsStr != "" {
+		procsList = nil
+		for _, part := range strings.Split(*procsStr, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("invalid -procs value %q", part)
+			}
+			procsList = append(procsList, n)
+		}
+	}
+
+	var shardCounts []int
+	if *shardStr != "" {
+		for _, part := range strings.Split(*shardStr, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("invalid -shards value %q", part)
+			}
+			shardCounts = append(shardCounts, n)
+		}
+	}
+	// Forest series are appended to every figure sweep; shardsByName
+	// labels their cells with the shard count afterwards.
+	shardsByName := map[string]int{}
+	var forestSeries []impls.NamedFactory[int, int]
+	for _, n := range shardCounts {
+		nf := impls.ForestFactory[int, int](n)
+		shardsByName[nf.Name] = n
+		forestSeries = append(forestSeries, nf)
+	}
+
 	keyRangeScale := 1
 	if *paper {
 		*duration = 5 * time.Second
@@ -93,7 +131,7 @@ func run(args []string) error {
 
 	var rep *report
 	if *jsonPath != "" {
-		rep = newReport(*duration, *reps, workerCounts, *note)
+		rep = newReport(*duration, *reps, workerCounts, procsList, shardCounts, *note)
 	}
 
 	var csv *os.File
@@ -104,11 +142,8 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		csv = f
-		fmt.Fprintln(csv, "figure,impl,threads,ops_per_sec")
+		fmt.Fprintln(csv, "figure,impl,threads,procs,shards,ops_per_sec")
 	}
-
-	fmt.Printf("citrusbench: GOMAXPROCS=%d, duration=%v, reps=%d, threads=%v\n\n",
-		runtime.GOMAXPROCS(0), *duration, *reps, workerCounts)
 
 	figures := strings.Split(*figure, ",")
 	for i := range figures {
@@ -156,68 +191,98 @@ func run(args []string) error {
 		return keep
 	}
 
-	matched := false
-	for _, f := range harness.Figures() {
-		if !want(f) {
-			continue
+	maxWorkers := 0
+	for _, w := range workerCounts {
+		if w > maxWorkers {
+			maxWorkers = w
 		}
-		matched = true
-		f.KeyRange /= keyRangeScale
-		allSeries := f.Series
-		f.Series = func() []impls.NamedFactory[int, int] { return filterSeries(allSeries()) }
-		if len(f.Series()) == 0 {
-			fmt.Printf("== Figure %s: skipped (no series match -impl %q) ==\n\n", f.ID, *implStr)
-			continue
-		}
-		fmt.Printf("== Figure %s: %s ==\n", f.ID, f.Caption)
-		cells, err := f.Run(workerCounts, *duration, *reps, *verify)
-		if err != nil {
-			return err
-		}
-		harness.WriteTable(os.Stdout, cells)
-		fmt.Println()
-		if csv != nil {
-			harness.WriteCSV(csv, f.ID, cells)
-		}
-		rep.addCells(f.ID, cells)
 	}
 
-	if selected("a1") {
-		matched = true
-		if err := runAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
-			return err
+	matched := false
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		fmt.Printf("citrusbench: GOMAXPROCS=%d (NumCPU=%d), duration=%v, reps=%d, threads=%v\n\n",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), *duration, *reps, workerCounts)
+		if maxWorkers > procs {
+			fmt.Fprintf(os.Stderr,
+				"citrusbench: warning: thread counts up to %d exceed GOMAXPROCS=%d — those cells measure goroutine timesharing on %d proc(s), not parallel scaling\n",
+				maxWorkers, procs, procs)
 		}
-	}
-	if selected("a2") {
-		matched = true
-		if err := runSkewAblation(workerCounts, *duration, *reps, keyRangeScale, *verify, csv, rep); err != nil {
-			return err
+		if procs > runtime.NumCPU() {
+			fmt.Fprintf(os.Stderr,
+				"citrusbench: warning: GOMAXPROCS=%d exceeds NumCPU=%d — the extra procs are OS-timeshared, not real cores\n",
+				procs, runtime.NumCPU())
 		}
-	}
-	if selected("a3") {
-		matched = true
-		if err := runNoSyncAblation(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
-			return err
+
+		for _, f := range harness.Figures() {
+			if !want(f) {
+				continue
+			}
+			matched = true
+			f.KeyRange /= keyRangeScale
+			allSeries := f.Series
+			f.Series = func() []impls.NamedFactory[int, int] {
+				return filterSeries(append(allSeries(), forestSeries...))
+			}
+			if len(f.Series()) == 0 {
+				fmt.Printf("== Figure %s: skipped (no series match -impl %q) ==\n\n", f.ID, *implStr)
+				continue
+			}
+			fmt.Printf("== Figure %s: %s ==\n", f.ID, f.Caption)
+			cells, err := f.Run(workerCounts, *duration, *reps, *verify)
+			if err != nil {
+				return err
+			}
+			for i := range cells {
+				if n, ok := shardsByName[cells[i].Impl]; ok {
+					cells[i].Shards = n
+				}
+			}
+			harness.WriteTable(os.Stdout, cells)
+			fmt.Println()
+			if csv != nil {
+				harness.WriteCSV(csv, f.ID, cells)
+			}
+			rep.addCells(f.ID, cells)
 		}
-	}
-	if selected("a4") {
-		matched = true
-		if err := runTracingOverhead(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
-			return err
+
+		if selected("a1") {
+			matched = true
+			if err := runAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
+				return err
+			}
 		}
-	}
-	if selected("a5") {
-		matched = true
-		if err := runCombiningAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
-			return err
+		if selected("a2") {
+			matched = true
+			if err := runSkewAblation(workerCounts, *duration, *reps, keyRangeScale, *verify, csv, rep); err != nil {
+				return err
+			}
 		}
-	}
-	if !matched {
-		return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, a4, a5, all, or a panel id)", *figure)
-	}
-	if *stats {
-		if err := runStats(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
-			return err
+		if selected("a3") {
+			matched = true
+			if err := runNoSyncAblation(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
+				return err
+			}
+		}
+		if selected("a4") {
+			matched = true
+			if err := runTracingOverhead(workerCounts, *duration, *reps, keyRangeScale, csv, rep); err != nil {
+				return err
+			}
+		}
+		if selected("a5") {
+			matched = true
+			if err := runCombiningAblation(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
+				return err
+			}
+		}
+		if !matched {
+			return fmt.Errorf("unknown figure %q (try 8, 9, 10, a1, a2, a3, a4, a5, all, or a panel id)", *figure)
+		}
+		if *stats {
+			if err := runStats(workerCounts, *duration, keyRangeScale, csv, rep); err != nil {
+				return err
+			}
 		}
 	}
 	if rep != nil {
@@ -328,9 +393,9 @@ func runCombiningAblation(workerCounts []int, duration time.Duration, keyRangeSc
 				w, combining, res.Throughput(), st.Synchronizes, st.SyncLeads, st.SyncShares,
 				st.SyncExpedited, st.SyncWait.Mean(), st.SyncWait.Percentile(99), fw.Mean())
 			if csv != nil {
-				fmt.Fprintf(csv, "a5,%s,%d,%.0f\n", name, w, res.Throughput())
+				fmt.Fprintf(csv, "a5,%s,%d,%d,0,%.0f\n", name, w, res.Procs, res.Throughput())
 			}
-			rep.addCells("a5", []harness.Cell{{Impl: name, Workers: w, Throughput: res.Throughput()}})
+			rep.addCells("a5", []harness.Cell{{Impl: name, Workers: w, Procs: res.Procs, Throughput: res.Throughput()}})
 			rep.addCombining(reportCombining{
 				Threads:           w,
 				Combining:         combining,
@@ -403,7 +468,7 @@ func runStats(workerCounts []int, duration time.Duration, keyRangeScale int, csv
 			retryRate(s.DeleteRetries, s.Deletes+s.DeleteMisses+s.DeleteRetries),
 			recycleRate)
 		if csv != nil {
-			fmt.Fprintf(csv, "stats,Citrus,%d,%.0f\n", w, res.Throughput())
+			fmt.Fprintf(csv, "stats,Citrus,%d,%d,0,%.0f\n", w, res.Procs, res.Throughput())
 		}
 		rep.addGP(reportGP{
 			Threads:         w,
@@ -522,9 +587,9 @@ func runAblation(workerCounts []int, duration time.Duration, keyRangeScale int, 
 			w, res.Throughput(), float64(st.Synchronizes)/secs, st.SyncWait.Mean(), share,
 			res.Latency.Percentile(50), res.Latency.Percentile(99))
 		if csv != nil {
-			fmt.Fprintf(csv, "a1,Citrus,%d,%.0f\n", w, res.Throughput())
+			fmt.Fprintf(csv, "a1,Citrus,%d,%d,0,%.0f\n", w, res.Procs, res.Throughput())
 		}
-		rep.addCells("a1", []harness.Cell{{Impl: "Citrus", Workers: w, Throughput: res.Throughput()}})
+		rep.addCells("a1", []harness.Cell{{Impl: "Citrus", Workers: w, Procs: res.Procs, Throughput: res.Throughput()}})
 	}
 	fmt.Println()
 	return nil

@@ -14,15 +14,22 @@ import (
 // (grace-period stats, tracing-overhead A/B) that the tables print,
 // so a committed report captures everything a regression check needs.
 type report struct {
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// GoMaxProcs is the value at report creation, kept for context only:
+	// a -procs sweep resets GOMAXPROCS per repetition, so the
+	// authoritative value for any measurement is its cell's Procs field,
+	// never this header.
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Duration   string `json:"duration"`
 	Reps       int    `json:"reps"`
 	Threads    []int  `json:"threads"`
+	Procs      []int  `json:"procs"`            // the swept GOMAXPROCS axis
+	Shards     []int  `json:"shards,omitempty"` // forest shard counts added as series
 	Note       string `json:"note,omitempty"`
 
 	// Cells: one row per (figure, series, threads), same as the CSV.
@@ -46,6 +53,8 @@ type reportCell struct {
 	Figure    string  `json:"figure"`
 	Impl      string  `json:"impl"`
 	Threads   int     `json:"threads"`
+	Procs     int     `json:"procs"`            // effective GOMAXPROCS for this cell
+	Shards    int     `json:"shards,omitempty"` // forest shard count; 0 = unsharded
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
@@ -85,7 +94,7 @@ type reportOverhead struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-func newReport(duration time.Duration, reps int, threads []int, note string) *report {
+func newReport(duration time.Duration, reps int, threads, procs, shards []int, note string) *report {
 	return &report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -96,6 +105,8 @@ func newReport(duration time.Duration, reps int, threads []int, note string) *re
 		Duration:   duration.String(),
 		Reps:       reps,
 		Threads:    threads,
+		Procs:      procs,
+		Shards:     shards,
 		Note:       note,
 	}
 }
@@ -107,7 +118,14 @@ func (r *report) addCells(figID string, cells []harness.Cell) {
 		return
 	}
 	for _, c := range cells {
-		r.Cells = append(r.Cells, reportCell{Figure: figID, Impl: c.Impl, Threads: c.Workers, OpsPerSec: c.Throughput})
+		r.Cells = append(r.Cells, reportCell{
+			Figure:    figID,
+			Impl:      c.Impl,
+			Threads:   c.Workers,
+			Procs:     c.Procs,
+			Shards:    c.Shards,
+			OpsPerSec: c.Throughput,
+		})
 	}
 }
 

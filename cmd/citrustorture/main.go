@@ -57,7 +57,7 @@ type report struct {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("citrustorture", flag.ContinueOnError)
 	var (
-		implName = fs.String("impl", "citrus", "subject: citrus, a registry name (see -list), or all")
+		implName = fs.String("impl", "citrus", "subject: citrus, forest (sharded citrus), a registry name (see -list), or all")
 		list     = fs.Bool("list", false, "list subject names and exit")
 		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, a negative control (nosync, snapearly), or the stalledreader robustness scenario")
 		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
@@ -67,6 +67,7 @@ func run(args []string, out *os.File) error {
 		duration = fs.Duration("duration", 2*time.Second, "time box per run")
 		threads  = fs.Int("threads", 8, "churn worker goroutines")
 		keyRange = fs.Int("keyrange", 64, "churn key range (small ranges maximize conflicts)")
+		shards   = fs.Int("shards", 0, "forest shard count (forest subject only; 0 = default 4)")
 		maxSleep = fs.Duration("maxsleep", 0, "cap on injected sleeps (0 = schedpoint default)")
 		jsonPath = fs.String("json", "", "write the verdict report as JSON to this file ('-' for stdout)")
 	)
@@ -75,6 +76,7 @@ func run(args []string, out *os.File) error {
 	}
 	if *list {
 		fmt.Fprintln(out, "citrus")
+		fmt.Fprintln(out, "forest")
 		for _, f := range impls.All[int, int]() {
 			if !strings.EqualFold(f.Name, "citrus") {
 				fmt.Fprintln(out, f.Name)
@@ -94,7 +96,10 @@ func run(args []string, out *os.File) error {
 		if *flavor != "" || *mutant != "" || *recycle {
 			return fmt.Errorf("-impl all cannot be combined with -flavor/-mutant/-recycle")
 		}
-		subjects = append(subjects, subjectCfg{"citrus", "scalable"}, subjectCfg{"citrus", "classic"})
+		subjects = append(subjects,
+			subjectCfg{"citrus", "scalable"},
+			subjectCfg{"citrus", "classic"},
+			subjectCfg{"forest", "scalable"})
 		for _, f := range impls.All[int, int]() {
 			if !strings.HasPrefix(f.Name, "Citrus") {
 				subjects = append(subjects, subjectCfg{f.Name, ""})
@@ -117,6 +122,9 @@ func run(args []string, out *os.File) error {
 				Mutant:   *mutant,
 				Recycle:  *recycle,
 				MaxSleep: *maxSleep,
+			}
+			if strings.EqualFold(sub.impl, "forest") {
+				cfg.Shards = *shards
 			}
 			v, err := torture.Run(cfg)
 			if err != nil {
@@ -165,6 +173,9 @@ func countFailed(runs []*torture.Verdict) int {
 // history when linearizability was the oracle that fired.
 func printVerdict(out *os.File, v *torture.Verdict) {
 	label := v.Impl
+	if v.Shards > 0 {
+		label += fmt.Sprintf("(%d)", v.Shards)
+	}
 	if v.Flavor != "" && v.Flavor != "scalable" {
 		label += "/" + v.Flavor
 	}
@@ -195,6 +206,9 @@ func printVerdict(out *os.File, v *torture.Verdict) {
 // configuration and injection schedule.
 func reproArgs(v *torture.Verdict) string {
 	args := fmt.Sprintf("-impl %q -seed %d", v.Impl, v.Seed)
+	if v.Shards > 0 {
+		args += fmt.Sprintf(" -shards %d", v.Shards)
+	}
 	if v.Flavor != "" {
 		args += " -flavor " + v.Flavor
 	}

@@ -1,4 +1,11 @@
-// kvserver: a TCP key-value store backed by the Citrus tree.
+// kvserver: a TCP key-value store backed by the Citrus tree — or, with
+// -shards N, by a citrus.Forest that hash-partitions the key space
+// across N independent trees, each with its own RCU domain and
+// reclaimer. Sharding bounds the blast radius of a stalled reader: a
+// reader stuck in one shard's critical section degrades that shard's
+// reclamation while the other shards' grace periods keep completing,
+// so /healthz and the write-shedding policy (which aggregate across
+// shards) describe the whole forest honestly.
 //
 // The server speaks a line protocol on 127.0.0.1:7170 (configurable):
 //
@@ -81,22 +88,23 @@ import (
 	"syscall"
 	"time"
 
-	citrus "github.com/go-citrus/citrus"
 	"github.com/go-citrus/citrus/citrusstat"
 	"github.com/go-citrus/citrus/rcu"
 )
 
 // kvConfig carries the robustness knobs from flags into the server.
 type kvConfig struct {
+	shards       int           // forest shard count; 1 = single tree
 	opTimeout    time.Duration // per-write grace-period deadline (0 = unbounded)
 	stallTimeout time.Duration // RCU stall-detector threshold (0 = off)
-	recHigh      int           // reclaimer high watermark (expedited drain)
-	recCap       int           // reclaimer hard cap (backpressure, then shed)
+	recHigh      int           // reclaimer high watermark (expedited drain), per shard
+	recCap       int           // reclaimer hard cap (backpressure, then shed), per shard
 	drainTimeout time.Duration // how long shutdown waits for open connections
 }
 
 func defaultKVConfig() kvConfig {
 	return kvConfig{
+		shards:       1,
 		opTimeout:    2 * time.Second,
 		stallTimeout: 250 * time.Millisecond,
 		recHigh:      1024,
@@ -106,9 +114,7 @@ func defaultKVConfig() kvConfig {
 }
 
 type server struct {
-	tree  *citrus.Tree[int64, string]
-	dom   *rcu.Domain
-	rec   *rcu.Reclaimer
+	store store
 	cfg   kvConfig
 	ops   atomic.Int64
 	conns atomic.Int64
@@ -120,23 +126,19 @@ type server struct {
 }
 
 func newServer(cfg kvConfig) *server {
-	dom := rcu.NewDomain()
-	dom.SetSiteCapture(true)
-	rec := rcu.NewReclaimer(dom,
-		rcu.WithHighWatermark(cfg.recHigh),
-		rcu.WithHardCap(cfg.recCap))
-	s := &server{
-		tree: citrus.NewWithRecycling[int64, string](dom, rec),
-		dom:  dom,
-		rec:  rec,
-		cfg:  cfg,
-	}
-	if cfg.stallTimeout > 0 {
-		dom.SetStallTimeout(cfg.stallTimeout)
-		dom.SetStallHandler(func(r rcu.StallReport) {
-			s.stallReports.Add(1)
+	s := &server{cfg: cfg}
+	onStall := func(shard int, r rcu.StallReport) {
+		s.stallReports.Add(1)
+		if cfg.shards > 1 {
+			log.Printf("kvserver: shard %d: %v", shard, r)
+		} else {
 			log.Printf("kvserver: %v", r)
-		})
+		}
+	}
+	if cfg.shards > 1 {
+		s.store = newForestStore(cfg, onStall)
+	} else {
+		s.store = newTreeStore(cfg, onStall)
 	}
 	return s
 }
@@ -145,15 +147,16 @@ func newServer(cfg kvConfig) *server {
 // human-readable reason per trigger. Two triggers, matching the two
 // failure modes docs/RCU.md's degradation matrix describes: a
 // grace-period wait stalled past the detector threshold (a reader stuck
-// in its critical section), or the reclaimer's queue at/above its high
+// in its critical section), or a reclaimer's queue at/above its high
 // watermark (retired nodes accumulating faster than grace periods
-// retire them).
+// retire them). With -shards both probes aggregate across every shard —
+// the router is hash-based, so any write may land on the sick shard.
 func (s *server) degraded() (bool, []string) {
 	var reasons []string
-	if n := s.dom.Stats().ActiveStalls; n > 0 {
+	if n := s.store.ActiveStalls(); n > 0 {
 		reasons = append(reasons, fmt.Sprintf("%d grace-period wait(s) stalled past %v", n, s.cfg.stallTimeout))
 	}
-	if d := s.rec.QueueDepth(); s.cfg.recHigh > 0 && d >= int64(s.cfg.recHigh) {
+	if d := s.store.MaxQueueDepth(); s.cfg.recHigh > 0 && d >= int64(s.cfg.recHigh) {
 		reasons = append(reasons, fmt.Sprintf("reclaimer backlog %d at high watermark %d", d, s.cfg.recHigh))
 	}
 	return len(reasons) > 0, reasons
@@ -175,6 +178,7 @@ func main() {
 	mutexFrac := flag.Int("mutexprofilefraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events (0 disables)")
 	blockRate := flag.Int("blockprofilerate", 0, "runtime.SetBlockProfileRate: sample blocking events ≥ n ns (0 disables)")
 	def := defaultKVConfig()
+	shards := flag.Int("shards", def.shards, "partition the key space across this many independently reclaimed Citrus trees (citrus.Forest); 1 = single tree")
 	opTimeout := flag.Duration("optimeout", def.opTimeout, "per-write grace-period deadline; expired DELs finish cleanup in the background (0 = unbounded)")
 	stall := flag.Duration("stall", def.stallTimeout, "RCU stall-detector threshold; stalled grace periods are logged and flip /healthz to degraded (0 disables)")
 	recHigh := flag.Int("reclaim-high", def.recHigh, "reclaimer high watermark: queue depth that triggers an expedited drain and write shedding")
@@ -183,7 +187,11 @@ func main() {
 	flag.Parse()
 	runtime.SetMutexProfileFraction(*mutexFrac)
 	runtime.SetBlockProfileRate(*blockRate)
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1, got %d", *shards)
+	}
 	cfg := kvConfig{
+		shards:       *shards,
 		opTimeout:    *opTimeout,
 		stallTimeout: *stall,
 		recHigh:      *recHigh,
@@ -198,15 +206,22 @@ func main() {
 func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 	srv := newServer(cfg)
 	if traceOn {
-		srv.tree.EnableTracing()
-		log.Printf("flight recorder enabled (dump at /debug/trace)")
+		if srv.store.EnableTracing() {
+			log.Printf("flight recorder enabled (dump at /debug/trace)")
+		} else {
+			log.Printf("-trace: the flight recorder is per tree; unavailable with -shards > 1, ignoring")
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	log.Printf("kvserver listening on %s", ln.Addr())
+	if cfg.shards > 1 {
+		log.Printf("kvserver listening on %s (%d shards, each with its own RCU domain and reclaimer)", ln.Addr(), cfg.shards)
+	} else {
+		log.Printf("kvserver listening on %s", ln.Addr())
+	}
 
 	if httpAddr != "" {
 		hln, err := net.Listen("tcp", httpAddr)
@@ -242,8 +257,8 @@ func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 		wg.Wait()
 		return fmt.Errorf("demo client: %w", err)
 	}
-	log.Printf("demo done: %d ops served, %d keys resident", srv.ops.Load(), srv.tree.Len())
-	if err := srv.tree.CheckInvariants(); err != nil {
+	log.Printf("demo done: %d ops served, %d keys resident", srv.ops.Load(), srv.store.Len())
+	if err := srv.store.CheckInvariants(); err != nil {
 		return fmt.Errorf("tree invariants: %w", err)
 	}
 	log.Printf("tree invariants: OK")
@@ -266,40 +281,47 @@ func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 		case <-time.After(cfg.drainTimeout):
 			log.Printf("drain timeout: abandoning open connections")
 		}
-		srv.rec.Close() // flush retired nodes through their grace periods
+		srv.store.Close() // flush retired nodes through their grace periods, every shard
 		log.Printf("drained: %d ops served", srv.ops.Load())
 		return nil
 	}
 	ln.Close()
 	wg.Wait()
-	srv.rec.Close()
+	srv.store.Close()
 	return nil
 }
 
 // metrics is the machine-oriented snapshot served at /metrics and
 // published through expvar. Everything in it comes from the library's
 // native stats layer; the server adds only its own request counters.
+// With -shards the store contributes the forest fold under "tree"/"rcu"
+// plus per-shard breakdowns under "shards" and "reclaimers".
 func (s *server) metrics() map[string]any {
-	return map[string]any{
+	doc := map[string]any{
 		"server": map[string]int64{
 			"ops":           s.ops.Load(),
 			"conns":         s.conns.Load(),
-			"keys":          int64(s.tree.Len()),
+			"keys":          int64(s.store.Len()),
+			"shards":        int64(s.cfg.shards),
 			"shed_writes":   s.shedWrites.Load(),
 			"gp_timeouts":   s.gpTimeouts.Load(),
 			"stall_reports": s.stallReports.Load(),
 		},
-		"tree":      s.tree.Stats(),
-		"rcu":       s.dom.Stats(),
-		"reclaimer": s.rec.Stats(),
 	}
+	for k, v := range s.store.Metrics() {
+		doc[k] = v
+	}
+	return doc
 }
 
 // debugCitrus adds human-oriented derived figures (rates, latency
 // summary) on top of the raw snapshot.
 func (s *server) debugCitrus() map[string]any {
-	ts := s.tree.Stats()
-	rs := s.dom.Stats()
+	ts := s.store.Stats()
+	rs := rcu.Stats{}
+	if ts.RCU != nil {
+		rs = *ts.RCU // the forest fold merges every shard's domain here
+	}
 	updates := ts.Inserts + ts.InsertExisting + ts.Deletes + ts.DeleteMisses
 	rate := func(n int64) float64 {
 		if updates == 0 {
@@ -365,8 +387,9 @@ func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{
 		"status":              "ok",
 		"reasons":             reasons,
-		"active_stalls":       s.dom.Stats().ActiveStalls,
-		"reclaim_queue_depth": s.rec.QueueDepth(),
+		"shards":              s.cfg.shards,
+		"active_stalls":       s.store.ActiveStalls(),
+		"reclaim_queue_depth": s.store.QueueDepth(),
 		"shed_writes":         s.shedWrites.Load(),
 		"gp_timeouts":         s.gpTimeouts.Load(),
 	}
@@ -393,7 +416,7 @@ func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	h := s.tree.NewHandle()
+	h := s.store.NewHandle()
 	defer h.Close()
 	s.ops.Add(1)
 	shed := func() bool {
@@ -456,9 +479,9 @@ func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
 // serveTrace dumps the flight recorder: the native JSON form by
 // default, the Chrome trace_event form with ?format=chrome.
 func (s *server) serveTrace(w http.ResponseWriter, r *http.Request) {
-	rec := s.tree.TraceRecorder()
+	rec := s.store.TraceRecorder()
 	if rec == nil {
-		http.Error(w, "tracing disabled (start kvserver with -trace)", http.StatusNotFound)
+		http.Error(w, "tracing disabled (start kvserver with -trace; unavailable with -shards > 1)", http.StatusNotFound)
 		return
 	}
 	if r.URL.Query().Get("format") == "chrome" {
@@ -475,7 +498,7 @@ func (s *server) serveTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.conns.Add(1)
-	h := s.tree.NewHandle()
+	h := s.store.NewHandle()
 	defer h.Close()
 
 	sc := bufio.NewScanner(conn)
@@ -496,7 +519,7 @@ func (s *server) handle(conn net.Conn) {
 // exec executes one protocol line. The goroutine carries an op=<verb>
 // pprof label for the duration, so goroutine and CPU profiles break
 // down by command type (go tool pprof -tags).
-func (s *server) exec(h *citrus.Handle[int64, string], line string) (reply string, quit bool) {
+func (s *server) exec(h storeHandle, line string) (reply string, quit bool) {
 	s.ops.Add(1)
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -509,7 +532,7 @@ func (s *server) exec(h *citrus.Handle[int64, string], line string) (reply strin
 	return reply, quit
 }
 
-func (s *server) execVerb(h *citrus.Handle[int64, string], verb string, fields []string) (reply string, quit bool) {
+func (s *server) execVerb(h storeHandle, verb string, fields []string) (reply string, quit bool) {
 	parseKey := func() (int64, error) {
 		if len(fields) < 2 {
 			return 0, errors.New("missing key")
@@ -573,7 +596,7 @@ func (s *server) execVerb(h *citrus.Handle[int64, string], verb string, fields [
 		}
 		return "NOT_FOUND", false
 	case "LEN":
-		return fmt.Sprintf("LEN %d", s.tree.Len()), false
+		return fmt.Sprintf("LEN %d", s.store.Len()), false
 	case "QUIT":
 		return "BYE", true
 	default:

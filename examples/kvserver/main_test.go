@@ -2,18 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
-
-	citrus "github.com/go-citrus/citrus"
 )
 
-func newTestServer() (*server, *citrus.Handle[int64, string]) {
+func newTestServer() (*server, storeHandle) {
 	s := newServer(defaultKVConfig())
-	return s, s.tree.NewHandle()
+	return s, s.store.NewHandle()
 }
 
 func TestExecProtocol(t *testing.T) {
@@ -150,7 +149,7 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatalf("/debug/trace with tracing disabled: status %d, want 404", rec.Code)
 	}
 
-	s.tree.EnableTracing()
+	s.store.EnableTracing()
 	s.exec(h, "SET 2 two")
 	s.exec(h, "SET 1 one")
 	s.exec(h, "SET 3 three")
@@ -219,7 +218,7 @@ func TestGracefulDegradation(t *testing.T) {
 	cfg.stallTimeout = 10 * time.Millisecond
 	cfg.opTimeout = 300 * time.Millisecond
 	s := newServer(cfg)
-	h := s.tree.NewHandle()
+	h := s.store.NewHandle()
 	defer h.Close()
 	mux := s.statsMux()
 
@@ -237,7 +236,7 @@ func TestGracefulDegradation(t *testing.T) {
 	s.exec(h, "SET 3 three")
 
 	// Park a reader inside its read-side critical section.
-	pr := s.dom.Register()
+	pr := s.store.(*treeStore).dom.Register()
 	defer pr.Unregister()
 	pr.ReadLock()
 	parked := true
@@ -366,6 +365,162 @@ func TestKVEndpoint(t *testing.T) {
 	}
 	if rec := do("PATCH", "/kv/5", "x"); rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("PATCH /kv/5: status %d", rec.Code)
+	}
+}
+
+// TestServerEndToEndSharded runs the full demo — listener, concurrent
+// TCP clients, reply verification, invariant check — against the
+// forest backend: same protocol, same replies, keys spread across
+// independently reclaimed shards.
+func TestServerEndToEndSharded(t *testing.T) {
+	cfg := defaultKVConfig()
+	cfg.shards = 4
+	if err := run("127.0.0.1:0", "127.0.0.1:0", false, false, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedMetrics checks the forest server's /metrics document: the
+// "tree" section is the cross-shard fold, and the per-shard breakdowns
+// ("shards", "reclaimers") are present with one entry per shard.
+func TestShardedMetrics(t *testing.T) {
+	cfg := defaultKVConfig()
+	cfg.shards = 4
+	s := newServer(cfg)
+	h := s.store.NewHandle()
+	defer h.Close()
+	const n = 32
+	for k := 0; k < n; k++ {
+		if got, _ := s.exec(h, fmt.Sprintf("SET %d v%d", k, k)); got != "OK" {
+			t.Fatalf("SET %d = %q", k, got)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.statsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("/metrics: bad JSON: %v", err)
+	}
+	srvVars := m["server"].(map[string]any)
+	if srvVars["shards"].(float64) != 4 || srvVars["keys"].(float64) != n {
+		t.Fatalf("/metrics server section wrong: %v", m["server"])
+	}
+	tree := m["tree"].(map[string]any)
+	if tree["inserts"].(float64) != n {
+		t.Fatalf("/metrics tree fold wrong: %v", m["tree"])
+	}
+	shards, ok := m["shards"].([]any)
+	if !ok || len(shards) != 4 {
+		t.Fatalf("/metrics shards section wrong: %v", m["shards"])
+	}
+	var perShard float64
+	for _, sh := range shards {
+		perShard += sh.(map[string]any)["inserts"].(float64)
+	}
+	if perShard != n {
+		t.Fatalf("per-shard inserts sum to %v, want %d", perShard, n)
+	}
+	if recs, ok := m["reclaimers"].([]any); !ok || len(recs) != 4 {
+		t.Fatalf("/metrics reclaimers section wrong: %v", m["reclaimers"])
+	}
+}
+
+// TestShardedDegradationAggregates pins the forest health policy: a
+// reader parked in ONE shard's critical section flips the whole server
+// degraded (the router may send any write to the sick shard), while
+// the sibling shards' grace periods stay live — the isolation the
+// sharding exists to provide — and reads keep serving throughout.
+func TestShardedDegradationAggregates(t *testing.T) {
+	cfg := defaultKVConfig()
+	cfg.shards = 4
+	cfg.stallTimeout = 10 * time.Millisecond
+	s := newServer(cfg)
+	h := s.store.NewHandle()
+	defer h.Close()
+	mux := s.statsMux()
+	f := s.store.(*forestStore).f
+
+	s.exec(h, "SET 1 one")
+
+	// Park a reader in shard 3 and stall a grace period behind it.
+	pr := f.Domain(3).Register()
+	defer pr.Unregister()
+	pr.ReadLock()
+	parked := true
+	defer func() {
+		if parked {
+			pr.ReadUnlock()
+		}
+	}()
+	syncDone := make(chan struct{})
+	go func() {
+		defer close(syncDone)
+		f.Domain(3).Synchronize() // blocks until the reader unparks
+	}()
+
+	// The stall detector fires; the aggregated probe degrades /healthz.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code == http.StatusServiceUnavailable {
+			if !strings.Contains(rec.Body.String(), "stalled") {
+				t.Fatalf("degraded /healthz names no stall:\n%s", rec.Body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("one stalled shard never degraded /healthz")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Sibling shards stay live: their grace periods complete promptly
+	// while shard 3 is stuck. Reads serve regardless.
+	for i := 0; i < 3; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			f.Domain(i).Synchronize()
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("shard %d's grace period hung behind shard 3's stall", i)
+		}
+	}
+	if got, _ := s.exec(h, "GET 1"); got != "VALUE one" {
+		t.Fatalf("degraded GET = %q, want VALUE one", got)
+	}
+	if got, _ := s.exec(h, "SET 7 seven"); !strings.HasPrefix(got, "BUSY") {
+		t.Fatalf("degraded SET = %q, want BUSY…", got)
+	}
+	if s.stallReports.Load() == 0 {
+		t.Fatal("the per-shard stall handler never fired")
+	}
+
+	// Unpark: the stalled grace period completes and the server recovers.
+	pr.ReadUnlock()
+	parked = false
+	<-syncDone
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after the reader unparked:\n%s", rec.Body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got, _ := s.exec(h, "SET 7 seven"); got != "OK" {
+		t.Fatalf("SET after recovery = %q, want OK", got)
 	}
 }
 

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+
+	citrus "github.com/go-citrus/citrus"
+	"github.com/go-citrus/citrus/citrustrace"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// store abstracts the server's data plane so the TCP protocol and the
+// HTTP handlers are identical whether the backend is one Citrus tree
+// (the default) or a citrus.Forest of independently reclaimed shards
+// (-shards > 1). The degradation probes aggregate across shards: the
+// router is hash-based, so any connection's next write may land on any
+// shard, and the server must shed writes when ANY shard is unhealthy.
+type store interface {
+	NewHandle() storeHandle
+	Len() int
+	CheckInvariants() error
+
+	// Stats returns the folded operation counters with the merged RCU
+	// block (the forest sums shard counters and merges wait histograms
+	// bucket-wise), feeding /debug/citrus's derived figures.
+	Stats() citrus.Stats
+	// Metrics is the store's part of the /metrics document, keyed by
+	// section name; the server merges its own "server" block in.
+	Metrics() map[string]any
+
+	// ActiveStalls sums stalled grace-period waits across every shard
+	// domain. MaxQueueDepth is the deepest single shard's reclaimer
+	// backlog — the watermark comparison is per shard, because each
+	// shard's reclaimer carries its own watermark. QueueDepth is the
+	// summed backlog, for reporting.
+	ActiveStalls() int64
+	MaxQueueDepth() int64
+	QueueDepth() int64
+
+	// EnableTracing attaches the flight recorder where the backend
+	// supports it and reports whether it did; TraceRecorder is nil
+	// when tracing is off or unsupported (the forest backend is —
+	// tracing is per tree).
+	EnableTracing() bool
+	TraceRecorder() *citrustrace.Recorder
+
+	// Close drains retired nodes through their grace periods on every
+	// shard and stops the reclaimers.
+	Close()
+}
+
+// storeHandle is the per-connection view of the store: the subset of
+// citrus.Handle / citrus.ForestHandle the protocol uses. Both satisfy
+// it directly.
+type storeHandle interface {
+	Get(key int64) (string, bool)
+	Insert(key int64, value string) bool
+	DeleteCtx(ctx context.Context, key int64) (bool, error)
+	Close()
+}
+
+// treeStore is the unsharded backend: one tree, one domain, one
+// reclaimer — the shape the rest of the file had before -shards.
+type treeStore struct {
+	tree *citrus.Tree[int64, string]
+	dom  *rcu.Domain
+	rec  *rcu.Reclaimer
+}
+
+func newTreeStore(cfg kvConfig, onStall func(shard int, r rcu.StallReport)) *treeStore {
+	dom := rcu.NewDomain()
+	dom.SetSiteCapture(true)
+	rec := rcu.NewReclaimer(dom,
+		rcu.WithHighWatermark(cfg.recHigh),
+		rcu.WithHardCap(cfg.recCap))
+	if cfg.stallTimeout > 0 {
+		dom.SetStallTimeout(cfg.stallTimeout)
+		dom.SetStallHandler(func(r rcu.StallReport) { onStall(0, r) })
+	}
+	return &treeStore{
+		tree: citrus.NewWithRecycling[int64, string](dom, rec),
+		dom:  dom,
+		rec:  rec,
+	}
+}
+
+func (s *treeStore) NewHandle() storeHandle { return s.tree.NewHandle() }
+func (s *treeStore) Len() int               { return s.tree.Len() }
+func (s *treeStore) CheckInvariants() error { return s.tree.CheckInvariants() }
+func (s *treeStore) Stats() citrus.Stats    { return s.tree.Stats() }
+func (s *treeStore) ActiveStalls() int64    { return s.dom.Stats().ActiveStalls }
+func (s *treeStore) MaxQueueDepth() int64   { return s.rec.QueueDepth() }
+func (s *treeStore) QueueDepth() int64      { return s.rec.QueueDepth() }
+func (s *treeStore) EnableTracing() bool    { s.tree.EnableTracing(); return true }
+func (s *treeStore) Close()                 { s.rec.Close() }
+
+func (s *treeStore) TraceRecorder() *citrustrace.Recorder { return s.tree.TraceRecorder() }
+
+func (s *treeStore) Metrics() map[string]any {
+	return map[string]any{
+		"tree":      s.tree.Stats(),
+		"rcu":       s.dom.Stats(),
+		"reclaimer": s.rec.Stats(),
+	}
+}
+
+// forestStore is the sharded backend: a citrus.Forest whose shards
+// each own a domain and a reclaimer, so a stalled reader in one shard
+// leaves the siblings' grace periods — and their reclamation — live.
+// Every shard domain gets the same stall detector and every shard
+// reclaimer the same watermarks the single tree would have had.
+type forestStore struct {
+	f *citrus.Forest[int64, string]
+}
+
+func newForestStore(cfg kvConfig, onStall func(shard int, r rcu.StallReport)) *forestStore {
+	f := citrus.NewForest[int64, string](cfg.shards,
+		citrus.WithShardReclaimerOptions[int64](
+			rcu.WithHighWatermark(cfg.recHigh),
+			rcu.WithHardCap(cfg.recCap)))
+	for i := 0; i < f.NumShards(); i++ {
+		dom := f.Domain(i)
+		dom.SetSiteCapture(true)
+		if cfg.stallTimeout > 0 {
+			shard := i
+			dom.SetStallTimeout(cfg.stallTimeout)
+			dom.SetStallHandler(func(r rcu.StallReport) { onStall(shard, r) })
+		}
+	}
+	return &forestStore{f: f}
+}
+
+func (s *forestStore) NewHandle() storeHandle { return s.f.NewHandle() }
+func (s *forestStore) Len() int               { return s.f.Len() }
+func (s *forestStore) CheckInvariants() error { return s.f.CheckInvariants() }
+func (s *forestStore) Stats() citrus.Stats    { return s.f.Stats().Total }
+func (s *forestStore) EnableTracing() bool    { return false }
+func (s *forestStore) Close()                 { s.f.Close() }
+
+func (s *forestStore) TraceRecorder() *citrustrace.Recorder { return nil }
+
+func (s *forestStore) ActiveStalls() int64 {
+	var n int64
+	for i := 0; i < s.f.NumShards(); i++ {
+		n += s.f.Domain(i).Stats().ActiveStalls
+	}
+	return n
+}
+
+func (s *forestStore) MaxQueueDepth() int64 {
+	var deepest int64
+	for i := 0; i < s.f.NumShards(); i++ {
+		if d := s.f.Reclaimer(i).QueueDepth(); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
+}
+
+func (s *forestStore) QueueDepth() int64 {
+	var n int64
+	for i := 0; i < s.f.NumShards(); i++ {
+		n += s.f.Reclaimer(i).QueueDepth()
+	}
+	return n
+}
+
+func (s *forestStore) Metrics() map[string]any {
+	fs := s.f.Stats()
+	return map[string]any{
+		// "tree" keeps the section name the unsharded server uses, so
+		// dashboards keyed on it read the fold; the per-shard truth is
+		// alongside.
+		"tree":       fs.Total,
+		"rcu":        fs.Total.RCU,
+		"shards":     fs.Shards,
+		"reclaimers": fs.Reclaim,
+	}
+}

@@ -1,0 +1,388 @@
+package citrus
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"hash/maphash"
+	"slices"
+
+	"github.com/go-citrus/citrus/internal/core"
+	"github.com/go-citrus/citrus/internal/partition"
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// A Forest is a sharded dictionary: the key space is partitioned across
+// N independent Citrus trees, each with its own RCU domain and deferred
+// reclaimer, behind the same per-goroutine-handle API as Tree.
+//
+// Why shard: a single Citrus tree shares one RCU domain among all its
+// readers, so one slow or stalled reader delays every two-child delete's
+// inline grace period (the paper's line-74 synchronize_rcu) — tree-wide.
+// Sharding confines that blast radius: a grace period on shard i waits
+// only for readers currently inside shard i's critical sections, so a
+// stalled reader parks its own shard while the siblings' updates keep
+// completing. It also multiplies the update-side lock space and splits
+// reclamation backlogs per shard.
+//
+// Routing is by seeded hash (internal shared seed by default): the same
+// key always reaches the same shard for the forest's lifetime, and two
+// forests built with the same seed and shard count agree on placement.
+// Keys are NOT ordered across shards, so a Forest is an unordered
+// dictionary: Get/Insert/Delete/DeleteCtx keep their Tree semantics and
+// per-key linearizability, but the ordered iteration helpers (Keys,
+// Range) traverse shard by shard and are quiescent-use only, like Tree's.
+//
+// Cross-shard consistency: none is promised beyond per-key
+// linearizability. Two operations on keys in different shards are
+// synchronized by nothing — exactly the guarantee a single Tree gives
+// two operations on different keys, so most dictionary users lose
+// nothing. What a Forest additionally does NOT give is a single RCU
+// domain spanning all keys: a reader's critical section covers one
+// shard, so no multi-key read can be made atomic by piggybacking on one
+// read-side section (a single Tree doesn't promise that either — §1,
+// Figure 1 of the paper — but with a shared domain one could build it;
+// with a Forest one cannot).
+type Forest[K cmp.Ordered, V any] struct {
+	shards []forestShard[K, V]
+	part   func(K) int
+	seed   maphash.Seed
+	closed bool
+}
+
+// forestShard is one partition: a core tree with recycling, its private
+// RCU domain, and the reclaimer that runs the shard's deferred frees.
+type forestShard[K cmp.Ordered, V any] struct {
+	tree *core.Tree[K, V]
+	dom  *rcu.Domain
+	rec  *rcu.Reclaimer
+}
+
+// ForestOption configures NewForest.
+type ForestOption[K cmp.Ordered] func(*forestConfig[K])
+
+type forestConfig[K cmp.Ordered] struct {
+	seed    maphash.Seed
+	part    func(K) int
+	recOpts []rcu.ReclaimerOption
+}
+
+// WithForestSeed sets the routing seed. Forests (and rhash maps, and
+// anything else built on package-internal seeded partitioning) sharing
+// a seed and shard count route every key identically — useful for
+// migrating between instances or comparing placements. The default is
+// the process-wide shared seed, so two default forests already agree.
+func WithForestSeed[K cmp.Ordered](seed maphash.Seed) ForestOption[K] {
+	return func(c *forestConfig[K]) { c.seed = seed }
+}
+
+// WithPartition replaces hash routing with a user-supplied partition
+// function. fn must be pure (the same key must always yield the same
+// value — routing a key to two shards over time would make it appear
+// and disappear) and must return a value in [0, shards); out-of-range
+// values panic at the operation that routes the key.
+func WithPartition[K cmp.Ordered](fn func(key K) int) ForestOption[K] {
+	return func(c *forestConfig[K]) { c.part = fn }
+}
+
+// WithShardReclaimerOptions passes options (high watermark, hard cap,
+// drain batch, backpressure) to every shard's reclaimer.
+func WithShardReclaimerOptions[K cmp.Ordered](opts ...rcu.ReclaimerOption) ForestOption[K] {
+	return func(c *forestConfig[K]) { c.recOpts = append(c.recOpts, opts...) }
+}
+
+// NewForest returns an empty forest of the given number of shards. Each
+// shard is an independent Citrus tree with node recycling, its own
+// scalable RCU domain (rcu.Domain) and its own reclaimer; the forest
+// owns all of them — call Close when done so the reclaimers drain and
+// stop.
+func NewForest[K cmp.Ordered, V any](shards int, opts ...ForestOption[K]) *Forest[K, V] {
+	if shards < 1 {
+		panic("citrus: NewForest needs at least 1 shard")
+	}
+	cfg := forestConfig[K]{seed: partition.SharedSeed()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := &Forest[K, V]{
+		shards: make([]forestShard[K, V], shards),
+		seed:   cfg.seed,
+	}
+	if cfg.part != nil {
+		f.part = cfg.part
+	} else {
+		router := partition.NewRouter[K](cfg.seed, shards)
+		f.part = router.Partition
+	}
+	for i := range f.shards {
+		dom := rcu.NewDomain()
+		rec := rcu.NewReclaimer(dom, cfg.recOpts...)
+		f.shards[i] = forestShard[K, V]{
+			tree: core.NewTreeWithRecycling[K, V](dom, rec),
+			dom:  dom,
+			rec:  rec,
+		}
+	}
+	return f
+}
+
+// NumShards reports the number of partitions.
+func (f *Forest[K, V]) NumShards() int { return len(f.shards) }
+
+// shardFor routes a key, bounds-checking user partition functions.
+func (f *Forest[K, V]) shardFor(key K) int {
+	s := f.part(key)
+	if s < 0 || s >= len(f.shards) {
+		panic(fmt.Sprintf("citrus: partition function routed key outside [0,%d): %d", len(f.shards), s))
+	}
+	return s
+}
+
+// Domain returns shard i's RCU domain, for wiring stall handlers,
+// timeouts or site capture per shard.
+func (f *Forest[K, V]) Domain(i int) *rcu.Domain { return f.shards[i].dom }
+
+// Reclaimer returns shard i's reclaimer.
+func (f *Forest[K, V]) Reclaimer(i int) *rcu.Reclaimer { return f.shards[i].rec }
+
+// NewHandle registers the calling goroutine with every shard's RCU
+// domain and returns the worker's access point. Like Tree handles, a
+// ForestHandle is not safe for concurrent use: one per goroutine.
+func (f *Forest[K, V]) NewHandle() *ForestHandle[K, V] {
+	h := &ForestHandle[K, V]{f: f, hs: make([]*core.Handle[K, V], len(f.shards))}
+	for i := range f.shards {
+		h.hs[i] = f.shards[i].tree.NewHandle()
+	}
+	return h
+}
+
+// Barrier waits until every shard's reclamation queue, as of the call,
+// has drained: all callbacks deferred before the call have run. Like
+// rcu.Reclaimer.Barrier it does not block new Defers.
+func (f *Forest[K, V]) Barrier() {
+	for i := range f.shards {
+		f.shards[i].rec.Barrier()
+	}
+}
+
+// Close drains and stops every shard's reclaimer. All handles should be
+// closed first. Close is idempotent; operations through handles after
+// Close have shard-reclaimer semantics of Defer-after-Close (the
+// callback runs synchronously after a grace period) and are best
+// avoided.
+func (f *Forest[K, V]) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for i := range f.shards {
+		f.shards[i].rec.Close()
+	}
+}
+
+// Len reports the total number of keys across all shards. Quiescent use
+// only, like Tree.Len.
+func (f *Forest[K, V]) Len() int {
+	n := 0
+	for i := range f.shards {
+		n += f.shards[i].tree.Len()
+	}
+	return n
+}
+
+// Keys returns all keys in ascending order (sorted per shard, merged).
+// Quiescent use only.
+func (f *Forest[K, V]) Keys() []K {
+	var ks []K
+	for i := range f.shards {
+		ks = append(ks, f.shards[i].tree.Keys()...)
+	}
+	// Per-shard slices are sorted; a k-way merge would do, but quiescent
+	// helpers optimize for clarity: re-sort the concatenation.
+	slices.Sort(ks)
+	return ks
+}
+
+// Range calls fn for every pair until fn returns false, shard by shard
+// in ascending key order within each shard — NOT global key order.
+// Quiescent use only.
+func (f *Forest[K, V]) Range(fn func(key K, value V) bool) {
+	for i := range f.shards {
+		stopped := false
+		f.shards[i].tree.Range(func(k K, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// CheckInvariants verifies every shard's structural invariants and that
+// every key lives in the shard the router assigns it. Quiescent use
+// only.
+func (f *Forest[K, V]) CheckInvariants() error {
+	for i := range f.shards {
+		if err := f.shards[i].tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		var misrouted error
+		f.shards[i].tree.Range(func(k K, _ V) bool {
+			if want := f.shardFor(k); want != i {
+				misrouted = fmt.Errorf("key %v found in shard %d, routes to %d", k, i, want)
+				return false
+			}
+			return true
+		})
+		if misrouted != nil {
+			return misrouted
+		}
+	}
+	return nil
+}
+
+// ForestStats is a point-in-time snapshot of a forest: the fold of
+// every shard's counters plus the per-shard breakdown.
+type ForestStats struct {
+	// Total folds all shards: operation counters are sums, and
+	// Total.RCU merges every shard domain's grace-period accounting
+	// (counters summed, wait histograms bucket-wise merged — the
+	// buckets are identical log2 lattices, so the merge is exact).
+	Total Stats `json:"total"`
+
+	// Shards is the per-shard breakdown, index-aligned with routing.
+	// Each entry's RCU block is that shard's own domain, which is the
+	// view that shows isolation: a stall in one shard raises that
+	// entry's ActiveStalls while the siblings' Synchronizes advance.
+	Shards []Stats `json:"shards"`
+
+	// Reclaim is the per-shard reclaimer accounting, index-aligned
+	// with Shards.
+	Reclaim []rcu.ReclaimerStats `json:"reclaim"`
+}
+
+// Stats snapshots every shard and folds the totals. Safe to call at any
+// time, from any goroutine, concurrently with operations and handle
+// churn; the folded Total keeps Tree.Stats's monotonicity (shard
+// snapshots are taken one at a time, so Total is not an atomic
+// cross-shard cut — consistent with the forest's no-cross-shard-
+// consistency contract).
+func (f *Forest[K, V]) Stats() ForestStats {
+	fs := ForestStats{
+		Shards:  make([]Stats, len(f.shards)),
+		Reclaim: make([]rcu.ReclaimerStats, len(f.shards)),
+	}
+	totalRCU := &rcu.Stats{}
+	for i := range f.shards {
+		s := f.shards[i].tree.Stats()
+		sh := Stats{
+			Contains:        s.Contains,
+			Inserts:         s.Inserts,
+			InsertExisting:  s.InsertExisting,
+			InsertRetries:   s.InsertRetries,
+			Deletes:         s.Deletes,
+			DeleteMisses:    s.DeleteMisses,
+			DeleteRetries:   s.DeleteRetries,
+			TwoChildDeletes: s.TwoChildDeletes,
+			DeleteTimeouts:  s.DeleteTimeouts,
+			NodesRetired:    s.NodesRetired,
+			NodesReused:     s.NodesReused,
+			RCU:             s.RCU,
+		}
+		fs.Shards[i] = sh
+		fs.Reclaim[i] = f.shards[i].rec.Stats()
+
+		fs.Total.Contains += sh.Contains
+		fs.Total.Inserts += sh.Inserts
+		fs.Total.InsertExisting += sh.InsertExisting
+		fs.Total.InsertRetries += sh.InsertRetries
+		fs.Total.Deletes += sh.Deletes
+		fs.Total.DeleteMisses += sh.DeleteMisses
+		fs.Total.DeleteRetries += sh.DeleteRetries
+		fs.Total.TwoChildDeletes += sh.TwoChildDeletes
+		fs.Total.DeleteTimeouts += sh.DeleteTimeouts
+		fs.Total.NodesRetired += sh.NodesRetired
+		fs.Total.NodesReused += sh.NodesReused
+		if sh.RCU != nil {
+			mergeRCUStats(totalRCU, sh.RCU)
+		}
+	}
+	fs.Total.RCU = totalRCU
+	return fs
+}
+
+// mergeRCUStats folds src into dst: counters and gauges sum (summing
+// the ActiveStalls gauge across shards gives "stalled grace periods
+// anywhere in the forest right now", which is the quantity degradation
+// policies want), histograms merge bucket-wise.
+func mergeRCUStats(dst, src *rcu.Stats) {
+	dst.Synchronizes += src.Synchronizes
+	dst.SyncSpins += src.SyncSpins
+	dst.SyncRechecks += src.SyncRechecks
+	dst.SyncYields += src.SyncYields
+	dst.SyncSleeps += src.SyncSleeps
+	dst.SyncLeads += src.SyncLeads
+	dst.SyncShares += src.SyncShares
+	dst.SyncExpedited += src.SyncExpedited
+	dst.Stalls += src.Stalls
+	dst.ActiveStalls += src.ActiveStalls
+	dst.SyncAbandoned += src.SyncAbandoned
+	dst.Readers += src.Readers
+	dst.ReaderHighWater += src.ReaderHighWater
+	dst.SyncWait.SumNanos += src.SyncWait.SumNanos
+	dst.FollowerWait.SumNanos += src.FollowerWait.SumNanos
+	for b := range dst.SyncWait.Counts {
+		dst.SyncWait.Counts[b] += src.SyncWait.Counts[b]
+		dst.FollowerWait.Counts[b] += src.FollowerWait.Counts[b]
+	}
+}
+
+// A ForestHandle is one goroutine's access point to a Forest: one
+// registered Tree handle per shard, with operations routed by key.
+type ForestHandle[K cmp.Ordered, V any] struct {
+	f  *Forest[K, V]
+	hs []*core.Handle[K, V]
+}
+
+// Get returns the value stored under key, if any. Wait-free, inside the
+// owning shard's read-side critical section.
+func (h *ForestHandle[K, V]) Get(key K) (V, bool) {
+	return h.hs[h.f.shardFor(key)].Contains(key)
+}
+
+// Contains reports whether key is in the forest. Wait-free.
+func (h *ForestHandle[K, V]) Contains(key K) bool {
+	_, ok := h.Get(key)
+	return ok
+}
+
+// Insert adds (key, value) to the owning shard. It returns false — and
+// stores nothing — if key is already present.
+func (h *ForestHandle[K, V]) Insert(key K, value V) bool {
+	return h.hs[h.f.shardFor(key)].Insert(key, value)
+}
+
+// Delete removes key from the owning shard. It returns false if key is
+// absent.
+func (h *ForestHandle[K, V]) Delete(key K) bool {
+	return h.hs[h.f.shardFor(key)].Delete(key)
+}
+
+// DeleteCtx removes key like Delete with the wait bounded by ctx; see
+// Handle.DeleteCtx for the exact semantics. The grace period waited on
+// is the owning shard's only.
+func (h *ForestHandle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error) {
+	return h.hs[h.f.shardFor(key)].DeleteCtx(ctx, key)
+}
+
+// Close unregisters the handle from every shard. Idempotent; operations
+// after Close panic like Tree handle operations do.
+func (h *ForestHandle[K, V]) Close() {
+	for _, sh := range h.hs {
+		sh.Close()
+	}
+}

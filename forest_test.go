@@ -1,0 +1,454 @@
+package citrus
+
+import (
+	"context"
+	"hash/maphash"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestForestBasicOps(t *testing.T) {
+	f := NewForest[int, string](8)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+
+	if _, ok := h.Get(7); ok {
+		t.Fatal("Get on empty forest = true")
+	}
+	if !h.Insert(7, "seven") || h.Insert(7, "again") {
+		t.Fatal("Insert semantics broken")
+	}
+	if v, ok := h.Get(7); !ok || v != "seven" {
+		t.Fatalf("Get(7) = (%q, %v)", v, ok)
+	}
+	if !h.Contains(7) || h.Contains(8) {
+		t.Fatal("Contains semantics broken")
+	}
+	if !h.Delete(7) || h.Delete(7) {
+		t.Fatal("Delete semantics broken")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestSpreadsKeysAcrossShards(t *testing.T) {
+	const shards = 8
+	f := NewForest[int, int](shards)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	const n = 4096
+	for k := 0; k < n; k++ {
+		h.Insert(k, k)
+	}
+	if got := f.Len(); got != n {
+		t.Fatalf("Len() = %d, want %d", got, n)
+	}
+	fs := f.Stats()
+	empty := 0
+	for i, s := range fs.Shards {
+		if s.Inserts == 0 {
+			empty++
+			t.Logf("shard %d got no keys", i)
+		}
+	}
+	// With 4096 hashed keys over 8 shards an empty shard means the
+	// router is broken, not unlucky (p < 2^-256).
+	if empty > 0 {
+		t.Fatalf("%d of %d shards empty after %d hashed inserts", empty, shards, n)
+	}
+	if fs.Total.Inserts != n {
+		t.Fatalf("Total.Inserts = %d, want %d", fs.Total.Inserts, n)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestSequentialOracle(t *testing.T) {
+	f := NewForest[int, int](5)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	oracle := map[int]int{}
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 30000; i++ {
+		k := rng.Intn(700)
+		switch rng.Intn(3) {
+		case 0:
+			_, present := oracle[k]
+			if got := h.Insert(k, i); got == present {
+				t.Fatalf("op %d: Insert(%d) = %v, present=%v", i, k, got, present)
+			}
+			if !present {
+				oracle[k] = i
+			}
+		case 1:
+			_, present := oracle[k]
+			if got := h.Delete(k); got != present {
+				t.Fatalf("op %d: Delete(%d) = %v, present=%v", i, k, got, present)
+			}
+			delete(oracle, k)
+		default:
+			wantV, wantOK := oracle[k]
+			gotV, gotOK := h.Get(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("op %d: Get(%d) = (%d, %v), want (%d, %v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	if got, want := f.Len(), len(oracle); got != want {
+		t.Fatalf("Len() = %d, oracle %d", got, want)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two forests with the same seed and shard count must agree on routing —
+// the property the shared partition seed exists for. A custom partition
+// function must be honored exactly.
+func TestForestRoutingStable(t *testing.T) {
+	seed := maphash.MakeSeed()
+	a := NewForest[string, int](4, WithForestSeed[string](seed))
+	defer a.Close()
+	b := NewForest[string, int](4, WithForestSeed[string](seed))
+	defer b.Close()
+	keys := []string{"", "a", "forest", "shard", "grace", "period", "citrus", "rcu"}
+	for _, k := range keys {
+		if sa, sb := a.shardFor(k), b.shardFor(k); sa != sb {
+			t.Fatalf("same-seed forests disagree on %q: shard %d vs %d", k, sa, sb)
+		}
+	}
+
+	// Default-seeded forests agree too (process-wide shared seed).
+	c := NewForest[string, int](4)
+	defer c.Close()
+	d := NewForest[string, int](4)
+	defer d.Close()
+	for _, k := range keys {
+		if sc, sd := c.shardFor(k), d.shardFor(k); sc != sd {
+			t.Fatalf("default forests disagree on %q: shard %d vs %d", k, sc, sd)
+		}
+	}
+
+	e := NewForest[int, int](3, WithPartition[int](func(k int) int { return k % 3 }))
+	defer e.Close()
+	h := e.NewHandle()
+	defer h.Close()
+	for k := 0; k < 30; k++ {
+		h.Insert(k, k)
+	}
+	fs := e.Stats()
+	for i, s := range fs.Shards {
+		if s.Inserts != 10 {
+			t.Fatalf("shard %d holds %d keys under k%%3 partition, want 10", i, s.Inserts)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestPartitionOutOfRangePanics(t *testing.T) {
+	f := NewForest[int, int](2, WithPartition[int](func(int) int { return 2 }))
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range partition did not panic")
+		}
+	}()
+	h.Insert(1, 1)
+}
+
+func TestForestConcurrentChurn(t *testing.T) {
+	f := NewForest[int, int](4)
+	defer f.Close()
+	{
+		h := f.NewHandle()
+		for k := 0; k < 128; k++ {
+			h.Insert(-k-1, k) // negative keys are permanent
+		}
+		h.Close()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	misses := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := f.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !h.Contains(-rng.Intn(128) - 1) {
+					misses[r]++
+				}
+			}
+		}(r)
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			h := f.NewHandle()
+			defer h.Close()
+			base := w * 100000
+			for k := base; k < base+20000; k++ {
+				h.Insert(k, k)
+				if k%2 == 0 {
+					h.Delete(k)
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	for r, m := range misses {
+		if m != 0 {
+			t.Fatalf("reader %d missed permanent keys %d times", r, m)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	fs := f.Stats()
+	if got := fs.Total.Inserts; got != 128+4*20000 {
+		t.Fatalf("Total.Inserts = %d, want %d", got, 128+4*20000)
+	}
+}
+
+func TestForestDeleteCtx(t *testing.T) {
+	f := NewForest[int, int](2)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	h.Insert(1, 1)
+	ok, err := h.DeleteCtx(context.Background(), 1)
+	if !ok || err != nil {
+		t.Fatalf("DeleteCtx = (%v, %v)", ok, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok, err = h.DeleteCtx(ctx, 2)
+	if ok || err == nil {
+		t.Fatalf("DeleteCtx with done ctx on absent key = (%v, %v)", ok, err)
+	}
+}
+
+// The point of per-shard domains: a reader parked inside one shard's
+// critical section must not delay grace periods — and therefore
+// two-child deletes — on sibling shards.
+func TestForestShardIsolation(t *testing.T) {
+	const shards = 4
+	// Route by k % shards so the test can aim keys at specific shards.
+	f := NewForest[int, int](shards, WithPartition[int](func(k int) int {
+		k %= shards
+		if k < 0 {
+			k += shards
+		}
+		return k
+	}))
+	defer f.Close()
+
+	// Park a reader inside shard 0's read-side critical section.
+	r := f.Domain(0).Register()
+	r.ReadLock()
+	defer func() {
+		r.ReadUnlock()
+		r.Unregister()
+	}()
+
+	// Drive two-child deletes through every OTHER shard: each needs an
+	// inline grace period on its own domain. If isolation is broken
+	// (one shared domain), these would block behind the parked reader.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h := f.NewHandle()
+		defer h.Close()
+		for s := 1; s < shards; s++ {
+			// Build two-child victims in shard s: per triple, insert
+			// the middle key first so left and right become its
+			// children, then delete the middle — a two-child delete,
+			// which pays an inline grace period on shard s's domain.
+			for tr := 0; tr < 8; tr++ {
+				base := s + 3*tr*shards
+				mid, left, right := base+shards, base, base+2*shards
+				h.Insert(mid, tr)
+				h.Insert(left, tr)
+				h.Insert(right, tr)
+				h.Delete(mid)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sibling-shard deletes blocked behind a reader parked in shard 0")
+	}
+
+	fs := f.Stats()
+	// Positive control: the sibling shards really did run grace periods
+	// while shard 0's reader was parked the whole time.
+	advanced := int64(0)
+	for s := 1; s < shards; s++ {
+		if rs := fs.Shards[s].RCU; rs != nil {
+			advanced += rs.Synchronizes
+		}
+	}
+	if advanced == 0 {
+		t.Fatal("no sibling grace periods completed — the test exercised nothing")
+	}
+}
+
+// Stats folding must be exact across shards and hold its documented
+// monotonicity while handles churn and close concurrently.
+func TestForestStatsFold(t *testing.T) {
+	f := NewForest[int, int](3)
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	const workers, per = 4, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := f.NewHandle()
+			base := w * 10000
+			for k := base; k < base+per; k++ {
+				h.Insert(k, k)
+				h.Contains(k)
+				h.Delete(k)
+			}
+			h.Close()
+		}(w)
+	}
+	statsStop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		var last int64
+		for {
+			select {
+			case <-statsStop:
+				return
+			default:
+			}
+			fs := f.Stats()
+			tot := fs.Total.Contains + fs.Total.Inserts + fs.Total.Deletes
+			if tot < last {
+				panic("forest Total went backwards")
+			}
+			last = tot
+		}
+	}()
+	wg.Wait()
+	close(statsStop)
+	statsWG.Wait()
+
+	fs := f.Stats()
+	if got, want := fs.Total.Inserts, int64(workers*per); got != want {
+		t.Fatalf("Total.Inserts = %d, want %d", got, want)
+	}
+	if got, want := fs.Total.Contains, int64(workers*per); got != want {
+		t.Fatalf("Total.Contains = %d, want %d", got, want)
+	}
+	if got, want := fs.Total.Deletes, int64(workers*per); got != want {
+		t.Fatalf("Total.Deletes = %d, want %d", got, want)
+	}
+	var shardSum int64
+	for _, s := range fs.Shards {
+		shardSum += s.Inserts
+	}
+	if shardSum != fs.Total.Inserts {
+		t.Fatalf("shard breakdown sums to %d, Total says %d", shardSum, fs.Total.Inserts)
+	}
+	if len(fs.Reclaim) != f.NumShards() {
+		t.Fatalf("Reclaim breakdown has %d entries for %d shards", len(fs.Reclaim), f.NumShards())
+	}
+	if fs.Total.RCU == nil {
+		t.Fatal("Total.RCU not folded")
+	}
+	var syncSum int64
+	for _, s := range fs.Shards {
+		if s.RCU != nil {
+			syncSum += s.RCU.Synchronizes
+		}
+	}
+	if fs.Total.RCU.Synchronizes != syncSum {
+		t.Fatalf("Total.RCU.Synchronizes = %d, shards sum to %d", fs.Total.RCU.Synchronizes, syncSum)
+	}
+	if fs.Total.RCU.SyncWait.Total() == 0 && syncSum > 0 {
+		t.Fatal("SyncWait histogram not merged into Total")
+	}
+}
+
+// Close barriers every shard: all deferred reclamation runs.
+func TestForestCloseDrains(t *testing.T) {
+	f := NewForest[int, int](4)
+	h := f.NewHandle()
+	for k := 0; k < 2000; k++ {
+		h.Insert(k, k)
+	}
+	for k := 0; k < 2000; k++ {
+		h.Delete(k)
+	}
+	h.Close()
+	f.Barrier()
+	f.Close()
+	f.Close() // idempotent
+	fs := f.Stats()
+	for i, rs := range fs.Reclaim {
+		if rs.QueueDepth != 0 {
+			t.Fatalf("shard %d reclaimer left %d callbacks pending after Close", i, rs.QueueDepth)
+		}
+		if rs.Deferred != rs.Executed+rs.Dropped {
+			t.Fatalf("shard %d reclaimer accounting off: deferred %d, executed %d, dropped %d",
+				i, rs.Deferred, rs.Executed, rs.Dropped)
+		}
+	}
+}
+
+// A 1-shard forest must behave exactly like a Tree (the degenerate case
+// the bench uses as its baseline sanity check).
+func TestForestSingleShard(t *testing.T) {
+	f := NewForest[int, int](1)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	for k := 0; k < 1000; k++ {
+		if !h.Insert(k, k*3) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	for k := 0; k < 1000; k++ {
+		if v, ok := h.Get(k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	if got := f.NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d", got)
+	}
+	keys := f.Keys()
+	if len(keys) != 1000 || keys[0] != 0 || keys[999] != 999 {
+		t.Fatalf("Keys() wrong: len %d", len(keys))
+	}
+}

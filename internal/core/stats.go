@@ -135,10 +135,16 @@ func (t *Tree[K, V]) addHandle(h *Handle[K, V]) {
 
 // dropHandle folds a closing handle's counters into the closed totals
 // and removes it from the registry, so Stats stays monotonic across
-// handle lifecycles.
+// handle lifecycles. The fold happens only while the handle is still
+// registered: folding an already-dropped handle would count its stripe
+// twice — once live, once folded is the invariant (Close's CAS enforces
+// it too; the membership check keeps the fold exactly-once even if a
+// future caller reaches dropHandle some other way).
 func (t *Tree[K, V]) dropHandle(h *Handle[K, V]) {
 	t.hmu.Lock()
-	t.closedTotals.accumulate(&h.ops)
-	delete(t.handles, h)
+	if _, ok := t.handles[h]; ok {
+		t.closedTotals.accumulate(&h.ops)
+		delete(t.handles, h)
+	}
 	t.hmu.Unlock()
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
+)
+
+// TestStatsCloseRace hammers Tree.Stats against concurrent handle
+// closes — including deliberate double-Closes racing from a second
+// goroutine, the shutdown-reaper shape PR 1's idempotent Close invites.
+// Two oracles:
+//
+//  1. exactness: at quiescence, Stats must equal the operations
+//     actually performed — a lost fold shows up low, a double fold
+//     (both racing Close calls accumulating the same stripe into
+//     closedTotals, the bug this test pins) shows up high;
+//  2. monotonicity: every counter is documented as non-decreasing
+//     across snapshots, concurrently with handle churn.
+//
+// Run under -race this also proves Close-vs-Close and Close-vs-Stats
+// are data-race free.
+func TestStatsCloseRace(t *testing.T) {
+	tr := NewTree[int, int](rcu.NewDomain())
+	const (
+		workers   = 8
+		handlesN  = 40
+		opsPerH   = 64
+		statsIter = 400
+	)
+
+	var (
+		wantContains  atomic.Int64 // Contains calls issued
+		wantInsertOps atomic.Int64 // Insert calls issued (added + existing)
+		wantDeleteOps atomic.Int64 // Delete calls issued (removed + missed)
+		wg            sync.WaitGroup
+		statsDone     = make(chan struct{})
+		monotonicFail atomic.Bool
+		lastContains  int64
+		lastInsertOps int64
+		lastDeleteOps int64
+	)
+
+	// Stats reader: continuous snapshots, asserting monotonicity.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(statsDone)
+		for i := 0; i < statsIter; i++ {
+			s := tr.Stats()
+			ins := s.Inserts + s.InsertExisting
+			del := s.Deletes + s.DeleteMisses
+			if s.Contains < lastContains || ins < lastInsertOps || del < lastDeleteOps {
+				monotonicFail.Store(true)
+				return
+			}
+			lastContains, lastInsertOps, lastDeleteOps = s.Contains, ins, del
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < handlesN; i++ {
+				h := tr.NewHandle()
+				base := w * 1000
+				for op := 0; op < opsPerH; op++ {
+					k := base + (i*opsPerH+op)%97
+					switch op % 3 {
+					case 0:
+						h.Insert(k, k)
+						wantInsertOps.Add(1)
+					case 1:
+						h.Contains(k)
+						wantContains.Add(1)
+					default:
+						h.Delete(k)
+						wantDeleteOps.Add(1)
+					}
+				}
+				// Race a second closer against the owner's Close: with
+				// the unsynchronized h.r==nil guard both sides folded
+				// the stripe, double-counting every counter.
+				var cw sync.WaitGroup
+				cw.Add(1)
+				go func() {
+					defer cw.Done()
+					h.Close()
+				}()
+				h.Close()
+				cw.Wait()
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-statsDone
+
+	if monotonicFail.Load() {
+		t.Fatal("Stats went backwards during concurrent handle churn")
+	}
+	s := tr.Stats()
+	if got, want := s.Contains, wantContains.Load(); got != want {
+		t.Fatalf("Stats.Contains = %d after all handles closed, want exactly %d (lost or double-folded stripes)", got, want)
+	}
+	if got, want := s.Inserts+s.InsertExisting, wantInsertOps.Load(); got != want {
+		t.Fatalf("insert calls = %d, want exactly %d", got, want)
+	}
+	if got, want := s.Deletes+s.DeleteMisses, wantDeleteOps.Load(); got != want {
+		t.Fatalf("delete calls = %d, want exactly %d", got, want)
+	}
+}
+
+// TestCloseIdempotentSameGoroutine pins the documented single-goroutine
+// idempotency: double Close folds once, and ops after Close panic with
+// the descriptive message.
+func TestCloseIdempotentSameGoroutine(t *testing.T) {
+	tr := NewTree[int, int](rcu.NewDomain())
+	h := tr.NewHandle()
+	h.Insert(1, 1)
+	h.Close()
+	h.Close() // must be a no-op, not a second fold
+	if got := tr.Stats().Inserts; got != 1 {
+		t.Fatalf("Inserts = %d after double Close, want 1", got)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("op after Close did not panic")
+		}
+	}()
+	h.Insert(2, 2)
+}

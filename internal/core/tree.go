@@ -51,9 +51,10 @@ func NewTree[K cmp.Ordered, V any](flavor rcu.Flavor) *Tree[K, V] {
 // used concurrently; each worker goroutine should create its own with
 // NewHandle and Close it when done.
 type Handle[K cmp.Ordered, V any] struct {
-	t   *Tree[K, V]
-	r   rcu.Reader
-	ops opCounters // owner-written stripe of the tree's Stats
+	t      *Tree[K, V]
+	r      rcu.Reader
+	closed atomic.Bool // CAS-guarded so Close folds/unregisters exactly once
+	ops    opCounters  // owner-written stripe of the tree's Stats
 
 	// Tracing state, owner-written like ops: the handle's event ring
 	// under the recorder it was created for, and a reusable per-op
@@ -71,11 +72,14 @@ func (t *Tree[K, V]) NewHandle() *Handle[K, V] {
 }
 
 // Close unregisters the handle from the tree's RCU flavor and folds its
-// operation counters into the tree's totals. Close is idempotent; any
-// operation on the handle after Close panics with a descriptive message
-// instead of dereferencing nil.
+// operation counters into the tree's totals. Close is idempotent — even
+// against a concurrent Close from another goroutine (a shutdown reaper
+// racing the owner, say): the CAS guarantees exactly one caller folds
+// the counters and unregisters, so Tree.Stats never double-counts a
+// handle's stripe. Any operation on the handle after Close panics with
+// a descriptive message instead of dereferencing nil.
 func (h *Handle[K, V]) Close() {
-	if h.r == nil {
+	if !h.closed.CompareAndSwap(false, true) {
 		return // already closed
 	}
 	h.t.dropHandle(h)

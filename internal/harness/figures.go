@@ -149,10 +149,12 @@ func WriteTable(w io.Writer, cells []Cell) {
 	}
 }
 
-// WriteCSV renders cells as "figure,impl,workers,ops_per_sec" rows.
+// WriteCSV renders cells as "figure,impl,threads,procs,shards,ops_per_sec"
+// rows — procs is the GOMAXPROCS each cell actually ran under, shards the
+// forest shard count (0 for unsharded implementations).
 func WriteCSV(w io.Writer, figID string, cells []Cell) {
 	for _, c := range cells {
-		fmt.Fprintf(w, "%s,%s,%d,%.0f\n", figID, c.Impl, c.Workers, c.Throughput)
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.0f\n", figID, c.Impl, c.Workers, c.Procs, c.Shards, c.Throughput)
 	}
 }
 

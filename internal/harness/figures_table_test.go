@@ -45,8 +45,13 @@ func TestWriteTableMissingCells(t *testing.T) {
 
 func TestWriteCSVGolden(t *testing.T) {
 	var b bytes.Buffer
-	WriteCSV(&b, "10c", []Cell{{Impl: "AVL", Workers: 8, Throughput: 1234567.89}})
-	if got, want := b.String(), "10c,AVL,8,1234568\n"; got != want {
-		t.Fatalf("CSV row = %q, want %q", got, want)
+	WriteCSV(&b, "10c", []Cell{
+		{Impl: "AVL", Workers: 8, Procs: 4, Throughput: 1234567.89},
+		{Impl: "Citrus Forest (8 shards)", Workers: 8, Procs: 1, Shards: 8, Throughput: 1000},
+	})
+	want := "10c,AVL,8,4,0,1234568\n" +
+		"10c,Citrus Forest (8 shards),8,1,8,1000\n"
+	if got := b.String(); got != want {
+		t.Fatalf("CSV rows = %q, want %q", got, want)
 	}
 }

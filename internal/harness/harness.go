@@ -8,6 +8,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,7 @@ type Result struct {
 	Ops      int64         // operations completed across all workers
 	Elapsed  time.Duration // measured wall-clock time
 	Workers  int
+	Procs    int          // effective GOMAXPROCS while the cell ran
 	FinalLen int          // size after the run (0 if Verify is false)
 	Latency  *LatencyHist // sampled per-op latency (nil unless measured)
 }
@@ -79,6 +81,7 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("harness: invalid config %+v", cfg)
 	}
 	m := factory()
+	defer impls.CloseMap(m) // forests own reclaimer goroutines per shard
 	if cfg.Prefill {
 		workload.Prefill(m, cfg.KeyRange, int64(cfg.Seed))
 	}
@@ -134,7 +137,17 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(begin)
 
-	res := Result{Ops: total.Load(), Elapsed: elapsed, Workers: cfg.Workers, Latency: hist}
+	// Record the procs actually in effect, not whatever the report
+	// header said once at startup: a sweep that resets GOMAXPROCS
+	// between reps must label each data point with the value it ran
+	// under.
+	res := Result{
+		Ops:     total.Load(),
+		Elapsed: elapsed,
+		Workers: cfg.Workers,
+		Procs:   runtime.GOMAXPROCS(0),
+		Latency: hist,
+	}
 	if cfg.Verify {
 		if err := m.CheckInvariants(); err != nil {
 			return res, fmt.Errorf("%s: post-run invariant violation: %w", m.Name(), err)
@@ -163,10 +176,13 @@ func RunAveraged(factory dict.Factory[int, int], cfg Config, reps int) (float64,
 	return sum / float64(reps), nil
 }
 
-// Cell is one point of a sweep: an implementation at a worker count.
+// Cell is one point of a sweep: an implementation at a worker count,
+// labeled with the conditions it actually ran under.
 type Cell struct {
 	Impl       string
 	Workers    int
+	Procs      int // effective GOMAXPROCS for this cell's runs
+	Shards     int // forest shard count; 0 for unsharded implementations
 	Throughput float64
 }
 
@@ -182,7 +198,12 @@ func Sweep(series []impls.NamedFactory[int, int], workerCounts []int, cfg Config
 			if err != nil {
 				return cells, fmt.Errorf("%s @ %d workers: %w", im.Name, w, err)
 			}
-			cells = append(cells, Cell{Impl: im.Name, Workers: w, Throughput: tp})
+			cells = append(cells, Cell{
+				Impl:       im.Name,
+				Workers:    w,
+				Procs:      runtime.GOMAXPROCS(0),
+				Throughput: tp,
+			})
 		}
 	}
 	return cells, nil

@@ -14,7 +14,9 @@ package impls
 
 import (
 	"cmp"
+	"fmt"
 
+	citrus "github.com/go-citrus/citrus"
 	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/internal/avl"
 	"github.com/go-citrus/citrus/internal/bonsai"
@@ -42,6 +44,7 @@ const (
 	NameCoarseLock    = "Coarse-Lock BST"
 	NameHandOverHand  = "Hand-over-Hand BST"
 	NameRCUHash       = "RCU Hash Table"
+	NameForest        = "Citrus Forest"
 )
 
 // NewCitrus returns a Citrus tree on the paper's scalable RCU flavor.
@@ -229,6 +232,71 @@ func (h lockedHandle[K, V]) Insert(key K, value V) bool { return h.t.Insert(key,
 func (h lockedHandle[K, V]) Delete(key K) bool          { return h.t.Delete(key) }
 func (h lockedHandle[K, V]) Close()                     {}
 
+// NewForestMap returns a sharded Citrus forest behind the dict API:
+// the key space hash-partitioned over the given number of independent
+// trees, each with its own RCU domain and reclaimer. The returned map
+// implements MapCloser (the forest owns per-shard reclaimer goroutines)
+// and ForestStatser.
+func NewForestMap[K cmp.Ordered, V any](shards int) dict.Map[K, V] {
+	name := NameForest
+	if shards != 1 {
+		name = fmt.Sprintf("%s (%d shards)", NameForest, shards)
+	}
+	return &forestMap[K, V]{f: citrus.NewForest[K, V](shards), name: name}
+}
+
+// ForestFactory returns a registry entry for an n-shard forest, for
+// callers (bench, torture) that sweep the shard axis.
+func ForestFactory[K cmp.Ordered, V any](shards int) NamedFactory[K, V] {
+	name := NameForest
+	if shards != 1 {
+		name = fmt.Sprintf("%s (%d shards)", NameForest, shards)
+	}
+	return NamedFactory[K, V]{name, func() dict.Map[K, V] { return NewForestMap[K, V](shards) }}
+}
+
+// MapCloser is implemented by maps that own background resources (the
+// forest's per-shard reclaimers); harness and test drivers type-assert
+// and call Close after the last handle is done.
+type MapCloser interface {
+	Close()
+}
+
+// ForestStatser exposes the forest's folded + per-shard statistics.
+type ForestStatser interface {
+	ForestStats() citrus.ForestStats
+}
+
+type forestMap[K cmp.Ordered, V any] struct {
+	f    *citrus.Forest[K, V]
+	name string
+}
+
+func (m *forestMap[K, V]) NewHandle() dict.Handle[K, V]    { return forestHandle[K, V]{m.f.NewHandle()} }
+func (m *forestMap[K, V]) Len() int                        { return m.f.Len() }
+func (m *forestMap[K, V]) Keys() []K                       { return m.f.Keys() }
+func (m *forestMap[K, V]) CheckInvariants() error          { return m.f.CheckInvariants() }
+func (m *forestMap[K, V]) Name() string                    { return m.name }
+func (m *forestMap[K, V]) Close()                          { m.f.Close() }
+func (m *forestMap[K, V]) ForestStats() citrus.ForestStats { return m.f.Stats() }
+
+type forestHandle[K cmp.Ordered, V any] struct {
+	h *citrus.ForestHandle[K, V]
+}
+
+func (h forestHandle[K, V]) Contains(key K) (V, bool)   { return h.h.Get(key) }
+func (h forestHandle[K, V]) Insert(key K, value V) bool { return h.h.Insert(key, value) }
+func (h forestHandle[K, V]) Delete(key K) bool          { return h.h.Delete(key) }
+func (h forestHandle[K, V]) Close()                     { h.h.Close() }
+
+// CloseMap releases a map's background resources when it has any (a
+// no-op for every non-forest implementation).
+func CloseMap[K cmp.Ordered, V any](m dict.Map[K, V]) {
+	if c, ok := m.(MapCloser); ok {
+		c.Close()
+	}
+}
+
 // A NamedFactory pairs a display name with a factory.
 type NamedFactory[K cmp.Ordered, V any] struct {
 	Name string
@@ -249,6 +317,7 @@ func All[K cmp.Ordered, V any]() []NamedFactory[K, V] {
 		{NameCoarseLock, NewCoarseLock[K, V]},
 		{NameHandOverHand, NewHandOverHand[K, V]},
 		{NameRCUHash, NewRCUHash[K, V]},
+		ForestFactory[K, V](4),
 	}
 }
 

@@ -46,6 +46,19 @@ func TestConformanceRecyclingCitrus(t *testing.T) {
 	dicttest.RunAll(t, factory)
 }
 
+// TestConformanceForest runs the battery over forests at several shard
+// counts: the degenerate single shard, a count that doesn't divide
+// anything evenly, and a larger power of two. (The 4-shard forest also
+// runs via All's registry entry in TestConformance.)
+func TestConformanceForest(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		f := ForestFactory[int, int](shards)
+		t.Run(f.Name, func(t *testing.T) {
+			dicttest.RunAll(t, f.New)
+		})
+	}
+}
+
 type recyclingMap struct{ t *core.Tree[int, int] }
 
 func (m *recyclingMap) NewHandle() dict.Handle[int, int] { return m.t.NewHandle() }

@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"hash/maphash"
+	"testing"
+)
+
+// Two routers built from the same seed must agree on every key — this
+// is the property rhash broke by minting a fresh seed per map, and the
+// property the forest's lifetime-stable routing rests on.
+func TestRoutersAgreeUnderSameSeed(t *testing.T) {
+	seed := maphash.MakeSeed()
+	a := NewRouter[int](seed, 8)
+	b := NewRouter[int](seed, 8)
+	for k := -1000; k < 1000; k++ {
+		if pa, pb := a.Partition(k), b.Partition(k); pa != pb {
+			t.Fatalf("routers over the same seed disagree on key %d: %d vs %d", k, pa, pb)
+		}
+	}
+	sa := NewRouter[string](seed, 5)
+	sb := NewRouter[string](seed, 5)
+	for _, k := range []string{"", "a", "b", "citrus", "forest", "grace period"} {
+		if pa, pb := sa.Partition(k), sb.Partition(k); pa != pb {
+			t.Fatalf("string routers over the same seed disagree on %q: %d vs %d", k, pa, pb)
+		}
+	}
+}
+
+func TestPartitionInRange(t *testing.T) {
+	r := NewRouter[int](maphash.MakeSeed(), 7)
+	hit := make([]bool, 7)
+	for k := 0; k < 10000; k++ {
+		p := r.Partition(k)
+		if p < 0 || p >= 7 {
+			t.Fatalf("Partition(%d) = %d, out of [0,7)", k, p)
+		}
+		hit[p] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("partition %d never hit in 10000 uniform keys", i)
+		}
+	}
+}
+
+// Routing must be deterministic across repeated calls (a key cannot
+// migrate between partitions during a router's lifetime).
+func TestPartitionStableAcrossCalls(t *testing.T) {
+	r := NewRouter[int](SharedSeed(), 16)
+	want := make(map[int]int)
+	for k := 0; k < 512; k++ {
+		want[k] = r.Partition(k)
+	}
+	for round := 0; round < 3; round++ {
+		for k := 0; k < 512; k++ {
+			if got := r.Partition(k); got != want[k] {
+				t.Fatalf("round %d: Partition(%d) moved from %d to %d", round, k, want[k], got)
+			}
+		}
+	}
+}
+
+// SharedSeed is one seed: routers that default to it agree without
+// coordination.
+func TestSharedSeedIsStable(t *testing.T) {
+	if SharedSeed() != SharedSeed() {
+		t.Fatal("SharedSeed returned two different seeds")
+	}
+	a := NewRouter[uint64](SharedSeed(), 4)
+	b := NewRouter[uint64](SharedSeed(), 4)
+	for k := uint64(0); k < 256; k++ {
+		if a.Partition(k) != b.Partition(k) {
+			t.Fatalf("SharedSeed routers disagree on %d", k)
+		}
+	}
+}
+
+// Different seeds should give (near-certainly) different hash
+// functions; this guards against Hash accidentally ignoring its seed.
+func TestHashUsesSeed(t *testing.T) {
+	s1, s2 := maphash.MakeSeed(), maphash.MakeSeed()
+	same := 0
+	const n = 256
+	for k := 0; k < n; k++ {
+		if Hash(s1, k) == Hash(s2, k) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("Hash ignored its seed: two fresh seeds hashed 256 keys identically")
+	}
+}
+
+func TestNewRouterPanicsOnZeroPartitions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRouter(seed, 0) did not panic")
+		}
+	}()
+	NewRouter[int](maphash.MakeSeed(), 0)
+}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/go-citrus/citrus/internal/partition"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -85,8 +86,22 @@ func New[K cmp.Ordered, V any]() *Map[K, V] {
 
 // NewWithFlavor returns an empty map whose readers register with the
 // given RCU flavor.
+//
+// The bucket hash uses the process-wide partition.SharedSeed rather
+// than a fresh seed per map, so two maps (or a map and any other
+// router built on the shared seed) agree on where a key hashes —
+// minting a seed per map made separately constructed routers over the
+// same key set disagree, which broke any consumer comparing or
+// migrating between two instances. Use NewWithSeed for an explicit,
+// caller-controlled seed.
 func NewWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor) *Map[K, V] {
-	m := &Map[K, V]{flavor: flavor, seed: maphash.MakeSeed()}
+	return NewWithSeed[K, V](flavor, partition.SharedSeed())
+}
+
+// NewWithSeed returns an empty map whose bucket hash uses the given
+// seed. Maps built with equal seeds route every key identically.
+func NewWithSeed[K cmp.Ordered, V any](flavor rcu.Flavor, seed maphash.Seed) *Map[K, V] {
+	m := &Map[K, V]{flavor: flavor, seed: seed}
 	m.tab.Store(newTable[K, V](initialBuckets))
 	return m
 }
@@ -119,7 +134,7 @@ func (h *Handle[K, V]) Close() {
 }
 
 func (m *Map[K, V]) bucket(t *table[K, V], key K) int {
-	return int(maphash.Comparable(m.seed, key) % uint64(len(t.buckets)))
+	return int(partition.Hash(m.seed, key) % uint64(len(t.buckets)))
 }
 
 // Contains returns the value stored under key, if any. Wait-free: one

@@ -1,9 +1,12 @@
 package rhash
 
 import (
+	"hash/maphash"
 	"math/rand"
 	"sync"
 	"testing"
+
+	"github.com/go-citrus/citrus/rcu"
 )
 
 func TestBasicOps(t *testing.T) {
@@ -211,5 +214,38 @@ func TestConcurrentChurnAcrossResizes(t *testing.T) {
 	}
 	if err := m.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Two maps (same seed, same bucket count) must place every key in the
+// same bucket — the routing-stability property the shared partition
+// seed exists for. Before the fix each map minted its own seed, so two
+// maps over the same key set disagreed on every key's bucket.
+func TestRoutingStableAcrossInstances(t *testing.T) {
+	a := New[int, int]()
+	b := New[int, int]()
+	ta, tb := a.tab.Load(), b.tab.Load()
+	if len(ta.buckets) != len(tb.buckets) {
+		t.Fatalf("fresh maps differ in bucket count: %d vs %d", len(ta.buckets), len(tb.buckets))
+	}
+	for k := 0; k < 4096; k++ {
+		if ba, bb := a.bucket(ta, k), b.bucket(tb, k); ba != bb {
+			t.Fatalf("two default-seeded maps disagree on key %d: bucket %d vs %d", k, ba, bb)
+		}
+	}
+}
+
+// An explicit seed gives the same guarantee across flavors and
+// construction orders.
+func TestRoutingStableUnderExplicitSeed(t *testing.T) {
+	seed := maphash.MakeSeed()
+	a := NewWithSeed[string, int](rcu.NewDomain(), seed)
+	b := NewWithSeed[string, int](rcu.NewClassicDomain(), seed)
+	ta, tb := a.tab.Load(), b.tab.Load()
+	keys := []string{"", "a", "forest", "shard", "grace", "period", "citrus"}
+	for _, k := range keys {
+		if ba, bb := a.bucket(ta, k), b.bucket(tb, k); ba != bb {
+			t.Fatalf("same-seed maps disagree on %q: bucket %d vs %d", k, ba, bb)
+		}
 	}
 }

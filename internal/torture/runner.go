@@ -28,10 +28,11 @@ type Config struct {
 	Threads  int           // churn workers (default 8)
 	KeyRange int           // churn key range (default 64; small = conflict-heavy)
 
-	Impl    string // "", "citrus", or an impls registry name
-	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader" — Citrus only
+	Impl    string // "", "citrus", "forest", or an impls registry name
+	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader" — citrus/forest only
 	Mutant  string // "", "ignoretags" — Citrus only
-	Recycle bool   // node recycling (Citrus only; disables poisoning)
+	Recycle bool   // node recycling (citrus/forest; disables poisoning)
+	Shards  int    // forest shard count (default 4; forest only)
 
 	MaxSleep time.Duration // cap on injected sleeps (0 = schedpoint default)
 }
@@ -46,19 +47,20 @@ type Verdict struct {
 	Flavor  string `json:"flavor,omitempty"`
 	Mutant  string `json:"mutant,omitempty"`
 	Recycle bool   `json:"recycle,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
 
 	Passed         bool     `json:"passed"`
 	Failures       []string `json:"failures,omitempty"`
 	MinimalHistory []string `json:"minimal_history,omitempty"`
 
-	Rounds            int               `json:"rounds"`
-	Ops               int64             `json:"ops"`
-	PermanentReads    int64             `json:"permanent_reads"`
-	FalseNegatives    int64             `json:"false_negatives"`
-	ValueCorruptions  int64             `json:"value_corruptions"`
-	ReclaimChecks     int64             `json:"reclaim_checks"`
-	ReclaimViolations int64             `json:"reclaim_violations"`
-	PoisonTrips       int64             `json:"poison_trips"`
+	Rounds            int   `json:"rounds"`
+	Ops               int64 `json:"ops"`
+	PermanentReads    int64 `json:"permanent_reads"`
+	FalseNegatives    int64 `json:"false_negatives"`
+	ValueCorruptions  int64 `json:"value_corruptions"`
+	ReclaimChecks     int64 `json:"reclaim_checks"`
+	ReclaimViolations int64 `json:"reclaim_violations"`
+	PoisonTrips       int64 `json:"poison_trips"`
 
 	// Robustness accounting, populated by the stalledreader flavor (and
 	// by any flavor whose reclaimer sheds): stall reports fired by the
@@ -71,10 +73,16 @@ type Verdict struct {
 	ReclaimDropped        int64 `json:"reclaim_dropped,omitempty"`
 	ReclaimExpedited      int64 `json:"reclaim_expedited,omitempty"`
 	ReclaimQueueHighWater int64 `json:"reclaim_queue_high_water,omitempty"`
-	NodesRetired      int64             `json:"nodes_retired,omitempty"`
-	NodesReused       int64             `json:"nodes_reused,omitempty"`
-	PointHits         map[string]uint64 `json:"point_hits"`
-	ElapsedMS         int64             `json:"elapsed_ms"`
+
+	// SiblingSyncs (forest + stalledreader): grace periods completed by
+	// the NON-stalled shards' domains while shard 0's reader was being
+	// parked — the shard-isolation positive control. Zero means the
+	// stall leaked across shards (or nothing ran), and the run fails.
+	SiblingSyncs int64             `json:"sibling_syncs,omitempty"`
+	NodesRetired int64             `json:"nodes_retired,omitempty"`
+	NodesReused  int64             `json:"nodes_reused,omitempty"`
+	PointHits    map[string]uint64 `json:"point_hits"`
+	ElapsedMS    int64             `json:"elapsed_ms"`
 }
 
 func (v *Verdict) fail(format string, args ...any) {
@@ -99,8 +107,17 @@ type subject struct {
 // from one round cannot mask or fabricate failures in the next.
 func buildSubject(cfg Config) (*subject, error) {
 	name := cfg.Impl
+	if cfg.Shards != 0 && !strings.EqualFold(name, "forest") {
+		return nil, fmt.Errorf("shards apply only to the forest subject, not %q", name)
+	}
 	if name == "" || strings.EqualFold(name, "citrus") {
 		return buildCitrusSubject(cfg)
+	}
+	if strings.EqualFold(name, "forest") {
+		if cfg.Mutant != "" {
+			return nil, fmt.Errorf("mutants apply only to the citrus subject, not %q", name)
+		}
+		return buildForestSubject(cfg)
 	}
 	if cfg.Flavor != "" || cfg.Mutant != "" || cfg.Recycle {
 		return nil, fmt.Errorf("flavor/mutant/recycle apply only to the citrus subject, not %q", name)
@@ -283,8 +300,13 @@ func Run(cfg Config) (*Verdict, error) {
 	if cfg.KeyRange < 8 {
 		cfg.KeyRange = 64
 	}
-	if _, err := buildSubject(cfg); err != nil {
-		return nil, err // validate impl/flavor before spending the time box
+	// Validate impl/flavor before spending the time box — and close the
+	// probe subject, which owns reclaimer goroutines (and, for the
+	// forest, one per shard).
+	if s, err := buildSubject(cfg); err != nil {
+		return nil, err
+	} else {
+		s.close()
 	}
 	switch cfg.Mutant {
 	case "":
@@ -305,6 +327,12 @@ func Run(cfg Config) (*Verdict, error) {
 	v := &Verdict{Seed: cfg.Seed, Impl: cfg.Impl, Flavor: cfg.Flavor, Mutant: cfg.Mutant, Recycle: cfg.Recycle}
 	if v.Impl == "" {
 		v.Impl = "citrus"
+	}
+	if strings.EqualFold(v.Impl, "forest") {
+		v.Shards = cfg.Shards
+		if v.Shards <= 0 {
+			v.Shards = 4
+		}
 	}
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -328,6 +356,9 @@ func Run(cfg Config) (*Verdict, error) {
 		}
 		if v.ReclaimExpedited == 0 {
 			v.fail("positive control: the delete churn never crossed the reclaimer high watermark (0 expedited drains)")
+		}
+		if strings.EqualFold(v.Impl, "forest") && v.SiblingSyncs == 0 {
+			v.fail("positive control: no sibling-shard grace periods completed while shard 0's reader was parked — the stall leaked across shards")
 		}
 	}
 	v.PointHits = pol.Hits()
