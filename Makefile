@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper bench-forest stress torture torture-smoke torture-stall torture-forest fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper bench-forest loadtest stress torture torture-smoke torture-stall torture-forest fuzz vet fmt clean
 
 all: build vet test
 
@@ -13,8 +13,9 @@ all: build vet test
 # and kvserver sharding paths, a short citrusbench smoke run that
 # exercises the -json report plus the a4 tracing-overhead and a5
 # grace-period-combining A/Bs, the committed BENCH_PR4.json combining
-# ablation, the BENCH_PR6.json procs×shards sweep, and fixed-seed
-# torture smoke runs (correct build, the stalledreader robustness
+# ablation, the BENCH_PR6.json procs×shards sweep, an end-to-end
+# kvserver+citrusload load smoke with Prometheus-payload validation,
+# and fixed-seed torture smoke runs (correct build, the stalledreader robustness
 # scenario, and the forest subject with its shard-isolation control).
 ci:
 	$(GO) build ./...
@@ -26,6 +27,7 @@ ci:
 	$(GO) run ./cmd/citrusbench -figure 10c,a4,a5 -quick -impl Citrus -json bench_smoke.json -note "CI smoke"
 	$(GO) run ./cmd/citrusbench -figure 10c,a5 -threads 1,2,4,8,16 -impl Citrus -json BENCH_PR4.json -note "CI combining ablation"
 	$(MAKE) bench-forest
+	$(MAKE) loadtest
 	$(MAKE) torture-smoke
 	$(MAKE) torture-stall
 	$(MAKE) torture-forest
@@ -63,6 +65,20 @@ figures-paper:
 # timesharing, and the tool warns exactly so.
 bench-forest:
 	$(GO) run ./cmd/citrusbench -figure 10c -threads 1,4,8 -procs 1,4 -shards 1,8 -impl Citrus -json BENCH_PR6.json -note "forest sweep"
+
+# End-to-end load smoke: boot a sharded kvserver, sweep it with the
+# open-loop generator (docs/OBSERVABILITY.md "citrusload"), validate
+# the Prometheus exposition on every point, write the latency report.
+loadtest:
+	$(GO) build -o /tmp/kvserver-loadtest ./examples/kvserver
+	$(GO) build -o /tmp/citrusload-loadtest ./cmd/citrusload
+	/tmp/kvserver-loadtest -serve -shards 8 -addr 127.0.0.1:7170 -http 127.0.0.1:7171 & \
+	KV_PID=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:7171/healthz >/dev/null && break; sleep 0.2; done; \
+	/tmp/citrusload-loadtest -proto tcp -target 127.0.0.1:7170 \
+	    -rates 500,1000 -duration 3s -warmup 1s \
+	    -scrape http://127.0.0.1:7171 -out BENCH_load_smoke.json -note "make loadtest"; \
+	RC=$$?; kill $$KV_PID; exit $$RC
 
 stress:
 	$(GO) run ./cmd/citrusstress -mode churn -duration 5s

@@ -70,8 +70,8 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 // Mean reports the exact average sample, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration { return h.Snapshot().Mean() }
 
-// Percentile returns an upper bound for the p-th percentile (p in
-// [0, 100]), at power-of-two resolution.
+// Percentile estimates the p-th percentile (p in [0, 100]); see
+// Snapshot.Percentile for the estimation contract.
 func (h *Histogram) Percentile(p float64) time.Duration { return h.Snapshot().Percentile(p) }
 
 // Summary formats the standard percentiles.
@@ -106,23 +106,45 @@ func (s Snapshot) Mean() time.Duration {
 	return time.Duration(s.SumNanos / n)
 }
 
-// Percentile returns an upper bound for the p-th percentile (p in
-// [0, 100]), at power-of-two resolution.
+// Percentile estimates the p-th percentile (p in [0, 100]; values
+// outside clamp). The winning log2 bucket is found by cumulative rank
+// and the return value interpolates linearly within that bucket's
+// [2^i, 2^(i+1)) span, assuming samples spread uniformly inside it —
+// so the estimate moves smoothly with p instead of jumping between
+// power-of-two ceilings. The result is always within the winning
+// bucket: no lower than its lower edge, no higher than its upper edge
+// (p=100 returns the highest occupied bucket's upper edge, the old
+// ceiling behavior, so it stays a true upper bound). Percentile is
+// monotonically non-decreasing in p.
 func (s Snapshot) Percentile(p float64) time.Duration {
 	total := s.Total()
 	if total == 0 {
 		return 0
 	}
-	want := int64(p / 100 * float64(total))
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	// want is the fractional rank of the requested percentile, clamped
+	// to [1, total] so p=0 lands at the first sample and p=100 at the
+	// last.
+	want := p / 100 * float64(total)
 	if want < 1 {
 		want = 1
 	}
 	var seen int64
 	for i, c := range s.Counts {
-		seen += c
-		if seen >= want {
-			return time.Duration(uint64(1) << uint(i+1)) // bucket upper edge
+		if c == 0 {
+			continue
 		}
+		if float64(seen+c) >= want {
+			lo := float64(uint64(1) << uint(i))
+			hi := float64(uint64(1) << uint(i+1))
+			frac := (want - float64(seen)) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		seen += c
 	}
 	return time.Duration(uint64(1) << NumBuckets)
 }
@@ -132,8 +154,21 @@ func (s Snapshot) Summary() string {
 	if s.Total() == 0 {
 		return "no latency samples"
 	}
-	return fmt.Sprintf("p50≤%v p99≤%v p99.9≤%v (n=%d sampled)",
+	return fmt.Sprintf("p50≈%v p99≈%v p99.9≈%v (n=%d sampled)",
 		s.Percentile(50), s.Percentile(99), s.Percentile(99.9), s.Total())
+}
+
+// Merge folds other into s bucket-wise: counts add per bucket and the
+// exact sums add. Both snapshots live on the same log2 bucket lattice,
+// so the merge is exact — the result is indistinguishable from one
+// histogram that recorded both sample streams. This is the fold behind
+// forest-wide stats (citrus.ForestStats) and any cross-shard metric
+// aggregation.
+func (s *Snapshot) Merge(other Snapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.SumNanos += other.SumNanos
 }
 
 // Sub returns the per-bucket difference s − prev: the samples recorded

@@ -35,14 +35,110 @@ func TestHistogramBucketing(t *testing.T) {
 	if got := h.Total(); got != 1010 {
 		t.Fatalf("Total() = %d", got)
 	}
-	if p50 := h.Percentile(50); p50 < 100*time.Nanosecond || p50 > 256*time.Nanosecond {
-		t.Fatalf("p50 = %v, want ≈128ns", p50)
+	// 100ns lands in bucket [64ns, 128ns); the interpolated p50 must
+	// stay inside that bucket instead of jumping to the 128ns ceiling.
+	if p50 := h.Percentile(50); p50 < 64*time.Nanosecond || p50 >= 128*time.Nanosecond {
+		t.Fatalf("p50 = %v, want within [64ns, 128ns)", p50)
 	}
-	if p999 := h.Percentile(99.9); p999 < time.Millisecond || p999 > 4*time.Millisecond {
-		t.Fatalf("p99.9 = %v, want ≈1–2ms", p999)
+	// 1ms lands in bucket [524µs, 1.05ms); p99.9 interpolates inside it.
+	if p999 := h.Percentile(99.9); p999 < 524288*time.Nanosecond || p999 > 1048576*time.Nanosecond {
+		t.Fatalf("p99.9 = %v, want within 1ms's bucket [524µs, 1.05ms]", p999)
 	}
 	if h.Percentile(100) < h.Percentile(50) {
 		t.Fatal("percentiles not monotone")
+	}
+}
+
+// TestPercentileInterpolation pins the interpolated-percentile contract
+// on known sample sets: results land inside the winning bucket (never
+// the old power-of-two ceiling unless p=100), the estimate moves with p
+// within one bucket, p0/p100 hit the occupied extremes, and the whole
+// function is monotone in p.
+func TestPercentileInterpolation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(1000 * time.Nanosecond) // bucket [512, 1024)
+	}
+	s := h.Snapshot()
+	// All mass in one bucket: p traverses [512, 1024) linearly.
+	if p1 := s.Percentile(1); p1 < 512*time.Nanosecond || p1 > 530*time.Nanosecond {
+		t.Fatalf("p1 = %v, want just above the 512ns bucket floor", p1)
+	}
+	p25, p50, p75 := s.Percentile(25), s.Percentile(50), s.Percentile(75)
+	if !(p25 < p50 && p50 < p75) {
+		t.Fatalf("within-bucket interpolation is flat: p25=%v p50=%v p75=%v", p25, p50, p75)
+	}
+	if p50 < 700*time.Nanosecond || p50 > 850*time.Nanosecond {
+		t.Fatalf("p50 = %v, want ≈768ns (midpoint-ish of [512, 1024))", p50)
+	}
+	// p0 clamps to the first sample; p100 is the bucket's upper edge —
+	// still a true upper bound for every recorded sample.
+	if p0 := s.Percentile(0); p0 < 512*time.Nanosecond || p0 >= 1024*time.Nanosecond {
+		t.Fatalf("p0 = %v, want inside [512ns, 1024ns)", p0)
+	}
+	if p100 := s.Percentile(100); p100 != 1024*time.Nanosecond {
+		t.Fatalf("p100 = %v, want the 1024ns bucket ceiling", p100)
+	}
+	// Out-of-range p clamps rather than extrapolating.
+	if s.Percentile(-5) != s.Percentile(0) || s.Percentile(200) != s.Percentile(100) {
+		t.Fatal("out-of-range p must clamp to [0, 100]")
+	}
+
+	// Two-bucket set: 90 fast, 10 slow. p90 boundary stays in the fast
+	// bucket; p91+ crosses into the slow one; monotone throughout.
+	var h2 Histogram
+	for i := 0; i < 90; i++ {
+		h2.Record(100 * time.Nanosecond) // bucket [64, 128)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Record(time.Millisecond) // bucket [524288, 1048576)
+	}
+	s2 := h2.Snapshot()
+	if p := s2.Percentile(50); p < 64*time.Nanosecond || p >= 128*time.Nanosecond {
+		t.Fatalf("p50 = %v, want in the fast bucket", p)
+	}
+	if p := s2.Percentile(95); p < 524288*time.Nanosecond || p > 1048576*time.Nanosecond {
+		t.Fatalf("p95 = %v, want in the slow bucket", p)
+	}
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		cur := s2.Percentile(p)
+		if cur < prev {
+			t.Fatalf("Percentile not monotone: p=%v gave %v after %v", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestSnapshotMerge pins Merge exactness: merging two snapshots on the
+// shared log2 lattice is indistinguishable from recording both sample
+// streams into one histogram.
+func TestSnapshotMerge(t *testing.T) {
+	var a, b, both Histogram
+	samples := []struct {
+		h *Histogram
+		d time.Duration
+	}{
+		{&a, 100 * time.Nanosecond}, {&a, 3 * time.Microsecond}, {&a, time.Millisecond},
+		{&b, 80 * time.Nanosecond}, {&b, 90 * time.Second}, {&b, time.Nanosecond},
+	}
+	for _, s := range samples {
+		s.h.Record(s.d)
+		both.Record(s.d)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged != both.Snapshot() {
+		t.Fatalf("Merge is not exact:\n got %+v\nwant %+v", merged, both.Snapshot())
+	}
+	if merged.Total() != 6 || merged.Sum() != both.Sum() {
+		t.Fatalf("merged totals wrong: n=%d sum=%v", merged.Total(), merged.Sum())
+	}
+	// Merging an empty snapshot is the identity.
+	id := a.Snapshot()
+	id.Merge(Snapshot{})
+	if id != a.Snapshot() {
+		t.Fatal("merging an empty snapshot changed the receiver")
 	}
 }
 

@@ -1,0 +1,449 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name including any histogram suffix
+	// (_bucket/_sum/_count).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for the named label, "" if absent.
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// A Family is one parsed metric family: its TYPE, HELP (may be empty)
+// and samples in exposition order.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// Sample returns the family's first sample matching every given label
+// pair, or nil. Pass label pairs as name, value, name, value, ...
+func (f *Family) Sample(pairs ...string) *Sample {
+outer:
+	for i := range f.Samples {
+		for j := 0; j+1 < len(pairs); j += 2 {
+			if f.Samples[i].Labels[pairs[j]] != pairs[j+1] {
+				continue outer
+			}
+		}
+		return &f.Samples[i]
+	}
+	return nil
+}
+
+// Metrics is a parsed exposition payload, keyed by family name.
+type Metrics map[string]*Family
+
+// Parse reads a Prometheus text-format (0.0.4) payload and validates
+// it strictly. Beyond line-level syntax it enforces the properties a
+// scraper assumes:
+//
+//   - a family's lines are contiguous (no interleaving with another
+//     family) and its TYPE comment precedes its samples;
+//   - no duplicate sample (same name and label set);
+//   - for each histogram series: `le` bucket values are cumulative
+//     (non-decreasing in `le` order), the `+Inf` bucket is present, and
+//     it equals the series' `_count`.
+//
+// Any violation is an error naming the offending line.
+func Parse(r io.Reader) (Metrics, error) {
+	metrics := make(Metrics)
+	var order []string
+	closed := make(map[string]bool) // families no longer allowed to grow
+	current := ""                   // family currently being read
+
+	openFamily := func(name string, lineNo int) (*Family, error) {
+		if f, ok := metrics[name]; ok {
+			if closed[name] {
+				return nil, fmt.Errorf("line %d: family %s interleaved with another family", lineNo, name)
+			}
+			return f, nil
+		}
+		f := &Family{Name: name, Type: "untyped"}
+		metrics[name] = f
+		order = append(order, name)
+		return f, nil
+	}
+	switchTo := func(name string) {
+		if current != "" && current != name {
+			closed[current] = true
+		}
+		current = name
+	}
+
+	seen := make(map[string]bool) // duplicate sample detection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f, err := openFamily(name, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			switchTo(name)
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+				continue
+			}
+			// TYPE line.
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			typ := fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.Type = typ
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		famName := familyOf(s.Name, metrics)
+		f, err := openFamily(famName, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		switchTo(famName)
+		if f.Type == "histogram" {
+			if err := checkHistogramSuffix(s.Name, famName); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		key := sampleKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, name := range order {
+		f := metrics[name]
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return metrics, nil
+}
+
+// familyOf maps a sample name to its family: histogram samples carry
+// _bucket/_sum/_count suffixes on the family name. A bare name that
+// matches a declared histogram family is that family; otherwise, strip
+// a recognized suffix only if the stripped name was declared.
+func familyOf(sampleName string, metrics Metrics) string {
+	if f, ok := metrics[sampleName]; ok && f.Type != "histogram" {
+		return sampleName
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suffix); ok {
+			if f, exists := metrics[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return sampleName
+}
+
+func checkHistogramSuffix(sampleName, famName string) error {
+	switch strings.TrimPrefix(sampleName, famName) {
+	case "_bucket", "_sum", "_count":
+		return nil
+	}
+	return fmt.Errorf("histogram %s has sample %s without _bucket/_sum/_count suffix", famName, sampleName)
+}
+
+// sampleKey builds the duplicate-detection identity: name plus the
+// sorted label set.
+func sampleKey(s Sample) string {
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, n := range names {
+		b.WriteByte('{')
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[n])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// seriesKey is sampleKey ignoring the le label — the identity of one
+// histogram series across its bucket lines.
+func seriesKey(s Sample) string {
+	c := Sample{Name: "", Labels: make(map[string]string, len(s.Labels))}
+	for n, v := range s.Labels {
+		if n != "le" {
+			c.Labels[n] = v
+		}
+	}
+	return sampleKey(c)
+}
+
+// validateHistogram enforces cumulativeness and +Inf/_count agreement
+// per series.
+func validateHistogram(f *Family) error {
+	type series struct {
+		buckets  []Sample // in exposition order
+		hasInf   bool
+		infVal   float64
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	all := make(map[string]*series)
+	var order []string
+	get := func(s Sample) *series {
+		k := seriesKey(s)
+		sr, ok := all[k]
+		if !ok {
+			sr = &series{}
+			all[k] = sr
+			order = append(order, k)
+		}
+		return sr
+	}
+	for _, s := range f.Samples {
+		sr := get(s)
+		switch strings.TrimPrefix(s.Name, f.Name) {
+		case "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: _bucket without le label", f.Name)
+			}
+			if le == "+Inf" {
+				sr.hasInf = true
+				sr.infVal = s.Value
+			}
+			sr.buckets = append(sr.buckets, s)
+		case "_count":
+			sr.count = s.Value
+			sr.hasCount = true
+		case "_sum":
+			sr.hasSum = true
+		}
+	}
+	for _, k := range order {
+		sr := all[k]
+		if !sr.hasInf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", f.Name, k)
+		}
+		if !sr.hasCount || !sr.hasSum {
+			return fmt.Errorf("histogram %s%s: missing _count or _sum", f.Name, k)
+		}
+		if sr.infVal != sr.count {
+			return fmt.Errorf("histogram %s%s: +Inf bucket %v != _count %v", f.Name, k, sr.infVal, sr.count)
+		}
+		// Buckets must be cumulative in ascending le order.
+		type bound struct {
+			le  float64
+			val float64
+		}
+		bounds := make([]bound, 0, len(sr.buckets))
+		for _, b := range sr.buckets {
+			le, err := parseLe(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s%s: bad le %q", f.Name, k, b.Labels["le"])
+			}
+			bounds = append(bounds, bound{le, b.Value})
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i].val < bounds[i-1].val {
+				return fmt.Errorf("histogram %s%s: bucket le=%v count %v < preceding %v (not cumulative)",
+					f.Name, k, bounds[i].le, bounds[i].val, bounds[i-1].val)
+			}
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q: no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %v", s.Name, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: want value [timestamp], got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {name="value",...} block starting at s[0]=='{'
+// into dst, returning the index just past the closing '}'.
+func parseLabels(s string, dst map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isLabelNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label block %q", s)
+		}
+		name := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %s: missing '='", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := dst[name]; dup {
+			return 0, fmt.Errorf("duplicate label %s", name)
+		}
+		dst[name] = val.String()
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func unescapeHelp(h string) string {
+	r := strings.NewReplacer(`\\`, `\`, `\n`, "\n")
+	return r.Replace(h)
+}

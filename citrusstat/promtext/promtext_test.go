@@ -1,0 +1,209 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
+)
+
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Counter("kv_requests_total", "Requests served.", 42, L("op", "get"), L("shard", "0"))
+	e.Counter("kv_requests_total", "Requests served.", 7, L("op", "set"), L("shard", "0"))
+	e.Gauge("kv_queue_depth", "Pending reclamation callbacks.", 3.5, L("shard", "1"))
+
+	var buf strings.Builder
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP kv_requests_total Requests served.",
+		"# TYPE kv_requests_total counter",
+		`kv_requests_total{op="get",shard="0"} 42`,
+		`kv_requests_total{op="set",shard="0"} 7`,
+		"# TYPE kv_queue_depth gauge",
+		`kv_queue_depth{shard="1"} 3.5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("payload missing %q:\n%s", want, out)
+		}
+	}
+
+	m, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("payload does not parse: %v\n%s", err, out)
+	}
+	f := m["kv_requests_total"]
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("bad parsed family: %+v", f)
+	}
+	if s := f.Sample("op", "get"); s == nil || s.Value != 42 {
+		t.Fatalf("get sample = %+v, want 42", s)
+	}
+	if g := m["kv_queue_depth"].Sample("shard", "1"); g == nil || g.Value != 3.5 {
+		t.Fatalf("gauge sample = %+v, want 3.5", g)
+	}
+}
+
+func TestHistogramMapping(t *testing.T) {
+	var h citrusstat.Histogram
+	// 3 samples of ~100ns (bucket [64,128), le bound 128ns = 1.28e-7 s)
+	// and 1 of ~1µs (bucket [1024,2048)ns).
+	for i := 0; i < 3; i++ {
+		h.Record(100 * time.Nanosecond)
+	}
+	h.Record(1 * time.Microsecond)
+	snap := h.Snapshot()
+
+	e := NewEncoder()
+	e.Histogram("kv_request_seconds", "Request latency.", snap, L("op", "get"))
+	var buf strings.Builder
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("histogram does not parse: %v\n%s", err, buf.String())
+	}
+	f := m["kv_request_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("family = %+v, want histogram", f)
+	}
+
+	// The le=1.28e-07 bucket (upper bound of [64,128)ns) must hold the 3
+	// fast samples; +Inf must hold all 4 and equal _count; _sum is the
+	// exact nanosecond sum in seconds.
+	var le128, leInf, count, sum float64
+	gotInf := false
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] == "+Inf":
+			leInf, gotInf = s.Value, true
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parseLe(s.Labels["le"])
+			if err != nil {
+				t.Fatalf("bad le: %v", err)
+			}
+			if le == 128.0/1e9 {
+				le128 = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		}
+	}
+	if le128 != 3 {
+		t.Errorf("le=1.28e-07 bucket = %v, want 3", le128)
+	}
+	if !gotInf || leInf != 4 || count != 4 {
+		t.Errorf("+Inf = %v (present=%v), _count = %v, want both 4", leInf, gotInf, count)
+	}
+	if want := float64(snap.SumNanos) / 1e9; math.Abs(sum-want) > 1e-12 {
+		t.Errorf("_sum = %v, want %v", sum, want)
+	}
+	// Buckets above the highest occupied one are trimmed; the last
+	// finite bucket's cumulative count equals the total.
+	if n := len(f.Samples); n > citrusstat.NumBuckets+3 {
+		t.Errorf("histogram emitted %d samples; trailing empty buckets not trimmed", n)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	e := NewEncoder()
+	e.Histogram("empty_seconds", "", citrusstat.Snapshot{})
+	var buf strings.Builder
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("empty histogram does not parse: %v\n%s", err, buf.String())
+	}
+	f := m["empty_seconds"]
+	if inf := f.Sample("le", "+Inf"); inf == nil || inf.Value != 0 {
+		t.Fatalf("+Inf = %+v, want 0", inf)
+	}
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	nasty := "a\\b\"c\nd"
+	e := NewEncoder()
+	e.Gauge("g", "", 1, L("k", nasty))
+	var buf strings.Builder
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["g"].Samples[0].Labels["k"]; got != nasty {
+		t.Fatalf("label round trip: got %q, want %q", got, nasty)
+	}
+}
+
+func TestEncoderRejectsBadInput(t *testing.T) {
+	for name, build := range map[string]func(*Encoder){
+		"bad metric name":  func(e *Encoder) { e.Counter("0bad", "", 1) },
+		"bad label name":   func(e *Encoder) { e.Gauge("ok", "", 1, L("0bad", "v")) },
+		"negative counter": func(e *Encoder) { e.Counter("ok", "", -1) },
+		"type conflict": func(e *Encoder) {
+			e.Counter("ok", "", 1)
+			e.Gauge("ok", "", 1)
+		},
+	} {
+		e := NewEncoder()
+		build(e)
+		if _, err := e.WriteTo(&strings.Builder{}); err == nil {
+			t.Errorf("%s: WriteTo succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseRejectsMalformedPayloads(t *testing.T) {
+	for name, payload := range map[string]string{
+		"interleaved families": "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{x=\"y\"} 2\n",
+		"duplicate sample":     "# TYPE a counter\na 1\na 2\n",
+		"type after samples":   "a 1\n# TYPE a counter\na{x=\"y\"} 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="0.2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 6\n",
+		"bad value":       "a pony\n",
+		"unquoted label":  "a{x=y} 1\n",
+		"dangling escape": `a{x="y\` + "\n",
+	} {
+		if _, err := Parse(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, payload)
+		}
+	}
+}
+
+func TestParseAcceptsRealWorldShapes(t *testing.T) {
+	payload := "# a free comment\n" +
+		"# HELP up Scrape health.\n# TYPE up gauge\nup 1\n" +
+		"\n" +
+		"untyped_metric{a=\"b\"} 4.2 1700000000\n" +
+		"# TYPE inf_gauge gauge\ninf_gauge +Inf\n"
+	m, err := Parse(strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["up"].Help != "Scrape health." {
+		t.Errorf("help = %q", m["up"].Help)
+	}
+	if m["untyped_metric"].Type != "untyped" {
+		t.Errorf("type = %q, want untyped", m["untyped_metric"].Type)
+	}
+	if !math.IsInf(m["inf_gauge"].Samples[0].Value, 1) {
+		t.Errorf("inf value lost")
+	}
+}

@@ -2,6 +2,7 @@ package citrustrace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -86,23 +87,38 @@ func chromeCat(t EventType) string {
 }
 
 // WriteChromeTrace serializes the trace in Chrome trace_event JSON.
+// Shards map to Chrome processes (pid = shard+1), so a forest trace
+// merged with MergeShards renders one process group per shard; a
+// single-recorder trace stays entirely in pid 1.
 func (t Trace) WriteChromeTrace(w io.Writer) error {
 	ct := chromeTrace{DisplayTimeUnit: "ns"}
+	shards := map[int]bool{}
 	for _, ri := range t.Rings {
+		shards[ri.Shard] = true
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name:  "thread_name",
 			Phase: "M",
-			PID:   chromePID,
+			PID:   chromePID + ri.Shard,
 			TID:   ri.ID,
 			Args:  map[string]any{"name": ri.Label},
 		})
+	}
+	if len(shards) > 1 {
+		for shard := range shards {
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   chromePID + shard,
+				Args:  map[string]any{"name": fmt.Sprintf("shard-%d", shard)},
+			})
+		}
 	}
 	for _, ev := range t.Events {
 		ce := chromeEvent{
 			Name: ev.Type.String(),
 			Cat:  chromeCat(ev.Type),
 			TS:   float64(ev.Start.Nanoseconds()) / 1e3,
-			PID:  chromePID,
+			PID:  chromePID + ev.Shard,
 			TID:  ev.Ring,
 			Args: chromeArgs(ev),
 		}

@@ -28,6 +28,7 @@
 package citrustrace
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -149,6 +150,27 @@ func (t EventType) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + t.String() + `"`), nil
 }
 
+// UnmarshalJSON accepts the wire names MarshalJSON emits, so trace
+// dumps round-trip through encoding/json (tooling that post-processes
+// /debug/trace output relies on this). Unknown names — including the
+// "event-N" form used for types this build doesn't know — decode as
+// EvNone rather than failing, keeping old readers forward-compatible
+// with traces from newer writers.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range eventTypeNames {
+		if n == name {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	*t = EvNone
+	return nil
+}
+
 // Lock/validation sites, carried in the A argument of EvLockWait and
 // EvValidateFail events. They name the paper's lock acquisitions:
 // insert locks the parent (line 26); delete locks the parent and the
@@ -191,11 +213,16 @@ func SiteName(s uint64) string {
 // [Start, Start+Dur); instant events have Dur == 0. Start is relative
 // to the recorder's epoch (Trace.Epoch), so events from different rings
 // share one clock. The meaning of A, B and C depends on Type.
+//
+// Shard is 0 for a single-recorder trace; MergeShards sets it to the
+// source shard's index when folding per-shard flight recorders into one
+// trace, so a merged dump still attributes every event.
 type Event struct {
 	Start time.Duration `json:"start"`
 	Dur   time.Duration `json:"dur"`
 	Type  EventType     `json:"type"`
 	Ring  uint32        `json:"ring"`
+	Shard int           `json:"shard,omitempty"`
 	A     uint64        `json:"a,omitempty"`
 	B     uint64        `json:"b,omitempty"`
 	C     uint64        `json:"c,omitempty"`

@@ -109,10 +109,12 @@ func (r *Recorder) SharedRing(label string) *Ring {
 	return g
 }
 
-// RingInfo describes one ring in a Trace.
+// RingInfo describes one ring in a Trace. Shard is 0 except in traces
+// built by MergeShards, where it names the ring's source shard.
 type RingInfo struct {
 	ID       uint32 `json:"id"`
 	Label    string `json:"label"`
+	Shard    int    `json:"shard,omitempty"`
 	Recorded int64  `json:"recorded"` // events ever recorded
 	Dropped  int64  `json:"dropped"`  // of those, overwritten before this snapshot
 }

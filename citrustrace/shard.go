@@ -1,0 +1,78 @@
+package citrustrace
+
+import "sort"
+
+// MergeShards folds one trace per shard — typically one Recorder
+// snapshot per forest shard — into a single time-ordered Trace.
+//
+// Each recorder has its own epoch (the moment it was created), so the
+// per-shard timestamps do not share a zero point. The merged trace's
+// epoch is the earliest of the inputs' and every event is rebased onto
+// it, which keeps cross-shard ordering faithful to wall-clock order up
+// to the monotonic clock's resolution.
+//
+// Ring IDs are only unique within one recorder; the merge assigns fresh
+// IDs (dense, in shard order) and rewrites every event to match, so a
+// merged trace still satisfies the one-ID-one-track invariant the
+// Chrome export relies on. Events and rings carry their source shard in
+// the Shard field; the shard index is the position in the input slice.
+//
+// Nil-epoch (zero Trace) inputs contribute nothing but still occupy a
+// shard index, so callers can pass a slice indexed by shard ID with
+// gaps for shards that have tracing disabled.
+func MergeShards(shards []Trace) Trace {
+	var out Trace
+	for _, t := range shards {
+		if t.Epoch.IsZero() {
+			continue
+		}
+		if out.Epoch.IsZero() || t.Epoch.Before(out.Epoch) {
+			out.Epoch = t.Epoch
+		}
+	}
+	if out.Epoch.IsZero() {
+		return out
+	}
+	var nextID uint32
+	for shard, t := range shards {
+		if t.Epoch.IsZero() {
+			continue
+		}
+		offset := t.Epoch.Sub(out.Epoch)
+		remap := make(map[uint32]uint32, len(t.Rings))
+		for _, ri := range t.Rings {
+			nextID++
+			remap[ri.ID] = nextID
+			ri.ID = nextID
+			ri.Shard = shard
+			out.Rings = append(out.Rings, ri)
+		}
+		for _, ev := range t.Events {
+			ev.Start += offset
+			ev.Shard = shard
+			if id, ok := remap[ev.Ring]; ok {
+				ev.Ring = id
+			} else {
+				// Ring metadata lost (snapshot raced a ring registration);
+				// keep the event on a synthetic per-shard track rather
+				// than dropping it or colliding with a remapped ID.
+				nextID++
+				remap[ev.Ring] = nextID
+				out.Rings = append(out.Rings, RingInfo{
+					ID:    nextID,
+					Label: "unknown",
+					Shard: shard,
+				})
+				ev.Ring = nextID
+			}
+			out.Events = append(out.Events, ev)
+		}
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		if out.Events[i].Start != out.Events[j].Start {
+			return out.Events[i].Start < out.Events[j].Start
+		}
+		return out.Events[i].Ring < out.Events[j].Ring
+	})
+	return out
+}

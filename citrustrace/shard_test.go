@@ -1,0 +1,173 @@
+package citrustrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// makeShardTrace builds a trace with nRings rings and one event per
+// ring, with the given epoch and event offsets.
+func makeShardTrace(epoch time.Time, nRings int, offsets ...time.Duration) Trace {
+	tr := Trace{Epoch: epoch}
+	for i := 0; i < nRings; i++ {
+		tr.Rings = append(tr.Rings, RingInfo{
+			ID:       uint32(i + 1),
+			Label:    "ring",
+			Recorded: 1,
+		})
+	}
+	for i, off := range offsets {
+		tr.Events = append(tr.Events, Event{
+			Start: off,
+			Dur:   time.Microsecond,
+			Type:  EvContains,
+			Ring:  uint32(i%nRings + 1),
+			A:     uint64(i),
+		})
+	}
+	return tr
+}
+
+func TestMergeShardsRebasesAndTags(t *testing.T) {
+	base := time.Unix(1000, 0)
+	// Shard 1's recorder started 5ms after shard 0's.
+	t0 := makeShardTrace(base, 1, 0, 10*time.Millisecond)
+	t1 := makeShardTrace(base.Add(5*time.Millisecond), 1, 0, 2*time.Millisecond)
+
+	merged := MergeShards([]Trace{t0, t1})
+
+	if !merged.Epoch.Equal(base) {
+		t.Fatalf("merged epoch = %v, want earliest %v", merged.Epoch, base)
+	}
+	if len(merged.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(merged.Events))
+	}
+	// On the shared clock: shard0@0, shard1@5ms, shard1@7ms, shard0@10ms.
+	wantStarts := []time.Duration{0, 5 * time.Millisecond, 7 * time.Millisecond, 10 * time.Millisecond}
+	wantShards := []int{0, 1, 1, 0}
+	for i, ev := range merged.Events {
+		if ev.Start != wantStarts[i] {
+			t.Errorf("event %d: start %v, want %v", i, ev.Start, wantStarts[i])
+		}
+		if ev.Shard != wantShards[i] {
+			t.Errorf("event %d: shard %d, want %d", i, ev.Shard, wantShards[i])
+		}
+	}
+	// Ring IDs must be unique across the merge, and events must point at
+	// a ring from their own shard.
+	seen := map[uint32]int{}
+	for _, ri := range merged.Rings {
+		if _, dup := seen[ri.ID]; dup {
+			t.Fatalf("duplicate ring ID %d after merge", ri.ID)
+		}
+		seen[ri.ID] = ri.Shard
+	}
+	for i, ev := range merged.Events {
+		shard, ok := seen[ev.Ring]
+		if !ok {
+			t.Fatalf("event %d references unknown ring %d", i, ev.Ring)
+		}
+		if shard != ev.Shard {
+			t.Fatalf("event %d: ring shard %d != event shard %d", i, shard, ev.Shard)
+		}
+	}
+}
+
+func TestMergeShardsSkipsEmptyShards(t *testing.T) {
+	base := time.Unix(1000, 0)
+	// Shard 1 has tracing disabled (zero Trace); shard indices of the
+	// others must be preserved, not compacted.
+	shards := []Trace{
+		makeShardTrace(base, 1, 0),
+		{},
+		makeShardTrace(base, 1, time.Millisecond),
+	}
+	merged := MergeShards(shards)
+	if len(merged.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(merged.Events))
+	}
+	if merged.Events[0].Shard != 0 || merged.Events[1].Shard != 2 {
+		t.Fatalf("shard indices not preserved: %d, %d",
+			merged.Events[0].Shard, merged.Events[1].Shard)
+	}
+
+	if all := MergeShards([]Trace{{}, {}}); !all.Epoch.IsZero() || len(all.Events) != 0 {
+		t.Fatalf("merge of empty traces should be empty, got %+v", all)
+	}
+}
+
+func TestMergeShardsFromLiveRecorders(t *testing.T) {
+	recA, recB := New(WithRingSize(16)), New(WithRingSize(16))
+	ra := recA.NewRing("reader-1")
+	rb := recB.NewRing("reader-1")
+	now := time.Now()
+	ra.Record(EvContains, now, time.Microsecond, 1, 0, 0)
+	rb.Record(EvInsert, now, time.Microsecond, 1, 0, 0)
+
+	merged := MergeShards([]Trace{recA.Snapshot(), recB.Snapshot()})
+	if len(merged.Events) != 2 || len(merged.Rings) != 2 {
+		t.Fatalf("got %d events / %d rings, want 2 / 2", len(merged.Events), len(merged.Rings))
+	}
+	if merged.Rings[0].ID == merged.Rings[1].ID {
+		t.Fatalf("ring IDs collide after merge: %d", merged.Rings[0].ID)
+	}
+
+	// The merged trace must survive the JSON round trip with shard tags.
+	var buf bytes.Buffer
+	if err := merged.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	shardsSeen := map[int]bool{}
+	for _, ev := range back.Events {
+		shardsSeen[ev.Shard] = true
+	}
+	if !shardsSeen[0] || !shardsSeen[1] {
+		t.Fatalf("JSON round trip lost shard tags: %v", shardsSeen)
+	}
+}
+
+func TestChromeTraceShardProcesses(t *testing.T) {
+	base := time.Unix(1000, 0)
+	merged := MergeShards([]Trace{
+		makeShardTrace(base, 1, 0),
+		makeShardTrace(base, 1, time.Millisecond),
+	})
+	var buf bytes.Buffer
+	if err := merged.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	procNames := map[int]string{}
+	for _, ev := range ct.TraceEvents {
+		pids[ev.PID] = true
+		if ev.Name == "process_name" && ev.Phase == "M" {
+			procNames[ev.PID], _ = ev.Args["name"].(string)
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("expected pids 1 and 2 for two shards, got %v", pids)
+	}
+	for pid, want := range map[int]string{1: "shard-0", 2: "shard-1"} {
+		if got := procNames[pid]; !strings.HasPrefix(got, "shard-") || got != want {
+			t.Errorf("pid %d process_name = %q, want %q", pid, got, want)
+		}
+	}
+}

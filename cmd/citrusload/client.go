@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// httpKVClient drives kvserver's HTTP face (/kv/{key}). One Client per
+// worker; they share one Transport so connection reuse matches a real
+// fleet of keep-alive clients.
+type httpKVClient struct {
+	base string // e.g. http://127.0.0.1:7171
+	hc   *http.Client
+}
+
+func newHTTPFactory(base string, timeout time.Duration) func() (Client, error) {
+	tr := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+	}
+	return func() (Client, error) {
+		return &httpKVClient{
+			base: strings.TrimSuffix(base, "/"),
+			hc:   &http.Client{Transport: tr, Timeout: timeout},
+		}, nil
+	}
+}
+
+func (c *httpKVClient) Do(op Op) Result {
+	url := c.base + "/kv/" + strconv.FormatInt(op.Key, 10)
+	var req *http.Request
+	var err error
+	switch op.Kind {
+	case OpGet:
+		req, err = http.NewRequest(http.MethodGet, url, nil)
+	case OpSet:
+		req, err = http.NewRequest(http.MethodPut, url, strings.NewReader(op.Value))
+	case OpDel:
+		req, err = http.NewRequest(http.MethodDelete, url, nil)
+	}
+	if err != nil {
+		return ResErr
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ResErr
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusCreated:
+		return ResOK
+	case http.StatusNotFound, http.StatusConflict:
+		return ResMiss
+	case http.StatusServiceUnavailable:
+		return ResShed
+	default:
+		return ResErr
+	}
+}
+
+func (c *httpKVClient) Close() { c.hc.CloseIdleConnections() }
+
+// tcpKVClient drives kvserver's line protocol: one persistent
+// connection per worker, one in-flight command at a time.
+type tcpKVClient struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func newTCPFactory(addr string, timeout time.Duration) func() (Client, error) {
+	return func() (Client, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &tcpKVClient{conn: conn, rd: bufio.NewReader(conn)}, nil
+	}
+}
+
+func (c *tcpKVClient) Do(op Op) Result {
+	var cmd string
+	switch op.Kind {
+	case OpGet:
+		cmd = fmt.Sprintf("GET %d\n", op.Key)
+	case OpSet:
+		cmd = fmt.Sprintf("SET %d %s\n", op.Key, op.Value)
+	case OpDel:
+		cmd = fmt.Sprintf("DEL %d\n", op.Key)
+	}
+	if _, err := io.WriteString(c.conn, cmd); err != nil {
+		return ResErr
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return ResErr
+	}
+	switch {
+	case strings.HasPrefix(line, "OK"), strings.HasPrefix(line, "VALUE"):
+		return ResOK
+	case strings.HasPrefix(line, "NOT_FOUND"), strings.HasPrefix(line, "EXISTS"):
+		return ResMiss
+	case strings.HasPrefix(line, "BUSY"):
+		return ResShed
+	default:
+		return ResErr
+	}
+}
+
+func (c *tcpKVClient) Close() {
+	io.WriteString(c.conn, "QUIT\n") //nolint:errcheck // best-effort goodbye
+	c.conn.Close()
+}

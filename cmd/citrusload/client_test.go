@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPClientStatusMapping pins the status-code → Result mapping
+// against kvserver's documented HTTP contract.
+func TestHTTPClientStatusMapping(t *testing.T) {
+	var status int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+	}))
+	defer ts.Close()
+
+	factory := newHTTPFactory(ts.URL, time.Second)
+	c, err := factory()
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	defer c.Close()
+
+	cases := []struct {
+		status int
+		want   Result
+	}{
+		{http.StatusOK, ResOK},         // GET hit
+		{http.StatusCreated, ResOK},    // PUT took effect
+		{http.StatusNotFound, ResMiss}, // GET/DELETE absent key
+		{http.StatusConflict, ResMiss}, // PUT over existing key
+		{http.StatusServiceUnavailable, ResShed},
+		{http.StatusInternalServerError, ResErr},
+	}
+	for _, tc := range cases {
+		status = tc.status
+		if got := c.Do(Op{Kind: OpGet, Key: 1}); got != tc.want {
+			t.Errorf("status %d: got %v, want %v", tc.status, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPClientMethods checks each op kind reaches the server as the
+// right method and path.
+func TestHTTPClientMethods(t *testing.T) {
+	type hit struct{ method, path, body string }
+	var last hit
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, 64)
+		n, _ := r.Body.Read(b)
+		last = hit{r.Method, r.URL.Path, string(b[:n])}
+	}))
+	defer ts.Close()
+
+	factory := newHTTPFactory(ts.URL+"/", time.Second) // trailing slash trimmed
+	c, err := factory()
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	defer c.Close()
+
+	c.Do(Op{Kind: OpGet, Key: 42})
+	if last.method != http.MethodGet || last.path != "/kv/42" {
+		t.Errorf("get: %+v", last)
+	}
+	c.Do(Op{Kind: OpSet, Key: 7, Value: "seven"})
+	if last.method != http.MethodPut || last.path != "/kv/7" || last.body != "seven" {
+		t.Errorf("set: %+v", last)
+	}
+	c.Do(Op{Kind: OpDel, Key: 9})
+	if last.method != http.MethodDelete || last.path != "/kv/9" {
+		t.Errorf("del: %+v", last)
+	}
+}
+
+// fakeLineServer speaks just enough of kvserver's TCP protocol to
+// exercise tcpKVClient: a canned reply per verb.
+func fakeLineServer(t *testing.T, replies map[string]string) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					verb := strings.Fields(sc.Text() + " ")[0]
+					if verb == "QUIT" {
+						fmt.Fprintf(conn, "BYE\n")
+						return
+					}
+					fmt.Fprintf(conn, "%s\n", replies[verb])
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); <-done }
+}
+
+func TestTCPClientReplyMapping(t *testing.T) {
+	cases := []struct {
+		op    Op
+		reply map[string]string
+		want  Result
+	}{
+		{Op{Kind: OpSet, Key: 1, Value: "v"}, map[string]string{"SET": "OK"}, ResOK},
+		{Op{Kind: OpSet, Key: 1, Value: "v"}, map[string]string{"SET": "EXISTS"}, ResMiss},
+		{Op{Kind: OpSet, Key: 1, Value: "v"}, map[string]string{"SET": "BUSY degraded, retry later"}, ResShed},
+		{Op{Kind: OpGet, Key: 1}, map[string]string{"GET": "VALUE v"}, ResOK},
+		{Op{Kind: OpGet, Key: 1}, map[string]string{"GET": "NOT_FOUND"}, ResMiss},
+		{Op{Kind: OpDel, Key: 1}, map[string]string{"DEL": "OK"}, ResOK},
+		{Op{Kind: OpDel, Key: 1}, map[string]string{"DEL": "ERR usage: DEL <key>"}, ResErr},
+	}
+	for i, tc := range cases {
+		addr, stop := fakeLineServer(t, tc.reply)
+		c, err := newTCPFactory(addr, time.Second)()
+		if err != nil {
+			stop()
+			t.Fatalf("case %d: dial: %v", i, err)
+		}
+		if got := c.Do(tc.op); got != tc.want {
+			t.Errorf("case %d (%v → %v): got %v, want %v", i, tc.op.Kind, tc.reply, got, tc.want)
+		}
+		c.Close()
+		stop()
+	}
+}
+
+// TestRunLoadOverTCP is a small end-to-end: a fake line server under a
+// real open-loop run, all plumbing from schedule to report in play.
+func TestRunLoadOverTCP(t *testing.T) {
+	addr, stop := fakeLineServer(t, map[string]string{
+		"GET": "VALUE v", "SET": "OK", "DEL": "NOT_FOUND",
+	})
+	defer stop()
+
+	cfg := loadConfig{
+		mode:     "open",
+		rate:     500,
+		workers:  2,
+		duration: 200 * time.Millisecond,
+		warmup:   50 * time.Millisecond,
+		keys:     64,
+		getFrac:  0.5, setFrac: 0.3, delFrac: 0.2,
+		seed: 3,
+	}
+	res, err := runLoad(cfg, newTCPFactory(addr, time.Second))
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.sent < 50 {
+		t.Fatalf("sent %d ops, want a meaningful run", res.sent)
+	}
+	if res.ops[OpGet].ok.Load() == 0 || res.ops[OpSet].ok.Load() == 0 || res.ops[OpDel].miss.Load() == 0 {
+		t.Errorf("outcome routing wrong: get.ok=%d set.ok=%d del.miss=%d",
+			res.ops[OpGet].ok.Load(), res.ops[OpSet].ok.Load(), res.ops[OpDel].miss.Load())
+	}
+	if res.ops[OpGet].errs.Load()+res.ops[OpSet].errs.Load()+res.ops[OpDel].errs.Load() != 0 {
+		t.Error("unexpected transport errors against the fake server")
+	}
+
+	// The report layer folds it without losing counts.
+	rep := newLoadReport(cfg, "tcp", addr, "test")
+	rep.addPoint(res, 0)
+	pt := rep.Points[0]
+	var n int64
+	for _, op := range pt.Ops {
+		n += op.Count
+	}
+	if n != res.sent {
+		t.Errorf("report op counts sum to %d, want %d", n, res.sent)
+	}
+	if pt.Ops["get"].P99Nanos == 0 {
+		t.Error("get p99 is zero; histogram not wired into the report")
+	}
+}

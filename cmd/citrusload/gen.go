@@ -1,0 +1,271 @@
+package main
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
+)
+
+// OpKind is one of the workload's operation types.
+type OpKind int
+
+const (
+	OpGet OpKind = iota
+	OpSet
+	OpDel
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDel:
+		return "del"
+	}
+	return "op-" + strconv.Itoa(int(k))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   int64
+	Value string
+}
+
+// Result classifies one completed operation.
+type Result int
+
+const (
+	// ResOK: the operation took effect (or the lookup hit).
+	ResOK Result = iota
+	// ResMiss: a semantically fine non-effect — GET/DEL of an absent
+	// key, SET of a present one. Expected under a random mix.
+	ResMiss
+	// ResShed: the server refused the write while degraded (TCP BUSY,
+	// HTTP 503). The load generator counts these separately — they are
+	// the server's backpressure working, not an error.
+	ResShed
+	// ResErr: transport or protocol failure.
+	ResErr
+)
+
+// A Client issues operations against one connection/session. Each
+// worker goroutine owns one Client; Do blocks until the operation
+// completes.
+type Client interface {
+	Do(op Op) Result
+	Close()
+}
+
+// loadConfig configures one measurement point.
+type loadConfig struct {
+	mode     string        // "open" or "closed"
+	rate     float64       // open loop: offered arrival rate, ops/sec
+	workers  int           // goroutines (closed loop: concurrency)
+	duration time.Duration // measured window, warmup excluded
+	warmup   time.Duration // head of the run excluded from histograms
+	keys     int64         // keyspace [0, keys)
+	getFrac  float64       // operation mix; fractions normalized
+	setFrac  float64
+	delFrac  float64
+	seed     int64
+}
+
+// opStats accumulates one op kind's outcome counters and latency
+// histograms. corrected measures from the *intended* send time (open
+// loop) — the coordinated-omission-safe number; service measures from
+// the actual write, the number a naive generator would report. In
+// closed-loop mode the two are identical by construction.
+type opStats struct {
+	ok, miss, shed, errs atomic.Int64
+	corrected            citrusstat.Histogram
+	service              citrusstat.Histogram
+}
+
+func (s *opStats) count(r Result) {
+	switch r {
+	case ResOK:
+		s.ok.Add(1)
+	case ResMiss:
+		s.miss.Add(1)
+	case ResShed:
+		s.shed.Add(1)
+	default:
+		s.errs.Add(1)
+	}
+}
+
+func (s *opStats) total() int64 {
+	return s.ok.Load() + s.miss.Load() + s.shed.Load() + s.errs.Load()
+}
+
+// runResult is one completed measurement point.
+type runResult struct {
+	offered  float64 // ops/sec the schedule asked for (0 in closed loop)
+	achieved float64 // completions/sec over the measured window
+	sent     int64   // operations issued inside the measured window
+	elapsed  time.Duration
+	ops      [numOpKinds]*opStats
+	lateness citrusstat.Histogram // open loop: how far behind schedule sends were
+}
+
+// opMix picks op kinds by normalized fractions, deterministically per
+// arrival index so open- and closed-loop runs with the same seed issue
+// comparable streams.
+type opMix struct {
+	getCut, setCut float64
+}
+
+func newOpMix(cfg loadConfig) opMix {
+	tot := cfg.getFrac + cfg.setFrac + cfg.delFrac
+	if tot <= 0 {
+		return opMix{getCut: 1, setCut: 1}
+	}
+	return opMix{
+		getCut: cfg.getFrac / tot,
+		setCut: (cfg.getFrac + cfg.setFrac) / tot,
+	}
+}
+
+func (m opMix) pick(r *rand.Rand) OpKind {
+	f := r.Float64()
+	switch {
+	case f < m.getCut:
+		return OpGet
+	case f < m.setCut:
+		return OpSet
+	default:
+		return OpDel
+	}
+}
+
+// runLoad drives one measurement point. newClient is called once per
+// worker; the run owns the returned clients.
+//
+// Open loop: arrivals are scheduled on a fixed interval (1/rate) from
+// a common origin, round-robined across workers — worker w serves
+// arrivals w, w+W, w+2W, … at their *scheduled* times. A worker that
+// falls behind (a slow response holding its connection) does NOT slow
+// the schedule down: the next arrivals' intended times keep marching,
+// and their corrected latency — completion minus intended time —
+// includes the queueing delay the stall caused. That is the wrk2-style
+// correction for coordinated omission; the service histogram alongside
+// records what a naive generator (latency from actual send) would have
+// claimed.
+//
+// Closed loop: each worker issues its next op as soon as the previous
+// completes — concurrency is fixed, arrival rate floats with the
+// server. offered is 0 and corrected==service.
+func runLoad(cfg loadConfig, newClient func() (Client, error)) (*runResult, error) {
+	res := &runResult{offered: cfg.rate}
+	for i := range res.ops {
+		res.ops[i] = &opStats{}
+	}
+	clients := make([]Client, cfg.workers)
+	for i := range clients {
+		c, err := newClient()
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	start := time.Now()
+	warmupEnd := start.Add(cfg.warmup)
+	end := warmupEnd.Add(cfg.duration)
+	var sent atomic.Int64
+	var done atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			mix := newOpMix(cfg)
+			client := clients[w]
+			if cfg.mode == "closed" {
+				for {
+					now := time.Now()
+					if now.After(end) {
+						return
+					}
+					op := genOp(rng, mix, cfg.keys)
+					t0 := time.Now()
+					r := client.Do(op)
+					comp := time.Now()
+					if t0.After(warmupEnd) {
+						st := res.ops[op.Kind]
+						st.count(r)
+						st.service.Record(comp.Sub(t0))
+						st.corrected.Record(comp.Sub(t0))
+						sent.Add(1)
+						done.Add(1)
+					}
+					continue
+				}
+			}
+			// Open loop.
+			interval := time.Duration(float64(time.Second) * float64(cfg.workers) / cfg.rate)
+			next := start.Add(time.Duration(w) * time.Duration(float64(time.Second)/cfg.rate))
+			for {
+				intended := next
+				next = next.Add(interval)
+				if intended.After(end) {
+					return
+				}
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				op := genOp(rng, mix, cfg.keys)
+				t0 := time.Now()
+				r := client.Do(op)
+				comp := time.Now()
+				if intended.After(warmupEnd) {
+					st := res.ops[op.Kind]
+					st.count(r)
+					st.corrected.Record(comp.Sub(intended))
+					st.service.Record(comp.Sub(t0))
+					res.lateness.Record(t0.Sub(intended))
+					sent.Add(1)
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res.sent = sent.Load()
+	res.elapsed = time.Since(warmupEnd)
+	if res.elapsed > 0 {
+		res.achieved = float64(done.Load()) / res.elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// genOp draws one operation. Values are small and deterministic; keys
+// uniform over the keyspace.
+func genOp(rng *rand.Rand, mix opMix, keys int64) Op {
+	kind := mix.pick(rng)
+	key := rng.Int63n(keys)
+	op := Op{Kind: kind, Key: key}
+	if kind == OpSet {
+		op.Value = "v" + strconv.FormatInt(key, 10)
+	}
+	return op
+}

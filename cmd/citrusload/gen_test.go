@@ -1,0 +1,225 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// stallClient answers instantly except for one long stall on a chosen
+// call, simulating a server that hiccups (a long grace period, a GC
+// pause) while the connection is held.
+type stallClient struct {
+	calls   int
+	stallOn int // 1-based call index that stalls; 0 disables
+	stall   time.Duration
+}
+
+func (c *stallClient) Do(Op) Result {
+	c.calls++
+	if c.stallOn != 0 && c.calls == c.stallOn {
+		time.Sleep(c.stall)
+	}
+	return ResOK
+}
+
+func (c *stallClient) Close() {}
+
+// TestOpenLoopCorrectsCoordinatedOmission is the point of the open
+// loop: a single 300ms responder stall delays every arrival scheduled
+// behind it, and the corrected histogram (latency from intended send
+// time) must show that, while the naive service-time histogram — what
+// a closed-loop generator would report — sees only ONE slow sample and
+// keeps a tiny p99. If this test fails, the generator has reintroduced
+// coordinated omission.
+func TestOpenLoopCorrectsCoordinatedOmission(t *testing.T) {
+	cfg := loadConfig{
+		mode:     "open",
+		rate:     1000,
+		workers:  1,
+		duration: 700 * time.Millisecond,
+		warmup:   50 * time.Millisecond,
+		keys:     16,
+		getFrac:  1,
+		seed:     1,
+	}
+	const stall = 300 * time.Millisecond
+
+	res, err := runLoad(cfg, func() (Client, error) {
+		return &stallClient{stallOn: 200, stall: stall}, nil
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.sent < 200 {
+		t.Fatalf("suspiciously few ops recorded: %d", res.sent)
+	}
+	cor := res.ops[OpGet].corrected.Snapshot()
+	svc := res.ops[OpGet].service.Snapshot()
+	corP99 := cor.Percentile(99)
+	svcP99 := svc.Percentile(99)
+	t.Logf("stalled run: %d ops, corrected p99=%v service p99=%v", res.sent, corP99, svcP99)
+
+	// ~300 arrivals were scheduled during the stall; their corrected
+	// latency ramps from ~300ms down to 0, so well over 1% of samples
+	// exceed 100ms.
+	if corP99 < 100*time.Millisecond {
+		t.Errorf("corrected p99 = %v, want >= 100ms: the stall's queueing delay is missing", corP99)
+	}
+	// The naive view: one 300ms sample in ~650 — under the p99 cut.
+	if svcP99 > 20*time.Millisecond {
+		t.Errorf("service p99 = %v, want <= 20ms: the fake client should be fast outside the stall", svcP99)
+	}
+	if corP99 < 10*svcP99 {
+		t.Errorf("corrected p99 (%v) should dwarf naive service p99 (%v)", corP99, svcP99)
+	}
+
+	// Control: same schedule, no stall — corrected and service agree
+	// that everything was fast.
+	res, err = runLoad(cfg, func() (Client, error) {
+		return &stallClient{}, nil
+	})
+	if err != nil {
+		t.Fatalf("runLoad (control): %v", err)
+	}
+	corP99 = res.ops[OpGet].corrected.Snapshot().Percentile(99)
+	t.Logf("control run: %d ops, corrected p99=%v", res.sent, corP99)
+	if corP99 > 50*time.Millisecond {
+		t.Errorf("control corrected p99 = %v, want <= 50ms: generator fell behind its own schedule", corP99)
+	}
+}
+
+// TestOpenLoopWarmupExcluded pins that samples whose intended time
+// falls inside the warmup window stay out of the histograms.
+func TestOpenLoopWarmupExcluded(t *testing.T) {
+	cfg := loadConfig{
+		mode:     "open",
+		rate:     1000,
+		workers:  2,
+		duration: 200 * time.Millisecond,
+		warmup:   100 * time.Millisecond,
+		keys:     16,
+		getFrac:  1,
+		seed:     1,
+	}
+	res, err := runLoad(cfg, func() (Client, error) {
+		return &stallClient{}, nil
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	// The schedule spans warmup+duration at 1000/s (~300 arrivals); only
+	// the ~200 in the measured window may be recorded.
+	if res.sent > 260 {
+		t.Errorf("recorded %d ops; warmup arrivals appear to be counted (window holds ~200)", res.sent)
+	}
+	if got := res.ops[OpGet].total(); got != res.sent {
+		t.Errorf("op totals (%d) disagree with sent (%d)", got, res.sent)
+	}
+}
+
+// TestClosedLoopBasics: fixed concurrency, corrected == service by
+// construction, outcome counters fold into the right buckets.
+func TestClosedLoopBasics(t *testing.T) {
+	cfg := loadConfig{
+		mode:     "closed",
+		workers:  2,
+		duration: 100 * time.Millisecond,
+		warmup:   20 * time.Millisecond,
+		keys:     16,
+		getFrac:  1,
+		seed:     1,
+	}
+	res, err := runLoad(cfg, func() (Client, error) {
+		return &stallClient{}, nil
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if res.sent == 0 {
+		t.Fatal("closed loop recorded no ops")
+	}
+	if res.achieved <= 0 {
+		t.Errorf("achieved rate = %v, want > 0", res.achieved)
+	}
+	st := res.ops[OpGet]
+	if st.ok.Load() != res.sent {
+		t.Errorf("ok=%d, want all %d sent ops OK", st.ok.Load(), res.sent)
+	}
+	cor := st.corrected.Snapshot()
+	svc := st.service.Snapshot()
+	if cor.Total() != svc.Total() || cor.Counts != svc.Counts {
+		t.Error("closed loop: corrected and service histograms must be identical")
+	}
+}
+
+// resultClient returns a fixed Result per call, cycling a script.
+type resultClient struct {
+	script []Result
+	i      int
+}
+
+func (c *resultClient) Do(Op) Result {
+	r := c.script[c.i%len(c.script)]
+	c.i++
+	return r
+}
+
+func (c *resultClient) Close() {}
+
+func TestOutcomeCounters(t *testing.T) {
+	st := &opStats{}
+	c := &resultClient{script: []Result{ResOK, ResMiss, ResShed, ResErr, ResOK}}
+	for i := 0; i < 5; i++ {
+		st.count(c.Do(Op{}))
+	}
+	if st.ok.Load() != 2 || st.miss.Load() != 1 || st.shed.Load() != 1 || st.errs.Load() != 1 {
+		t.Errorf("counters ok=%d miss=%d shed=%d errs=%d, want 2/1/1/1",
+			st.ok.Load(), st.miss.Load(), st.shed.Load(), st.errs.Load())
+	}
+	if st.total() != 5 {
+		t.Errorf("total=%d, want 5", st.total())
+	}
+}
+
+func TestOpMixFractions(t *testing.T) {
+	mix := newOpMix(loadConfig{getFrac: 8, setFrac: 1, delFrac: 1}) // unnormalized on purpose
+	rng := rand.New(rand.NewSource(42))
+	var counts [numOpKinds]int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[mix.pick(rng)]++
+	}
+	if got := float64(counts[OpGet]) / n; got < 0.75 || got > 0.85 {
+		t.Errorf("get fraction %.3f, want ~0.8", got)
+	}
+	if counts[OpSet] == 0 || counts[OpDel] == 0 {
+		t.Errorf("set=%d del=%d, want both drawn", counts[OpSet], counts[OpDel])
+	}
+
+	// Degenerate mix falls back to all-GET rather than dividing by zero.
+	mix = newOpMix(loadConfig{})
+	for i := 0; i < 100; i++ {
+		if k := mix.pick(rng); k != OpGet {
+			t.Fatalf("zero mix drew %v, want get", k)
+		}
+	}
+}
+
+func TestGenOpDeterministic(t *testing.T) {
+	cfg := loadConfig{getFrac: 0.5, setFrac: 0.3, delFrac: 0.2, keys: 128}
+	mix := newOpMix(cfg)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		oa, ob := genOp(a, mix, cfg.keys), genOp(b, mix, cfg.keys)
+		if oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		if oa.Key < 0 || oa.Key >= cfg.keys {
+			t.Fatalf("key %d outside [0,%d)", oa.Key, cfg.keys)
+		}
+		if (oa.Kind == OpSet) != (oa.Value != "") {
+			t.Fatalf("value presence wrong for %+v", oa)
+		}
+	}
+}

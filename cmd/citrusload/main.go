@@ -1,0 +1,160 @@
+// citrusload is the load generator for examples/kvserver: an open-loop
+// (fixed arrival rate) or closed-loop (fixed concurrency) driver for
+// either server face — the TCP line protocol or the HTTP /kv/{key}
+// API — with per-op-type latency histograms and a structured JSON
+// report shaped like the repository's BENCH_*.json files.
+//
+// Why open loop is the default: a closed-loop generator (send, wait,
+// send) measures service time under a concurrency it implicitly
+// negotiates with the server — when the server stalls, the generator
+// politely stops offering load, and the stall's cost vanishes from the
+// percentiles. That is coordinated omission. citrusload instead fixes
+// the arrival schedule up front (one arrival every 1/rate seconds,
+// round-robined across workers) and measures every request from its
+// *intended* send time, so a 250ms server stall shows up as ~250ms of
+// queueing latency smeared across every arrival scheduled during it —
+// which is what real clients would have experienced. The report also
+// carries the naive service-time percentiles alongside, so the gap the
+// correction closes is visible in the data.
+//
+// Typical runs:
+//
+//	citrusload -proto tcp -target 127.0.0.1:7170 -rate 2000 -duration 10s
+//	citrusload -proto http -target http://127.0.0.1:7171 -rates 500,1000,2000,4000
+//	citrusload -mode closed -workers 16 -duration 10s
+//
+// With -scrape the generator fetches <scrape>/metrics.prom after each
+// point and validates the payload with the strict text-format parser
+// (citrusstat/promtext), recording the family count per point — a
+// load run doubles as an exposition-format conformance check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat/promtext"
+)
+
+func main() {
+	proto := flag.String("proto", "tcp", "server face to load: tcp (line protocol) or http (/kv API)")
+	target := flag.String("target", "127.0.0.1:7170", "server address: host:port for -proto tcp, base URL for -proto http")
+	mode := flag.String("mode", "open", "open (fixed arrival rate, coordinated-omission-safe) or closed (fixed concurrency)")
+	rate := flag.Float64("rate", 1000, "open loop: offered arrival rate, ops/sec")
+	ratesFlag := flag.String("rates", "", "open loop: comma-separated rate sweep (overrides -rate)")
+	workers := flag.Int("workers", 8, "worker goroutines (closed loop: the fixed concurrency)")
+	duration := flag.Duration("duration", 10*time.Second, "measured window per point")
+	warmup := flag.Duration("warmup", 2*time.Second, "head of each point excluded from histograms")
+	keys := flag.Int64("keys", 16384, "keyspace size; keys drawn uniformly from [0, keys)")
+	getFrac := flag.Float64("get", 0.90, "fraction of GETs in the mix")
+	setFrac := flag.Float64("set", 0.05, "fraction of SETs in the mix")
+	delFrac := flag.Float64("del", 0.05, "fraction of DELs in the mix")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request transport timeout")
+	scrape := flag.String("scrape", "", "base URL to scrape <url>/metrics.prom after each point and validate the payload (empty disables)")
+	out := flag.String("out", "-", "JSON report path; - for stdout")
+	note := flag.String("note", "", "free-form note recorded in the report header")
+	cooldown := flag.Duration("cooldown", time.Second, "pause between sweep points")
+	flag.Parse()
+
+	cfg := loadConfig{
+		mode:     *mode,
+		rate:     *rate,
+		workers:  *workers,
+		duration: *duration,
+		warmup:   *warmup,
+		keys:     *keys,
+		getFrac:  *getFrac,
+		setFrac:  *setFrac,
+		delFrac:  *delFrac,
+		seed:     *seed,
+	}
+	if cfg.workers < 1 {
+		log.Fatal("-workers must be at least 1")
+	}
+	if cfg.mode != "open" && cfg.mode != "closed" {
+		log.Fatalf("-mode must be open or closed, got %q", cfg.mode)
+	}
+
+	var newClient func() (Client, error)
+	switch *proto {
+	case "tcp":
+		newClient = newTCPFactory(*target, *timeout)
+	case "http":
+		newClient = newHTTPFactory(*target, *timeout)
+	default:
+		log.Fatalf("-proto must be tcp or http, got %q", *proto)
+	}
+
+	rates := []float64{cfg.rate}
+	if cfg.mode == "closed" {
+		rates = []float64{0}
+	} else if *ratesFlag != "" {
+		rates = rates[:0]
+		for _, f := range strings.Split(*ratesFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("-rates: bad rate %q", f)
+			}
+			rates = append(rates, v)
+		}
+	}
+
+	rep := newLoadReport(cfg, *proto, *target, *note)
+	for i, r := range rates {
+		cfg.rate = r
+		if i > 0 {
+			time.Sleep(*cooldown)
+		}
+		if cfg.mode == "open" {
+			log.Printf("point %d/%d: offered %.0f ops/s for %v (+%v warmup)", i+1, len(rates), r, cfg.duration, cfg.warmup)
+		} else {
+			log.Printf("point %d/%d: closed loop, %d workers for %v (+%v warmup)", i+1, len(rates), cfg.workers, cfg.duration, cfg.warmup)
+		}
+		res, err := runLoad(cfg, newClient)
+		if err != nil {
+			log.Fatalf("point %d: %v", i+1, err)
+		}
+		series := 0
+		if *scrape != "" {
+			series, err = scrapeProm(strings.TrimSuffix(*scrape, "/") + "/metrics.prom")
+			if err != nil {
+				log.Fatalf("point %d: metrics scrape failed validation: %v", i+1, err)
+			}
+			log.Printf("point %d: scraped %d metric families, payload valid", i+1, series)
+		}
+		rep.addPoint(res, series)
+		log.Printf("point %d: achieved %.0f ops/s (%d ops)", i+1, res.achieved, res.sent)
+	}
+
+	if err := rep.write(*out); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" && *out != "" {
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+}
+
+// scrapeProm fetches a /metrics.prom payload and validates it with the
+// strict parser, returning the metric-family count.
+func scrapeProm(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	m, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
+)
+
+// loadReport is the machine-readable result document, shaped like the
+// repository's BENCH_*.json trajectory files: the same environment
+// header (generated / go_version / goos / goarch / gomaxprocs /
+// num_cpu / duration / note) followed by one point per swept offered
+// rate.
+type loadReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Duration   string `json:"duration"`
+	Note       string `json:"note,omitempty"`
+
+	Mode    string             `json:"mode"`   // open | closed
+	Proto   string             `json:"proto"`  // http | tcp
+	Target  string             `json:"target"` // address load was sent to
+	Workers int                `json:"workers"`
+	Warmup  string             `json:"warmup"`
+	Keys    int64              `json:"keys"`
+	Mix     map[string]float64 `json:"mix"`
+
+	Points []loadPoint `json:"points"`
+}
+
+// loadPoint is one measurement: offered vs achieved rate and the
+// per-op outcome/latency breakdown.
+type loadPoint struct {
+	OfferedRate  float64 `json:"offered_rate,omitempty"` // 0 in closed loop
+	AchievedRate float64 `json:"achieved_rate"`
+	Sent         int64   `json:"sent"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+
+	// Ops maps op kind ("get"/"set"/"del") to its breakdown; kinds with
+	// no traffic are omitted.
+	Ops map[string]opReport `json:"ops"`
+
+	// SendLatenessP99Nanos is how far behind schedule the p99 send was
+	// (open loop): small values mean the generator kept up with its own
+	// schedule and the corrected latencies measure the server, not the
+	// client. Omitted in closed loop.
+	SendLatenessP99Nanos int64 `json:"send_lateness_p99_ns,omitempty"`
+
+	// ScrapeSeries is the number of metric families a post-point
+	// /metrics.prom scrape parsed (with -scrape); 0 when not scraped.
+	ScrapeSeries int `json:"scrape_series,omitempty"`
+}
+
+// opReport is one op kind's outcomes and latency percentiles, both
+// coordinated-omission-corrected (from intended send time) and naive
+// service time (from actual send) so the gap is visible in the data.
+type opReport struct {
+	Count  int64 `json:"count"`
+	OK     int64 `json:"ok"`
+	Misses int64 `json:"misses"`
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+
+	P50Nanos  int64 `json:"p50_ns"`
+	P90Nanos  int64 `json:"p90_ns"`
+	P99Nanos  int64 `json:"p99_ns"`
+	P999Nanos int64 `json:"p999_ns"`
+	MaxNanos  int64 `json:"max_ns"` // upper bound of the highest occupied bucket
+
+	ServiceP50Nanos int64 `json:"service_p50_ns"`
+	ServiceP99Nanos int64 `json:"service_p99_ns"`
+}
+
+func newLoadReport(cfg loadConfig, proto, target, note string) *loadReport {
+	return &loadReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Duration:   cfg.duration.String(),
+		Note:       note,
+		Mode:       cfg.mode,
+		Proto:      proto,
+		Target:     target,
+		Workers:    cfg.workers,
+		Warmup:     cfg.warmup.String(),
+		Keys:       cfg.keys,
+		Mix: map[string]float64{
+			"get": cfg.getFrac, "set": cfg.setFrac, "del": cfg.delFrac,
+		},
+	}
+}
+
+// histMax reports the upper bound of the highest occupied bucket — the
+// tightest "no sample exceeded this" statement the log2 histogram can
+// make.
+func histMax(s citrusstat.Snapshot) int64 {
+	for i := citrusstat.NumBuckets - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			return int64(1) << uint(i+1)
+		}
+	}
+	return 0
+}
+
+// addPoint folds one runResult into the report.
+func (r *loadReport) addPoint(res *runResult, scrapeSeries int) {
+	pt := loadPoint{
+		OfferedRate:  res.offered,
+		AchievedRate: res.achieved,
+		Sent:         res.sent,
+		ElapsedMS:    float64(res.elapsed.Nanoseconds()) / 1e6,
+		Ops:          map[string]opReport{},
+		ScrapeSeries: scrapeSeries,
+	}
+	if lat := res.lateness.Snapshot(); lat.Total() > 0 {
+		pt.SendLatenessP99Nanos = res.lateness.Snapshot().Percentile(99).Nanoseconds()
+	}
+	for kind, st := range res.ops {
+		if st.total() == 0 {
+			continue
+		}
+		cor := st.corrected.Snapshot()
+		svc := st.service.Snapshot()
+		pt.Ops[OpKind(kind).String()] = opReport{
+			Count:           st.total(),
+			OK:              st.ok.Load(),
+			Misses:          st.miss.Load(),
+			Shed:            st.shed.Load(),
+			Errors:          st.errs.Load(),
+			P50Nanos:        cor.Percentile(50).Nanoseconds(),
+			P90Nanos:        cor.Percentile(90).Nanoseconds(),
+			P99Nanos:        cor.Percentile(99).Nanoseconds(),
+			P999Nanos:       cor.Percentile(99.9).Nanoseconds(),
+			MaxNanos:        histMax(cor),
+			ServiceP50Nanos: svc.Percentile(50).Nanoseconds(),
+			ServiceP99Nanos: svc.Percentile(99).Nanoseconds(),
+		}
+	}
+	r.Points = append(r.Points, pt)
+}
+
+// write serializes the report (indented, trailing newline); "-" means
+// stdout.
+func (r *loadReport) write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" || path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -123,6 +123,10 @@ type server struct {
 	shedWrites   atomic.Int64 // SET/DEL rejected while degraded
 	gpTimeouts   atomic.Int64 // DELs whose grace-period wait hit the deadline
 	stallReports atomic.Int64 // stall-detector reports logged
+
+	// Request latency histograms per (face, op), surfaced as summaries
+	// in /metrics and as cumulative histograms in /metrics.prom.
+	lat reqLatencies
 }
 
 func newServer(cfg kvConfig) *server {
@@ -206,10 +210,11 @@ func main() {
 func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 	srv := newServer(cfg)
 	if traceOn {
-		if srv.store.EnableTracing() {
-			log.Printf("flight recorder enabled (dump at /debug/trace)")
+		srv.store.EnableTracing()
+		if cfg.shards > 1 {
+			log.Printf("flight recorder enabled on every shard (merged dump at /debug/trace, events tagged by shard)")
 		} else {
-			log.Printf("-trace: the flight recorder is per tree; unavailable with -shards > 1, ignoring")
+			log.Printf("flight recorder enabled (dump at /debug/trace)")
 		}
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -307,6 +312,7 @@ func (s *server) metrics() map[string]any {
 			"gp_timeouts":   s.gpTimeouts.Load(),
 			"stall_reports": s.stallReports.Load(),
 		},
+		"request_latency": s.lat.summaries(),
 	}
 	for k, v := range s.store.Metrics() {
 		doc[k] = v
@@ -361,6 +367,7 @@ func (s *server) statsMux() *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.metrics())
 	})
+	mux.HandleFunc("/metrics.prom", s.servePromMetrics)
 	mux.HandleFunc("/debug/citrus", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.debugCitrus())
 	})
@@ -419,6 +426,7 @@ func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
 	h := s.store.NewHandle()
 	defer h.Close()
 	s.ops.Add(1)
+	defer s.lat.record("http", r.Method, time.Now())
 	shed := func() bool {
 		deg, reasons := s.degraded()
 		if !deg {
@@ -477,21 +485,24 @@ func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveTrace dumps the flight recorder: the native JSON form by
-// default, the Chrome trace_event form with ?format=chrome.
+// default, the Chrome trace_event form with ?format=chrome. With
+// -shards the dump merges every shard's rings onto one clock,
+// time-ordered, each event tagged with its source shard (rendered as
+// one process group per shard in the Chrome form).
 func (s *server) serveTrace(w http.ResponseWriter, r *http.Request) {
-	rec := s.store.TraceRecorder()
-	if rec == nil {
-		http.Error(w, "tracing disabled (start kvserver with -trace; unavailable with -shards > 1)", http.StatusNotFound)
+	if !s.store.TracingEnabled() {
+		http.Error(w, "tracing disabled (start kvserver with -trace)", http.StatusNotFound)
 		return
 	}
+	tr := s.store.DumpTrace()
 	if r.URL.Query().Get("format") == "chrome" {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="citrus-trace.json"`)
-		rec.WriteChromeTrace(w) //nolint:errcheck // best-effort over HTTP
+		tr.WriteChromeTrace(w) //nolint:errcheck // best-effort over HTTP
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	rec.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
+	tr.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
 }
 
 // handle serves one connection with its own per-goroutine tree handle.
@@ -526,9 +537,11 @@ func (s *server) exec(h storeHandle, line string) (reply string, quit bool) {
 		return "ERR empty command", false
 	}
 	verb := strings.ToUpper(fields[0])
+	start := time.Now()
 	rpprof.Do(context.Background(), rpprof.Labels("op", verb), func(context.Context) {
 		reply, quit = s.execVerb(h, verb, fields)
 	})
+	s.lat.record("tcp", verb, start)
 	return reply, quit
 }
 

@@ -36,16 +36,32 @@ type store interface {
 	MaxQueueDepth() int64
 	QueueDepth() int64
 
-	// EnableTracing attaches the flight recorder where the backend
-	// supports it and reports whether it did; TraceRecorder is nil
-	// when tracing is off or unsupported (the forest backend is —
-	// tracing is per tree).
-	EnableTracing() bool
-	TraceRecorder() *citrustrace.Recorder
+	// ShardObs returns the per-shard observability snapshot, one entry
+	// per shard (a single entry for the unsharded backend), feeding the
+	// Prometheus exposition's shard-labeled series.
+	ShardObs() []shardObs
+
+	// EnableTracing attaches the flight recorder: one per tree, or one
+	// per shard for the forest backend. TracingEnabled reports whether
+	// a recorder is attached; DumpTrace snapshots it — for the forest,
+	// every shard's rings merged onto one clock with events tagged by
+	// shard (citrustrace.MergeShards).
+	EnableTracing()
+	TracingEnabled() bool
+	DumpTrace() citrustrace.Trace
 
 	// Close drains retired nodes through their grace periods on every
 	// shard and stops the reclaimers.
 	Close()
+}
+
+// shardObs is one shard's observability snapshot: the tree's operation
+// counters with its merged RCU block, and the shard reclaimer's queue
+// accounting. The Prometheus handler turns each entry into
+// shard-labeled series.
+type shardObs struct {
+	Tree    citrus.Stats
+	Reclaim rcu.ReclaimerStats
 }
 
 // storeHandle is the per-connection view of the store: the subset of
@@ -90,10 +106,15 @@ func (s *treeStore) Stats() citrus.Stats    { return s.tree.Stats() }
 func (s *treeStore) ActiveStalls() int64    { return s.dom.Stats().ActiveStalls }
 func (s *treeStore) MaxQueueDepth() int64   { return s.rec.QueueDepth() }
 func (s *treeStore) QueueDepth() int64      { return s.rec.QueueDepth() }
-func (s *treeStore) EnableTracing() bool    { s.tree.EnableTracing(); return true }
+func (s *treeStore) EnableTracing()         { s.tree.EnableTracing() }
+func (s *treeStore) TracingEnabled() bool   { return s.tree.TraceRecorder() != nil }
 func (s *treeStore) Close()                 { s.rec.Close() }
 
-func (s *treeStore) TraceRecorder() *citrustrace.Recorder { return s.tree.TraceRecorder() }
+func (s *treeStore) DumpTrace() citrustrace.Trace { return s.tree.DumpTrace() }
+
+func (s *treeStore) ShardObs() []shardObs {
+	return []shardObs{{Tree: s.tree.Stats(), Reclaim: s.rec.Stats()}}
+}
 
 func (s *treeStore) Metrics() map[string]any {
 	return map[string]any{
@@ -133,10 +154,20 @@ func (s *forestStore) NewHandle() storeHandle { return s.f.NewHandle() }
 func (s *forestStore) Len() int               { return s.f.Len() }
 func (s *forestStore) CheckInvariants() error { return s.f.CheckInvariants() }
 func (s *forestStore) Stats() citrus.Stats    { return s.f.Stats().Total }
-func (s *forestStore) EnableTracing() bool    { return false }
+func (s *forestStore) EnableTracing()         { s.f.EnableTracing() }
+func (s *forestStore) TracingEnabled() bool   { return s.f.TraceRecorder(0) != nil }
 func (s *forestStore) Close()                 { s.f.Close() }
 
-func (s *forestStore) TraceRecorder() *citrustrace.Recorder { return nil }
+func (s *forestStore) DumpTrace() citrustrace.Trace { return s.f.DumpTrace() }
+
+func (s *forestStore) ShardObs() []shardObs {
+	fs := s.f.Stats()
+	obs := make([]shardObs, len(fs.Shards))
+	for i := range fs.Shards {
+		obs[i] = shardObs{Tree: fs.Shards[i], Reclaim: fs.Reclaim[i]}
+	}
+	return obs
+}
 
 func (s *forestStore) ActiveStalls() int64 {
 	var n int64

@@ -7,6 +7,7 @@ import (
 	"hash/maphash"
 	"slices"
 
+	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/internal/core"
 	"github.com/go-citrus/citrus/internal/partition"
 	"github.com/go-citrus/citrus/rcu"
@@ -141,6 +142,57 @@ func (f *Forest[K, V]) shardFor(key K) int {
 // Domain returns shard i's RCU domain, for wiring stall handlers,
 // timeouts or site capture per shard.
 func (f *Forest[K, V]) Domain(i int) *rcu.Domain { return f.shards[i].dom }
+
+// EnableTracing attaches one fresh flight recorder per shard and
+// returns them, index-aligned with routing. Each shard's tree
+// operations and grace-period spans go to that shard's own recorder —
+// the rings stay shard-local and lock-free, no cross-shard
+// coordination on the record path. DumpTrace folds the recorders into
+// one shard-tagged trace; use TraceRecorder(i) to inspect one shard.
+// Calling EnableTracing again replaces every shard's recorder.
+func (f *Forest[K, V]) EnableTracing(opts ...citrustrace.Option) []*citrustrace.Recorder {
+	recs := make([]*citrustrace.Recorder, len(f.shards))
+	for i := range f.shards {
+		rec := citrustrace.New(opts...)
+		f.shards[i].dom.SetTracer(rec.SyncTracer("rcu"))
+		f.shards[i].tree.SetTracer(rec)
+		recs[i] = rec
+	}
+	return recs
+}
+
+// DisableTracing detaches every shard's flight recorder and
+// grace-period tracer. Operations already in flight finish recording
+// into the recorder they started with; a final DumpTrace still returns
+// the captured window.
+func (f *Forest[K, V]) DisableTracing() {
+	for i := range f.shards {
+		f.shards[i].tree.SetTracer(nil)
+		f.shards[i].dom.SetTracer(nil)
+	}
+}
+
+// TraceRecorder reports shard i's currently attached flight recorder,
+// nil when tracing is disabled.
+func (f *Forest[K, V]) TraceRecorder(i int) *citrustrace.Recorder {
+	return f.shards[i].tree.Tracer()
+}
+
+// DumpTrace snapshots every shard's flight recorder and merges them
+// into one time-ordered trace on a common epoch, with every event and
+// ring tagged by source shard (citrustrace.MergeShards). Shards with
+// tracing disabled contribute nothing but keep their index. With
+// tracing fully disabled it returns an empty Trace. Safe at any time,
+// concurrently with operations and tracing toggles.
+func (f *Forest[K, V]) DumpTrace() citrustrace.Trace {
+	shards := make([]citrustrace.Trace, len(f.shards))
+	for i := range f.shards {
+		if rec := f.shards[i].tree.Tracer(); rec != nil {
+			shards[i] = rec.Snapshot()
+		}
+	}
+	return citrustrace.MergeShards(shards)
+}
 
 // Reclaimer returns shard i's reclaimer.
 func (f *Forest[K, V]) Reclaimer(i int) *rcu.Reclaimer { return f.shards[i].rec }
@@ -308,37 +360,15 @@ func (f *Forest[K, V]) Stats() ForestStats {
 		fs.Total.NodesRetired += sh.NodesRetired
 		fs.Total.NodesReused += sh.NodesReused
 		if sh.RCU != nil {
-			mergeRCUStats(totalRCU, sh.RCU)
+			// rcu.Stats.Merge is the canonical cross-domain fold:
+			// counters and occupancy gauges sum, OldestSyncAgeNanos
+			// takes the forest-wide max, histograms merge bucket-wise
+			// (exact — shared log2 lattice).
+			totalRCU.Merge(*sh.RCU)
 		}
 	}
 	fs.Total.RCU = totalRCU
 	return fs
-}
-
-// mergeRCUStats folds src into dst: counters and gauges sum (summing
-// the ActiveStalls gauge across shards gives "stalled grace periods
-// anywhere in the forest right now", which is the quantity degradation
-// policies want), histograms merge bucket-wise.
-func mergeRCUStats(dst, src *rcu.Stats) {
-	dst.Synchronizes += src.Synchronizes
-	dst.SyncSpins += src.SyncSpins
-	dst.SyncRechecks += src.SyncRechecks
-	dst.SyncYields += src.SyncYields
-	dst.SyncSleeps += src.SyncSleeps
-	dst.SyncLeads += src.SyncLeads
-	dst.SyncShares += src.SyncShares
-	dst.SyncExpedited += src.SyncExpedited
-	dst.Stalls += src.Stalls
-	dst.ActiveStalls += src.ActiveStalls
-	dst.SyncAbandoned += src.SyncAbandoned
-	dst.Readers += src.Readers
-	dst.ReaderHighWater += src.ReaderHighWater
-	dst.SyncWait.SumNanos += src.SyncWait.SumNanos
-	dst.FollowerWait.SumNanos += src.FollowerWait.SumNanos
-	for b := range dst.SyncWait.Counts {
-		dst.SyncWait.Counts[b] += src.SyncWait.Counts[b]
-		dst.FollowerWait.Counts[b] += src.FollowerWait.Counts[b]
-	}
 }
 
 // A ForestHandle is one goroutine's access point to a Forest: one

@@ -452,3 +452,66 @@ func TestForestSingleShard(t *testing.T) {
 		t.Fatalf("Keys() wrong: len %d", len(keys))
 	}
 }
+
+func TestForestTracingMergedDump(t *testing.T) {
+	f := NewForest[int, int](4)
+	defer f.Close()
+
+	recs := f.EnableTracing()
+	if len(recs) != 4 {
+		t.Fatalf("EnableTracing returned %d recorders, want 4", len(recs))
+	}
+	for i := 0; i < 4; i++ {
+		if f.TraceRecorder(i) != recs[i] {
+			t.Fatalf("TraceRecorder(%d) does not match EnableTracing result", i)
+		}
+	}
+
+	h := f.NewHandle()
+	defer h.Close()
+	// Enough keys that every shard sees operations.
+	for k := 0; k < 256; k++ {
+		h.Insert(k, k)
+	}
+	for k := 0; k < 256; k++ {
+		h.Get(k)
+	}
+
+	tr := f.DumpTrace()
+	if len(tr.Events) == 0 {
+		t.Fatal("merged dump has no events")
+	}
+	shardsSeen := map[int]bool{}
+	ringShard := map[uint32]int{}
+	for _, ri := range tr.Rings {
+		if _, dup := ringShard[ri.ID]; dup {
+			t.Fatalf("duplicate ring ID %d in merged dump", ri.ID)
+		}
+		ringShard[ri.ID] = ri.Shard
+	}
+	for i, ev := range tr.Events {
+		shardsSeen[ev.Shard] = true
+		if ev.Shard < 0 || ev.Shard >= 4 {
+			t.Fatalf("event %d has shard %d outside [0,4)", i, ev.Shard)
+		}
+		if got, ok := ringShard[ev.Ring]; !ok || got != ev.Shard {
+			t.Fatalf("event %d: ring %d maps to shard %d, event says %d", i, ev.Ring, got, ev.Shard)
+		}
+		if i > 0 && ev.Start < tr.Events[i-1].Start {
+			t.Fatalf("merged events out of time order at %d", i)
+		}
+	}
+	if len(shardsSeen) < 2 {
+		t.Fatalf("expected events from several shards, got %v", shardsSeen)
+	}
+
+	f.DisableTracing()
+	for i := 0; i < 4; i++ {
+		if f.TraceRecorder(i) != nil {
+			t.Fatalf("TraceRecorder(%d) still set after DisableTracing", i)
+		}
+	}
+	if tr := f.DumpTrace(); len(tr.Events) != 0 || !tr.Epoch.IsZero() {
+		t.Fatalf("dump after disable should be empty, got %d events", len(tr.Events))
+	}
+}

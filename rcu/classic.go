@@ -189,9 +189,11 @@ func (d *ClassicDomain) Synchronize() {
 	}
 	var cost syncCost
 	watch := d.stall.newStallWatch(start)
+	tok := d.stats.syncEnter(start)
 	d.syncMu.Lock()
 	defer func() {
 		d.syncMu.Unlock()
+		d.stats.syncExit(tok)
 		watch.settle(&d.stats)
 		if span != nil {
 			span.End(cost.spins, cost.yields)

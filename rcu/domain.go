@@ -270,7 +270,9 @@ func (d *Domain) Synchronize() {
 	var cost syncCost
 	var led, shared bool
 	watch := d.stall.newStallWatch(start)
+	tok := d.stats.syncEnter(start)
 	defer func() {
+		d.stats.syncExit(tok)
 		watch.settle(&d.stats)
 		if span != nil {
 			span.End(cost.spins, cost.yields)

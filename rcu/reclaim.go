@@ -66,7 +66,8 @@ type Reclaimer struct {
 	// drain gets back below it, making each crossing count one
 	// expedited drain.
 	mu       sync.Mutex
-	pending  []func()
+	pending  []pendingCB
+	inflight time.Time // enqueue time of the in-flight batch's head; zero when none
 	closed   bool
 	depth    int64
 	expedite bool
@@ -81,6 +82,16 @@ type Reclaimer struct {
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
+}
+
+// pendingCB is one queued callback with its enqueue time, kept so the
+// age of the backlog's head — how long the oldest retired object has
+// been waiting for its grace period and callback — is observable
+// (Stats.OldestAgeNanos, OldestAge). Age and depth together are the
+// two axes of the RCU age-memory trade-off.
+type pendingCB struct {
+	fn func()
+	at time.Time
 }
 
 // A ReclaimerOption configures a Reclaimer at construction; see
@@ -197,6 +208,16 @@ type ReclaimerStats struct {
 	// GracePeriods counts Synchronize calls the drain has paid: how
 	// many grace periods the batching amortized the backlog over.
 	GracePeriods int64 `json:"grace_periods"`
+
+	// OldestAgeNanos is a gauge: the age, in nanoseconds, of the oldest
+	// accepted-but-not-run callback (including the batch in flight);
+	// 0 with an empty queue. This is the "memory age" of the age-memory
+	// trade-off: how stale the most patient retired object is. A
+	// healthy reclaimer keeps it near one grace period; a stalled
+	// reader shows as an age growing in step with QueueDepth, and the
+	// watermark/hard-cap knobs (WithHighWatermark, WithHardCap) should
+	// be tuned from exactly this pair of series.
+	OldestAgeNanos int64 `json:"oldest_age_ns"`
 }
 
 // Stats reports the reclaimer's activity. Safe from any goroutine.
@@ -211,7 +232,29 @@ func (r *Reclaimer) Stats() ReclaimerStats {
 		QueueHighWater:  r.highWater,
 		ExpeditedDrains: r.expedited,
 		GracePeriods:    r.gps,
+		OldestAgeNanos:  r.oldestAgeLocked(time.Now()).Nanoseconds(),
 	}
+}
+
+// oldestAgeLocked computes the backlog head's age under mu. The batch
+// in flight was enqueued before anything still queued, so its head
+// timestamp wins when a drain is running.
+func (r *Reclaimer) oldestAgeLocked(now time.Time) time.Duration {
+	switch {
+	case !r.inflight.IsZero():
+		return now.Sub(r.inflight)
+	case len(r.pending) > 0:
+		return now.Sub(r.pending[0].at)
+	}
+	return 0
+}
+
+// OldestAge reports the age of the oldest accepted-but-not-run
+// callback, 0 with an empty queue; see ReclaimerStats.OldestAgeNanos.
+func (r *Reclaimer) OldestAge() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.oldestAgeLocked(time.Now())
 }
 
 // QueueDepth reports the current number of accepted-but-not-run
@@ -274,7 +317,7 @@ func (r *Reclaimer) enqueue(fn func(), bypassCap bool) deferStatus {
 			return deferClosed
 		}
 		if r.cap == 0 || bypassCap || r.depth < int64(r.cap) {
-			r.pending = append(r.pending, fn)
+			r.pending = append(r.pending, pendingCB{fn: fn, at: time.Now()})
 			r.depth++
 			r.deferred++
 			if r.depth > r.highWater {
@@ -409,13 +452,14 @@ func (r *Reclaimer) drainOnce(final bool) bool {
 	} else {
 		r.pending = r.pending[n:]
 	}
+	r.inflight = batch[0].at // the backlog head's age keeps aging while in flight
 	r.mu.Unlock()
 	// One grace period covers the whole batch: every callback was
 	// deferred before this point, so every reader that could still see
 	// the retired objects is pre-existing here.
 	r.flavor.Synchronize()
 	ran := n
-	for i, fn := range batch {
+	for i, cb := range batch {
 		// Re-check stop every few entries (not every one: the channel
 		// poll is cheap but not free, and callbacks are often tiny).
 		if !final && i&0x3f == 0 && r.stopped() {
@@ -427,10 +471,11 @@ func (r *Reclaimer) drainOnce(final bool) bool {
 			ran = i
 			break
 		}
-		fn()
-		batch[i] = nil // release the closure before the next GP
+		cb.fn()
+		batch[i].fn = nil // release the closure before the next GP
 	}
 	r.mu.Lock()
+	r.inflight = time.Time{}
 	r.gps++
 	r.executed += int64(ran)
 	r.depth -= int64(ran)
@@ -455,7 +500,7 @@ func (r *Reclaimer) stopped() bool {
 
 // requeue pushes not-yet-run callbacks back to the front of the queue,
 // preserving submission order, for the final drain to run.
-func (r *Reclaimer) requeue(rest []func()) {
+func (r *Reclaimer) requeue(rest []pendingCB) {
 	r.mu.Lock()
 	r.pending = append(rest[:len(rest):len(rest)], r.pending...)
 	r.mu.Unlock()

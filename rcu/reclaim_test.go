@@ -292,3 +292,45 @@ func TestReclaimerNoGoroutineLeak(t *testing.T) {
 		t.Fatalf("goroutines leaked: %d before, %d after 20 reclaimer lifecycles", before, after)
 	}
 }
+
+// TestReclaimerOldestAge drives the queue-age gauge: zero when idle,
+// growing while a parked reader holds up the grace period the pending
+// batch is waiting on, zero again once the callbacks run.
+func TestReclaimerOldestAge(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d)
+	defer r.Close()
+
+	if age := r.OldestAge(); age != 0 {
+		t.Fatalf("idle reclaimer OldestAge = %v, want 0", age)
+	}
+
+	rd := d.Register()
+	defer rd.Unregister()
+	rd.ReadLock()
+
+	ran := make(chan struct{})
+	r.Defer(func() { close(ran) })
+
+	// The callback cannot run until the reader leaves; the gauge must see
+	// its age growing meanwhile (whether the batch is still queued or
+	// already in flight behind Synchronize).
+	time.Sleep(30 * time.Millisecond)
+	if age := r.OldestAge(); age < 10*time.Millisecond {
+		t.Fatalf("OldestAge = %v while blocked, want ≥ 10ms", age)
+	}
+	if got := r.Stats().OldestAgeNanos; got < (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("Stats().OldestAgeNanos = %d while blocked, want ≥ 10ms", got)
+	}
+
+	rd.ReadUnlock()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback never ran after reader exit")
+	}
+	r.Barrier()
+	if age := r.OldestAge(); age != 0 {
+		t.Fatalf("drained reclaimer OldestAge = %v, want 0", age)
+	}
+}

@@ -1,6 +1,7 @@
 package rcu
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +63,18 @@ type Stats struct {
 	ActiveStalls  int64 `json:"active_stalls"`
 	SyncAbandoned int64 `json:"sync_abandoned"`
 
+	// ActiveSyncs is a gauge of Synchronize calls currently in flight on
+	// this domain; OldestSyncAgeNanos the age, in nanoseconds, of the
+	// oldest of them — 0 when none is running. Together they are the
+	// grace-period-age signal of the age-memory trade-off: a healthy
+	// domain keeps OldestSyncAgeNanos in the microseconds, while a
+	// stalled reader shows as an age that grows without bound (and, past
+	// the stall threshold, as ActiveStalls). Scraping it as a time
+	// series shows grace-period pressure *before* the stall detector
+	// fires.
+	ActiveSyncs        int64 `json:"active_syncs"`
+	OldestSyncAgeNanos int64 `json:"oldest_sync_age_ns"`
+
 	// Readers is the number of currently registered readers;
 	// ReaderHighWater the maximum ever simultaneously registered.
 	Readers         int   `json:"readers"`
@@ -95,6 +108,43 @@ var (
 	_ StatsSource = (*InstrumentedFlavor)(nil)
 )
 
+// Merge folds other into s: counters sum, wait histograms merge
+// bucket-wise (exactly — every domain shares the log2 lattice, see
+// citrusstat.Snapshot.Merge), and the gauges combine by the rule a
+// many-domain aggregate wants. ActiveStalls, ActiveSyncs and Readers
+// sum ("stalled/in-flight/registered anywhere right now"), which is the
+// quantity degradation policies compare against zero; ReaderHighWater
+// sums too, keeping the pre-existing forest-fold semantics ("peak
+// readers per shard, added up"). OldestSyncAgeNanos takes the maximum:
+// the aggregate's oldest in-flight grace period is the oldest across
+// the parts, not their sum.
+//
+// citrus.Forest.Stats folds every shard's domain through Merge; any
+// other multi-domain aggregation (e.g. a metrics exporter scraping
+// several trees) should use it too, rather than re-deriving the
+// per-field rules.
+func (s *Stats) Merge(other Stats) {
+	s.Synchronizes += other.Synchronizes
+	s.SyncSpins += other.SyncSpins
+	s.SyncRechecks += other.SyncRechecks
+	s.SyncYields += other.SyncYields
+	s.SyncSleeps += other.SyncSleeps
+	s.SyncLeads += other.SyncLeads
+	s.SyncShares += other.SyncShares
+	s.SyncExpedited += other.SyncExpedited
+	s.Stalls += other.Stalls
+	s.ActiveStalls += other.ActiveStalls
+	s.SyncAbandoned += other.SyncAbandoned
+	s.ActiveSyncs += other.ActiveSyncs
+	if other.OldestSyncAgeNanos > s.OldestSyncAgeNanos {
+		s.OldestSyncAgeNanos = other.OldestSyncAgeNanos
+	}
+	s.Readers += other.Readers
+	s.ReaderHighWater += other.ReaderHighWater
+	s.SyncWait.Merge(other.SyncWait)
+	s.FollowerWait.Merge(other.FollowerWait)
+}
+
 // syncStats is the accounting block embedded in both domain flavors.
 // Everything here is written on the update (Synchronize/Register) path
 // only: the read-side primitives never touch it, keeping ReadLock and
@@ -117,8 +167,54 @@ type syncStats struct {
 	activeStalls atomic.Int64
 	abandoned    atomic.Int64
 
+	// In-flight Synchronize registry, behind the grace-period-age gauge
+	// (Stats.ActiveSyncs / OldestSyncAgeNanos). A short mutex-guarded
+	// map: Synchronize is already a microseconds-scale operation (it
+	// waits out readers), so two uncontended lock acquisitions are
+	// noise, and the read side never touches it.
+	activeMu   sync.Mutex
+	active     map[uint64]time.Time // token → call entry time
+	activeNext uint64
+
 	wait     citrusstat.Histogram
 	follower citrusstat.Histogram
+}
+
+// syncEnter registers one in-flight Synchronize call and returns the
+// token syncExit takes. Every Synchronize entry pairs it with a
+// deferred syncExit, so the registry always reflects exactly the calls
+// currently between entry and return.
+func (s *syncStats) syncEnter(start time.Time) uint64 {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	if s.active == nil {
+		s.active = make(map[uint64]time.Time)
+	}
+	s.activeNext++
+	tok := s.activeNext
+	s.active[tok] = start
+	return tok
+}
+
+// syncExit removes one in-flight call from the registry.
+func (s *syncStats) syncExit(tok uint64) {
+	s.activeMu.Lock()
+	delete(s.active, tok)
+	s.activeMu.Unlock()
+}
+
+// syncAges reports the in-flight gauge pair: how many Synchronize calls
+// are running and the age of the oldest. The linear scan is fine — the
+// map holds one entry per goroutine currently inside Synchronize.
+func (s *syncStats) syncAges(now time.Time) (active int64, oldest time.Duration) {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	for _, start := range s.active {
+		if age := now.Sub(start); age > oldest {
+			oldest = age
+		}
+	}
+	return int64(len(s.active)), oldest
 }
 
 // syncCost accumulates one Synchronize call's waiting effort, split by
@@ -175,21 +271,24 @@ func (s *syncStats) followWait(d time.Duration) { s.follower.Record(d) }
 
 // snapshot builds the exported view.
 func (s *syncStats) snapshot(readers int) Stats {
+	active, oldest := s.syncAges(time.Now())
 	return Stats{
-		Synchronizes:    s.syncs.Load(),
-		SyncSpins:       s.spins.Load(),
-		SyncRechecks:    s.rechecks.Load(),
-		SyncYields:      s.yields.Load(),
-		SyncSleeps:      s.sleeps.Load(),
-		SyncLeads:       s.leads.Load(),
-		SyncShares:      s.shares.Load(),
-		SyncExpedited:   s.expedited.Load(),
-		Stalls:          s.stalls.Load(),
-		ActiveStalls:    s.activeStalls.Load(),
-		SyncAbandoned:   s.abandoned.Load(),
-		Readers:         readers,
-		ReaderHighWater: s.highWater.Load(),
-		SyncWait:        s.wait.Snapshot(),
-		FollowerWait:    s.follower.Snapshot(),
+		ActiveSyncs:        active,
+		OldestSyncAgeNanos: oldest.Nanoseconds(),
+		Synchronizes:       s.syncs.Load(),
+		SyncSpins:          s.spins.Load(),
+		SyncRechecks:       s.rechecks.Load(),
+		SyncYields:         s.yields.Load(),
+		SyncSleeps:         s.sleeps.Load(),
+		SyncLeads:          s.leads.Load(),
+		SyncShares:         s.shares.Load(),
+		SyncExpedited:      s.expedited.Load(),
+		Stalls:             s.stalls.Load(),
+		ActiveStalls:       s.activeStalls.Load(),
+		SyncAbandoned:      s.abandoned.Load(),
+		Readers:            readers,
+		ReaderHighWater:    s.highWater.Load(),
+		SyncWait:           s.wait.Snapshot(),
+		FollowerWait:       s.follower.Snapshot(),
 	}
 }

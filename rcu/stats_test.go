@@ -219,3 +219,125 @@ func TestStatsRace(t *testing.T) {
 	default:
 	}
 }
+
+// TestStatsMerge pins the cross-domain fold semantics: counters and
+// occupancy gauges sum, OldestSyncAgeNanos takes the max, and the wait
+// histograms merge bucket-exactly. citrus.Forest.Stats relies on these
+// rules for its shard fold.
+func TestStatsMerge(t *testing.T) {
+	da, db := NewDomain(), NewDomain()
+	ra, rb := da.Register(), db.Register()
+	defer ra.Unregister()
+	defer rb.Unregister()
+	for i := 0; i < 3; i++ {
+		da.Synchronize()
+	}
+	for i := 0; i < 5; i++ {
+		db.Synchronize()
+	}
+	sa, sb := da.Stats(), db.Stats()
+
+	merged := sa
+	merged.Merge(sb)
+
+	if got, want := merged.Synchronizes, sa.Synchronizes+sb.Synchronizes; got != want {
+		t.Fatalf("merged Synchronizes = %d, want %d", got, want)
+	}
+	if got, want := merged.Readers, sa.Readers+sb.Readers; got != want {
+		t.Fatalf("merged Readers = %d, want %d", got, want)
+	}
+	if got, want := merged.ReaderHighWater, sa.ReaderHighWater+sb.ReaderHighWater; got != want {
+		t.Fatalf("merged ReaderHighWater = %d, want %d", got, want)
+	}
+	if got, want := merged.SyncWait.Total(), sa.SyncWait.Total()+sb.SyncWait.Total(); got != want {
+		t.Fatalf("merged SyncWait.Total = %d, want %d", got, want)
+	}
+	if got, want := merged.SyncWait.Sum(), sa.SyncWait.Sum()+sb.SyncWait.Sum(); got != want {
+		t.Fatalf("merged SyncWait.Sum = %v, want %v", got, want)
+	}
+	for i := range merged.SyncWait.Counts {
+		if merged.SyncWait.Counts[i] != sa.SyncWait.Counts[i]+sb.SyncWait.Counts[i] {
+			t.Fatalf("bucket %d not merged exactly", i)
+		}
+	}
+
+	// Gauge rules: ages take the max, occupancy sums.
+	x := Stats{ActiveSyncs: 2, ActiveStalls: 1, OldestSyncAgeNanos: 100}
+	y := Stats{ActiveSyncs: 3, OldestSyncAgeNanos: 700}
+	x.Merge(y)
+	if x.ActiveSyncs != 5 || x.ActiveStalls != 1 {
+		t.Fatalf("occupancy gauges should sum: %+v", x)
+	}
+	if x.OldestSyncAgeNanos != 700 {
+		t.Fatalf("OldestSyncAgeNanos = %d, want max 700", x.OldestSyncAgeNanos)
+	}
+	y.Merge(x) // max in the other direction is absorbing
+	if y.OldestSyncAgeNanos != 700 {
+		t.Fatalf("OldestSyncAgeNanos = %d, want 700", y.OldestSyncAgeNanos)
+	}
+}
+
+// TestStatsMergeZeroIdentity checks merging a zero Stats changes nothing.
+func TestStatsMergeZeroIdentity(t *testing.T) {
+	d := NewDomain()
+	d.Synchronize()
+	s := d.Stats()
+	merged := s
+	merged.Merge(Stats{})
+	if merged != s {
+		t.Fatalf("merge with zero changed the snapshot:\n got %+v\nwant %+v", merged, s)
+	}
+}
+
+// TestActiveSyncAgeGauge drives a Synchronize that blocks on a parked
+// reader and checks the in-flight gauges see it: ActiveSyncs goes to 1,
+// OldestSyncAgeNanos grows with the block, and both return to zero after
+// the grace period completes.
+func TestActiveSyncAgeGauge(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    interface {
+			Register() Reader
+			Synchronize()
+			Stats() Stats
+		}
+	}{
+		{"Domain", NewDomain()},
+		{"ClassicDomain", NewClassicDomain()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.d.Register()
+			defer r.Unregister()
+			if s := tc.d.Stats(); s.ActiveSyncs != 0 || s.OldestSyncAgeNanos != 0 {
+				t.Fatalf("idle domain reports in-flight syncs: %+v", s)
+			}
+			r.ReadLock()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				tc.d.Synchronize()
+			}()
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				s := tc.d.Stats()
+				if s.ActiveSyncs == 1 && s.OldestSyncAgeNanos > 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("gauge never saw the in-flight Synchronize: %+v", s)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(20 * time.Millisecond)
+			if s := tc.d.Stats(); s.OldestSyncAgeNanos < (10 * time.Millisecond).Nanoseconds() {
+				t.Fatalf("OldestSyncAgeNanos = %v, want to have grown past 10ms",
+					time.Duration(s.OldestSyncAgeNanos))
+			}
+			r.ReadUnlock()
+			<-done
+			if s := tc.d.Stats(); s.ActiveSyncs != 0 || s.OldestSyncAgeNanos != 0 {
+				t.Fatalf("gauges did not return to zero after completion: %+v", s)
+			}
+		})
+	}
+}
