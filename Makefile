@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper bench-forest loadtest stress torture torture-smoke torture-stall torture-forest fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper bench-forest bench-scan loadtest stress torture torture-smoke torture-stall torture-forest torture-scan fuzz vet fmt clean
 
 all: build vet test
 
@@ -16,7 +16,8 @@ all: build vet test
 # ablation, the BENCH_PR6.json procs×shards sweep, an end-to-end
 # kvserver+citrusload load smoke with Prometheus-payload validation,
 # and fixed-seed torture smoke runs (correct build, the stalledreader robustness
-# scenario, and the forest subject with its shard-isolation control).
+# scenario, the forest subject with its shard-isolation control, and the
+# scanstorm/scanhog scan pair with the s1 scan-figure bench smoke).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -31,6 +32,8 @@ ci:
 	$(MAKE) torture-smoke
 	$(MAKE) torture-stall
 	$(MAKE) torture-forest
+	$(MAKE) torture-scan
+	$(MAKE) bench-scan
 
 build:
 	$(GO) build ./...
@@ -115,9 +118,30 @@ torture-forest:
 	$(GO) run ./cmd/citrustorture -impl forest -seed 1 -duration 2s -json citrustorture-forest.json
 	$(GO) run ./cmd/citrustorture -impl forest -flavor stalledreader -seed 1 -duration 4s -json citrustorture-forest-stall.json
 
+# Scan torture (docs/VERIFICATION.md "Scans"). scanstorm is the
+# robustness scenario: half the workers run batched range scans against
+# churn on a watermarked reclaimer, and the run fails if scan-side
+# critical sections starved reclamation past its memory bound (any shed
+# callback) or if no scans completed. scanhog is the matching negative
+# control — an unbatched full-range scan dwelling in its critical
+# section against a tiny hard cap — judged by the SAME discipline rule,
+# so it MUST fail on its fixed seed; the leading `!` inverts it.
+torture-scan:
+	$(GO) run ./cmd/citrustorture -flavor scanstorm -seed 1 -duration 4s -json citrustorture-scan.json
+	$(GO) run ./cmd/citrustorture -impl forest -flavor scanstorm -seed 1 -duration 4s -json citrustorture-scan-forest.json
+	! $(GO) run ./cmd/citrustorture -flavor scanhog -seed 11 -duration 2s -json citrustorture-scanhog.json
+
+# The scan figure behind BENCH_PR8.json: range scans as first-class ops
+# racing structural churn (s1: 30% scans / 70% updates; s2: 90% scans),
+# Citrus vs Bonsai's path-copied snapshots vs the baselines. Effective
+# GOMAXPROCS is recorded per cell — on a 1-CPU box the thread axis
+# measures timesharing, and the report says so.
+bench-scan:
+	$(GO) run ./cmd/citrusbench -figure s -quick -json BENCH_scan_smoke.json -note "scan figure smoke"
+
 # Coverage-guided exploration of the core tree against the map oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzOpsAgainstOracle -fuzztime 60s ./internal/core
 
 clean:
-	rm -f bench_results.csv bench_smoke.json test_output.txt bench_output.txt citrustorture*.json
+	rm -f bench_results.csv bench_smoke.json BENCH_scan_smoke.json test_output.txt bench_output.txt citrustorture*.json

@@ -31,12 +31,38 @@
 //
 // # Consistency of multi-key reads
 //
-// Single-key operations are linearizable. Iteration (Range, Keys, Len) is
-// NOT: the paper shows (§1, Figure 1) that RCU readers traversing several
+// Single-key operations are linearizable. Multi-key reads are NOT: the
+// paper shows (§1, Figure 1) that RCU readers traversing several
 // locations can observe concurrent updates in inconsistent orders, which
 // is exactly why Citrus restricts its wait-free read-side to single-key
-// search. The iteration helpers on Tree are provided for quiescent use —
-// convenient between phases of a workload, in tests, and for debugging.
+// search.
+//
+// Range scans (Handle.RangeScan, Handle.Scan) are therefore offered with
+// an explicitly *weakly consistent* contract, safe to run concurrently
+// with any updates:
+//
+//   - emitted keys ascend strictly — no duplicates, in order;
+//   - every emitted pair was present in the tree at some instant during
+//     the scan;
+//   - a key present (and not relocated by a concurrent two-child delete)
+//     for the scan's whole duration is guaranteed to be emitted.
+//
+// What a scan does NOT promise is a point-in-time snapshot: two keys
+// observed by one scan may never have coexisted. Callers that need
+// snapshot semantics should serialize updates around the scan themselves
+// or use a snapshot-capable structure (the bonsai tree in this module's
+// internal evaluation suite is one).
+//
+// A scan runs inside one RCU read-side critical section, which delays
+// every two-child delete's grace period for its whole duration. For long
+// scans under update load prefer Handle.RangeScanBatched, which drops
+// and re-acquires the read lock every batch, bounding reader dwell time
+// at the cost of a slightly weaker miss guarantee (a key whose node is
+// relocated between batches can be missed once).
+//
+// The quiescent iteration helpers on Tree (Range, Keys, Len) now run the
+// same scan path; they remain documented quiescent-only because their
+// results are only *stable* when the tree is quiet.
 //
 // The lower-level building blocks are exported for reuse: package rcu
 // contains the paper's scalable user-space RCU implementation (§5), which
@@ -130,6 +156,11 @@ type Stats struct {
 	NodesRetired int64 `json:"nodes_retired"` // recycling only: nodes handed to the pool
 	NodesReused  int64 `json:"nodes_reused"`  // recycling only: pooled nodes reused by inserts
 
+	Scans        int64 `json:"scans"`         // RangeScan/Scan calls (batched or not)
+	ScanSections int64 `json:"scan_sections"` // read-side critical sections opened by scans
+	ScanPairs    int64 `json:"scan_pairs"`    // pairs emitted to scan callbacks
+	ScanNodes    int64 `json:"scan_nodes"`    // nodes visited by scans (emitted or not)
+
 	// RCU carries the flavor's grace-period accounting when the flavor
 	// keeps any (rcu.Domain and rcu.ClassicDomain do); nil otherwise.
 	// If the flavor is shared between trees it covers all of them.
@@ -156,6 +187,10 @@ func (t *Tree[K, V]) Stats() Stats {
 		DeleteTimeouts:  s.DeleteTimeouts,
 		NodesRetired:    s.NodesRetired,
 		NodesReused:     s.NodesReused,
+		Scans:           s.Scans,
+		ScanSections:    s.ScanSections,
+		ScanPairs:       s.ScanPairs,
+		ScanNodes:       s.ScanNodes,
 		RCU:             s.RCU,
 	}
 }
@@ -248,6 +283,39 @@ func (h *Handle[K, V]) Delete(key K) bool { return h.inner.Delete(key) }
 // by this call.
 func (h *Handle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error) {
 	return h.inner.DeleteCtx(ctx, key)
+}
+
+// RangeScan calls fn for each pair with lo ≤ key < hi in ascending key
+// order, stopping early when fn returns false. It is weakly consistent
+// (see the package comment): no duplicates, every emitted pair was
+// present at some instant during the scan, and a key present — and not
+// relocated by a concurrent two-child delete — for the scan's whole
+// duration is guaranteed to appear. The whole scan runs inside one RCU
+// read-side critical section; fn must not block indefinitely or call
+// back into the tree.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.inner.RangeScan(lo, hi, fn)
+}
+
+// Scan calls fn for every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent; see RangeScan.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) { h.inner.Scan(fn) }
+
+// RangeScanBatched is RangeScan with bounded reader dwell: the read-side
+// critical section is dropped and re-acquired after every batch pairs
+// emitted, so a long scan never delays a grace period by more than one
+// batch's worth of work. Each batch re-descends from the root by key, so
+// the guarantee weakens slightly versus RangeScan: a key relocated by a
+// two-child delete between batches can be missed once even if logically
+// present throughout. batch < 1 means unbatched (identical to
+// RangeScan).
+func (h *Handle[K, V]) RangeScanBatched(lo, hi K, batch int, fn func(key K, value V) bool) {
+	h.inner.RangeScanBatched(lo, hi, batch, fn)
+}
+
+// ScanBatched is Scan with bounded reader dwell; see RangeScanBatched.
+func (h *Handle[K, V]) ScanBatched(batch int, fn func(key K, value V) bool) {
+	h.inner.ScanBatched(batch, fn)
 }
 
 // Close unregisters the handle from the tree's RCU flavor. Close is

@@ -9,6 +9,7 @@
 //	-figure a1    ablation: grace-period frequency and cost in Citrus
 //	-figure a4    A/B: Citrus with event tracing off vs on (citrustrace)
 //	-figure a5    A/B: grace-period combining on vs off, update-only mix
+//	-figure s     range scans under churn (panels s1 mixed, s2 scan-heavy)
 //	-figure all   everything
 //
 // Panels can also be addressed individually (-figure 10c). The paper runs
@@ -49,7 +50,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("citrusbench", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "comma-separated figures to regenerate: 8, 9, 10, a1..a5, all, or panel ids like 10c")
+		figure   = fs.String("figure", "all", "comma-separated figures to regenerate: 8, 9, 10, s, a1..a5, all, or panel ids like 10c or s1")
 		duration = fs.Duration("duration", 500*time.Millisecond, "measured duration per cell")
 		reps     = fs.Int("reps", 1, "repetitions per cell (arithmetic mean is reported)")
 		threads  = fs.String("threads", "", "comma-separated worker counts (default 1,2,4,8,16,32,64)")
@@ -162,7 +163,7 @@ func run(args []string) error {
 			switch sel {
 			case "all":
 				return true
-			case "8", "9", "10":
+			case "8", "9", "10", "s":
 				if strings.HasPrefix(f.ID, sel) {
 					return true
 				}

@@ -26,6 +26,17 @@
 // and the run additionally asserts — as a positive control — that the
 // stall detector fired and the reclaimer's high watermark tripped,
 // without the tree corrupting (see docs/RCU.md "Robustness").
+//
+// `-flavor scanstorm` is the scan-discipline scenario: half the churn
+// workers run batched range scans (the read-side critical section is
+// dropped every few emissions) against a bounded reclaimer, every scan
+// checked in flight for the weak-consistency contract, and the run
+// fails if the reclaimer's hard cap ever sheds a callback. Its negative
+// control is `-flavor scanhog` (citrus only): unbatched full-range
+// scans with a slow consumer hog the read side against a deliberately
+// tiny hard cap, and the run MUST fail with shed callbacks and stall
+// reports — proving the harness can see a scan workload starving
+// reclamation.
 package main
 
 import (
@@ -59,7 +70,7 @@ func run(args []string, out *os.File) error {
 	var (
 		implName = fs.String("impl", "citrus", "subject: citrus, forest (sharded citrus), a registry name (see -list), or all")
 		list     = fs.Bool("list", false, "list subject names and exit")
-		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, a negative control (nosync, snapearly), or the stalledreader robustness scenario")
+		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, a negative control (nosync, snapearly, scanhog), or a robustness scenario (stalledreader, scanstorm)")
 		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
 		recycle  = fs.Bool("recycle", false, "torture citrus with node recycling (disables poisoning)")
 		seed     = fs.Uint64("seed", 1, "master seed: injection schedule + workloads derive from it")

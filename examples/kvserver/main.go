@@ -12,6 +12,9 @@
 //	SET <key> <value>   → OK | EXISTS
 //	GET <key>           → VALUE <value> | NOT_FOUND
 //	DEL <key>           → OK | NOT_FOUND
+//	SCAN <lo> <hi> <n>  → KEY <key> <value> per pair with lo ≤ key < hi,
+//	                      ascending, at most n (capped at 1000), then
+//	                      END <count>; weakly consistent (see below)
 //	LEN                 → LEN <n>        (quiescent use only)
 //	QUIT                → BYE
 //
@@ -27,6 +30,14 @@
 //	/kv/{key}      → GET / PUT / DELETE the key over HTTP, with
 //	                 per-request deadlines (-optimeout); writes are shed
 //	                 with 503 + Retry-After while the server is degraded
+//	/kv?from=&to=&limit=
+//	               → GET range scan over [from, to): a JSON document of
+//	                 pairs in ascending key order, at most limit
+//	                 (default 100, capped at 1000, "truncated" flags the
+//	                 cut). The scan is weakly consistent — keys present
+//	                 throughout appear exactly once, in order; keys
+//	                 updated concurrently may or may not appear — and,
+//	                 like every read, it serves while degraded
 //	/healthz       → 200 while healthy, 503 with a JSON reason list
 //	                 while degraded (stalled grace period, reclaimer
 //	                 backlog at its watermark)
@@ -74,6 +85,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -101,6 +113,15 @@ type kvConfig struct {
 	recCap       int           // reclaimer hard cap (backpressure, then shed), per shard
 	drainTimeout time.Duration // how long shutdown waits for open connections
 }
+
+// maxScanResults caps every scan's result count, whatever the client
+// asked for. Scans traverse inside RCU read-side critical sections
+// (one per shard for the forest) and buffer their results before a
+// byte goes to the client, so the cap bounds both the read-side dwell
+// — long critical sections delay grace periods and back up the
+// reclaimer — and the per-request memory. Clients page with the last
+// key returned.
+const maxScanResults = 1000
 
 func defaultKVConfig() kvConfig {
 	return kvConfig{
@@ -364,6 +385,7 @@ func (s *server) statsMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/kv/", s.serveKV)
+	mux.HandleFunc("/kv", s.serveScan) // exact match: the query-driven range scan
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.metrics())
 	})
@@ -482,6 +504,77 @@ func (s *server) serveKV(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// serveScan is the HTTP face of the range scan: GET /kv?from=&to=&limit=
+// answers a JSON document of pairs with from ≤ key < to in ascending key
+// order, at most limit of them (default 100, capped at maxScanResults;
+// "truncated" reports whether the cap cut the scan short). Bounds
+// default to the whole key space. Like every read it serves while the
+// server is degraded, and it records its latency under the dedicated
+// (http, scan) series so wide scans don't skew the point-GET histogram.
+func (s *server) serveScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	bound := func(name string, def int64) (int64, error) {
+		if v := q.Get(name); v != "" {
+			return strconv.ParseInt(v, 10, 64)
+		}
+		return def, nil
+	}
+	from, err := bound("from", math.MinInt64)
+	if err != nil {
+		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := bound("to", math.MaxInt64)
+	if err != nil {
+		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			http.Error(w, "bad limit: must be a positive integer", http.StatusBadRequest)
+			return
+		}
+	}
+	if limit > maxScanResults {
+		limit = maxScanResults
+	}
+
+	h := s.store.NewHandle()
+	defer h.Close()
+	s.ops.Add(1)
+	defer s.lat.record("http", "SCAN", time.Now())
+
+	type pair struct {
+		Key   int64  `json:"key"`
+		Value string `json:"value"`
+	}
+	pairs := []pair{} // non-nil: an empty scan answers "pairs": []
+	truncated := false
+	h.RangeScan(from, to, func(k int64, v string) bool {
+		if len(pairs) == limit {
+			truncated = true
+			return false
+		}
+		pairs = append(pairs, pair{k, v})
+		return true
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{ //nolint:errcheck // best-effort over HTTP
+		"count":       len(pairs),
+		"truncated":   truncated,
+		"consistency": "weakly_consistent",
+		"pairs":       pairs,
+	})
 }
 
 // serveTrace dumps the flight recorder: the native JSON form by
@@ -608,6 +701,33 @@ func (s *server) execVerb(h storeHandle, verb string, fields []string) (reply st
 			return "OK", false
 		}
 		return "NOT_FOUND", false
+	case "SCAN":
+		// A read: never shed, like GET. The reply is multi-line — one KEY
+		// line per pair, then END <count> — buffered fully before the
+		// connection writer flushes it, so the read-side critical section
+		// never waits on the network.
+		usage := "ERR usage: SCAN <lo> <hi> <n>"
+		if len(fields) != 4 {
+			return usage, false
+		}
+		lo, err1 := strconv.ParseInt(fields[1], 10, 64)
+		hi, err2 := strconv.ParseInt(fields[2], 10, 64)
+		n, err3 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil || n <= 0 {
+			return usage, false
+		}
+		if n > maxScanResults {
+			n = maxScanResults
+		}
+		var b strings.Builder
+		count := 0
+		h.RangeScan(lo, hi, func(k int64, v string) bool {
+			fmt.Fprintf(&b, "KEY %d %s\n", k, v)
+			count++
+			return count < n
+		})
+		fmt.Fprintf(&b, "END %d", count)
+		return b.String(), false
 	case "LEN":
 		return fmt.Sprintf("LEN %d", s.store.Len()), false
 	case "QUIT":
@@ -674,6 +794,35 @@ func client(addr string, c, n int) error {
 		if err := roundTrip(fmt.Sprintf("GET %d", k), fmt.Sprintf("VALUE v%d", k)); err != nil {
 			return err
 		}
+	}
+	// SCAN this client's own window: every key it set is still present
+	// and no other client writes there, so the weakly consistent scan
+	// must return exactly its n keys, ascending.
+	if _, err := fmt.Fprintf(conn, "SCAN %d %d %d\n", base, base+n, n); err != nil {
+		return err
+	}
+	prev := int64(base) - 1
+	for seen := 0; ; seen++ {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "END ") {
+			if line != fmt.Sprintf("END %d", n) || seen != n {
+				return fmt.Errorf("SCAN: %d KEY lines then %q, want %d", seen, line, n)
+			}
+			break
+		}
+		var k int64
+		var v string
+		if _, err := fmt.Sscanf(line, "KEY %d %s", &k, &v); err != nil {
+			return fmt.Errorf("SCAN: unexpected reply line %q", line)
+		}
+		if k <= prev || v != fmt.Sprintf("v%d", k) {
+			return fmt.Errorf("SCAN: pair (%d, %s) after key %d", k, v, prev)
+		}
+		prev = k
 	}
 	for k := base; k < base+n; k++ {
 		if k%2 == 0 {

@@ -37,6 +37,10 @@ func TestExecProtocol(t *testing.T) {
 		{"SET x y", "ERR usage: SET <key> <value>"},
 		{"GET notanumber", "ERR usage: GET <key>"},
 		{"DEL", "ERR usage: DEL <key>"},
+		{"SCAN", "ERR usage: SCAN <lo> <hi> <n>"},
+		{"SCAN 1 2", "ERR usage: SCAN <lo> <hi> <n>"},
+		{"SCAN 1 2 x", "ERR usage: SCAN <lo> <hi> <n>"},
+		{"SCAN 1 2 0", "ERR usage: SCAN <lo> <hi> <n>"},
 		{"BOGUS 1", "ERR unknown command BOGUS"},
 	}
 	for _, st := range steps {
@@ -282,6 +286,15 @@ func TestGracefulDegradation(t *testing.T) {
 	if got, _ := s.exec(h, "GET 1"); got != "VALUE one" {
 		t.Fatalf("degraded GET = %q, want VALUE one", got)
 	}
+	// Scans are reads too: both faces keep serving them while degraded.
+	if got, _ := s.exec(h, "SCAN 0 10 10"); !strings.HasSuffix(got, "END 2") {
+		t.Fatalf("degraded SCAN = %q, want …END 2", got)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/kv?from=0&to=10", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"count": 2`) {
+		t.Fatalf("degraded GET /kv scan: status %d body %s", rec.Code, rec.Body.String())
+	}
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("PUT", "/kv/8", strings.NewReader("eight")))
 	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
@@ -521,6 +534,129 @@ func TestShardedDegradationAggregates(t *testing.T) {
 	}
 	if got, _ := s.exec(h, "SET 7 seven"); got != "OK" {
 		t.Fatalf("SET after recovery = %q, want OK", got)
+	}
+}
+
+// TestScanTCP pins the SCAN verb's reply shape: KEY lines in ascending
+// order over the half-open window, the n cap, the empty window, and the
+// (tcp, scan) latency series.
+func TestScanTCP(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	for _, k := range []int{7, 1, 5, 3, 10} {
+		if got, _ := s.exec(h, fmt.Sprintf("SET %d v%d", k, k)); got != "OK" {
+			t.Fatalf("SET %d = %q", k, got)
+		}
+	}
+	if got, _ := s.exec(h, "SCAN 0 10 100"); got != "KEY 1 v1\nKEY 3 v3\nKEY 5 v5\nKEY 7 v7\nEND 4" {
+		t.Fatalf("SCAN 0 10 100 = %q", got)
+	}
+	if got, _ := s.exec(h, "SCAN 0 11 2"); got != "KEY 1 v1\nKEY 3 v3\nEND 2" {
+		t.Fatalf("capped SCAN = %q", got)
+	}
+	if got, _ := s.exec(h, "SCAN 100 200 5"); got != "END 0" {
+		t.Fatalf("empty SCAN = %q", got)
+	}
+	if _, ok := s.lat.summaries()["tcp_scan"]; !ok {
+		t.Fatal("SCAN traffic left no tcp_scan latency series")
+	}
+}
+
+// TestScanHTTP covers GET /kv?from=&to=&limit=: the JSON document shape,
+// ascending order, defaults, the truncation flag, parameter validation,
+// the method gate, and the (http, scan) latency series.
+func TestScanHTTP(t *testing.T) {
+	s, h := newTestServer()
+	defer h.Close()
+	for _, k := range []int{7, 1, 5, 3, 10} {
+		s.exec(h, fmt.Sprintf("SET %d v%d", k, k))
+	}
+	mux := s.statsMux()
+	type scanDoc struct {
+		Count       int    `json:"count"`
+		Truncated   bool   `json:"truncated"`
+		Consistency string `json:"consistency"`
+		Pairs       []struct {
+			Key   int64  `json:"key"`
+			Value string `json:"value"`
+		} `json:"pairs"`
+	}
+	scan := func(query string) scanDoc {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/kv"+query, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /kv%s: status %d\n%s", query, rec.Code, rec.Body)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+			t.Fatalf("GET /kv%s: Content-Type %q", query, ct)
+		}
+		var doc scanDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("GET /kv%s: bad JSON: %v", query, err)
+		}
+		return doc
+	}
+
+	doc := scan("?from=1&to=10")
+	if doc.Count != 4 || doc.Truncated || doc.Consistency != "weakly_consistent" || len(doc.Pairs) != 4 {
+		t.Fatalf("scan [1,10): %+v", doc)
+	}
+	for i, want := range []int64{1, 3, 5, 7} {
+		if doc.Pairs[i].Key != want || doc.Pairs[i].Value != fmt.Sprintf("v%d", want) {
+			t.Fatalf("scan [1,10) pair %d = %+v, want key %d", i, doc.Pairs[i], want)
+		}
+	}
+	if doc = scan(""); doc.Count != 5 || doc.Truncated {
+		t.Fatalf("unbounded scan: %+v", doc)
+	}
+	if doc = scan("?limit=2"); doc.Count != 2 || !doc.Truncated || doc.Pairs[1].Key != 3 {
+		t.Fatalf("truncated scan: %+v", doc)
+	}
+	if doc = scan("?from=100&to=200"); doc.Count != 0 || doc.Pairs == nil || len(doc.Pairs) != 0 {
+		t.Fatalf("empty scan: %+v", doc)
+	}
+
+	for _, q := range []string{"?from=x", "?to=x", "?limit=x", "?limit=0", "?limit=-1"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/kv"+q, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET /kv%s: status %d, want 400", q, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/kv?from=0", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /kv: status %d, want 405", rec.Code)
+	}
+	if _, ok := s.lat.summaries()["http_scan"]; !ok {
+		t.Fatal("scan traffic left no http_scan latency series")
+	}
+}
+
+// TestScanSharded pins the forest backend's global order: keys hashed
+// across 4 shards come back as one ascending stream on both faces.
+func TestScanSharded(t *testing.T) {
+	cfg := defaultKVConfig()
+	cfg.shards = 4
+	s := newServer(cfg)
+	h := s.store.NewHandle()
+	defer h.Close()
+	const n = 32
+	for k := 0; k < n; k++ {
+		if got, _ := s.exec(h, fmt.Sprintf("SET %d v%d", k, k)); got != "OK" {
+			t.Fatalf("SET %d = %q", k, got)
+		}
+	}
+	got, _ := s.exec(h, fmt.Sprintf("SCAN 0 %d %d", n, n))
+	lines := strings.Split(got, "\n")
+	if len(lines) != n+1 || lines[n] != fmt.Sprintf("END %d", n) {
+		t.Fatalf("sharded SCAN: %d lines, last %q", len(lines), lines[len(lines)-1])
+	}
+	for k := 0; k < n; k++ {
+		if want := fmt.Sprintf("KEY %d v%d", k, k); lines[k] != want {
+			t.Fatalf("sharded SCAN line %d = %q, want %q", k, lines[k], want)
+		}
 	}
 }
 

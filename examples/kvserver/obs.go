@@ -17,8 +17,9 @@ import (
 // percentile summaries) and /metrics.prom (as full cumulative
 // Prometheus histograms).
 type reqLatencies struct {
-	tcpSet, tcpGet, tcpDel, tcpLen          citrusstat.Histogram
+	tcpSet, tcpGet, tcpDel, tcpLen, tcpScan citrusstat.Histogram
 	httpGet, httpPut, httpDelete, httpOther citrusstat.Histogram
+	httpScan                                citrusstat.Histogram
 }
 
 // hist maps (face, op) to its histogram, nil for untracked pairs.
@@ -34,9 +35,15 @@ func (l *reqLatencies) hist(face, op string) *citrusstat.Histogram {
 			return &l.tcpDel
 		case "LEN":
 			return &l.tcpLen
+		case "SCAN":
+			return &l.tcpScan
 		}
 	case "http":
 		switch op {
+		// The range-scan endpoint records under the explicit "SCAN" op so
+		// wide scans don't skew the point-GET distribution.
+		case "SCAN":
+			return &l.httpScan
 		case http.MethodGet:
 			return &l.httpGet
 		case http.MethodPut, http.MethodPost:
@@ -71,9 +78,11 @@ func (l *reqLatencies) series() []struct {
 		{"tcp", "get", &l.tcpGet},
 		{"tcp", "del", &l.tcpDel},
 		{"tcp", "len", &l.tcpLen},
+		{"tcp", "scan", &l.tcpScan},
 		{"http", "get", &l.httpGet},
 		{"http", "put", &l.httpPut},
 		{"http", "delete", &l.httpDelete},
+		{"http", "scan", &l.httpScan},
 		{"http", "other", &l.httpOther},
 	}
 }
@@ -151,6 +160,10 @@ func (s *server) servePromMetrics(w http.ResponseWriter, r *http.Request) {
 		e.Counter("citrus_tree_delete_timeouts_total", "Bounded deletes whose grace-period wait expired.", float64(t.DeleteTimeouts), shard)
 		e.Counter("citrus_tree_nodes_retired_total", "Nodes retired to the reclaimer.", float64(t.NodesRetired), shard)
 		e.Counter("citrus_tree_nodes_reused_total", "Retired nodes recycled into new inserts.", float64(t.NodesReused), shard)
+		e.Counter("citrus_tree_scans_total", "Range/full scans started.", float64(t.Scans), shard)
+		e.Counter("citrus_tree_scan_sections_total", "Read-side critical sections opened by scans (> scans when batched scans re-descend).", float64(t.ScanSections), shard)
+		e.Counter("citrus_tree_scan_pairs_total", "Pairs emitted to scan callbacks.", float64(t.ScanPairs), shard)
+		e.Counter("citrus_tree_scan_nodes_total", "Nodes visited by scans, emitted or not.", float64(t.ScanNodes), shard)
 
 		if t.RCU != nil {
 			rs := *t.RCU

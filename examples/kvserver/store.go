@@ -66,11 +66,16 @@ type shardObs struct {
 
 // storeHandle is the per-connection view of the store: the subset of
 // citrus.Handle / citrus.ForestHandle the protocol uses. Both satisfy
-// it directly.
+// it directly. RangeScan is the weakly consistent in-order scan over
+// [lo, hi) — every key present for the whole scan appears exactly once,
+// in ascending order, but keys updated concurrently may or may not be
+// seen (the RCU read-side contract; the forest merges its shards into
+// one ascending stream).
 type storeHandle interface {
 	Get(key int64) (string, bool)
 	Insert(key int64, value string) bool
 	DeleteCtx(ctx context.Context, key int64) (bool, error)
+	RangeScan(lo, hi int64, fn func(key int64, value string) bool)
 	Close()
 }
 

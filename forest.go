@@ -242,16 +242,13 @@ func (f *Forest[K, V]) Len() int {
 	return n
 }
 
-// Keys returns all keys in ascending order (sorted per shard, merged).
-// Quiescent use only.
+// Keys returns all keys in ascending global order; a full-range scan
+// through the handle scan path. Quiescent use only.
 func (f *Forest[K, V]) Keys() []K {
+	h := f.NewHandle()
+	defer h.Close()
 	var ks []K
-	for i := range f.shards {
-		ks = append(ks, f.shards[i].tree.Keys()...)
-	}
-	// Per-shard slices are sorted; a k-way merge would do, but quiescent
-	// helpers optimize for clarity: re-sort the concatenation.
-	slices.Sort(ks)
+	h.Scan(func(k K, _ V) bool { ks = append(ks, k); return true })
 	return ks
 }
 
@@ -343,6 +340,10 @@ func (f *Forest[K, V]) Stats() ForestStats {
 			DeleteTimeouts:  s.DeleteTimeouts,
 			NodesRetired:    s.NodesRetired,
 			NodesReused:     s.NodesReused,
+			Scans:           s.Scans,
+			ScanSections:    s.ScanSections,
+			ScanPairs:       s.ScanPairs,
+			ScanNodes:       s.ScanNodes,
 			RCU:             s.RCU,
 		}
 		fs.Shards[i] = sh
@@ -359,6 +360,10 @@ func (f *Forest[K, V]) Stats() ForestStats {
 		fs.Total.DeleteTimeouts += sh.DeleteTimeouts
 		fs.Total.NodesRetired += sh.NodesRetired
 		fs.Total.NodesReused += sh.NodesReused
+		fs.Total.Scans += sh.Scans
+		fs.Total.ScanSections += sh.ScanSections
+		fs.Total.ScanPairs += sh.ScanPairs
+		fs.Total.ScanNodes += sh.ScanNodes
 		if sh.RCU != nil {
 			// rcu.Stats.Merge is the canonical cross-domain fold:
 			// counters and occupancy gauges sum, OldestSyncAgeNanos
@@ -407,6 +412,62 @@ func (h *ForestHandle[K, V]) Delete(key K) bool {
 // is the owning shard's only.
 func (h *ForestHandle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error) {
 	return h.hs[h.f.shardFor(key)].DeleteCtx(ctx, key)
+}
+
+// RangeScan calls fn for each pair with lo ≤ key < hi in ascending
+// GLOBAL key order, stopping early when fn returns false. Shards are
+// hash-partitioned, so no global order exists in the structure; the
+// scan collects each shard's in-range pairs (each shard scanned inside
+// its own read-side critical section, weakly consistent like
+// Handle.RangeScan), sorts the union, and emits — O(result) memory and
+// the sort's O(r log r) time. Cross-shard consistency is exactly the
+// forest's usual none: each shard's slice reflects a different instant.
+func (h *ForestHandle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.scan(&lo, &hi, fn)
+}
+
+// Scan calls fn for every pair in ascending global key order, stopping
+// early when fn returns false. Collects every shard's pairs before
+// emitting — O(n) memory; see RangeScan.
+func (h *ForestHandle[K, V]) Scan(fn func(key K, value V) bool) {
+	h.scan(nil, nil, fn)
+}
+
+func (h *ForestHandle[K, V]) scan(lo, hi *K, fn func(K, V) bool) {
+	type pair struct {
+		key   K
+		value V
+	}
+	var pairs []pair
+	collect := func(k K, v V) bool { pairs = append(pairs, pair{k, v}); return true }
+	for _, sh := range h.hs {
+		switch {
+		case lo != nil && hi != nil:
+			sh.RangeScan(*lo, *hi, collect)
+		case lo == nil && hi == nil:
+			sh.Scan(collect)
+		default:
+			// Mixed-bound scans (used by nothing today) fall back to a
+			// full shard scan with a bound filter.
+			sh.Scan(func(k K, v V) bool {
+				if lo != nil && cmp.Less(k, *lo) {
+					return true
+				}
+				if hi != nil && !cmp.Less(k, *hi) {
+					return true
+				}
+				return collect(k, v)
+			})
+		}
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return cmp.Compare(a.key, b.key) })
+	// Hash partitioning routes each key to exactly one shard, so the
+	// merged slice has no duplicates to filter.
+	for i := range pairs {
+		if !fn(pairs[i].key, pairs[i].value) {
+			return
+		}
+	}
 }
 
 // Close unregisters the handle from every shard. Idempotent; operations

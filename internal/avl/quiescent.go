@@ -16,7 +16,8 @@ func (t *Tree[K, V]) Len() int {
 	return n
 }
 
-// Keys returns all keys in ascending order. Quiescent use only.
+// Keys returns all keys in ascending order; a full-range scan.
+// Quiescent use only.
 func (t *Tree[K, V]) Keys() []K {
 	var ks []K
 	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
@@ -24,24 +25,12 @@ func (t *Tree[K, V]) Keys() []K {
 }
 
 // Range calls fn on every present pair in ascending key order until fn
-// returns false. Quiescent use only.
+// returns false. Quiescent use only; runs the concurrent scan engine
+// (scan.go) so quiescent and live reads share one traversal path.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == nil {
-			return true
-		}
-		if !walk(n.child[dirLeft].Load()) {
-			return false
-		}
-		if vp := n.value.Load(); vp != nil {
-			if !fn(n.key, *vp) {
-				return false
-			}
-		}
-		return walk(n.child[dirRight].Load())
-	}
-	walk(t.rootHolder.child[dirRight].Load())
+	h := t.NewHandle()
+	defer h.Close()
+	h.Scan(fn)
 }
 
 // CheckInvariants verifies, for a quiescent tree: BST order (over all

@@ -1,0 +1,146 @@
+package avl
+
+import "cmp"
+
+// Range scans — iterated optimistic ceiling searches.
+//
+// The tree has no stable iteration order under concurrent rotations, so
+// a scan advances a cursor: each step is an independent ceiling search
+// (smallest key strictly above the cursor) that follows exactly the
+// hand-over-hand OVL validation protocol of Contains — a search that
+// slept through a shrink detects the version change and retries from a
+// validated ancestor. Routing nodes (value == nil, the partially
+// external design's logically deleted keys) are skipped by advancing
+// the cursor past them.
+//
+// Weak consistency: every emitted pair was present at the instant its
+// ceiling search linearized, emissions ascend strictly, and a key
+// present for the scan's whole duration cannot be missed — unlike
+// Citrus, this tree never relocates a key (two-child deletes leave a
+// routing node in place), so a persistent key is found the moment the
+// cursor passes below it. Cost: O(log n) per emitted pair.
+
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key
+// order, stopping early when fn returns false. Weakly consistent.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	bound, strict := &lo, false
+	for {
+		k, vp, ok := h.t.ceiling(bound, strict)
+		if !ok || cmp.Compare(k, hi) >= 0 {
+			return
+		}
+		if vp != nil { // routing nodes hold no value: advance past them
+			if !fn(k, *vp) {
+				return
+			}
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	var bound *K
+	strict := false
+	for {
+		k, vp, ok := h.t.ceiling(bound, strict)
+		if !ok {
+			return
+		}
+		if vp != nil {
+			if !fn(k, *vp) {
+				return
+			}
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// ceiling returns the node pair with the smallest key at (or, when
+// strict, strictly above) bound; nil bound means the tree's minimum.
+// The returned value pointer is nil for a routing node. Retries from
+// the root whenever the epoch validation protocol demands it.
+func (t *Tree[K, V]) ceiling(bound *K, strict bool) (K, *V, bool) {
+	var zero K
+	for {
+		right := t.rootHolder.child[dirRight].Load()
+		if right == nil {
+			return zero, nil, false
+		}
+		ovl := right.version.Load()
+		if ovl&ovlBusyMask != 0 {
+			right.waitUntilShrinkCompleted(ovl)
+			continue
+		}
+		if t.rootHolder.child[dirRight].Load() != right {
+			continue
+		}
+		k, vp, found, st := t.attemptCeiling(bound, strict, right, ovl)
+		if st == statusDone {
+			return k, vp, found
+		}
+	}
+}
+
+// attemptCeiling searches the subtree rooted at n for the smallest
+// qualifying key while n's version stays nodeOVL, mirroring
+// attemptGet's validation discipline; statusRetry sends the caller back
+// up to a validated ancestor.
+func (t *Tree[K, V]) attemptCeiling(bound *K, strict bool, n *node[K, V], nodeOVL uint64) (K, *V, bool, status) {
+	var zero K
+	for {
+		qualifies := true
+		if bound != nil {
+			c := cmp.Compare(*bound, n.key)
+			qualifies = c < 0 || (c == 0 && !strict)
+		}
+		dir := dirRight
+		if qualifies {
+			dir = dirLeft // a smaller qualifying key may exist on the left
+		}
+		child := n.child[dir].Load()
+		if child == nil {
+			if n.version.Load() != nodeOVL {
+				return zero, nil, false, statusRetry
+			}
+			if qualifies {
+				return n.key, n.value.Load(), true, statusDone
+			}
+			return zero, nil, false, statusDone
+		}
+		childOVL := child.version.Load()
+		if childOVL&ovlBusyMask != 0 {
+			child.waitUntilShrinkCompleted(childOVL)
+			if n.version.Load() != nodeOVL {
+				return zero, nil, false, statusRetry
+			}
+			continue // re-read the child link
+		}
+		if child != n.child[dir].Load() {
+			if n.version.Load() != nodeOVL {
+				return zero, nil, false, statusRetry
+			}
+			continue
+		}
+		if n.version.Load() != nodeOVL {
+			return zero, nil, false, statusRetry
+		}
+		k, vp, found, st := t.attemptCeiling(bound, strict, child, childOVL)
+		if st == statusDone {
+			if found {
+				return k, vp, true, statusDone
+			}
+			if qualifies {
+				// Nothing smaller below: n itself is the ceiling.
+				return n.key, n.value.Load(), true, statusDone
+			}
+			return zero, nil, false, statusDone
+		}
+		if n.version.Load() != nodeOVL {
+			return zero, nil, false, statusRetry
+		}
+	}
+}

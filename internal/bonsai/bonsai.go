@@ -247,24 +247,82 @@ func balanceR[K cmp.Ordered, V any](key K, value V, l, r *node[K, V]) *node[K, V
 		mk(r.key, r.value, rl.right, r.right))
 }
 
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order,
+// stopping early when fn returns false. The whole traversal runs over
+// one root capture inside a read-side critical section, so — unlike
+// Citrus — a Bonsai scan is snapshot-consistent: it observes exactly the
+// dictionary state at the instant the root was loaded.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.r.ReadLock()
+	rangeWalk(h.t.root.Load(), &lo, &hi, fn)
+	h.r.ReadUnlock()
+}
+
+// Scan calls fn on every pair of one root capture in ascending key
+// order, stopping early when fn returns false. Snapshot-consistent.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	h.r.ReadLock()
+	rangeWalk(h.t.root.Load(), nil, nil, fn)
+	h.r.ReadUnlock()
+}
+
+// Snap is an immutable point-in-time view of the tree: the root captured
+// by Handle.Snap. Nodes are never modified after publication, so the
+// view stays valid indefinitely — in Go the garbage collector keeps the
+// captured version alive (the C original would pin it with the RCU read
+// lock instead, which is why captures happen inside a critical section).
+type Snap[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+}
+
+// Snap captures the current root as an immutable snapshot.
+func (h *Handle[K, V]) Snap() Snap[K, V] {
+	h.r.ReadLock()
+	root := h.t.root.Load()
+	h.r.ReadUnlock()
+	return Snap[K, V]{root: root}
+}
+
+// Len reports the snapshot's key count.
+func (s Snap[K, V]) Len() int { return size(s.root) }
+
+// Range calls fn on the snapshot's pairs with lo ≤ key < hi in ascending
+// key order, stopping early when fn returns false.
+func (s Snap[K, V]) Range(lo, hi K, fn func(key K, value V) bool) {
+	rangeWalk(s.root, &lo, &hi, fn)
+}
+
+// All calls fn on every snapshot pair in ascending key order, stopping
+// early when fn returns false.
+func (s Snap[K, V]) All(fn func(key K, value V) bool) {
+	rangeWalk(s.root, nil, nil, fn)
+}
+
+// rangeWalk is the bounded in-order traversal shared by scans and
+// snapshots: nil bounds are unbounded, lo inclusive, hi exclusive. It
+// reports whether the walk ran to completion (fn never returned false).
+func rangeWalk[K cmp.Ordered, V any](n *node[K, V], lo, hi *K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if lo != nil && cmp.Compare(n.key, *lo) < 0 {
+		return rangeWalk(n.right, lo, hi, fn)
+	}
+	if hi != nil && cmp.Compare(n.key, *hi) >= 0 {
+		return rangeWalk(n.left, lo, hi, fn)
+	}
+	return rangeWalk(n.left, lo, hi, fn) && fn(n.key, n.value) && rangeWalk(n.right, lo, hi, fn)
+}
+
 // Len reports the number of keys. Safe at any time (snapshot).
 func (t *Tree[K, V]) Len() int { return size(t.root.Load()) }
 
 // Keys returns all keys in ascending order, from a single snapshot. Safe
-// at any time.
+// at any time; implemented as a full-range scan of the snapshot.
 func (t *Tree[K, V]) Keys() []K {
 	root := t.root.Load()
 	ks := make([]K, 0, size(root))
-	var walk func(n *node[K, V])
-	walk = func(n *node[K, V]) {
-		if n == nil {
-			return
-		}
-		walk(n.left)
-		ks = append(ks, n.key)
-		walk(n.right)
-	}
-	walk(root)
+	rangeWalk(root, nil, nil, func(k K, _ V) bool { ks = append(ks, k); return true })
 	return ks
 }
 
@@ -273,14 +331,7 @@ func (t *Tree[K, V]) Keys() []K {
 // iteration for free — the paper's Figure 1 anomaly cannot happen on an
 // immutable snapshot.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == nil {
-			return true
-		}
-		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
-	}
-	walk(t.root.Load())
+	rangeWalk(t.root.Load(), nil, nil, fn)
 }
 
 // CheckInvariants verifies BST order, size caching, and the weight-balance

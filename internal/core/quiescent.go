@@ -20,24 +20,14 @@ func (t *Tree[K, V]) Len() int {
 }
 
 // Range calls fn on every key/value pair in ascending key order until fn
-// returns false. Quiescent use only.
+// returns false. It runs the concurrent scan engine (scan.go) through a
+// temporary handle — one traversal path for quiescent and live reads —
+// but remains documented quiescent-only: under concurrent updates it
+// inherits the engine's weak consistency, not a snapshot.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == nil {
-			return true
-		}
-		if !walk(n.child[left].Load()) {
-			return false
-		}
-		if n.kind == kindNormal {
-			if !fn(n.key, n.value) {
-				return false
-			}
-		}
-		return walk(n.child[right].Load())
-	}
-	walk(t.root)
+	h := t.NewHandle()
+	defer h.Close()
+	h.Scan(fn)
 }
 
 // Keys returns all keys in ascending order. Quiescent use only.

@@ -24,6 +24,7 @@ import (
 type ownerCounter struct{ v atomic.Int64 }
 
 func (c *ownerCounter) inc()        { c.v.Store(c.v.Load() + 1) }
+func (c *ownerCounter) add(n int64) { c.v.Store(c.v.Load() + n) }
 func (c *ownerCounter) load() int64 { return c.v.Load() }
 
 // opCounters is one handle's stripe of the tree's operation counters.
@@ -37,6 +38,10 @@ type opCounters struct {
 	deleteRetries   ownerCounter
 	twoChildDeletes ownerCounter
 	deleteTimeouts  ownerCounter
+	scans           ownerCounter
+	scanSections    ownerCounter
+	scanPairs       ownerCounter
+	scanNodes       ownerCounter
 }
 
 // opTotals is a plain (non-atomic) sum of opCounters stripes; the
@@ -45,6 +50,7 @@ type opTotals struct {
 	contains, inserts, insertExisting, insertRetries      int64
 	deletes, deleteMisses, deleteRetries, twoChildDeletes int64
 	deleteTimeouts                                        int64
+	scans, scanSections, scanPairs, scanNodes             int64
 }
 
 func (t *opTotals) accumulate(c *opCounters) {
@@ -57,6 +63,10 @@ func (t *opTotals) accumulate(c *opCounters) {
 	t.deleteRetries += c.deleteRetries.load()
 	t.twoChildDeletes += c.twoChildDeletes.load()
 	t.deleteTimeouts += c.deleteTimeouts.load()
+	t.scans += c.scans.load()
+	t.scanSections += c.scanSections.load()
+	t.scanPairs += c.scanPairs.load()
+	t.scanNodes += c.scanNodes.load()
 }
 
 // Stats is a point-in-time snapshot of a Tree's operation counters. All
@@ -79,6 +89,11 @@ type Stats struct {
 	DeleteRetries   int64 // delete validation failures (retried)
 	TwoChildDeletes int64 // deletes that relocated a successor (inline grace periods)
 	DeleteTimeouts  int64 // DeleteCtx calls whose grace-period wait hit the deadline
+
+	Scans        int64 // RangeScan/Scan calls (batched variants count once)
+	ScanSections int64 // read-side critical sections entered by scans
+	ScanPairs    int64 // key/value pairs emitted by scans
+	ScanNodes    int64 // tree nodes visited by scans
 
 	NodesRetired int64 // nodes handed to the recycling pool (0 without recycling)
 	NodesReused  int64 // pooled nodes reused by inserts (0 without recycling)
@@ -111,6 +126,10 @@ func (t *Tree[K, V]) Stats() Stats {
 		DeleteRetries:   tot.deleteRetries,
 		TwoChildDeletes: tot.twoChildDeletes,
 		DeleteTimeouts:  tot.deleteTimeouts,
+		Scans:           tot.scans,
+		ScanSections:    tot.scanSections,
+		ScanPairs:       tot.scanPairs,
+		ScanNodes:       tot.scanNodes,
 	}
 	if t.recycle != nil {
 		s.NodesRetired = t.recycle.retired.Load()

@@ -8,6 +8,12 @@
 //	delete(k)     — removes k; true iff k was present
 //	contains(k)   — returns (v, true) if present, else (zero, false)
 //
+// Beyond the paper, the API carries the range operations real KV traffic
+// needs: RangeScan/Scan (in-order, early-stoppable iteration) and
+// Snapshot (a point-in-time view where the implementation can provide
+// one, a typed weakly consistent downgrade where it cannot). See the
+// Consistency type for exactly what each class promises.
+//
 // Several implementations (Citrus, the relativistic red-black tree) need a
 // per-goroutine reader registration for RCU, so the API hands out
 // per-goroutine Handles rather than exposing methods on the shared object.
@@ -30,9 +36,154 @@ type Handle[K cmp.Ordered, V any] interface {
 	// Delete removes key; it returns false if key is absent.
 	Delete(key K) bool
 
+	// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key
+	// order, stopping early when fn returns false. The bound is half-open:
+	// lo is included, hi is excluded. Keys are visited at most once per
+	// scan. Consistency is the implementation's scan class (see
+	// Consistency): weakly consistent scans promise only that every
+	// emitted pair was present at some instant during the scan and that
+	// keys present for the scan's whole duration are emitted.
+	RangeScan(lo, hi K, fn func(key K, value V) bool)
+
+	// Scan calls fn on every pair in ascending key order, stopping early
+	// when fn returns false. It is RangeScan over the whole key space —
+	// a separate method because cmp.Ordered has no ±∞ values to bound
+	// RangeScan with.
+	Scan(fn func(key K, value V) bool)
+
+	// Snapshot returns an iterable view of the dictionary. Implementations
+	// with a persistent-structure root (Bonsai) or a global lock return a
+	// true point-in-time view (SnapshotConsistent); the rest return a
+	// typed downgrade that reads the live structure weakly consistently.
+	// The caller must Close the snapshot.
+	Snapshot() Snapshot[K, V]
+
 	// Close releases the handle.
 	Close()
 }
+
+// Consistency classifies what a scan or snapshot promises.
+type Consistency uint8
+
+const (
+	// WeaklyConsistent scans read the live structure: every emitted pair
+	// was present at some instant during the scan, every key present for
+	// the scan's whole duration is emitted exactly once, and emitted keys
+	// ascend strictly. No cross-key atomicity: a scan concurrent with
+	// updates may observe some of them and miss others, and the emitted
+	// set need not equal the dictionary's state at any single instant.
+	WeaklyConsistent Consistency = iota
+
+	// SnapshotConsistent scans observe one point-in-time state: the
+	// emitted set equals the dictionary's contents at some single instant
+	// within the operation that captured the view.
+	SnapshotConsistent
+)
+
+// String names the consistency class for reports and metrics.
+func (c Consistency) String() string {
+	switch c {
+	case WeaklyConsistent:
+		return "weakly-consistent"
+	case SnapshotConsistent:
+		return "snapshot"
+	default:
+		return "unknown"
+	}
+}
+
+// Snapshot is an iterable view of a dictionary, obtained from
+// Handle.Snapshot. Its Consistency reports whether the view is a true
+// point-in-time capture or a weakly consistent downgrade over the live
+// structure. A Snapshot is single-goroutine, like the Handle that made it,
+// and must be Closed when done (a weak snapshot pins nothing, but a
+// materialized one may hold memory).
+type Snapshot[K cmp.Ordered, V any] interface {
+	// Consistency reports what this view promises.
+	Consistency() Consistency
+
+	// Range calls fn on pairs with lo ≤ key < hi in ascending key order,
+	// stopping early when fn returns false.
+	Range(lo, hi K, fn func(key K, value V) bool)
+
+	// All calls fn on every pair in ascending key order, stopping early
+	// when fn returns false.
+	All(fn func(key K, value V) bool)
+
+	// Close releases the view.
+	Close()
+}
+
+// Scanner is the scan subset of Handle: what a weak snapshot needs from
+// the live handle it wraps.
+type Scanner[K cmp.Ordered, V any] interface {
+	RangeScan(lo, hi K, fn func(key K, value V) bool)
+	Scan(fn func(key K, value V) bool)
+}
+
+// NewWeakSnapshot wraps a live handle's scan methods as a
+// WeaklyConsistent Snapshot — the typed downgrade for implementations
+// that cannot capture a point-in-time view. The snapshot stays valid
+// only while the underlying handle is open.
+func NewWeakSnapshot[K cmp.Ordered, V any](h Scanner[K, V]) Snapshot[K, V] {
+	return weakSnapshot[K, V]{h: h}
+}
+
+type weakSnapshot[K cmp.Ordered, V any] struct {
+	h Scanner[K, V]
+}
+
+func (s weakSnapshot[K, V]) Consistency() Consistency { return WeaklyConsistent }
+
+func (s weakSnapshot[K, V]) Range(lo, hi K, fn func(K, V) bool) { s.h.RangeScan(lo, hi, fn) }
+
+func (s weakSnapshot[K, V]) All(fn func(K, V) bool) { s.h.Scan(fn) }
+
+func (s weakSnapshot[K, V]) Close() {}
+
+// Pair is one key/value entry of a materialized snapshot.
+type Pair[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+}
+
+// NewMaterializedSnapshot wraps pairs — which must already be in strictly
+// ascending key order — as a SnapshotConsistent view. Used by
+// implementations whose only point-in-time capture is copying under a
+// lock (the coarse-locked oracle).
+func NewMaterializedSnapshot[K cmp.Ordered, V any](pairs []Pair[K, V]) Snapshot[K, V] {
+	return &materializedSnapshot[K, V]{pairs: pairs}
+}
+
+type materializedSnapshot[K cmp.Ordered, V any] struct {
+	pairs []Pair[K, V]
+}
+
+func (s *materializedSnapshot[K, V]) Consistency() Consistency { return SnapshotConsistent }
+
+func (s *materializedSnapshot[K, V]) Range(lo, hi K, fn func(K, V) bool) {
+	for _, p := range s.pairs {
+		if p.Key < lo {
+			continue
+		}
+		if p.Key >= hi {
+			return
+		}
+		if !fn(p.Key, p.Value) {
+			return
+		}
+	}
+}
+
+func (s *materializedSnapshot[K, V]) All(fn func(K, V) bool) {
+	for _, p := range s.pairs {
+		if !fn(p.Key, p.Value) {
+			return
+		}
+	}
+}
+
+func (s *materializedSnapshot[K, V]) Close() { s.pairs = nil }
 
 // Map is a concurrent dictionary that hands out per-goroutine Handles.
 type Map[K cmp.Ordered, V any] interface {

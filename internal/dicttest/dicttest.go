@@ -33,6 +33,11 @@ func RunAll(t *testing.T, factory dict.Factory[int, int]) {
 	t.Run("PhasedInvariants", func(t *testing.T) { testPhasedInvariants(t, factory) })
 	t.Run("ValueIntegrity", func(t *testing.T) { testValueIntegrity(t, factory) })
 	t.Run("HandleChurn", func(t *testing.T) { testHandleChurn(t, factory) })
+	t.Run("ScanBounds", func(t *testing.T) { testScanBounds(t, factory) })
+	t.Run("ScanEarlyStop", func(t *testing.T) { testScanEarlyStop(t, factory) })
+	t.Run("KeysEqualsScan", func(t *testing.T) { testKeysEqualsScan(t, factory) })
+	t.Run("ScanDuringChurn", func(t *testing.T) { testScanDuringChurn(t, factory) })
+	t.Run("Snapshot", func(t *testing.T) { testSnapshot(t, factory) })
 }
 
 // testHandleChurn registers and unregisters handles continuously while

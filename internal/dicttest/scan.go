@@ -1,0 +1,379 @@
+package dicttest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/go-citrus/citrus/internal/dict"
+)
+
+// Scan conformance: every implementation's RangeScan/Scan/Snapshot must
+// honor the dict.Handle contract — ascending strict order, no
+// duplicates, half-open [lo, hi) bounds, early stop, and (under churn)
+// the weak consistency guarantees: no key invented, no permanently
+// present key missed. Snapshot-consistent implementations additionally
+// must serve a view that concurrent updates cannot perturb.
+
+// testScanBounds checks half-open bound semantics and ordering against
+// a sequential oracle over an awkwardly-gapped key set.
+func testScanBounds(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	keys := []int{2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for _, k := range keys {
+		h.Insert(k, k*10)
+	}
+	for _, tc := range []struct{ lo, hi int }{
+		{0, 200},   // superset
+		{2, 145},   // exact cover
+		{2, 144},   // hi exclusive cuts the max
+		{3, 89},    // both bounds are present keys; hi excluded
+		{4, 89},    // lo between keys
+		{5, 6},     // single key
+		{6, 8},     // lo absent, one key
+		{8, 8},     // empty range, bound present
+		{10, 4},    // inverted: must be empty
+		{-50, 2},   // below everything, hi cuts at first key
+		{145, 500}, // above everything
+	} {
+		var want []int
+		for _, k := range keys {
+			if k >= tc.lo && k < tc.hi {
+				want = append(want, k)
+			}
+		}
+		var got []int
+		h.RangeScan(tc.lo, tc.hi, func(k, v int) bool {
+			if v != k*10 {
+				t.Fatalf("RangeScan[%d,%d) returned (%d,%d); value for %d is %d", tc.lo, tc.hi, k, v, k, k*10)
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("RangeScan[%d,%d) = %v, want %v", tc.lo, tc.hi, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("RangeScan[%d,%d) = %v, want %v", tc.lo, tc.hi, got, want)
+			}
+		}
+	}
+	// Unbounded Scan covers everything in order.
+	var all []int
+	h.Scan(func(k, _ int) bool { all = append(all, k); return true })
+	if len(all) != len(keys) {
+		t.Fatalf("Scan = %v, want %v", all, keys)
+	}
+	for i := range all {
+		if all[i] != keys[i] {
+			t.Fatalf("Scan = %v, want %v", all, keys)
+		}
+	}
+	// Empty structure: no callbacks.
+	empty := factory()
+	eh := empty.NewHandle()
+	defer eh.Close()
+	eh.Scan(func(int, int) bool { t.Fatal("Scan on empty map emitted a pair"); return false })
+	eh.RangeScan(-100, 100, func(int, int) bool {
+		t.Fatal("RangeScan on empty map emitted a pair")
+		return false
+	})
+}
+
+// testScanEarlyStop verifies fn returning false halts the scan exactly
+// there, for every possible stopping point.
+func testScanEarlyStop(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	const n = 40
+	for k := 0; k < n; k++ {
+		h.Insert(k, k)
+	}
+	for stopAfter := 0; stopAfter <= n; stopAfter++ {
+		seen := 0
+		h.Scan(func(k, _ int) bool {
+			if k != seen {
+				t.Fatalf("stop-at-%d scan emitted %d at position %d", stopAfter, k, seen)
+			}
+			seen++
+			return seen < stopAfter
+		})
+		want := stopAfter
+		if want == 0 {
+			want = 1 // the first emission is what returns false
+		}
+		if want > n {
+			want = n
+		}
+		if seen != want {
+			t.Fatalf("scan stopped after %d pairs, want %d", seen, want)
+		}
+	}
+}
+
+// testKeysEqualsScan pins the Keys()-is-a-scan equivalence: after a
+// churny (but quiesced) history, Keys(), an unbounded Scan, and a
+// RangeScan over the full range must return identical key sequences.
+func testKeysEqualsScan(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(7))
+	const keyRange = 120
+	for i := 0; i < 4000; i++ {
+		k := rng.Intn(keyRange)
+		if rng.Intn(3) == 0 {
+			h.Delete(k)
+		} else {
+			h.Insert(k, k)
+		}
+	}
+	keys := m.Keys()
+	var scanned, ranged []int
+	h.Scan(func(k, _ int) bool { scanned = append(scanned, k); return true })
+	h.RangeScan(-1, keyRange+1, func(k, _ int) bool { ranged = append(ranged, k); return true })
+	if len(keys) != len(scanned) || len(keys) != len(ranged) {
+		t.Fatalf("Keys %d, Scan %d, RangeScan %d pairs", len(keys), len(scanned), len(ranged))
+	}
+	for i := range keys {
+		if keys[i] != scanned[i] || keys[i] != ranged[i] {
+			t.Fatalf("position %d: Keys %d, Scan %d, RangeScan %d", i, keys[i], scanned[i], ranged[i])
+		}
+	}
+}
+
+// testScanDuringChurn runs scanners against writers churning a disjoint
+// key set: permanent keys (even) must appear in every scan that covers
+// them, emissions must ascend strictly within bounds, and no scan may
+// invent a key nobody inserted. This is the weak consistency contract
+// every implementation promises, checked structurally.
+func testScanDuringChurn(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	const keyRange = 96 // even keys permanent, odd keys churn
+	{
+		h := m.NewHandle()
+		for k := 0; k < keyRange; k++ {
+			h.Insert(k, k*3+1)
+		}
+		h.Close()
+	}
+	stop := make(chan struct{})
+	var missing, unsorted, outOfBounds, phantom, badValue atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // writers on odd keys
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keyRange/2)*2 + 1
+				if rng.Intn(2) == 0 {
+					h.Delete(k)
+				} else {
+					h.Insert(k, k*3+1)
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 2; i++ { // scanners
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := rng.Intn(keyRange)
+				hi := lo + 1 + rng.Intn(keyRange-lo)
+				prev := -1
+				seen := map[int]bool{}
+				h.RangeScan(lo, hi, func(k, v int) bool {
+					if k < lo || k >= hi {
+						outOfBounds.Add(1)
+					}
+					if k <= prev {
+						unsorted.Add(1)
+					}
+					prev = k
+					if k < 0 || k >= keyRange {
+						phantom.Add(1)
+					} else if v != k*3+1 {
+						badValue.Add(1)
+					}
+					seen[k] = true
+					return true
+				})
+				for k := lo; k < hi; k += 1 {
+					if k%2 == 0 && k >= 0 && k < keyRange && !seen[k] {
+						missing.Add(1)
+					}
+				}
+			}
+		}(int64(i))
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := missing.Load(); n != 0 {
+		t.Errorf("%d permanent keys missing from scans that covered them", n)
+	}
+	if n := unsorted.Load(); n != 0 {
+		t.Errorf("%d emissions out of order or duplicated", n)
+	}
+	if n := outOfBounds.Load(); n != 0 {
+		t.Errorf("%d emissions outside the requested bounds", n)
+	}
+	if n := phantom.Load(); n != 0 {
+		t.Errorf("%d emissions of keys nobody ever inserted", n)
+	}
+	if n := badValue.Load(); n != 0 {
+		t.Errorf("%d emissions with a value never stored for their key", n)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testSnapshot checks the Snapshot contract. All implementations: the
+// view honors bounds/order/early-stop and is coherent with the
+// structure at capture when quiescent. Snapshot-consistent
+// implementations additionally: the captured view is immune to updates
+// applied after capture.
+func testSnapshot(t *testing.T, factory dict.Factory[int, int]) {
+	m := factory()
+	h := m.NewHandle()
+	defer h.Close()
+	const n = 50
+	for k := 0; k < n; k++ {
+		h.Insert(k, k+100)
+	}
+	snap := h.Snapshot()
+	defer snap.Close()
+	cons := snap.Consistency()
+	if cons != dict.SnapshotConsistent && cons != dict.WeaklyConsistent {
+		t.Fatalf("Snapshot().Consistency() = %v, not a known class", cons)
+	}
+
+	readAll := func(s dict.Snapshot[int, int]) []int {
+		var ks []int
+		prev := -1
+		s.All(func(k, v int) bool {
+			if k <= prev {
+				t.Fatalf("snapshot All emitted %d after %d", k, prev)
+			}
+			prev = k
+			if v != k+100 && cons == dict.SnapshotConsistent {
+				t.Fatalf("snapshot value for %d = %d, want %d", k, v, k+100)
+			}
+			ks = append(ks, k)
+			return true
+		})
+		return ks
+	}
+	if got := readAll(snap); len(got) != n {
+		t.Fatalf("quiescent snapshot has %d keys, want %d", len(got), n)
+	}
+	// Bounds and early stop on the view.
+	var ranged []int
+	snap.Range(10, 20, func(k, _ int) bool { ranged = append(ranged, k); return true })
+	if len(ranged) != 10 || ranged[0] != 10 || ranged[9] != 19 {
+		t.Fatalf("snapshot Range[10,20) = %v", ranged)
+	}
+	count := 0
+	snap.Range(0, n, func(int, int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("snapshot Range early stop: emitted %d, want 5", count)
+	}
+
+	if cons == dict.SnapshotConsistent {
+		// Mutate AFTER capture: the view must not move.
+		h.Delete(0)
+		h.Insert(n+10, 1)
+		h.Delete(25)
+		if got := readAll(snap); len(got) != n || got[0] != 0 {
+			t.Fatalf("snapshot-consistent view changed under updates: %d keys, first %v", len(got), got)
+		}
+		found := false
+		snap.Range(25, 26, func(k, _ int) bool { found = k == 25; return true })
+		if !found {
+			t.Fatal("snapshot-consistent view lost key 25 deleted after capture")
+		}
+	}
+
+	// A snapshot taken during churn must still be internally ordered and
+	// must include every permanently present key (weak or strong).
+	m2 := factory()
+	{
+		hh := m2.NewHandle()
+		for k := 0; k < n; k++ {
+			hh.Insert(k*2, k) // even keys permanent
+		}
+		hh.Close()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hh := m2.NewHandle()
+		defer hh.Close()
+		rng := rand.New(rand.NewSource(3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := rng.Intn(n)*2 + 1
+			if rng.Intn(2) == 0 {
+				hh.Insert(k, k)
+			} else {
+				hh.Delete(k)
+			}
+		}
+	}()
+	hh := m2.NewHandle()
+	for round := 0; round < 20; round++ {
+		s := hh.Snapshot()
+		prev := -1
+		seen := map[int]bool{}
+		s.All(func(k, _ int) bool {
+			if k <= prev {
+				t.Errorf("churn snapshot emitted %d after %d", k, prev)
+			}
+			prev = k
+			seen[k] = true
+			return true
+		})
+		s.Close()
+		for k := 0; k < n; k++ {
+			if !seen[k*2] {
+				t.Errorf("churn snapshot missed permanent key %d", k*2)
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	hh.Close()
+	close(stop)
+	wg.Wait()
+}

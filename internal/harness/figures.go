@@ -20,13 +20,15 @@ const (
 // DefaultWorkerCounts is the thread axis of every figure (1 to 64).
 var DefaultWorkerCounts = []int{1, 2, 4, 8, 16, 32, 64}
 
-// Figure describes one reproducible panel of the paper's evaluation.
+// Figure describes one reproducible panel of the paper's evaluation, or
+// one of this repo's extension panels (the s* scan figures).
 type Figure struct {
-	ID       string // e.g. "8", "9a", "10d"
+	ID       string // e.g. "8", "9a", "10d", "s1"
 	Caption  string
 	KeyRange int
 	Mix      MixFor
 	MixName  string
+	ScanLen  int // max range-scan span for mixes with scans (0 = harness default)
 	Series   func() []impls.NamedFactory[int, int]
 }
 
@@ -86,6 +88,32 @@ func Figures() []Figure {
 			Series:   impls.Figure[int, int],
 		})
 	}
+	// The scan panels (extension beyond the paper): range scans as
+	// first-class operations racing structural churn. s1 is the mixed
+	// scan/update shape (scans paginate while updates restructure under
+	// them); s2 is scan-dominated. Spans are Zipf(1.5)-skewed up to 512
+	// keys. One scan counts as one operation, so the absolute ops/s of
+	// these panels is not comparable to the point-op figures — the
+	// comparison that matters is across series within the panel: the RCU
+	// scan (one traversal per read-side section) vs Bonsai's path-copied
+	// snapshot vs the lock-based and lock-free baselines.
+	figs = append(figs, Figure{
+		ID:       "s1",
+		Caption:  "Range scans under churn: 30% scans (Zipf spans ≤ 512) / 70% updates, key range [0,2e5]",
+		KeyRange: KeyRangeSmall,
+		Mix:      Uniform(workload.ScanMixed(30)),
+		MixName:  "30% scans",
+		ScanLen:  512,
+		Series:   impls.Figure[int, int],
+	}, Figure{
+		ID:       "s2",
+		Caption:  "Scan-heavy: 90% scans (Zipf spans ≤ 512) / 10% updates, key range [0,2e5]",
+		KeyRange: KeyRangeSmall,
+		Mix:      Uniform(workload.ScanHeavy()),
+		MixName:  "90% scans",
+		ScanLen:  512,
+		Series:   impls.Figure[int, int],
+	})
 	return figs
 }
 
@@ -108,6 +136,7 @@ func (f Figure) Run(workerCounts []int, duration time.Duration, reps int, verify
 		Seed:     0xC17125,
 		Prefill:  true,
 		Verify:   verify,
+		ScanLen:  f.ScanLen,
 	}
 	return Sweep(f.Series(), workerCounts, cfg, reps)
 }

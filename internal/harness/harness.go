@@ -50,6 +50,14 @@ type Config struct {
 	Verify   bool    // run CheckInvariants after the measurement
 	ZipfS    float64 // > 1: draw keys Zipf(s)-skewed instead of uniformly
 
+	// ScanLen caps the span of OpScan range scans (mixes with ScanPct >
+	// 0); spans are drawn Zipf(1.5)-skewed over [1, ScanLen] so short
+	// pagination-style windows dominate with a heavy tail of wide
+	// sweeps. 0 defaults to KeyRange/64 (at least 16). One scan counts
+	// as one operation in Result.Ops regardless of its width; the pairs
+	// it visited land in Result.ScanPairs.
+	ScanLen int
+
 	// MeasureLatency samples one in 2^sampleShift operations into
 	// Result.Latency. The paper reports only throughput; latency
 	// percentiles are an extension for tail analysis (e.g. the grace
@@ -59,12 +67,14 @@ type Config struct {
 
 // Result is the outcome of one run.
 type Result struct {
-	Ops      int64         // operations completed across all workers
-	Elapsed  time.Duration // measured wall-clock time
-	Workers  int
-	Procs    int          // effective GOMAXPROCS while the cell ran
-	FinalLen int          // size after the run (0 if Verify is false)
-	Latency  *LatencyHist // sampled per-op latency (nil unless measured)
+	Ops       int64         // operations completed across all workers (scans count once each)
+	ScanOps   int64         // range scans among Ops
+	ScanPairs int64         // pairs emitted by those scans
+	Elapsed   time.Duration // measured wall-clock time
+	Workers   int
+	Procs     int          // effective GOMAXPROCS while the cell ran
+	FinalLen  int          // size after the run (0 if Verify is false)
+	Latency   *LatencyHist // sampled per-op latency (nil unless measured)
 }
 
 // Throughput reports operations per second.
@@ -86,12 +96,22 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 		workload.Prefill(m, cfg.KeyRange, int64(cfg.Seed))
 	}
 
+	scanLen := cfg.ScanLen
+	if scanLen <= 0 {
+		scanLen = cfg.KeyRange / 64
+		if scanLen < 16 {
+			scanLen = 16
+		}
+	}
+
 	var (
-		start = make(chan struct{})
-		stop  atomic.Bool
-		total atomic.Int64
-		wg    sync.WaitGroup
-		hist  *LatencyHist
+		start      = make(chan struct{})
+		stop       atomic.Bool
+		total      atomic.Int64
+		totalScans atomic.Int64
+		totalPairs atomic.Int64
+		wg         sync.WaitGroup
+		hist       *LatencyHist
 	)
 	if cfg.MeasureLatency {
 		hist = &LatencyHist{}
@@ -109,6 +129,19 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 				z := workload.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeyRange-1))
 				draw = func() int { return z.Intn(cfg.KeyRange) }
 			}
+			var lens *workload.ScanLens
+			if mix.ScanPct > 0 {
+				lens = workload.NewScanLens(rng, 1.5, scanLen)
+			}
+			scans, pairs := int64(0), int64(0)
+			apply := func(kind workload.OpKind, key int) {
+				if kind == workload.OpScan {
+					pairs += int64(workload.ApplyScan(h, key, lens.Next()))
+					scans++
+					return
+				}
+				workload.ApplyOp(h, kind, key)
+			}
 			<-start
 			ops := int64(0)
 			// Check the stop flag every few operations: a per-op atomic
@@ -118,15 +151,17 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 					kind, key := rng.NextOp(mix), draw()
 					if hist != nil && uint64(ops+int64(i))&(1<<sampleShift-1) == 0 {
 						begin := time.Now()
-						workload.ApplyOp(h, kind, key)
+						apply(kind, key)
 						hist.Record(time.Since(begin))
 					} else {
-						workload.ApplyOp(h, kind, key)
+						apply(kind, key)
 					}
 				}
 				ops += 32
 			}
 			total.Add(ops)
+			totalScans.Add(scans)
+			totalPairs.Add(pairs)
 		}(w)
 	}
 
@@ -142,11 +177,13 @@ func Run(factory dict.Factory[int, int], cfg Config) (Result, error) {
 	// between reps must label each data point with the value it ran
 	// under.
 	res := Result{
-		Ops:     total.Load(),
-		Elapsed: elapsed,
-		Workers: cfg.Workers,
-		Procs:   runtime.GOMAXPROCS(0),
-		Latency: hist,
+		Ops:       total.Load(),
+		ScanOps:   totalScans.Load(),
+		ScanPairs: totalPairs.Load(),
+		Elapsed:   elapsed,
+		Workers:   cfg.Workers,
+		Procs:     runtime.GOMAXPROCS(0),
+		Latency:   hist,
 	}
 	if cfg.Verify {
 		if err := m.CheckInvariants(); err != nil {

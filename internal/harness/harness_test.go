@@ -82,7 +82,7 @@ func TestMixDistribution(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	want := []string{"8", "9a", "9b", "10a", "10b", "10c", "10d", "10e", "10f"}
+	want := []string{"8", "9a", "9b", "10a", "10b", "10c", "10d", "10e", "10f", "s1", "s2"}
 	if len(figs) != len(want) {
 		t.Fatalf("Figures() has %d panels, want %d", len(figs), len(want))
 	}
@@ -157,5 +157,57 @@ func TestSweepOrdering(t *testing.T) {
 func TestInvalidConfigRejected(t *testing.T) {
 	if _, err := Run(impls.NewCitrus[int, int], Config{}); err == nil {
 		t.Fatal("Run accepted a zero config")
+	}
+}
+
+// TestRunScanMix: a scan-bearing mix produces scan work, counts scans
+// into Ops, and keeps the structure coherent.
+func TestRunScanMix(t *testing.T) {
+	res, err := Run(impls.NewCitrus[int, int], Config{
+		Workers:  2,
+		KeyRange: 4096,
+		Mix:      Uniform(workload.ScanMixed(30)),
+		Duration: 100 * time.Millisecond,
+		Seed:     11,
+		Prefill:  true,
+		Verify:   true,
+		ScanLen:  128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanOps == 0 {
+		t.Fatal("no scans executed under a 30% scan mix")
+	}
+	if res.ScanPairs == 0 {
+		t.Fatal("scans over a prefilled structure visited no pairs")
+	}
+	if res.ScanOps > res.Ops {
+		t.Fatalf("ScanOps %d exceeds Ops %d", res.ScanOps, res.Ops)
+	}
+}
+
+// TestScanFigureQuick: the s1 panel runs end to end at toy scale and
+// carries all six series.
+func TestScanFigureQuick(t *testing.T) {
+	f, ok := FigureByID("s1")
+	if !ok {
+		t.Fatal("figure s1 missing")
+	}
+	if len(f.Series()) != 6 {
+		t.Fatalf("s1 has %d series, want 6", len(f.Series()))
+	}
+	f.KeyRange = 2048
+	cells, err := f.Run([]int{2}, 50*time.Millisecond, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("s1 produced %d cells, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.Throughput <= 0 {
+			t.Fatalf("%s: zero throughput", c.Impl)
+		}
 	}
 }

@@ -220,6 +220,93 @@ func (h *Handle[K, V]) Delete(key K) bool {
 	return true
 }
 
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key
+// order, stopping early when fn returns false. Weakly consistent: the
+// scan advances a cursor, and each step is an independent lock-coupled
+// ceiling search (smallest key at/above the cursor). Per-step searches
+// are required rather than a single coupled in-order walk because a
+// two-child delete moves the successor's pair into the victim in place
+// — keys relocate, so any traversal that parks on a node may find the
+// key under it changed; re-searching by key tolerates that. Each
+// emitted pair was present at the instant its search held the node
+// lock, and emissions ascend strictly.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	bound, strict := &lo, false
+	for {
+		k, v, ok := h.t.ceiling(bound, strict)
+		if !ok || cmp.Compare(k, hi) >= 0 {
+			return
+		}
+		if !fn(k, v) {
+			return
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent; see RangeScan.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	var bound *K
+	strict := false
+	for {
+		k, v, ok := h.t.ceiling(bound, strict)
+		if !ok {
+			return
+		}
+		if !fn(k, v) {
+			return
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// ceiling returns the pair with the smallest key at (or, when strict,
+// strictly above) bound; nil bound means the tree's minimum. It
+// lock-couples down the tree, remembering the best qualifying node seen
+// and re-locking it at the end is unnecessary: the best candidate's
+// pair is captured while its lock is held, so the returned snapshot was
+// present at that instant.
+func (t *Tree[K, V]) ceiling(bound *K, strict bool) (K, V, bool) {
+	var (
+		bestK K
+		bestV V
+		found bool
+	)
+	t.mu.Lock()
+	n := t.root
+	if n == nil {
+		t.mu.Unlock()
+		return bestK, bestV, false
+	}
+	n.mu.Lock()
+	t.mu.Unlock()
+	for {
+		qualifies := true
+		if bound != nil {
+			c := cmp.Compare(*bound, n.key)
+			qualifies = c < 0 || (c == 0 && !strict)
+		}
+		var next *node[K, V]
+		if qualifies {
+			// n is a candidate; a smaller one may exist on the left.
+			bestK, bestV, found = n.key, n.value, true
+			next = n.left
+		} else {
+			next = n.right
+		}
+		if next == nil {
+			n.mu.Unlock()
+			return bestK, bestV, found
+		}
+		next.mu.Lock() // couple: child before parent release
+		n.mu.Unlock()
+		n = next
+	}
+}
+
 // Len reports the number of keys. Quiescent use only.
 func (t *Tree[K, V]) Len() int {
 	t.szMu.Lock()
@@ -235,16 +322,12 @@ func (t *Tree[K, V]) Keys() []K {
 }
 
 // Range calls fn on every pair in ascending key order until fn returns
-// false. Quiescent use only.
+// false. Runs the concurrent scan path (iterated ceiling searches) so
+// quiescent and live reads share one traversal.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == nil {
-			return true
-		}
-		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
-	}
-	walk(t.root)
+	h := t.NewHandle()
+	defer h.Close()
+	h.Scan(fn)
 }
 
 // CheckInvariants verifies BST order and the size counter. Quiescent use

@@ -97,6 +97,32 @@ func NewCitrusRecyclingWithFlavor[K cmp.Ordered, V any](flavor rcu.Flavor, rec *
 	return &citrusMap[K, V]{t: core.NewTreeWithRecycling[K, V](flavor, rec), name: name}
 }
 
+// nativeHandle is the method set every native structure's handle
+// provides on its own: single-key ops plus the weakly consistent scans
+// added across the module. It is dict.Handle minus Snapshot.
+type nativeHandle[K cmp.Ordered, V any] interface {
+	Contains(key K) (V, bool)
+	Insert(key K, value V) bool
+	Delete(key K) bool
+	RangeScan(lo, hi K, fn func(key K, value V) bool)
+	Scan(fn func(key K, value V) bool)
+	Close()
+}
+
+// weakHandle lifts a nativeHandle to dict.Handle by adding the typed
+// weakly-consistent Snapshot downgrade: structures without a
+// point-in-time view (everything but Bonsai and the coarse lock) serve
+// Snapshot as live scans labeled dict.WeaklyConsistent.
+type weakHandle[K cmp.Ordered, V any] struct{ nativeHandle[K, V] }
+
+func (h weakHandle[K, V]) Snapshot() dict.Snapshot[K, V] {
+	return dict.NewWeakSnapshot[K, V](h.nativeHandle)
+}
+
+func weak[K cmp.Ordered, V any](h nativeHandle[K, V]) dict.Handle[K, V] {
+	return weakHandle[K, V]{h}
+}
+
 // TreeStatser is implemented by the Citrus-backed maps: it exposes the
 // core tree's operation counters (and, via Stats.RCU, the flavor's
 // grace-period accounting) to the benchmark and stress binaries.
@@ -110,7 +136,7 @@ type citrusMap[K cmp.Ordered, V any] struct {
 	name string
 }
 
-func (m *citrusMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *citrusMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.t.NewHandle()) }
 func (m *citrusMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *citrusMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *citrusMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
@@ -124,11 +150,31 @@ func NewBonsai[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type bonsaiMap[K cmp.Ordered, V any] struct{ t *bonsai.Tree[K, V] }
 
-func (m *bonsaiMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *bonsaiMap[K, V]) NewHandle() dict.Handle[K, V] { return bonsaiHandle[K, V]{m.t.NewHandle()} }
 func (m *bonsaiMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *bonsaiMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *bonsaiMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
 func (m *bonsaiMap[K, V]) Name() string                 { return NameBonsai }
+
+// bonsaiHandle lifts the bonsai handle to dict.Handle with a REAL
+// snapshot: path copying means capturing the root pins an immutable
+// version of the whole tree (the GC keeps it alive), so Snapshot is
+// dict.SnapshotConsistent — the structure the weakly consistent
+// implementations are contrasted against in the conformance kit.
+type bonsaiHandle[K cmp.Ordered, V any] struct{ *bonsai.Handle[K, V] }
+
+func (h bonsaiHandle[K, V]) Snapshot() dict.Snapshot[K, V] {
+	return bonsaiSnapshot[K, V]{h.Handle.Snap()}
+}
+
+type bonsaiSnapshot[K cmp.Ordered, V any] struct{ s bonsai.Snap[K, V] }
+
+func (s bonsaiSnapshot[K, V]) Consistency() dict.Consistency { return dict.SnapshotConsistent }
+func (s bonsaiSnapshot[K, V]) Range(lo, hi K, fn func(key K, value V) bool) {
+	s.s.Range(lo, hi, fn)
+}
+func (s bonsaiSnapshot[K, V]) All(fn func(key K, value V) bool) { s.s.All(fn) }
+func (s bonsaiSnapshot[K, V]) Close()                           {}
 
 // NewRedBlack returns the relativistic red-black tree.
 func NewRedBlack[K cmp.Ordered, V any]() dict.Map[K, V] {
@@ -137,7 +183,7 @@ func NewRedBlack[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type rbMap[K cmp.Ordered, V any] struct{ t *rbtree.Tree[K, V] }
 
-func (m *rbMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *rbMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.t.NewHandle()) }
 func (m *rbMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *rbMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *rbMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
@@ -150,7 +196,7 @@ func NewAVL[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type avlMap[K cmp.Ordered, V any] struct{ t *avl.Tree[K, V] }
 
-func (m *avlMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *avlMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.t.NewHandle()) }
 func (m *avlMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *avlMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *avlMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
@@ -163,7 +209,7 @@ func NewLockFree[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type lfMap[K cmp.Ordered, V any] struct{ t *lockfree.Tree[K, V] }
 
-func (m *lfMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *lfMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.t.NewHandle()) }
 func (m *lfMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *lfMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *lfMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
@@ -176,7 +222,7 @@ func NewSkiplist[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type slMap[K cmp.Ordered, V any] struct{ l *skiplist.List[K, V] }
 
-func (m *slMap[K, V]) NewHandle() dict.Handle[K, V] { return m.l.NewHandle() }
+func (m *slMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.l.NewHandle()) }
 func (m *slMap[K, V]) Len() int                     { return m.l.Len() }
 func (m *slMap[K, V]) Keys() []K                    { return m.l.Keys() }
 func (m *slMap[K, V]) CheckInvariants() error       { return m.l.CheckInvariants() }
@@ -191,7 +237,7 @@ func NewHandOverHand[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type hohMap[K cmp.Ordered, V any] struct{ t *hohbst.Tree[K, V] }
 
-func (m *hohMap[K, V]) NewHandle() dict.Handle[K, V] { return m.t.NewHandle() }
+func (m *hohMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.t.NewHandle()) }
 func (m *hohMap[K, V]) Len() int                     { return m.t.Len() }
 func (m *hohMap[K, V]) Keys() []K                    { return m.t.Keys() }
 func (m *hohMap[K, V]) CheckInvariants() error       { return m.t.CheckInvariants() }
@@ -206,7 +252,7 @@ func NewRCUHash[K cmp.Ordered, V any]() dict.Map[K, V] {
 
 type rhashMap[K cmp.Ordered, V any] struct{ m *rhash.Map[K, V] }
 
-func (m *rhashMap[K, V]) NewHandle() dict.Handle[K, V] { return m.m.NewHandle() }
+func (m *rhashMap[K, V]) NewHandle() dict.Handle[K, V] { return weak[K, V](m.m.NewHandle()) }
 func (m *rhashMap[K, V]) Len() int                     { return m.m.Len() }
 func (m *rhashMap[K, V]) Keys() []K                    { return m.m.Keys() }
 func (m *rhashMap[K, V]) CheckInvariants() error       { return m.m.CheckInvariants() }
@@ -230,7 +276,24 @@ type lockedHandle[K cmp.Ordered, V any] struct{ t *seqbst.Locked[K, V] }
 func (h lockedHandle[K, V]) Contains(key K) (V, bool)   { return h.t.Contains(key) }
 func (h lockedHandle[K, V]) Insert(key K, value V) bool { return h.t.Insert(key, value) }
 func (h lockedHandle[K, V]) Delete(key K) bool          { return h.t.Delete(key) }
-func (h lockedHandle[K, V]) Close()                     {}
+func (h lockedHandle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.t.RangeScan(lo, hi, fn)
+}
+func (h lockedHandle[K, V]) Scan(fn func(key K, value V) bool) { h.t.Scan(fn) }
+
+// Snapshot materializes all pairs under the mutex: holding the one lock
+// for the collection makes the copy a true point-in-time view, so the
+// coarse lock is the second dict.SnapshotConsistent implementation
+// (trivially — by excluding all concurrency).
+func (h lockedHandle[K, V]) Snapshot() dict.Snapshot[K, V] {
+	var pairs []dict.Pair[K, V]
+	h.t.Scan(func(k K, v V) bool {
+		pairs = append(pairs, dict.Pair[K, V]{Key: k, Value: v})
+		return true
+	})
+	return dict.NewMaterializedSnapshot(pairs)
+}
+func (h lockedHandle[K, V]) Close() {}
 
 // NewForestMap returns a sharded Citrus forest behind the dict API:
 // the key space hash-partitioned over the given number of independent
@@ -287,7 +350,12 @@ type forestHandle[K cmp.Ordered, V any] struct {
 func (h forestHandle[K, V]) Contains(key K) (V, bool)   { return h.h.Get(key) }
 func (h forestHandle[K, V]) Insert(key K, value V) bool { return h.h.Insert(key, value) }
 func (h forestHandle[K, V]) Delete(key K) bool          { return h.h.Delete(key) }
-func (h forestHandle[K, V]) Close()                     { h.h.Close() }
+func (h forestHandle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.h.RangeScan(lo, hi, fn)
+}
+func (h forestHandle[K, V]) Scan(fn func(key K, value V) bool) { h.h.Scan(fn) }
+func (h forestHandle[K, V]) Snapshot() dict.Snapshot[K, V]     { return dict.NewWeakSnapshot[K, V](h) }
+func (h forestHandle[K, V]) Close()                            { h.h.Close() }
 
 // CloseMap releases a map's background resources when it has any (a
 // no-op for every non-forest implementation).

@@ -61,7 +61,7 @@ func TestConformanceForest(t *testing.T) {
 
 type recyclingMap struct{ t *core.Tree[int, int] }
 
-func (m *recyclingMap) NewHandle() dict.Handle[int, int] { return m.t.NewHandle() }
+func (m *recyclingMap) NewHandle() dict.Handle[int, int] { return weak[int, int](m.t.NewHandle()) }
 func (m *recyclingMap) Len() int                         { return m.t.Len() }
 func (m *recyclingMap) Keys() []int                      { return m.t.Keys() }
 func (m *recyclingMap) CheckInvariants() error           { return m.t.CheckInvariants() }

@@ -24,6 +24,7 @@ const (
 	Contains Kind = iota
 	Insert
 	Delete
+	Scan
 )
 
 func (k Kind) String() string {
@@ -32,8 +33,10 @@ func (k Kind) String() string {
 		return "contains"
 	case Insert:
 		return "insert"
-	default:
+	case Delete:
 		return "delete"
+	default:
+		return "scan"
 	}
 }
 
@@ -44,6 +47,8 @@ type Op struct {
 	Key    int
 	Value  int  // argument for Insert; returned value for Contains
 	OK     bool // Contains: found; Insert/Delete: succeeded
+	Lo, Hi int  // Scan only: half-open bounds [Lo, Hi)
+	Keys   []int
 	Call   int64
 	Return int64
 	Proc   int // recording goroutine, for error reporting
@@ -55,8 +60,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("p%d contains(%d) = (%d,%v) @[%d,%d]", o.Proc, o.Key, o.Value, o.OK, o.Call, o.Return)
 	case Insert:
 		return fmt.Sprintf("p%d insert(%d,%d) = %v @[%d,%d]", o.Proc, o.Key, o.Value, o.OK, o.Call, o.Return)
-	default:
+	case Delete:
 		return fmt.Sprintf("p%d delete(%d) = %v @[%d,%d]", o.Proc, o.Key, o.OK, o.Call, o.Return)
+	default:
+		return fmt.Sprintf("p%d scan[%d,%d) = %v @[%d,%d]", o.Proc, o.Lo, o.Hi, o.Keys, o.Call, o.Return)
 	}
 }
 
@@ -114,6 +121,43 @@ func (h *RecordingHandle) Delete(key int) bool {
 	return ok
 }
 
+// RangeScan forwards and records the scan window and the returned key
+// sequence; the recorded Scan op is checked by CheckScans's weak
+// consistency spec rather than the linearizability DFS.
+func (h *RecordingHandle) RangeScan(lo, hi int, fn func(key int, value int) bool) {
+	call := h.rec.clock.Add(1)
+	var keys []int
+	h.inner.RangeScan(lo, hi, func(k, v int) bool {
+		keys = append(keys, k)
+		return fn(k, v)
+	})
+	ret := h.rec.clock.Add(1)
+	h.log = append(h.log, Op{Kind: Scan, Lo: lo, Hi: hi, Keys: keys, Call: call, Return: ret, Proc: h.proc})
+}
+
+// Scan forwards and records as a full-range RangeScan.
+func (h *RecordingHandle) Scan(fn func(key int, value int) bool) {
+	call := h.rec.clock.Add(1)
+	var keys []int
+	h.inner.Scan(func(k, v int) bool {
+		keys = append(keys, k)
+		return fn(k, v)
+	})
+	ret := h.rec.clock.Add(1)
+	h.log = append(h.log, Op{Kind: Scan, Lo: minInt, Hi: maxInt, Keys: keys, Call: call, Return: ret, Proc: h.proc})
+}
+
+// Snapshot forwards without recording: a snapshot's reads happen after
+// the handle call returns, so they cannot be attributed to one history
+// window. The snapshot consistency contract is exercised by the
+// conformance kit instead.
+func (h *RecordingHandle) Snapshot() dict.Snapshot[int, int] { return h.inner.Snapshot() }
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
 // Close forwards to the wrapped handle.
 func (h *RecordingHandle) Close() { h.inner.Close() }
 
@@ -121,13 +165,31 @@ func (h *RecordingHandle) Close() { h.inner.Close() }
 func (h *RecordingHandle) Ops() []Op { return h.log }
 
 // Check reports whether the history (ops from all goroutines, in any
-// order) is linearizable with respect to the dictionary specification,
-// starting from an empty dictionary. maxOps guards against accidentally
-// feeding the exponential checker a huge history (0 means 64).
+// order) is valid: the single-key operations must be linearizable with
+// respect to the dictionary specification starting from an empty
+// dictionary (Wing & Gong DFS), and every Scan op must satisfy the weak
+// consistency scan specification (CheckScans) against the single-key
+// ops. Scans are deliberately NOT placed in the linearization order —
+// that is the package-level point: multi-key RCU reads are weakly, not
+// linearizably, consistent. maxOps guards against accidentally feeding
+// the exponential checker a huge history (0 means 64).
 func Check(ops []Op, maxOps int) error {
 	if maxOps == 0 {
 		maxOps = 64
 	}
+	var scans []Op
+	filtered := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind == Scan {
+			scans = append(scans, op)
+		} else {
+			filtered = append(filtered, op)
+		}
+	}
+	if err := CheckScans(scans, filtered); err != nil {
+		return err
+	}
+	ops = filtered
 	if len(ops) > maxOps {
 		return fmt.Errorf("history has %d ops, checker bound is %d", len(ops), maxOps)
 	}
@@ -227,6 +289,128 @@ func mutate(state map[int]int, op Op) {
 			delete(state, op.Key)
 		}
 	}
+}
+
+// CheckScans verifies every Scan op against the weak consistency scan
+// specification, using the single-key ops in updates as the ground
+// truth. The spec, per scan with window [c, r] = [Call, Return] and
+// bounds [Lo, Hi):
+//
+//  1. Order: the returned keys ascend strictly (no duplicates) and lie
+//     within [Lo, Hi).
+//  2. No phantoms: every returned key was possibly live at some instant
+//     of the window. The test is conservative (it only rejects provable
+//     impossibilities, so overlapping-update ambiguity never yields a
+//     false alarm): key k is provably dead for the whole window iff
+//     every successful Insert(k) invoked before r is "killed" by a
+//     successful Delete(k) that provably starts after the insert
+//     completes (D.Call > I.Return) and completes before the window
+//     opens (D.Return < c) — then every linearization orders each
+//     insert's effect before a delete before c, so k cannot be present
+//     inside the window. In particular a key with no successful insert
+//     invoked before r at all is provably dead.
+//  3. Must-appear: a key in [Lo, Hi) that is provably present for the
+//     whole window must be returned. Conservative again: k is provably
+//     present throughout iff some successful Insert(k) completes before
+//     the window opens (I.Return < c) and every successful Delete(k)
+//     provably precedes that insert (D.Return < I.Call) — then in every
+//     linearization the insert's effect outlives all deletes and
+//     predates c.
+//
+// What is deliberately NOT required is a consistent cut: two returned
+// keys need never have coexisted. That is exactly the downgrade from
+// linearizable single-key reads the package comment of citrus describes
+// for RCU traversals.
+func CheckScans(scans, updates []Op) error {
+	if len(scans) == 0 {
+		return nil
+	}
+	inserts := map[int][]Op{} // successful only
+	deletes := map[int][]Op{}
+	for _, op := range updates {
+		if !op.OK {
+			continue
+		}
+		switch op.Kind {
+		case Insert:
+			inserts[op.Key] = append(inserts[op.Key], op)
+		case Delete:
+			deletes[op.Key] = append(deletes[op.Key], op)
+		}
+	}
+	for _, s := range scans {
+		if s.Kind != Scan {
+			return fmt.Errorf("CheckScans given non-scan op %v", s)
+		}
+		c, r := s.Call, s.Return
+		returned := map[int]bool{}
+		for i, k := range s.Keys {
+			if k < s.Lo || (s.Hi > s.Lo && k >= s.Hi) {
+				return fmt.Errorf("scan %v returned key %d outside [%d,%d)", s, k, s.Lo, s.Hi)
+			}
+			if i > 0 && k <= s.Keys[i-1] {
+				return fmt.Errorf("scan %v returned %d after %d: not strictly ascending", s, k, s.Keys[i-1])
+			}
+			returned[k] = true
+			if provablyDead(k, c, r, inserts[k], deletes[k]) {
+				return fmt.Errorf("scan %v returned key %d, which was provably absent for the whole window", s, k)
+			}
+		}
+		// Must-appear over every key the history ever inserted in range.
+		for k, ins := range inserts {
+			if k < s.Lo || k >= s.Hi || returned[k] {
+				continue
+			}
+			if provablyPresent(k, c, ins, deletes[k]) {
+				return fmt.Errorf("scan %v missed key %d, which was provably present for the whole window", s, k)
+			}
+		}
+	}
+	return nil
+}
+
+// provablyDead reports whether k cannot have been present at any instant
+// of [c, r]: every successful insert invoked before r has a killing
+// delete that provably follows it and completes before c.
+func provablyDead(k int, c, r int64, ins, dels []Op) bool {
+	for _, i := range ins {
+		if i.Call > r {
+			continue // cannot take effect inside the window
+		}
+		killed := false
+		for _, d := range dels {
+			if d.Call > i.Return && d.Return < c {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			return false
+		}
+	}
+	return true
+}
+
+// provablyPresent reports whether k must have been present for all of
+// [c, r]: some successful insert completes before c and provably
+// follows every successful delete of k.
+func provablyPresent(k int, c int64, ins, dels []Op) bool {
+	for _, i := range ins {
+		if i.Return >= c {
+			continue
+		}
+		outlives := true
+		for _, d := range dels {
+			if d.Return >= i.Call {
+				outlives = false
+				break
+			}
+		}
+		if outlives {
+			return true
+		}
+	}
+	return false
 }
 
 // encode canonicalizes the model state for memoization.

@@ -300,23 +300,39 @@ func nodeLess[K cmp.Ordered, V any](a, b *node[K, V]) bool {
 	return a.rank == realKey && cmp.Less(a.key, b.key)
 }
 
-// Len reports the number of keys. Quiescent use only.
-func (t *Tree[K, V]) Len() int {
-	n := 0
-	t.Range(func(K, V) bool { n++; return true })
-	return n
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order,
+// stopping early when fn returns false. Weakly consistent and wait-free
+// for the scanner: a single pruned in-order descent with no helping and
+// no retries. Safe under concurrency because routing keys are immutable,
+// every CAS-installed replacement subtree respects its position's
+// routing bounds, and unlinked internal nodes keep their child pointers
+// — a scan that entered a just-unlinked subtree still ends at valid
+// leaves.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.t.scan(&lo, &hi, fn)
 }
 
-// Keys returns all keys in ascending order. Quiescent use only.
-func (t *Tree[K, V]) Keys() []K {
-	var ks []K
-	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
-	return ks
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	h.t.scan(nil, nil, fn)
 }
 
-// Range calls fn on every pair in ascending key order until fn returns
-// false. Quiescent use only.
-func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+// scan is the bounded in-order leaf walk (lo inclusive, hi exclusive,
+// nil = unbounded), pruning subtrees by the internal nodes' routing
+// keys: a left subtree holds keys below the router, a right subtree
+// keys at or above it.
+func (t *Tree[K, V]) scan(lo, hi *K, fn func(K, V) bool) {
+	// Monotone emission filter: a key deleted and reinserted mid-scan can
+	// be reachable twice — once through a stale spliced-out subtree the
+	// walk already entered, once at its new live position further right —
+	// so a leaf is emitted only when its key strictly exceeds the last
+	// emission (the same filter core's scan engine applies for Citrus's
+	// successor copies).
+	var (
+		last K
+		have bool
+	)
 	var walk func(n *node[K, V]) bool
 	walk = func(n *node[K, V]) bool {
 		if n == nil {
@@ -324,13 +340,52 @@ func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
 		}
 		if n.leaf {
 			if n.rank != realKey {
+				return true // the ∞ leaves carry no key
+			}
+			if lo != nil && cmp.Compare(n.key, *lo) < 0 {
 				return true
 			}
+			if hi != nil && cmp.Compare(n.key, *hi) >= 0 {
+				return false // leaves ascend: nothing further qualifies
+			}
+			if have && cmp.Compare(n.key, last) <= 0 {
+				return true
+			}
+			last, have = n.key, true
 			return fn(n.key, n.value)
 		}
-		return walk(n.left.Load()) && walk(n.right.Load())
+		if lo == nil || n.compareKey(*lo) < 0 { // lo < router: left may qualify
+			if !walk(n.left.Load()) {
+				return false
+			}
+		}
+		if hi == nil || n.compareKey(*hi) > 0 { // hi > router: right may qualify
+			return walk(n.right.Load())
+		}
+		return true
 	}
 	walk(t.root)
+}
+
+// Len reports the number of keys. Quiescent use only.
+func (t *Tree[K, V]) Len() int {
+	n := 0
+	t.Range(func(K, V) bool { n++; return true })
+	return n
+}
+
+// Keys returns all keys in ascending order; a full-range scan.
+// Quiescent use only.
+func (t *Tree[K, V]) Keys() []K {
+	var ks []K
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
+	return ks
+}
+
+// Range calls fn on every pair in ascending key order until fn returns
+// false. Quiescent use only; shares the scan walk.
+func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
+	t.scan(nil, nil, fn)
 }
 
 // CheckInvariants verifies, for a quiescent tree, the external-BST shape:

@@ -389,6 +389,77 @@ func (t *Tree[K, V]) deleteFixup(x, xp *node[K, V]) {
 	x.color = black
 }
 
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order,
+// stopping early when fn returns false. Weakly consistent. Because the
+// writer's copying rotations can relocate whole subtrees mid-traversal,
+// a single stack walk could emit duplicates or misroute; instead each
+// step is an independent ceiling search — the exact reader protocol the
+// relativistic discipline guarantees correct — in its own short
+// read-side critical section, so scans never pin a grace period across
+// the whole traversal. Cost: O(log n) per emitted pair.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	bound, strict := &lo, false
+	for {
+		k, v, ok := h.ceiling(bound, strict)
+		if !ok || cmp.Compare(k, hi) >= 0 {
+			return
+		}
+		if !fn(k, v) {
+			return
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent; see RangeScan.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	var bound *K
+	strict := false
+	for {
+		k, v, ok := h.ceiling(bound, strict)
+		if !ok {
+			return
+		}
+		if !fn(k, v) {
+			return
+		}
+		kk := k
+		bound, strict = &kk, true
+	}
+}
+
+// ceiling returns the pair with the smallest key at (or, when strict,
+// strictly above) bound; nil bound means the tree's minimum. One
+// wait-free descent inside a read-side critical section, tracking the
+// best candidate seen so far.
+func (h *Handle[K, V]) ceiling(bound *K, strict bool) (K, V, bool) {
+	t := h.t
+	h.r.ReadLock()
+	defer h.r.ReadUnlock()
+	n := t.root.Load()
+	var bestK K
+	var bestV V
+	found := false
+	for n != t.nilN {
+		c := -1
+		if bound != nil {
+			c = cmp.Compare(*bound, n.key)
+		}
+		if c < 0 || (c == 0 && !strict) {
+			bestK, bestV, found = n.key, n.value, true
+			if c == 0 {
+				break // exact ceiling; nothing smaller qualifies
+			}
+			n = n.child[left].Load()
+		} else {
+			n = n.child[right].Load()
+		}
+	}
+	return bestK, bestV, found
+}
+
 // Len reports the number of keys. Quiescent use only.
 func (t *Tree[K, V]) Len() int {
 	t.mu.Lock()
@@ -396,7 +467,8 @@ func (t *Tree[K, V]) Len() int {
 	return t.size
 }
 
-// Keys returns all keys in ascending order. Quiescent use only.
+// Keys returns all keys in ascending order; a full-range scan.
+// Quiescent use only.
 func (t *Tree[K, V]) Keys() []K {
 	var ks []K
 	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
@@ -404,16 +476,12 @@ func (t *Tree[K, V]) Keys() []K {
 }
 
 // Range calls fn on every pair in ascending key order until fn returns
-// false. Quiescent use only.
+// false. Quiescent use only; runs the scan engine through a temporary
+// handle so quiescent and live reads share one traversal path.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == t.nilN {
-			return true
-		}
-		return walk(n.child[left].Load()) && fn(n.key, n.value) && walk(n.child[right].Load())
-	}
-	walk(t.root.Load())
+	h := t.NewHandle()
+	defer h.Close()
+	h.Scan(fn)
 }
 
 // CheckInvariants verifies, for a quiescent tree, the BST order and all

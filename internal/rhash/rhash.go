@@ -216,6 +216,59 @@ func (h *Handle[K, V]) Delete(key K) bool {
 	return false
 }
 
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key
+// order, stopping early when fn returns false. A hash table has no
+// native key order, so the scan collects every in-range pair from all
+// buckets inside one read-side critical section, sorts, and emits.
+// Weakly consistent: the collection phase sees each bucket chain at a
+// possibly different instant, but every emitted pair was present at
+// some point during the scan, and a key present throughout cannot be
+// missed (its chain is walked exactly once and unlinked entries keep
+// their next pointers). O(n) time and O(result) memory per scan.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.scan(&lo, &hi, fn)
+}
+
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent; see RangeScan.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	h.scan(nil, nil, fn)
+}
+
+func (h *Handle[K, V]) scan(lo, hi *K, fn func(K, V) bool) {
+	type pair struct {
+		key   K
+		value V
+	}
+	var pairs []pair
+	h.r.ReadLock()
+	t := h.m.tab.Load()
+	for i := range t.buckets {
+		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
+			if lo != nil && cmp.Less(e.key, *lo) {
+				continue
+			}
+			if hi != nil && !cmp.Less(e.key, *hi) {
+				continue
+			}
+			pairs = append(pairs, pair{e.key, e.value})
+		}
+	}
+	h.r.ReadUnlock()
+	sort.Slice(pairs, func(i, j int) bool { return cmp.Less(pairs[i].key, pairs[j].key) })
+	for i := range pairs {
+		// A chain can be walked while a concurrent unzip splices it, so the
+		// same key may be collected twice across generations; dedupe on the
+		// sorted output.
+		if i > 0 && pairs[i].key == pairs[i-1].key {
+			continue
+		}
+		if !fn(pairs[i].key, pairs[i].value) {
+			return
+		}
+	}
+}
+
 // grow doubles the bucket array if it is still oldLen buckets long
 // (otherwise another writer already resized). Writers are excluded for
 // the duration; readers are not — they finish on the old generation's
@@ -250,16 +303,13 @@ func (m *Map[K, V]) Len() int { return int(m.size.Load()) }
 // Buckets reports the current bucket count (for tests and tuning).
 func (m *Map[K, V]) Buckets() int { return len(m.tab.Load().buckets) }
 
-// Keys returns all keys in ascending order. Quiescent use only.
+// Keys returns all keys in ascending order; a full-range scan.
+// Quiescent use only.
 func (m *Map[K, V]) Keys() []K {
-	t := m.tab.Load()
+	h := m.NewHandle()
+	defer h.Close()
 	var ks []K
-	for i := range t.buckets {
-		for e := t.buckets[i].Load(); e != nil; e = e.next.Load() {
-			ks = append(ks, e.key)
-		}
-	}
-	sort.Slice(ks, func(i, j int) bool { return cmp.Less(ks[i], ks[j]) })
+	h.Scan(func(k K, _ V) bool { ks = append(ks, k); return true })
 	return ks
 }
 

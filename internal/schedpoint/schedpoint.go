@@ -80,6 +80,12 @@ const (
 	// that never snapshotted this call's pre-existing readers.
 	RCUGPElect
 
+	// CoreScanCS sits inside a range scan's visit loop, once per visited
+	// node — like CoreReadCS, but scans hold their critical section
+	// across many nodes, so suspending here stretches a whole-traversal
+	// grace-period pin rather than a single descent.
+	CoreScanCS
+
 	// NumPoints is the number of injection points.
 	NumPoints
 )
@@ -94,6 +100,7 @@ var pointNames = [NumPoints]string{
 	CoreBeforeReclaim:  "core.reclaim",
 	CoreReadCS:         "core.read.cs",
 	RCUGPElect:         "rcu.gp.elect",
+	CoreScanCS:         "core.scan.cs",
 }
 
 func (p Point) String() string {

@@ -102,33 +102,40 @@ func (t *Tree[K, V]) Delete(key K) bool {
 // Len reports the number of keys.
 func (t *Tree[K, V]) Len() int { return t.size }
 
-// Keys returns all keys in ascending order.
+// Keys returns all keys in ascending order; implemented as a full-range
+// scan so the oracle exercises the same path the scan API does.
 func (t *Tree[K, V]) Keys() []K {
 	ks := make([]K, 0, t.size)
-	var walk func(n *node[K, V])
-	walk = func(n *node[K, V]) {
-		if n == nil {
-			return
-		}
-		walk(n.left)
-		ks = append(ks, n.key)
-		walk(n.right)
-	}
-	walk(t.root)
+	t.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
 	return ks
+}
+
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order
+// until fn returns false — the sequential specification the concurrent
+// implementations' scans are tested against.
+func (t *Tree[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	rangeWalk(t.root, &lo, &hi, fn)
 }
 
 // Range calls fn on every pair in ascending key order until fn returns
 // false.
 func (t *Tree[K, V]) Range(fn func(key K, value V) bool) {
-	var walk func(n *node[K, V]) bool
-	walk = func(n *node[K, V]) bool {
-		if n == nil {
-			return true
-		}
-		return walk(n.left) && fn(n.key, n.value) && walk(n.right)
+	rangeWalk(t.root, nil, nil, fn)
+}
+
+// rangeWalk is the bounded in-order traversal: nil bounds are unbounded,
+// lo inclusive, hi exclusive. Reports whether fn never returned false.
+func rangeWalk[K cmp.Ordered, V any](n *node[K, V], lo, hi *K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
 	}
-	walk(t.root)
+	if lo != nil && cmp.Compare(n.key, *lo) < 0 {
+		return rangeWalk(n.right, lo, hi, fn)
+	}
+	if hi != nil && cmp.Compare(n.key, *hi) >= 0 {
+		return rangeWalk(n.left, lo, hi, fn)
+	}
+	return rangeWalk(n.left, lo, hi, fn) && fn(n.key, n.value) && rangeWalk(n.right, lo, hi, fn)
 }
 
 // CheckInvariants verifies the BST ordering property and the size counter.
@@ -205,6 +212,24 @@ func (l *Locked[K, V]) Keys() []K {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.t.Keys()
+}
+
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order
+// until fn returns false, holding the mutex for the whole traversal —
+// every scan is trivially a snapshot, at the cost of blocking all
+// writers for its duration. fn must not call back into the tree.
+func (l *Locked[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.RangeScan(lo, hi, fn)
+}
+
+// Scan calls fn on every pair in ascending key order until fn returns
+// false, holding the mutex for the whole traversal.
+func (l *Locked[K, V]) Scan(fn func(key K, value V) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Range(fn)
 }
 
 // CheckInvariants verifies the underlying tree.

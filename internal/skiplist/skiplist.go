@@ -263,32 +263,72 @@ func unlockPreds[K cmp.Ordered, V any](preds *[maxLevel]*node[K, V], highestLock
 	}
 }
 
+// RangeScan calls fn on pairs with lo ≤ key < hi in ascending key order,
+// stopping early when fn returns false. Weakly consistent and lock-free:
+// the scan descends the towers to lo's predecessor, then walks the
+// bottom-level list, emitting only nodes that are fully linked and
+// unmarked at visit time. The bottom chain is always key-sorted and an
+// unlinked node's next pointers are never modified, so the walk emits
+// each key at most once in ascending order and cannot skip a node that
+// stays present for the whole scan.
+func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
+	h.l.scan(&lo, &hi, fn)
+}
+
+// Scan calls fn on every pair in ascending key order, stopping early
+// when fn returns false. Weakly consistent and lock-free.
+func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) {
+	h.l.scan(nil, nil, fn)
+}
+
+// scan walks the bottom-level list between the optional bounds (lo
+// inclusive, hi exclusive; nil = unbounded).
+func (l *List[K, V]) scan(lo, hi *K, fn func(K, V) bool) {
+	pred := l.head
+	if lo != nil {
+		// Tower descent to lo's predecessor, as in find, but only preds.
+		for layer := maxLevel - 1; layer >= 0; layer-- {
+			curr := pred.next[layer].Load()
+			for curr.compareKey(*lo) > 0 {
+				pred = curr
+				curr = pred.next[layer].Load()
+			}
+		}
+	}
+	for c := pred.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
+		if lo != nil && cmp.Compare(c.key, *lo) < 0 {
+			continue // pred raced below lo: keep walking up to the bound
+		}
+		if hi != nil && cmp.Compare(c.key, *hi) >= 0 {
+			return
+		}
+		if c.fullyLinked.Load() && !c.marked.Load() {
+			if !fn(c.key, c.value) {
+				return
+			}
+		}
+	}
+}
+
 // Len reports the number of keys. Quiescent use only.
 func (l *List[K, V]) Len() int {
 	n := 0
-	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
-		n++
-	}
+	l.Range(func(K, V) bool { n++; return true })
 	return n
 }
 
-// Keys returns all keys in ascending order. Quiescent use only.
+// Keys returns all keys in ascending order; a full-range scan.
+// Quiescent use only.
 func (l *List[K, V]) Keys() []K {
 	var ks []K
-	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
-		ks = append(ks, c.key)
-	}
+	l.Range(func(k K, _ V) bool { ks = append(ks, k); return true })
 	return ks
 }
 
 // Range calls fn on every pair in ascending key order until fn returns
-// false. Quiescent use only.
+// false. Quiescent use only; shares the scan walk.
 func (l *List[K, V]) Range(fn func(key K, value V) bool) {
-	for c := l.head.next[0].Load(); c.kind != kindTail; c = c.next[0].Load() {
-		if !fn(c.key, c.value) {
-			return
-		}
-	}
+	l.scan(nil, nil, fn)
 }
 
 // CheckInvariants verifies, for a quiescent list, that every layer is

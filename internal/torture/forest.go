@@ -61,8 +61,14 @@ func buildForestSubject(cfg Config) (*subject, error) {
 				stalldom = d
 			}
 			return d, nil
+		case "scanstorm":
+			// Scan-heavy scenario: every shard's reclaimer runs bounded
+			// (watermarks below) and the run fails if any shard sheds.
+			return rcu.NewDomain(), nil
+		case "scanhog":
+			return nil, fmt.Errorf("scanhog applies only to the citrus subject: the forest's scans collect per shard and emit outside the critical sections, so a slow consumer cannot hog the read side")
 		default:
-			return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader)", cfg.Flavor)
+			return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader, scanstorm)", cfg.Flavor)
 		}
 	}
 
@@ -84,6 +90,12 @@ func buildForestSubject(cfg Config) (*subject, error) {
 		var recOpts []rcu.ReclaimerOption
 		if stalldom != nil && i == 0 {
 			stalldom.SetStallHandler(func(rcu.StallReport) { stallReports.Add(1) })
+			recOpts = append(recOpts,
+				rcu.WithHighWatermark(stallHigh),
+				rcu.WithHardCap(stallCap),
+				rcu.WithDrainBatch(stallBatch))
+		}
+		if cfg.Flavor == "scanstorm" {
 			recOpts = append(recOpts,
 				rcu.WithHighWatermark(stallHigh),
 				rcu.WithHardCap(stallCap),
@@ -242,6 +254,49 @@ func (h *forestTortureHandle) Insert(key, value int) bool {
 
 func (h *forestTortureHandle) Delete(key int) bool {
 	return h.hs[h.fs.router.Partition(key)].Delete(key)
+}
+
+// RangeScan scans every shard for in-range pairs (each inside its own
+// read-side critical section) and emits the sorted union in ascending
+// key order — the same collect-and-merge shape as citrus.ForestHandle.
+func (h *forestTortureHandle) RangeScan(lo, hi int, fn func(key int, value int) bool) {
+	type pair struct{ k, v int }
+	var pairs []pair
+	for _, sh := range h.hs {
+		sh.RangeScan(lo, hi, func(k, v int) bool {
+			pairs = append(pairs, pair{k, v})
+			return true
+		})
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return a.k - b.k })
+	for _, p := range pairs {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
+// Scan emits every shard's pairs in ascending global key order.
+func (h *forestTortureHandle) Scan(fn func(key int, value int) bool) {
+	type pair struct{ k, v int }
+	var pairs []pair
+	for _, sh := range h.hs {
+		sh.Scan(func(k, v int) bool {
+			pairs = append(pairs, pair{k, v})
+			return true
+		})
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return a.k - b.k })
+	for _, p := range pairs {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
+// Snapshot is the weakly consistent downgrade, like the real forest's.
+func (h *forestTortureHandle) Snapshot() dict.Snapshot[int, int] {
+	return dict.NewWeakSnapshot[int, int](h)
 }
 
 func (h *forestTortureHandle) Close() {

@@ -29,7 +29,7 @@ type Config struct {
 	KeyRange int           // churn key range (default 64; small = conflict-heavy)
 
 	Impl    string // "", "citrus", "forest", or an impls registry name
-	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader" — citrus/forest only
+	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader", "scanstorm", "scanhog" — citrus/forest only (scanhog: citrus only)
 	Mutant  string // "", "ignoretags" — Citrus only
 	Recycle bool   // node recycling (citrus/forest; disables poisoning)
 	Shards  int    // forest shard count (default 4; forest only)
@@ -61,6 +61,13 @@ type Verdict struct {
 	ReclaimChecks     int64 `json:"reclaim_checks"`
 	ReclaimViolations int64 `json:"reclaim_violations"`
 	PoisonTrips       int64 `json:"poison_trips"`
+
+	// Scan-reader accounting: range scans completed by the round's
+	// dedicated scanner workers and the pairs they emitted. Scan-side
+	// violations (a missed permanent key, an out-of-order or out-of-bounds
+	// emission, a phantom key, a wrong value) are Failures, not counters.
+	ScanOps   int64 `json:"scan_ops,omitempty"`
+	ScanPairs int64 `json:"scan_pairs,omitempty"`
 
 	// Robustness accounting, populated by the stalledreader flavor (and
 	// by any flavor whose reclaimer sheds): stall reports fired by the
@@ -149,9 +156,32 @@ const (
 	stallBatch     = 64   // reclaimer drain batch
 )
 
+// Scan scenario knobs. scanstorm is the disciplined configuration: half
+// the churn workers become scanners whose traversals are BATCHED —
+// every scanBatch emissions the read-side critical section is dropped
+// and the scan re-descends by key — so grace periods keep completing
+// under the same bounded reclaimer the stalledreader scenario uses, and
+// the run fails if the hard cap ever sheds a callback. scanhog is its
+// negative control: the same scan-heavy duty cycle but each scan is one
+// UNBATCHED full-range traversal with a slow consumer (hogDwell per
+// emission) holding the critical section throughout, against a
+// deliberately tiny hard cap — the PR5 backpressure/stall machinery
+// must visibly trip (stall reports, shed callbacks), which the verdict
+// reports as a failure. A harness that passes scanhog could not have
+// detected a scan workload starving reclamation.
+const (
+	scanBatch = 8                      // scanstorm: emissions per read-side critical section
+	hogDwell  = 500 * time.Microsecond // scanhog: consumer dwell per emission, inside the CS
+	hogHigh   = 8                      // scanhog reclaimer high watermark
+	hogCap    = 32                     // scanhog reclaimer hard cap (tiny by design)
+	hogBatch  = 8                      // scanhog reclaimer drain batch
+)
+
 func buildCitrusSubject(cfg Config) (*subject, error) {
 	var inner rcu.Flavor
 	var stalldom *rcu.Domain
+	var recOpts []rcu.ReclaimerOption
+	var stallReports atomic.Int64
 	switch cfg.Flavor {
 	case "", "scalable":
 		inner = rcu.NewDomain()
@@ -176,12 +206,32 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 		stalldom.SetSiteCapture(true)
 		stalldom.SetStallTimeout(stallThreshold)
 		inner = stalldom
+	case "scanstorm":
+		// Scan-heavy robustness scenario: batched scans against the same
+		// bounded reclaimer stalledreader uses. Run fails the verdict if
+		// the hard cap ever sheds — batching must keep reclamation fed.
+		inner = rcu.NewDomain()
+		recOpts = append(recOpts,
+			rcu.WithHighWatermark(stallHigh),
+			rcu.WithHardCap(stallCap),
+			rcu.WithDrainBatch(stallBatch))
+	case "scanhog":
+		// Negative control for scan discipline: unbatched full-range
+		// scans with a slow consumer hold the read side while churn
+		// floods a reclaimer with a deliberately tiny hard cap. The shed
+		// callbacks (and stall reports) MUST surface as a failure.
+		sd := rcu.NewDomain()
+		sd.SetStallTimeout(stallThreshold)
+		sd.SetStallHandler(func(rcu.StallReport) { stallReports.Add(1) })
+		inner = sd
+		recOpts = append(recOpts,
+			rcu.WithHighWatermark(hogHigh),
+			rcu.WithHardCap(hogCap),
+			rcu.WithDrainBatch(hogBatch))
 	default:
-		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader)", cfg.Flavor)
+		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader, scanstorm, scanhog)", cfg.Flavor)
 	}
 	o := NewOracle(inner)
-	var recOpts []rcu.ReclaimerOption
-	var stallReports atomic.Int64
 	if stalldom != nil {
 		stalldom.SetStallHandler(func(rcu.StallReport) { stallReports.Add(1) })
 		recOpts = append(recOpts,
@@ -228,7 +278,7 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 		stopParker = func() { close(stop); <-done }
 	}
 	return &subject{
-		newHandle: func() dict.Handle[int, int] { return tr.NewHandle() },
+		newHandle: func() dict.Handle[int, int] { return coreTortureHandle{tr.NewHandle()} },
 		keys:      tr.Keys,
 		check:     tr.CheckInvariants,
 		barrier:   rec.Barrier,
@@ -266,6 +316,22 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 	}, nil
 }
 
+// coreTortureHandle lifts a core handle to dict.Handle with the weakly
+// consistent Snapshot downgrade (the same lift internal/impls applies).
+type coreTortureHandle struct{ *core.Handle[int, int] }
+
+func (h coreTortureHandle) Snapshot() dict.Snapshot[int, int] {
+	return dict.NewWeakSnapshot[int, int](h.Handle)
+}
+
+// batchedScanner is the optional bounded-dwell scan face a subject
+// handle may expose. The core handle has it (coreTortureHandle inherits
+// it by embedding); the forest's collect-per-shard scans already run in
+// bounded critical sections and fall back to plain RangeScan.
+type batchedScanner interface {
+	RangeScanBatched(lo, hi, batch int, fn func(key, value int) bool)
+}
+
 // splitmix64 is the standard seed expander (Steele et al.), used to
 // derive independent per-round and per-worker streams from the master
 // seed — the same derivation schedpoint uses for injection decisions.
@@ -285,11 +351,18 @@ func splitmix64(x uint64) uint64 {
 // range under the seeded injection policy, with keys ≡ 0 (mod 4)
 // permanent so any Contains miss on them is a caught false negative
 // (the Figure 4 failure mode) and any wrong value a caught corruption;
-// (2) quiesce — retirements are flushed, the reclamation oracle's
-// verdict is read, structural invariants are checked, and quiescent
-// iteration is cross-checked against point queries; (3) a small
-// recorded history is checked for linearizability, and a failing
-// history is shrunk to a locally minimal core before it is reported.
+// a quarter of the workers (half under the scan scenarios) are scan
+// readers whose range scans are checked in flight for the weak
+// consistency contract — strict ascent, bounds, no phantoms, every
+// permanent key in bounds present — and whose traversals feed the same
+// poison tripwire point reads use, so a reclaimed node visited mid-scan
+// is caught; (2) quiesce — retirements are flushed, the reclamation
+// oracle's verdict is read, structural invariants are checked, and
+// quiescent iteration is cross-checked against point queries; (3) a
+// small recorded history (point ops plus scans) is checked for
+// linearizability with the scan ops judged by the weak-consistency scan
+// spec, and a failing history is shrunk to a locally minimal core
+// before it is reported.
 func Run(cfg Config) (*Verdict, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Second
@@ -361,6 +434,20 @@ func Run(cfg Config) (*Verdict, error) {
 			v.fail("positive control: no sibling-shard grace periods completed while shard 0's reader was parked — the stall leaked across shards")
 		}
 	}
+	if (cfg.Flavor == "scanstorm" || cfg.Flavor == "scanhog") && len(v.Failures) == 0 {
+		// Both scan scenarios are judged by the same reclamation
+		// discipline: scans must not starve the reclaimer past its bound.
+		// scanstorm's batching satisfies it; scanhog's unbatched hogging
+		// violates it by design, so this is where the negative control's
+		// required failure comes from.
+		if v.ScanOps == 0 {
+			v.fail("positive control: the %s scenario completed no scans", cfg.Flavor)
+		}
+		if v.ReclaimDropped != 0 {
+			v.fail("scan reclamation discipline: the reclaimer shed %d callback(s) at its hard cap — scan-side critical sections starved grace periods past the memory bound (%d stall report(s), queue high-water %d)",
+				v.ReclaimDropped, v.StallReports, v.ReclaimQueueHighWater)
+		}
+	}
 	v.PointHits = pol.Hits()
 	v.ElapsedMS = time.Since(start).Milliseconds()
 	v.Passed = len(v.Failures) == 0
@@ -394,10 +481,104 @@ func runRound(cfg Config, v *Verdict, roundSeed uint64, slice time.Duration) {
 		falseNegs   atomic.Int64
 		corruptions atomic.Int64
 		wg          sync.WaitGroup
+
+		// Scan-reader verdicts, checked structurally inside every scan:
+		// a permanent key (≡ 0 mod 4) inside the bounds that the scan
+		// failed to emit, an emission that broke strict ascent, landed
+		// outside the requested bounds, named a key nobody could have
+		// inserted, or carried a value never stored under its key.
+		scanOps      atomic.Int64
+		scanPairs    atomic.Int64
+		scanMissing  atomic.Int64
+		scanUnsorted atomic.Int64
+		scanBounds   atomic.Int64
+		scanPhantom  atomic.Int64
+		scanBadValue atomic.Int64
 	)
+
+	// Scan readers join the churn: a quarter of the workers by default,
+	// half under the scan scenarios. Registry subjects and every citrus
+	// flavor get them — a poisoned node visited mid-scan lands in the
+	// same PoisonTrips tripwire the point operations use.
+	scanners := cfg.Threads / 4
+	if cfg.Flavor == "scanstorm" || cfg.Flavor == "scanhog" {
+		scanners = cfg.Threads / 2
+		if scanners < 1 {
+			scanners = 1
+		}
+	}
+
 	mix := workload.Mix{ContainsPct: 20, InsertPct: 40, DeletePct: 40}
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
+		if w < scanners {
+			go func(seed uint64) {
+				defer wg.Done()
+				h := s.newHandle()
+				defer h.Close()
+				rng := workload.NewRNG(seed)
+				n, pairs := int64(0), int64(0)
+				for !stop.Load() {
+					lo := rng.Intn(cfg.KeyRange)
+					hi := lo + 1 + rng.Intn(cfg.KeyRange-lo)
+					if cfg.Flavor == "scanhog" {
+						lo, hi = 0, cfg.KeyRange // one long unbatched traversal
+					}
+					prev := lo - 1
+					seen := make(map[int]bool, hi-lo)
+					emit := func(k, val int) bool {
+						pairs++
+						if k < lo || k >= hi {
+							scanBounds.Add(1)
+						}
+						if k <= prev {
+							scanUnsorted.Add(1)
+						}
+						prev = k
+						if k < 0 || k >= cfg.KeyRange {
+							scanPhantom.Add(1)
+						} else if val != k {
+							scanBadValue.Add(1)
+						}
+						seen[k] = true
+						if cfg.Flavor == "scanhog" {
+							time.Sleep(hogDwell) // slow consumer inside the CS
+						}
+						return true
+					}
+					switch {
+					case cfg.Flavor == "scanhog":
+						h.RangeScan(lo, hi, emit)
+					case cfg.Flavor == "scanstorm":
+						if bs, ok := h.(batchedScanner); ok {
+							bs.RangeScanBatched(lo, hi, scanBatch, emit)
+						} else {
+							// The forest collects per shard in bounded
+							// critical sections; the window is the batch.
+							h.RangeScan(lo, hi, emit)
+						}
+					case rng.Intn(8) == 0:
+						// Exercise the Snapshot face too: weakly
+						// consistent views promise the same contract.
+						snap := h.Snapshot()
+						snap.Range(lo, hi, emit)
+						snap.Close()
+					default:
+						h.RangeScan(lo, hi, emit)
+					}
+					for k := (lo + 3) / 4 * 4; k < hi; k += 4 {
+						if k >= 0 && !seen[k] {
+							scanMissing.Add(1)
+						}
+					}
+					n++
+				}
+				scanOps.Add(n)
+				scanPairs.Add(pairs)
+				ops.Add(n)
+			}(splitmix64(roundSeed ^ uint64(w)))
+			continue
+		}
 		go func(seed uint64) {
 			defer wg.Done()
 			h := s.newHandle()
@@ -438,6 +619,23 @@ func runRound(cfg Config, v *Verdict, roundSeed uint64, slice time.Duration) {
 	v.PermanentReads += permReads.Load()
 	v.FalseNegatives += falseNegs.Load()
 	v.ValueCorruptions += corruptions.Load()
+	v.ScanOps += scanOps.Load()
+	v.ScanPairs += scanPairs.Load()
+	if n := scanMissing.Load(); n != 0 {
+		v.fail("%d scan(s) missed a permanently present key inside their bounds (the weak-consistency must-appear clause failed)", n)
+	}
+	if n := scanUnsorted.Load(); n != 0 {
+		v.fail("%d scan emission(s) out of order or duplicated", n)
+	}
+	if n := scanBounds.Load(); n != 0 {
+		v.fail("%d scan emission(s) outside the requested bounds", n)
+	}
+	if n := scanPhantom.Load(); n != 0 {
+		v.fail("%d scan emission(s) of keys outside the key range — phantom reads", n)
+	}
+	if n := scanBadValue.Load(); n != 0 {
+		v.fail("%d scan emission(s) carried a value never stored under their key", n)
+	}
 
 	// Quiesce: flush retirements so the oracle has seen every
 	// reclamation this round caused, then read the verdicts.
@@ -510,13 +708,19 @@ func runHistory(cfg Config, v *Verdict, seed uint64) {
 			rng := workload.NewRNG(splitmix64(seed ^ uint64(p)))
 			for i := 0; i < 8; i++ {
 				k := rng.Intn(3)
-				switch rng.Intn(3) {
+				switch rng.Intn(4) {
 				case 0:
 					h.Insert(k, p*100+i) // distinct values expose stale reads
 				case 1:
 					h.Delete(k)
-				default:
+				case 2:
 					h.Contains(k)
+				default:
+					// Recorded scans are checked against the weak
+					// consistency spec (linearizability.CheckScans) while
+					// the point ops around them stay in the Wing & Gong
+					// search.
+					h.RangeScan(0, 3, func(int, int) bool { return true })
 				}
 			}
 		}(p)

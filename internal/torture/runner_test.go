@@ -218,6 +218,7 @@ func TestConfigValidation(t *testing.T) {
 		{Mutant: "bogus"},
 		{Impl: "Skiplist", Flavor: "classic"}, // knobs on a non-citrus subject
 		{Impl: "Skiplist", Recycle: true},
+		{Impl: "forest", Flavor: "scanhog"}, // the hog cannot hold a forest's read side
 	}
 	for _, cfg := range cases {
 		cfg.Duration = 50 * time.Millisecond

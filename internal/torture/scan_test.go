@@ -1,0 +1,121 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScanStormManySeeds: the acceptance gate for the scan scenario —
+// ten distinct injection schedules of scan-heavy churn (half the
+// workers running batched scans against the bounded reclaimer) must all
+// pass, including the in-flight weak-consistency checks on every scan
+// and the reclamation-discipline check that the hard cap never shed.
+// CI runs this under -race as well as without.
+func TestScanStormManySeeds(t *testing.T) {
+	dur := 300 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		v, err := Run(Config{
+			Seed:     seed,
+			Duration: dur,
+			Threads:  8,
+			KeyRange: 64,
+			Flavor:   "scanstorm",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Passed {
+			t.Fatalf("seed %d: scanstorm failed: %v (history: %v)", seed, v.Failures, v.MinimalHistory)
+		}
+		if v.ScanOps == 0 || v.ScanPairs == 0 {
+			t.Fatalf("seed %d: no scan work recorded (ops %d, pairs %d)", seed, v.ScanOps, v.ScanPairs)
+		}
+		if v.ReclaimDropped != 0 {
+			t.Fatalf("seed %d: batched scans still shed %d callback(s)", seed, v.ReclaimDropped)
+		}
+	}
+}
+
+// TestScanStormForest: the sharded configuration under the same
+// scenario — per-shard bounded reclaimers, scans merging across shards.
+func TestScanStormForest(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     3,
+		Duration: 400 * time.Millisecond,
+		Threads:  8,
+		KeyRange: 64,
+		Impl:     "forest",
+		Flavor:   "scanstorm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Passed {
+		t.Fatalf("forest scanstorm failed: %v", v.Failures)
+	}
+	if v.ScanOps == 0 {
+		t.Fatal("forest scanstorm completed no scans")
+	}
+}
+
+// TestNegativeControlScanHog: the scan-discipline negative control.
+// Unbatched full-range scans with a slow consumer hold the read-side
+// critical section for tens of milliseconds while churn floods a
+// reclaimer capped at hogCap callbacks: the PR5 backpressure machinery
+// MUST visibly trip (shed callbacks at the hard cap, stall reports from
+// the armed detector) and the harness MUST turn that into a failing
+// verdict. Fixed seed: a regression here is a deterministic repro.
+func TestNegativeControlScanHog(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     11,
+		Duration: 2 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Flavor:   "scanhog",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Fatalf("torture passed the scanhog negative control: verdict %+v", v)
+	}
+	if v.ReclaimDropped == 0 {
+		t.Fatalf("scanhog failed for the wrong reason — the hard cap never shed: %v", v.Failures)
+	}
+	found := false
+	for _, f := range v.Failures {
+		if strings.Contains(f, "hard cap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failure names the hard cap: %v", v.Failures)
+	}
+	t.Logf("scanhog tripped: %d dropped, %d stall reports, queue high-water %d, %d scans",
+		v.ReclaimDropped, v.StallReports, v.ReclaimQueueHighWater, v.ScanOps)
+}
+
+// TestScanReadersInDefaultRounds: scan readers are not scenario-only —
+// plain rounds dedicate a quarter of the workers to scanning, on citrus
+// and on registry subjects alike.
+func TestScanReadersInDefaultRounds(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 5, Duration: 200 * time.Millisecond, Threads: 8, KeyRange: 64},
+		{Seed: 5, Duration: 200 * time.Millisecond, Threads: 8, KeyRange: 64, Impl: "Skiplist"},
+	} {
+		v, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Passed {
+			t.Fatalf("%q: %v", cfg.Impl, v.Failures)
+		}
+		if v.ScanOps == 0 {
+			t.Fatalf("%q: default rounds ran no scans", cfg.Impl)
+		}
+	}
+}

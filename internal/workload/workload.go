@@ -14,10 +14,15 @@ import (
 // Mix is an operation distribution in percent. The paper names workloads
 // by their contains share ("100% contains", "98% contains", "50%
 // contains") with the remainder split evenly between insert and delete.
+// ScanPct is an extension beyond the paper: a share of range scans, with
+// starting keys drawn like any other key and lengths drawn by the caller
+// (see ScanLens for the Zipf-skewed length distribution the harness
+// uses).
 type Mix struct {
 	ContainsPct int
 	InsertPct   int
 	DeletePct   int
+	ScanPct     int
 }
 
 // ReadMostly returns the paper's standard mix with the given contains
@@ -33,14 +38,29 @@ func UpdateOnly() Mix { return Mix{InsertPct: 50, DeletePct: 50} }
 // ReadOnly is 100% contains.
 func ReadOnly() Mix { return Mix{ContainsPct: 100} }
 
+// ScanMixed is the mixed scan/update workload: scanPct range scans with
+// the remainder split evenly between inserts and deletes, so every scan
+// races ongoing structural churn.
+func ScanMixed(scanPct int) Mix {
+	rest := 100 - scanPct
+	return Mix{ScanPct: scanPct, InsertPct: rest / 2, DeletePct: rest - rest/2}
+}
+
+// ScanHeavy is the scan-dominated mix: 90% scans, 10% updates.
+func ScanHeavy() Mix { return ScanMixed(90) }
+
 func (m Mix) String() string {
-	return fmt.Sprintf("%d%%c/%d%%i/%d%%d", m.ContainsPct, m.InsertPct, m.DeletePct)
+	s := fmt.Sprintf("%d%%c/%d%%i/%d%%d", m.ContainsPct, m.InsertPct, m.DeletePct)
+	if m.ScanPct != 0 {
+		s += fmt.Sprintf("/%d%%s", m.ScanPct)
+	}
+	return s
 }
 
 // Valid reports whether the mix sums to 100%.
 func (m Mix) Valid() bool {
-	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 &&
-		m.ContainsPct+m.InsertPct+m.DeletePct == 100
+	return m.ContainsPct >= 0 && m.InsertPct >= 0 && m.DeletePct >= 0 && m.ScanPct >= 0 &&
+		m.ContainsPct+m.InsertPct+m.DeletePct+m.ScanPct == 100
 }
 
 // RNG is the per-worker pseudo-random generator: xorshift64*, the same
@@ -82,6 +102,7 @@ const (
 	OpContains OpKind = iota
 	OpInsert
 	OpDelete
+	OpScan
 )
 
 // NextOp draws an operation kind from the mix.
@@ -92,31 +113,76 @@ func (r *RNG) NextOp(m Mix) OpKind {
 		return OpContains
 	case p < m.ContainsPct+m.InsertPct:
 		return OpInsert
-	default:
+	case p < m.ContainsPct+m.InsertPct+m.DeletePct:
 		return OpDelete
+	default:
+		return OpScan
 	}
 }
 
 // Apply executes one randomly drawn operation against h, with the key
-// drawn uniformly, and returns its kind.
+// drawn uniformly, and returns its kind. Scans get a fixed short span
+// (keyRange/16); callers wanting Zipf-shaped spans drive ApplyScan with
+// a ScanLens themselves.
 func Apply(h dict.Handle[int, int], r *RNG, m Mix, keyRange int) OpKind {
 	kind := r.NextOp(m)
+	if kind == OpScan {
+		span := keyRange / 16
+		if span < 1 {
+			span = 1
+		}
+		ApplyScan(h, r.Intn(keyRange), span)
+		return kind
+	}
 	ApplyOp(h, kind, r.Intn(keyRange))
 	return kind
 }
 
 // ApplyOp executes one operation of the given kind on the given key;
 // callers that need a non-uniform key distribution (see Zipf) draw the
-// key themselves.
+// key themselves. OpScan needs a length and is not handled here — use
+// ApplyScan.
 func ApplyOp(h dict.Handle[int, int], kind OpKind, key int) {
 	switch kind {
 	case OpContains:
 		h.Contains(key)
 	case OpInsert:
 		h.Insert(key, key)
-	default:
+	case OpDelete:
 		h.Delete(key)
 	}
+}
+
+// ApplyScan runs one range scan over the half-open window [lo, lo+span)
+// and returns the number of pairs it visited.
+func ApplyScan(h dict.Handle[int, int], lo, span int) int {
+	pairs := 0
+	h.RangeScan(lo, lo+span, func(int, int) bool { pairs++; return true })
+	return pairs
+}
+
+// ScanLens draws range-scan spans Zipf(s)-skewed over [1, max]: most
+// scans are short, near-point probes, with a heavy tail of wide sweeps —
+// the shape real range-query traffic takes (small pagination windows
+// dominating, occasional full exports). s must be > 1 (the sampler's
+// requirement); 1.5 is a reasonable default.
+type ScanLens struct {
+	z *Zipf
+}
+
+// NewScanLens returns a span sampler over [1, max] with exponent s.
+func NewScanLens(rng *RNG, s float64, max int) *ScanLens {
+	if max < 1 {
+		max = 1
+	}
+	return &ScanLens{z: NewZipf(rng, s, 1, uint64(max-1))}
+}
+
+// Next draws the next span. Rank order maps directly to span (rank 0,
+// the most probable, is span 1) — no scattering, unlike Zipf.Intn,
+// because short spans being the common case IS the point.
+func (l *ScanLens) Next() int {
+	return 1 + int(l.z.Uint64())
 }
 
 // Prefill inserts exactly keyRange/2 distinct uniformly chosen keys, as
@@ -139,6 +205,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpScan:
+		return "scan"
 	default:
 		return "unknown"
 	}

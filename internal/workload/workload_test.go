@@ -128,3 +128,114 @@ func TestApplyCoversAllOps(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScanMixConstructors(t *testing.T) {
+	for _, pct := range []int{0, 30, 90, 100} {
+		m := ScanMixed(pct)
+		if !m.Valid() {
+			t.Fatalf("ScanMixed(%d) = %+v invalid", pct, m)
+		}
+		if m.ScanPct != pct || m.ContainsPct != 0 {
+			t.Fatalf("ScanMixed(%d) = %+v", pct, m)
+		}
+		if diff := m.InsertPct - m.DeletePct; diff < -1 || diff > 1 {
+			t.Fatalf("ScanMixed(%d) update split uneven: %+v", pct, m)
+		}
+	}
+	if m := ScanHeavy(); !m.Valid() || m.ScanPct != 90 {
+		t.Fatalf("ScanHeavy() = %+v", m)
+	}
+	if s := ScanMixed(30).String(); s != "0%c/35%i/35%d/30%s" {
+		t.Fatalf("ScanMixed(30).String() = %q", s)
+	}
+}
+
+func TestScanMixDrawsScans(t *testing.T) {
+	r := NewRNG(9)
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.NextOp(ScanMixed(30))]++
+	}
+	share := float64(counts[OpScan]) / n * 100
+	if share < 29 || share > 31 {
+		t.Fatalf("scan share = %.2f%%, want ≈30%%", share)
+	}
+	if counts[OpInsert] == 0 || counts[OpDelete] == 0 {
+		t.Fatal("no updates drawn from a 30% scan mix")
+	}
+	if counts[OpContains] != 0 {
+		t.Fatal("ScanMixed drew a contains")
+	}
+}
+
+// TestScanLensShape: spans stay in [1, max] and short spans dominate —
+// the median must sit well below the cap and span 1 must be the mode.
+func TestScanLensShape(t *testing.T) {
+	r := NewRNG(17)
+	lens := NewScanLens(r, 1.5, 512)
+	const n = 50000
+	counts := map[int]int{}
+	var all []int
+	for i := 0; i < n; i++ {
+		l := lens.Next()
+		if l < 1 || l > 512 {
+			t.Fatalf("span %d outside [1, 512]", l)
+		}
+		counts[l]++
+		all = append(all, l)
+	}
+	mode, best := 0, 0
+	for l, c := range counts {
+		if c > best {
+			mode, best = l, c
+		}
+	}
+	if mode != 1 {
+		t.Fatalf("modal span = %d, want 1", mode)
+	}
+	short := 0
+	for _, l := range all {
+		if l <= 16 {
+			short++
+		}
+	}
+	if float64(short)/n < 0.5 {
+		t.Fatalf("only %.1f%% of spans ≤ 16; the distribution is not short-dominated", float64(short)/n*100)
+	}
+	if counts[512] == 0 && counts[511] == 0 && counts[510] == 0 {
+		t.Log("note: no near-max spans drawn (tail is thin but legal)")
+	}
+}
+
+func TestApplyScanCountsPairs(t *testing.T) {
+	m := impls.NewCitrus[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	for k := 0; k < 100; k++ {
+		h.Insert(k, k)
+	}
+	if got := ApplyScan(h, 10, 20); got != 20 {
+		t.Fatalf("ApplyScan over a dense range visited %d pairs, want 20", got)
+	}
+	if got := ApplyScan(h, 90, 50); got != 10 {
+		t.Fatalf("ApplyScan past the end visited %d pairs, want 10", got)
+	}
+}
+
+func TestApplyHandlesScanMix(t *testing.T) {
+	m := impls.NewCitrus[int, int]()
+	h := m.NewHandle()
+	defer h.Close()
+	r := NewRNG(21)
+	seen := map[OpKind]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[Apply(h, r, ScanMixed(30), 64)] = true
+	}
+	if !seen[OpScan] || !seen[OpInsert] || !seen[OpDelete] {
+		t.Fatalf("Apply drew only %v", seen)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
