@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper bench-forest bench-scan loadtest stress torture torture-smoke torture-stall torture-forest torture-scan fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper bench-forest bench-scan bench-am loadtest stress torture torture-smoke torture-stall torture-forest torture-scan torture-ebr fuzz vet fmt clean
 
 all: build vet test
 
@@ -16,8 +16,11 @@ all: build vet test
 # ablation, the BENCH_PR6.json procs×shards sweep, an end-to-end
 # kvserver+citrusload load smoke with Prometheus-payload validation,
 # and fixed-seed torture smoke runs (correct build, the stalledreader robustness
-# scenario, the forest subject with its shard-isolation control, and the
-# scanstorm/scanhog scan pair with the s1 scan-figure bench smoke).
+# scenario, the forest subject with its shard-isolation control, the
+# scanstorm/scanhog scan pair with the s1 scan-figure bench smoke, and
+# the epoch-flavor pair: a 10-seed ebr race sweep plus the inverted
+# ebrearly negative control, with the am age-memory bench behind
+# BENCH_PR9.json).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -33,7 +36,9 @@ ci:
 	$(MAKE) torture-stall
 	$(MAKE) torture-forest
 	$(MAKE) torture-scan
+	$(MAKE) torture-ebr
 	$(MAKE) bench-scan
+	$(MAKE) bench-am
 
 build:
 	$(GO) build ./...
@@ -130,6 +135,26 @@ torture-scan:
 	$(GO) run ./cmd/citrustorture -flavor scanstorm -seed 1 -duration 4s -json citrustorture-scan.json
 	$(GO) run ./cmd/citrustorture -impl forest -flavor scanstorm -seed 1 -duration 4s -json citrustorture-scan-forest.json
 	! $(GO) run ./cmd/citrustorture -flavor scanhog -seed 11 -duration 2s -json citrustorture-scanhog.json
+
+# The epoch-based flavor (docs/RCU.md "Choosing a flavor"). The correct
+# build must pass a 10-seed sweep under the race detector — EBR's reader
+# fast path is a single unfenced-looking store and the race pass is what
+# certifies the happens-before edges behind it — and the ebrearly mutant
+# (advance threshold computed one epoch early, so pinned readers are
+# never waited for) MUST fail on its pinned seed; the leading `!`
+# inverts it.
+torture-ebr:
+	$(GO) run -race ./cmd/citrustorture -flavor ebr -seed 1 -seeds 10 -duration 2s -json citrustorture-ebr.json
+	$(GO) run ./cmd/citrustorture -impl forest -flavor ebr -seed 1 -duration 2s -json citrustorture-ebr-forest.json
+	! $(GO) run ./cmd/citrustorture -flavor ebrearly -seed 1 -duration 2s -json citrustorture-ebrearly.json
+
+# The age–memory figure behind BENCH_PR9.json: reclaimer backlog depth
+# and oldest-callback age sampled against throughput, across the three
+# RCU flavors × three watermark settings. Every cell records its
+# effective GOMAXPROCS; on a 1-CPU box the thread axis measures
+# timesharing and the JSON marks those cells with a caveat.
+bench-am:
+	$(GO) run ./cmd/citrusbench -figure am -threads 1,4,8 -json BENCH_PR9.json -note "age-memory flavor sweep"
 
 # The scan figure behind BENCH_PR8.json: range scans as first-class ops
 # racing structural churn (s1: 30% scans / 70% updates; s2: 90% scans),

@@ -301,6 +301,27 @@ func (h *Handle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
 // when fn returns false. Weakly consistent; see RangeScan.
 func (h *Handle[K, V]) Scan(fn func(key K, value V) bool) { h.inner.Scan(fn) }
 
+// RangeScanLimit is RangeScan bounded to at most limit pairs: the scan
+// stops after the limit-th emit even if fn kept returning true. On a
+// single tree the traversal already streams and stops early, so this is
+// purely a convenience — it exists so Tree and Forest handles offer the
+// same bounded-scan surface (ForestHandle.RangeScanLimit is where the
+// bound buys an O(limit × shards) memory guarantee). limit <= 0 scans
+// nothing.
+func (h *Handle[K, V]) RangeScanLimit(lo, hi K, limit int, fn func(key K, value V) bool) {
+	if limit <= 0 {
+		return
+	}
+	n := 0
+	h.inner.RangeScan(lo, hi, func(k K, v V) bool {
+		if !fn(k, v) {
+			return false
+		}
+		n++
+		return n < limit
+	})
+}
+
 // RangeScanBatched is RangeScan with bounded reader dwell: the read-side
 // critical section is dropped and re-acquired after every batch pairs
 // emitted, so a long scan never delays a grace period by more than one

@@ -131,3 +131,56 @@ func ExampleNewWithRecycling() {
 	// Output:
 	// len: 0
 }
+
+func TestPublicAPIWithEpochFlavor(t *testing.T) {
+	tree := citrus.NewWithFlavor[int, int](rcu.NewEpochDomain())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := tree.NewHandle()
+			defer h.Close()
+			for i := g * 100; i < (g+1)*100; i++ {
+				h.Insert(i, i)
+			}
+			for i := g * 100; i < (g+1)*100; i += 2 {
+				h.Delete(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tree.Len(); got != 200 {
+		t.Fatalf("Len() = %d, want 200", got)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleRangeScanLimit(t *testing.T) {
+	tree := citrus.New[int, int]()
+	h := tree.NewHandle()
+	defer h.Close()
+	for k := 0; k < 100; k++ {
+		h.Insert(k, k)
+	}
+	var got []int
+	h.RangeScanLimit(10, 90, 5, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("RangeScanLimit emitted %d pairs, want 5", len(got))
+	}
+	for i, k := range got {
+		if k != 10+i {
+			t.Fatalf("RangeScanLimit[%d] = %d, want %d", i, k, 10+i)
+		}
+	}
+	count := 0
+	h.RangeScanLimit(0, 100, 0, func(k, v int) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("limit 0 emitted %d pairs", count)
+	}
+}

@@ -47,6 +47,13 @@ type report struct {
 	// grace-period combining on vs off), with the domain's native
 	// lead/share accounting; present when figure a5 ran.
 	CombiningAblation []reportCombining `json:"combining_ablation,omitempty"`
+
+	// AgeMemory: the am figure — per (flavor, watermark, threads) cell,
+	// sampled reclaimer backlog depth and oldest-callback age against
+	// throughput; present when figure am ran. Cells where threads
+	// exceeded the effective GOMAXPROCS carry Timeshared=true and a
+	// Caveat explaining what the cell actually measured.
+	AgeMemory []reportAgeMemory `json:"age_memory,omitempty"`
 }
 
 type reportCell struct {
@@ -84,6 +91,32 @@ type reportCombining struct {
 	P99WaitNanos      int64   `json:"p99_wait_ns"`
 	FollowerWaits     int64   `json:"follower_waits"`
 	FollowerMeanNanos int64   `json:"follower_mean_ns"`
+}
+
+type reportAgeMemory struct {
+	Flavor     string `json:"flavor"`    // scalable | classic | ebr
+	Watermark  string `json:"watermark"` // unbounded | bounded | tight
+	Threads    int    `json:"threads"`
+	Procs      int    `json:"procs"`      // effective GOMAXPROCS for this cell
+	Timeshared bool   `json:"timeshared"` // threads > procs: goroutine timesharing, not parallelism
+	Caveat     string `json:"caveat,omitempty"`
+
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	// Sampled gauges over the measured window (2ms cadence).
+	QueueDepthPeak  int64   `json:"queue_depth_peak"`
+	QueueDepthMean  float64 `json:"queue_depth_mean"`
+	OldestAgePeakNs int64   `json:"oldest_age_peak_ns"`
+	OldestAgeMeanNs int64   `json:"oldest_age_mean_ns"`
+	Samples         int64   `json:"samples"`
+
+	// Final reclaimer counters, read before Close drained the backlog.
+	Deferred        int64 `json:"deferred"`
+	Executed        int64 `json:"executed"`
+	Dropped         int64 `json:"dropped"`
+	ExpeditedDrains int64 `json:"expedited_drains"`
+	GracePeriods    int64 `json:"grace_periods"`
+	QueueHighWater  int64 `json:"queue_high_water"`
 }
 
 type reportOverhead struct {
@@ -141,6 +174,13 @@ func (r *report) addCombining(c reportCombining) {
 		return
 	}
 	r.CombiningAblation = append(r.CombiningAblation, c)
+}
+
+func (r *report) addAgeMemory(a reportAgeMemory) {
+	if r == nil {
+		return
+	}
+	r.AgeMemory = append(r.AgeMemory, a)
 }
 
 func (r *report) addOverhead(o reportOverhead) {

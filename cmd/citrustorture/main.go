@@ -17,9 +17,16 @@
 //
 // Negative controls (see docs/VERIFICATION.md): `-flavor nosync`,
 // `-flavor snapearly` (grace-period combining with its sequence target
-// computed one stride early) and `-mutant ignoretags -recycle` are
-// deliberately broken builds that MUST fail; they verify the harness
-// can see the failures it hunts.
+// computed one stride early), `-flavor ebrearly` (the epoch flavor with
+// its advance threshold computed one epoch early, so pinned readers are
+// never waited for) and `-mutant ignoretags -recycle` are deliberately
+// broken builds that MUST fail; they verify the harness can see the
+// failures it hunts.
+//
+// `-flavor ebr` swaps the reclamation design under the same oracles:
+// the epoch-based rcu.EpochDomain instead of the default per-reader
+// counter+flag domain. It is expected to PASS — the point is that the
+// harness exercises the flavor seam, not just the default flavor.
 //
 // `-flavor stalledreader` is a robustness scenario: a dedicated reader
 // parks inside its critical section while churn floods the reclaimer,
@@ -70,7 +77,7 @@ func run(args []string, out *os.File) error {
 	var (
 		implName = fs.String("impl", "citrus", "subject: citrus, forest (sharded citrus), a registry name (see -list), or all")
 		list     = fs.Bool("list", false, "list subject names and exit")
-		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, a negative control (nosync, snapearly, scanhog), or a robustness scenario (stalledreader, scanstorm)")
+		flavor   = fs.String("flavor", "", "citrus RCU flavor: scalable (default), classic, ebr (epoch-based), a negative control (nosync, snapearly, ebrearly, scanhog), or a robustness scenario (stalledreader, scanstorm)")
 		mutant   = fs.String("mutant", "", "citrus mutant: ignoretags disables the line 38 tag validation (negative control)")
 		recycle  = fs.Bool("recycle", false, "torture citrus with node recycling (disables poisoning)")
 		seed     = fs.Uint64("seed", 1, "master seed: injection schedule + workloads derive from it")

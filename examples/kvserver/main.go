@@ -107,11 +107,22 @@ import (
 // kvConfig carries the robustness knobs from flags into the server.
 type kvConfig struct {
 	shards       int           // forest shard count; 1 = single tree
+	flavor       string        // RCU flavor name: scalable (default), classic, or ebr
 	opTimeout    time.Duration // per-write grace-period deadline (0 = unbounded)
 	stallTimeout time.Duration // RCU stall-detector threshold (0 = off)
 	recHigh      int           // reclaimer high watermark (expedited drain), per shard
 	recCap       int           // reclaimer hard cap (backpressure, then shed), per shard
 	drainTimeout time.Duration // how long shutdown waits for open connections
+}
+
+// flavorName normalizes the configured flavor for display and metric
+// labels: a zero-value config (tests build kvConfig literals) means the
+// default scalable domain.
+func (c kvConfig) flavorName() string {
+	if c.flavor == "" {
+		return "scalable"
+	}
+	return c.flavor
 }
 
 // maxScanResults caps every scan's result count, whatever the client
@@ -126,6 +137,7 @@ const maxScanResults = 1000
 func defaultKVConfig() kvConfig {
 	return kvConfig{
 		shards:       1,
+		flavor:       "scalable",
 		opTimeout:    2 * time.Second,
 		stallTimeout: 250 * time.Millisecond,
 		recHigh:      1024,
@@ -204,6 +216,7 @@ func main() {
 	blockRate := flag.Int("blockprofilerate", 0, "runtime.SetBlockProfileRate: sample blocking events ≥ n ns (0 disables)")
 	def := defaultKVConfig()
 	shards := flag.Int("shards", def.shards, "partition the key space across this many independently reclaimed Citrus trees (citrus.Forest); 1 = single tree")
+	flavor := flag.String("flavor", def.flavor, "RCU reclamation flavor backing every tree: scalable (per-reader counter+flag), classic (single shared counter), or ebr (epoch-based)")
 	opTimeout := flag.Duration("optimeout", def.opTimeout, "per-write grace-period deadline; expired DELs finish cleanup in the background (0 = unbounded)")
 	stall := flag.Duration("stall", def.stallTimeout, "RCU stall-detector threshold; stalled grace periods are logged and flip /healthz to degraded (0 disables)")
 	recHigh := flag.Int("reclaim-high", def.recHigh, "reclaimer high watermark: queue depth that triggers an expedited drain and write shedding")
@@ -215,8 +228,12 @@ func main() {
 	if *shards < 1 {
 		log.Fatalf("-shards must be at least 1, got %d", *shards)
 	}
+	if _, err := newRCUFlavor(*flavor); err != nil {
+		log.Fatalf("-flavor: %v", err)
+	}
 	cfg := kvConfig{
 		shards:       *shards,
+		flavor:       *flavor,
 		opTimeout:    *opTimeout,
 		stallTimeout: *stall,
 		recHigh:      *recHigh,
@@ -333,6 +350,7 @@ func (s *server) metrics() map[string]any {
 			"gp_timeouts":   s.gpTimeouts.Load(),
 			"stall_reports": s.stallReports.Load(),
 		},
+		"flavor":          s.cfg.flavorName(),
 		"request_latency": s.lat.summaries(),
 	}
 	for k, v := range s.store.Metrics() {
@@ -557,15 +575,17 @@ func (s *server) serveScan(w http.ResponseWriter, r *http.Request) {
 		Value string `json:"value"`
 	}
 	pairs := []pair{} // non-nil: an empty scan answers "pairs": []
-	truncated := false
-	h.RangeScan(from, to, func(k int64, v string) bool {
-		if len(pairs) == limit {
-			truncated = true
-			return false
-		}
+	// The bounded scan asks for one pair past the limit purely to learn
+	// whether the cap cut anything off; the forest backend buffers at
+	// most limit+1 pairs per shard regardless of how wide [from, to) is.
+	h.RangeScanLimit(from, to, limit+1, func(k int64, v string) bool {
 		pairs = append(pairs, pair{k, v})
 		return true
 	})
+	truncated := len(pairs) > limit
+	if truncated {
+		pairs = pairs[:limit]
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -721,10 +741,10 @@ func (s *server) execVerb(h storeHandle, verb string, fields []string) (reply st
 		}
 		var b strings.Builder
 		count := 0
-		h.RangeScan(lo, hi, func(k int64, v string) bool {
+		h.RangeScanLimit(lo, hi, n, func(k int64, v string) bool {
 			fmt.Fprintf(&b, "KEY %d %s\n", k, v)
 			count++
-			return count < n
+			return true
 		})
 		fmt.Fprintf(&b, "END %d", count)
 		return b.String(), false

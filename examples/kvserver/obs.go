@@ -133,6 +133,10 @@ func (s *server) servePromMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Counter("kvserver_stall_reports_total", "RCU stall-detector reports fired.", float64(s.stallReports.Load()))
 	e.Gauge("kvserver_keys", "Keys resident in the store.", float64(s.store.Len()))
 	e.Gauge("kvserver_shards", "Configured shard count.", float64(s.cfg.shards))
+	// Info-metric idiom: constant 1 carrying the configured RCU flavor
+	// as a label, so dashboards comparing flavors can join on it.
+	e.Gauge("kvserver_rcu_flavor_info", "Configured RCU reclamation flavor (label carries the name).", 1,
+		promtext.L("flavor", s.cfg.flavorName()))
 	deg, _ := s.degraded()
 	degVal := 0.0
 	if deg {
@@ -147,7 +151,11 @@ func (s *server) servePromMetrics(w http.ResponseWriter, r *http.Request) {
 			promtext.L("face", sr.face), promtext.L("op", sr.op))
 	}
 
-	// Per-shard library series.
+	// Per-shard library series. The RCU series additionally carry the
+	// flavor label: they are the series whose shape depends on the
+	// reclamation design (grace-period latency, reader counts), so a
+	// scrape comparing -flavor runs can split on it directly.
+	flavorL := promtext.L("flavor", s.cfg.flavorName())
 	for i, obs := range s.store.ShardObs() {
 		shard := promtext.L("shard", strconv.Itoa(i))
 		t := obs.Tree
@@ -167,16 +175,16 @@ func (s *server) servePromMetrics(w http.ResponseWriter, r *http.Request) {
 
 		if t.RCU != nil {
 			rs := *t.RCU
-			e.Counter("citrus_rcu_synchronizes_total", "Grace periods driven to completion.", float64(rs.Synchronizes), shard)
-			e.Counter("citrus_rcu_stalls_total", "Grace-period stall reports.", float64(rs.Stalls), shard)
-			e.Counter("citrus_rcu_sync_abandoned_total", "Bounded synchronize calls abandoned by their caller.", float64(rs.SyncAbandoned), shard)
-			e.Counter("citrus_rcu_sync_leads_total", "Synchronize calls that led a reader scan.", float64(rs.SyncLeads), shard)
-			e.Counter("citrus_rcu_sync_shares_total", "Synchronize calls that piggybacked on another caller's grace period.", float64(rs.SyncShares), shard)
-			e.Gauge("citrus_rcu_active_stalls", "Synchronize calls currently stalled past the threshold.", float64(rs.ActiveStalls), shard)
-			e.Gauge("citrus_rcu_active_syncs", "Synchronize calls currently in flight.", float64(rs.ActiveSyncs), shard)
-			e.Gauge("citrus_rcu_oldest_sync_age_seconds", "Age of the oldest in-flight grace period.", float64(rs.OldestSyncAgeNanos)/1e9, shard)
-			e.Gauge("citrus_rcu_readers", "Currently registered readers.", float64(rs.Readers), shard)
-			e.Histogram("citrus_rcu_sync_wait_seconds", "Grace-period wait distribution.", rs.SyncWait, shard)
+			e.Counter("citrus_rcu_synchronizes_total", "Grace periods driven to completion.", float64(rs.Synchronizes), shard, flavorL)
+			e.Counter("citrus_rcu_stalls_total", "Grace-period stall reports.", float64(rs.Stalls), shard, flavorL)
+			e.Counter("citrus_rcu_sync_abandoned_total", "Bounded synchronize calls abandoned by their caller.", float64(rs.SyncAbandoned), shard, flavorL)
+			e.Counter("citrus_rcu_sync_leads_total", "Synchronize calls that led a reader scan.", float64(rs.SyncLeads), shard, flavorL)
+			e.Counter("citrus_rcu_sync_shares_total", "Synchronize calls that piggybacked on another caller's grace period.", float64(rs.SyncShares), shard, flavorL)
+			e.Gauge("citrus_rcu_active_stalls", "Synchronize calls currently stalled past the threshold.", float64(rs.ActiveStalls), shard, flavorL)
+			e.Gauge("citrus_rcu_active_syncs", "Synchronize calls currently in flight.", float64(rs.ActiveSyncs), shard, flavorL)
+			e.Gauge("citrus_rcu_oldest_sync_age_seconds", "Age of the oldest in-flight grace period.", float64(rs.OldestSyncAgeNanos)/1e9, shard, flavorL)
+			e.Gauge("citrus_rcu_readers", "Currently registered readers.", float64(rs.Readers), shard, flavorL)
+			e.Histogram("citrus_rcu_sync_wait_seconds", "Grace-period wait distribution.", rs.SyncWait, shard, flavorL)
 		}
 
 		rc := obs.Reclaim

@@ -323,3 +323,75 @@ func TestShardedTraceEndpoint(t *testing.T) {
 		t.Fatalf("chrome trace should use one pid per shard, got %v", pids)
 	}
 }
+
+// TestFlavorSelection exercises every -flavor name on both backends:
+// the store runs real write traffic (so deletes drive grace periods
+// through the selected flavor), the Prometheus payload carries the
+// flavor label on the info metric and the RCU series, and the JSON
+// metrics document reports the name.
+func TestFlavorSelection(t *testing.T) {
+	for _, flavor := range []string{"scalable", "classic", "ebr"} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", flavor, shards), func(t *testing.T) {
+				cfg := defaultKVConfig()
+				cfg.flavor = flavor
+				cfg.shards = shards
+				s := newServer(cfg)
+				defer s.store.Close()
+				h := s.store.NewHandle()
+				defer h.Close()
+
+				for k := 0; k < 128; k++ {
+					if got, _ := s.exec(h, fmt.Sprintf("SET %d v%d", k, k)); got != "OK" {
+						t.Fatalf("SET %d = %q", k, got)
+					}
+				}
+				for k := 0; k < 128; k += 2 {
+					if got, _ := s.exec(h, fmt.Sprintf("DEL %d", k)); got != "OK" {
+						t.Fatalf("DEL %d = %q", k, got)
+					}
+				}
+				if got := s.store.Len(); got != 64 {
+					t.Fatalf("Len = %d, want 64", got)
+				}
+				if err := s.store.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+
+				m := promScrape(t, s)
+				info := m["kvserver_rcu_flavor_info"]
+				if info == nil || len(info.Samples) != 1 || info.Samples[0].Label("flavor") != flavor {
+					t.Fatalf("kvserver_rcu_flavor_info = %+v, want one sample labeled %q", info, flavor)
+				}
+				syncs := m["citrus_rcu_synchronizes_total"]
+				if syncs == nil || len(syncs.Samples) != shards {
+					t.Fatalf("citrus_rcu_synchronizes_total: %+v, want %d shard samples", syncs, shards)
+				}
+				for _, sm := range syncs.Samples {
+					if got := sm.Label("flavor"); got != flavor {
+						t.Fatalf("rcu series flavor label = %q, want %q", got, flavor)
+					}
+				}
+
+				var doc map[string]any
+				if err := json.Unmarshal([]byte(metricsJSON(t, s)), &doc); err != nil {
+					t.Fatal(err)
+				}
+				if got := doc["flavor"]; got != flavor {
+					t.Fatalf("/metrics flavor = %v, want %q", got, flavor)
+				}
+			})
+		}
+	}
+}
+
+// metricsJSON GETs the JSON /metrics document off the server mux.
+func metricsJSON(t *testing.T, s *server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.statsMux().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	return rec.Body.String()
+}

@@ -2,11 +2,58 @@ package main
 
 import (
 	"context"
+	"fmt"
 
 	citrus "github.com/go-citrus/citrus"
 	"github.com/go-citrus/citrus/citrustrace"
 	"github.com/go-citrus/citrus/rcu"
 )
+
+// newRCUFlavor maps a -flavor name to a factory producing one flavor
+// instance per call (the forest backend calls it once per shard, so
+// shards never share grace-period state). The three names cover the
+// library's reclamation designs: "scalable" is the per-reader
+// counter+flag rcu.Domain (the default and the paper's design),
+// "classic" is the single-counter rcu.ClassicDomain, and "ebr" is the
+// epoch-based rcu.EpochDomain. Every flavor returned here implements
+// rcu.StallControl and rcu.StatsSource, which the stores rely on for
+// the stall detector and the degradation probes.
+func newRCUFlavor(name string) (func() rcu.Flavor, error) {
+	switch name {
+	case "", "scalable":
+		return func() rcu.Flavor { return rcu.NewDomain() }, nil
+	case "classic":
+		return func() rcu.Flavor { return rcu.NewClassicDomain() }, nil
+	case "ebr":
+		return func() rcu.Flavor { return rcu.NewEpochDomain() }, nil
+	default:
+		return nil, fmt.Errorf("unknown RCU flavor %q (want scalable, classic, or ebr)", name)
+	}
+}
+
+// flavorStats reads a flavor's grace-period statistics, or a zero
+// Stats for a flavor that cannot report them (none of the built-in
+// three; the assertion is belt-and-braces for future flavors).
+func flavorStats(f rcu.Flavor) rcu.Stats {
+	if src, ok := f.(rcu.StatsSource); ok {
+		return src.Stats()
+	}
+	return rcu.Stats{}
+}
+
+// armStallDetector applies the shared stall-detector config to one
+// shard's flavor, if the flavor supports it.
+func armStallDetector(f rcu.Flavor, cfg kvConfig, shard int, onStall func(shard int, r rcu.StallReport)) {
+	sc, ok := f.(rcu.StallControl)
+	if !ok {
+		return
+	}
+	sc.SetSiteCapture(true)
+	if cfg.stallTimeout > 0 {
+		sc.SetStallTimeout(cfg.stallTimeout)
+		sc.SetStallHandler(func(r rcu.StallReport) { onStall(shard, r) })
+	}
+}
 
 // store abstracts the server's data plane so the TCP protocol and the
 // HTTP handlers are identical whether the backend is one Citrus tree
@@ -76,27 +123,36 @@ type storeHandle interface {
 	Insert(key int64, value string) bool
 	DeleteCtx(ctx context.Context, key int64) (bool, error)
 	RangeScan(lo, hi int64, fn func(key int64, value string) bool)
+	// RangeScanLimit is the bounded scan both faces serve: at most limit
+	// pairs, globally ascending. The forest's implementation buffers at
+	// most limit pairs per shard however large the range is, which is
+	// why the server routes every capped scan through it rather than
+	// counting inside a plain RangeScan callback.
+	RangeScanLimit(lo, hi int64, limit int, fn func(key int64, value string) bool)
 	Close()
 }
 
-// treeStore is the unsharded backend: one tree, one domain, one
-// reclaimer — the shape the rest of the file had before -shards.
+// treeStore is the unsharded backend: one tree, one flavor, one
+// reclaimer — the shape the rest of the file had before -shards. The
+// flavor is whatever -flavor selected; everything here goes through
+// the rcu.Flavor seam plus the optional StallControl/StatsSource
+// surfaces all built-in flavors implement.
 type treeStore struct {
 	tree *citrus.Tree[int64, string]
-	dom  *rcu.Domain
+	dom  rcu.Flavor
 	rec  *rcu.Reclaimer
 }
 
 func newTreeStore(cfg kvConfig, onStall func(shard int, r rcu.StallReport)) *treeStore {
-	dom := rcu.NewDomain()
-	dom.SetSiteCapture(true)
+	newFlavor, err := newRCUFlavor(cfg.flavor)
+	if err != nil {
+		panic(err) // main validated the name before building the config
+	}
+	dom := newFlavor()
 	rec := rcu.NewReclaimer(dom,
 		rcu.WithHighWatermark(cfg.recHigh),
 		rcu.WithHardCap(cfg.recCap))
-	if cfg.stallTimeout > 0 {
-		dom.SetStallTimeout(cfg.stallTimeout)
-		dom.SetStallHandler(func(r rcu.StallReport) { onStall(0, r) })
-	}
+	armStallDetector(dom, cfg, 0, onStall)
 	return &treeStore{
 		tree: citrus.NewWithRecycling[int64, string](dom, rec),
 		dom:  dom,
@@ -108,7 +164,7 @@ func (s *treeStore) NewHandle() storeHandle { return s.tree.NewHandle() }
 func (s *treeStore) Len() int               { return s.tree.Len() }
 func (s *treeStore) CheckInvariants() error { return s.tree.CheckInvariants() }
 func (s *treeStore) Stats() citrus.Stats    { return s.tree.Stats() }
-func (s *treeStore) ActiveStalls() int64    { return s.dom.Stats().ActiveStalls }
+func (s *treeStore) ActiveStalls() int64    { return flavorStats(s.dom).ActiveStalls }
 func (s *treeStore) MaxQueueDepth() int64   { return s.rec.QueueDepth() }
 func (s *treeStore) QueueDepth() int64      { return s.rec.QueueDepth() }
 func (s *treeStore) EnableTracing()         { s.tree.EnableTracing() }
@@ -124,7 +180,7 @@ func (s *treeStore) ShardObs() []shardObs {
 func (s *treeStore) Metrics() map[string]any {
 	return map[string]any{
 		"tree":      s.tree.Stats(),
-		"rcu":       s.dom.Stats(),
+		"rcu":       flavorStats(s.dom),
 		"reclaimer": s.rec.Stats(),
 	}
 }
@@ -139,18 +195,17 @@ type forestStore struct {
 }
 
 func newForestStore(cfg kvConfig, onStall func(shard int, r rcu.StallReport)) *forestStore {
+	newFlavor, err := newRCUFlavor(cfg.flavor)
+	if err != nil {
+		panic(err) // main validated the name before building the config
+	}
 	f := citrus.NewForest[int64, string](cfg.shards,
+		citrus.WithShardFlavor[int64](newFlavor),
 		citrus.WithShardReclaimerOptions[int64](
 			rcu.WithHighWatermark(cfg.recHigh),
 			rcu.WithHardCap(cfg.recCap)))
 	for i := 0; i < f.NumShards(); i++ {
-		dom := f.Domain(i)
-		dom.SetSiteCapture(true)
-		if cfg.stallTimeout > 0 {
-			shard := i
-			dom.SetStallTimeout(cfg.stallTimeout)
-			dom.SetStallHandler(func(r rcu.StallReport) { onStall(shard, r) })
-		}
+		armStallDetector(f.Flavor(i), cfg, i, onStall)
 	}
 	return &forestStore{f: f}
 }
@@ -177,7 +232,7 @@ func (s *forestStore) ShardObs() []shardObs {
 func (s *forestStore) ActiveStalls() int64 {
 	var n int64
 	for i := 0; i < s.f.NumShards(); i++ {
-		n += s.f.Domain(i).Stats().ActiveStalls
+		n += flavorStats(s.f.Flavor(i)).ActiveStalls
 	}
 	return n
 }

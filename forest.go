@@ -52,10 +52,11 @@ type Forest[K cmp.Ordered, V any] struct {
 }
 
 // forestShard is one partition: a core tree with recycling, its private
-// RCU domain, and the reclaimer that runs the shard's deferred frees.
+// RCU flavor (a scalable rcu.Domain unless WithShardFlavor says
+// otherwise), and the reclaimer that runs the shard's deferred frees.
 type forestShard[K cmp.Ordered, V any] struct {
 	tree *core.Tree[K, V]
-	dom  *rcu.Domain
+	dom  rcu.Flavor
 	rec  *rcu.Reclaimer
 }
 
@@ -66,6 +67,7 @@ type forestConfig[K cmp.Ordered] struct {
 	seed    maphash.Seed
 	part    func(K) int
 	recOpts []rcu.ReclaimerOption
+	flavor  func() rcu.Flavor
 }
 
 // WithForestSeed sets the routing seed. Forests (and rhash maps, and
@@ -92,6 +94,17 @@ func WithShardReclaimerOptions[K cmp.Ordered](opts ...rcu.ReclaimerOption) Fores
 	return func(c *forestConfig[K]) { c.recOpts = append(c.recOpts, opts...) }
 }
 
+// WithShardFlavor replaces the default scalable rcu.Domain with a
+// caller-chosen RCU flavor: newFlavor is called once per shard, so each
+// shard still owns a private grace-period domain (the isolation the
+// forest exists for). Flavors implementing the optional surfaces —
+// rcu.Traceable, rcu.StatsSource, rcu.StallControl — keep the forest's
+// tracing, stats folding and stall wiring working; all three shipped
+// flavors (Domain, ClassicDomain, EpochDomain) implement all of them.
+func WithShardFlavor[K cmp.Ordered](newFlavor func() rcu.Flavor) ForestOption[K] {
+	return func(c *forestConfig[K]) { c.flavor = newFlavor }
+}
+
 // NewForest returns an empty forest of the given number of shards. Each
 // shard is an independent Citrus tree with node recycling, its own
 // scalable RCU domain (rcu.Domain) and its own reclaimer; the forest
@@ -116,7 +129,12 @@ func NewForest[K cmp.Ordered, V any](shards int, opts ...ForestOption[K]) *Fores
 		f.part = router.Partition
 	}
 	for i := range f.shards {
-		dom := rcu.NewDomain()
+		var dom rcu.Flavor
+		if cfg.flavor != nil {
+			dom = cfg.flavor()
+		} else {
+			dom = rcu.NewDomain()
+		}
 		rec := rcu.NewReclaimer(dom, cfg.recOpts...)
 		f.shards[i] = forestShard[K, V]{
 			tree: core.NewTreeWithRecycling[K, V](dom, rec),
@@ -139,9 +157,19 @@ func (f *Forest[K, V]) shardFor(key K) int {
 	return s
 }
 
-// Domain returns shard i's RCU domain, for wiring stall handlers,
-// timeouts or site capture per shard.
-func (f *Forest[K, V]) Domain(i int) *rcu.Domain { return f.shards[i].dom }
+// Domain returns shard i's RCU domain when the shard runs the default
+// scalable flavor, nil when WithShardFlavor installed something else.
+// Flavor-generic callers (stall wiring, stats) should use Flavor and
+// type-assert the optional surface they need.
+func (f *Forest[K, V]) Domain(i int) *rcu.Domain {
+	d, _ := f.shards[i].dom.(*rcu.Domain)
+	return d
+}
+
+// Flavor returns shard i's RCU flavor, whatever its concrete type: the
+// seam for wiring stall handlers (rcu.StallControl), tracing
+// (rcu.Traceable) or stats (rcu.StatsSource) per shard.
+func (f *Forest[K, V]) Flavor(i int) rcu.Flavor { return f.shards[i].dom }
 
 // EnableTracing attaches one fresh flight recorder per shard and
 // returns them, index-aligned with routing. Each shard's tree
@@ -154,7 +182,9 @@ func (f *Forest[K, V]) EnableTracing(opts ...citrustrace.Option) []*citrustrace.
 	recs := make([]*citrustrace.Recorder, len(f.shards))
 	for i := range f.shards {
 		rec := citrustrace.New(opts...)
-		f.shards[i].dom.SetTracer(rec.SyncTracer("rcu"))
+		if tr, ok := f.shards[i].dom.(rcu.Traceable); ok {
+			tr.SetTracer(rec.SyncTracer("rcu"))
+		}
 		f.shards[i].tree.SetTracer(rec)
 		recs[i] = rec
 	}
@@ -168,7 +198,9 @@ func (f *Forest[K, V]) EnableTracing(opts ...citrustrace.Option) []*citrustrace.
 func (f *Forest[K, V]) DisableTracing() {
 	for i := range f.shards {
 		f.shards[i].tree.SetTracer(nil)
-		f.shards[i].dom.SetTracer(nil)
+		if tr, ok := f.shards[i].dom.(rcu.Traceable); ok {
+			tr.SetTracer(nil)
+		}
 	}
 }
 
@@ -424,6 +456,44 @@ func (h *ForestHandle[K, V]) DeleteCtx(ctx context.Context, key K) (bool, error)
 // forest's usual none: each shard's slice reflects a different instant.
 func (h *ForestHandle[K, V]) RangeScan(lo, hi K, fn func(key K, value V) bool) {
 	h.scan(&lo, &hi, fn)
+}
+
+// RangeScanLimit is RangeScan bounded to at most limit pairs: fn sees
+// the first limit in-range pairs in ascending global key order (fewer
+// if fn stops early or the range is smaller). The bound is enforced on
+// the collection side, per shard: each shard emits its in-range pairs
+// ascending, so its first limit pairs are the only candidates for the
+// global first limit, and the scan buffers O(limit × shards) pairs no
+// matter how large the range is — the memory bound plain RangeScan
+// with an early-stopping fn cannot give, since it has already collected
+// every shard's full result set by the time fn sees pair one. limit <=
+// 0 scans nothing.
+func (h *ForestHandle[K, V]) RangeScanLimit(lo, hi K, limit int, fn func(key K, value V) bool) {
+	if limit <= 0 {
+		return
+	}
+	type pair struct {
+		key   K
+		value V
+	}
+	pairs := make([]pair, 0, min(limit, 1024))
+	for _, sh := range h.hs {
+		n := 0
+		sh.RangeScan(lo, hi, func(k K, v V) bool {
+			pairs = append(pairs, pair{k, v})
+			n++
+			return n < limit
+		})
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return cmp.Compare(a.key, b.key) })
+	if len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	for i := range pairs {
+		if !fn(pairs[i].key, pairs[i].value) {
+			return
+		}
+	}
 }
 
 // Scan calls fn for every pair in ascending global key order, stopping

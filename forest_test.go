@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/go-citrus/citrus/rcu"
 )
 
 func TestForestBasicOps(t *testing.T) {
@@ -514,4 +516,105 @@ func TestForestTracingMergedDump(t *testing.T) {
 	if tr := f.DumpTrace(); len(tr.Events) != 0 || !tr.Epoch.IsZero() {
 		t.Fatalf("dump after disable should be empty, got %d events", len(tr.Events))
 	}
+}
+
+func TestForestShardFlavorEBR(t *testing.T) {
+	f := NewForest[int, int](4,
+		WithShardFlavor[int](func() rcu.Flavor { return rcu.NewEpochDomain() }))
+	defer f.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, ok := f.Flavor(i).(*rcu.EpochDomain); !ok {
+			t.Fatalf("Flavor(%d) = %T, want *rcu.EpochDomain", i, f.Flavor(i))
+		}
+		if f.Domain(i) != nil {
+			t.Fatalf("Domain(%d) = %v, want nil for a non-Domain flavor", i, f.Domain(i))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := f.NewHandle()
+			defer h.Close()
+			for i := g * 256; i < (g+1)*256; i++ {
+				h.Insert(i, i)
+			}
+			for i := g * 256; i < (g+1)*256; i += 2 {
+				h.Delete(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Len(); got != 512 {
+		t.Fatalf("Len() = %d, want 512", got)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every shard's epoch domain must have run real grace periods for
+	// the deletes above to have retired nodes.
+	syncs := int64(0)
+	for i := 0; i < 4; i++ {
+		syncs += f.Flavor(i).(*rcu.EpochDomain).Stats().Synchronizes
+	}
+	if syncs == 0 {
+		t.Fatal("no Synchronizes recorded across EBR shards despite deletes")
+	}
+}
+
+func TestForestRangeScanLimit(t *testing.T) {
+	f := NewForest[int, int](8)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	const n = 1000
+	for k := 0; k < n; k++ {
+		h.Insert(k, k*10)
+	}
+
+	// The bounded scan must yield the globally smallest `limit` keys in
+	// ascending order, exactly as an unbounded scan truncated would.
+	var got []int
+	h.RangeScanLimit(100, 900, 25, func(k, v int) bool {
+		if v != k*10 {
+			t.Fatalf("RangeScanLimit pair (%d, %d) has wrong value", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 25 {
+		t.Fatalf("RangeScanLimit emitted %d pairs, want 25", len(got))
+	}
+	for i, k := range got {
+		if k != 100+i {
+			t.Fatalf("RangeScanLimit[%d] = %d, want %d (global ascending order)", i, k, 100+i)
+		}
+	}
+
+	// A limit past the in-range population degrades to the full result.
+	count := 0
+	h.RangeScanLimit(990, 2000, 100, func(k, v int) bool { count++; return true })
+	if count != 10 {
+		t.Fatalf("over-sized limit emitted %d pairs, want 10", count)
+	}
+
+	// fn returning false stops mid-emit.
+	count = 0
+	h.RangeScanLimit(0, n, 50, func(k, v int) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Fatalf("early-stop scan emitted %d pairs, want 7", count)
+	}
+
+	// Degenerate limits scan nothing.
+	h.RangeScanLimit(0, n, 0, func(k, v int) bool {
+		t.Fatal("limit 0 emitted a pair")
+		return false
+	})
+	h.RangeScanLimit(0, n, -3, func(k, v int) bool {
+		t.Fatal("negative limit emitted a pair")
+		return false
+	})
 }

@@ -36,6 +36,7 @@ import (
 const (
 	NameCitrus        = "Citrus"
 	NameCitrusClassic = "Citrus (standard RCU)"
+	NameCitrusEBR     = "Citrus (EBR)"
 	NameAVL           = "AVL"
 	NameSkiplist      = "Skiplist"
 	NameBonsai        = "Bonsai"
@@ -56,6 +57,14 @@ func NewCitrus[K cmp.Ordered, V any]() dict.Map[K, V] {
 // flavor — the left-hand series of the paper's Figure 8.
 func NewCitrusClassic[K cmp.Ordered, V any]() dict.Map[K, V] {
 	return &citrusMap[K, V]{t: core.NewTree[K, V](rcu.NewClassicDomain()), name: NameCitrusClassic}
+}
+
+// NewCitrusEBR returns a Citrus tree on the epoch-based reclamation
+// flavor — readers pin a global epoch instead of publishing per-section
+// counters, trading the scalable flavor's per-reader stores for a
+// single shared epoch word (see rcu.EpochDomain).
+func NewCitrusEBR[K cmp.Ordered, V any]() dict.Map[K, V] {
+	return &citrusMap[K, V]{t: core.NewTree[K, V](rcu.NewEpochDomain()), name: NameCitrusEBR}
 }
 
 // AblationNoSyncCitrus builds the A3 ablation subject: Citrus over a
@@ -377,6 +386,7 @@ func All[K cmp.Ordered, V any]() []NamedFactory[K, V] {
 	return []NamedFactory[K, V]{
 		{NameCitrus, NewCitrus[K, V]},
 		{NameCitrusClassic, NewCitrusClassic[K, V]},
+		{NameCitrusEBR, NewCitrusEBR[K, V]},
 		{NameAVL, NewAVL[K, V]},
 		{NameSkiplist, NewSkiplist[K, V]},
 		{NameBonsai, NewBonsai[K, V]},

@@ -26,8 +26,8 @@ import (
 // positive control demands both that shard 0 reports stalls AND that
 // the sibling shards' grace periods kept completing while it was
 // parked (Verdict.SiblingSyncs > 0). The negative controls (nosync,
-// snapearly) apply to every shard — routing must not launder a broken
-// grace period into a pass.
+// snapearly, ebrearly) apply to every shard — routing must not launder
+// a broken grace period into a pass.
 type forestSubject struct {
 	router  partition.Router[int]
 	trees   []*core.Tree[int, int]
@@ -53,6 +53,12 @@ func buildForestSubject(cfg Config) (*subject, error) {
 			sd := rcu.NewDomain()
 			sd.SetSnapEarlyMutant(true)
 			return sd, nil
+		case "ebr":
+			return rcu.NewEpochDomain(), nil
+		case "ebrearly":
+			ed := rcu.NewEpochDomain()
+			ed.SetAdvanceEarlyMutant(true)
+			return ed, nil
 		case "stalledreader":
 			d := rcu.NewDomain()
 			if shard == 0 {
@@ -68,7 +74,7 @@ func buildForestSubject(cfg Config) (*subject, error) {
 		case "scanhog":
 			return nil, fmt.Errorf("scanhog applies only to the citrus subject: the forest's scans collect per shard and emit outside the critical sections, so a slow consumer cannot hog the read side")
 		default:
-			return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader, scanstorm)", cfg.Flavor)
+			return nil, fmt.Errorf("unknown flavor %q (scalable, classic, ebr, nosync, snapearly, ebrearly, stalledreader, scanstorm)", cfg.Flavor)
 		}
 	}
 

@@ -29,7 +29,7 @@ type Config struct {
 	KeyRange int           // churn key range (default 64; small = conflict-heavy)
 
 	Impl    string // "", "citrus", "forest", or an impls registry name
-	Flavor  string // "", "scalable", "classic", "nosync", "snapearly", "stalledreader", "scanstorm", "scanhog" — citrus/forest only (scanhog: citrus only)
+	Flavor  string // "", "scalable", "classic", "ebr", "nosync", "snapearly", "ebrearly", "stalledreader", "scanstorm", "scanhog" — citrus/forest only (scanhog: citrus only)
 	Mutant  string // "", "ignoretags" — Citrus only
 	Recycle bool   // node recycling (citrus/forest; disables poisoning)
 	Shards  int    // forest shard count (default 4; forest only)
@@ -196,6 +196,21 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 		sd := rcu.NewDomain()
 		sd.SetSnapEarlyMutant(true)
 		inner = sd
+	case "ebr":
+		// Epoch-based reclamation: readers pin the global epoch instead
+		// of publishing per-section counters, and Synchronize advances
+		// the epoch twice. Same oracle, same churn — the flavor seam is
+		// the only thing that changes.
+		inner = rcu.NewEpochDomain()
+	case "ebrearly":
+		// Negative control for the epoch flavor: the advance threshold is
+		// computed one epoch early, so pre-existing pinned readers are
+		// never waited for and Synchronize returns immediately over live
+		// critical sections. The reclamation oracle must catch the
+		// premature reclamations this allows.
+		ed := rcu.NewEpochDomain()
+		ed.SetAdvanceEarlyMutant(true)
+		inner = ed
 	case "stalledreader":
 		// Robustness scenario: a dedicated reader goroutine parks inside
 		// its critical section, stalling every grace period it predates.
@@ -229,7 +244,7 @@ func buildCitrusSubject(cfg Config) (*subject, error) {
 			rcu.WithHardCap(hogCap),
 			rcu.WithDrainBatch(hogBatch))
 	default:
-		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, nosync, snapearly, stalledreader, scanstorm, scanhog)", cfg.Flavor)
+		return nil, fmt.Errorf("unknown flavor %q (scalable, classic, ebr, nosync, snapearly, ebrearly, stalledreader, scanstorm, scanhog)", cfg.Flavor)
 	}
 	o := NewOracle(inner)
 	if stalldom != nil {

@@ -80,9 +80,31 @@ func TestNegativeControlSnapEarly(t *testing.T) {
 	t.Logf("snapearly caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
 }
 
-// TestRealBuildSurvivesManySeeds: the correct tree on both flavors must
-// pass under distinct injection schedules — the oracle suite has no
-// false positives. Ten seeds per the acceptance criteria.
+// TestNegativeControlEBREarly: the epoch-flavor mutant whose advance
+// threshold is computed one epoch early — so Synchronize never waits
+// for readers pinned at the entry epoch — must be caught on its pinned
+// seed, proving the reclamation oracle bites on the EBR design too and
+// an ebr PASS means something.
+func TestNegativeControlEBREarly(t *testing.T) {
+	v, err := Run(Config{
+		Seed:     1,
+		Duration: 4 * time.Second,
+		Threads:  8,
+		KeyRange: 64,
+		Flavor:   "ebrearly",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Fatalf("torture passed the ebrearly mutant: verdict %+v", v)
+	}
+	t.Logf("ebrearly caught in %dms after %d ops: %v", v.ElapsedMS, v.Ops, v.Failures)
+}
+
+// TestRealBuildSurvivesManySeeds: the correct tree on all three flavors
+// must pass under distinct injection schedules — the oracle suite has
+// no false positives. Ten seeds per the acceptance criteria.
 func TestRealBuildSurvivesManySeeds(t *testing.T) {
 	dur := 250 * time.Millisecond
 	if testing.Short() {
@@ -90,8 +112,11 @@ func TestRealBuildSurvivesManySeeds(t *testing.T) {
 	}
 	for seed := uint64(1); seed <= 10; seed++ {
 		flavor := "scalable"
-		if seed%2 == 0 {
+		switch seed % 3 {
+		case 0:
 			flavor = "classic"
+		case 1:
+			flavor = "ebr"
 		}
 		v, err := Run(Config{
 			Seed:     seed,

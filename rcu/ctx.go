@@ -39,8 +39,8 @@ func (e *gpTimeoutError) Unwrap() []error { return []error{ErrGracePeriodTimeout
 func GracePeriodTimeout(cause error) error { return &gpTimeoutError{cause: cause} }
 
 // A ContextSynchronizer is a flavor whose grace-period wait can be
-// bounded by a context. Domain and ClassicDomain implement it;
-// SynchronizeContext type-asserts against it and falls back to a
+// bounded by a context. Domain, ClassicDomain and EpochDomain implement
+// it; SynchronizeContext type-asserts against it and falls back to a
 // generic wrapper for flavors that do not.
 type ContextSynchronizer interface {
 	// SynchronizeCtx waits like Flavor.Synchronize but returns early
@@ -54,6 +54,7 @@ type ContextSynchronizer interface {
 var (
 	_ ContextSynchronizer = (*Domain)(nil)
 	_ ContextSynchronizer = (*ClassicDomain)(nil)
+	_ ContextSynchronizer = (*EpochDomain)(nil)
 )
 
 // BeginSynchronize starts one grace period on f in a background
@@ -160,6 +161,24 @@ func (h *ClassicHandle) SynchronizeCtx(ctx context.Context) error {
 	d := h.d
 	if d == nil {
 		panic("rcu: ClassicHandle used after Unregister")
+	}
+	return d.SynchronizeCtx(ctx)
+}
+
+// SynchronizeCtx waits for all pre-existing read-side critical sections
+// like Synchronize, but returns early — with an error matching both
+// ErrGracePeriodTimeout and ctx.Err() — when ctx is done first. See
+// Domain.SynchronizeCtx for the exact semantics.
+func (d *EpochDomain) SynchronizeCtx(ctx context.Context) error {
+	return synchronizeCtx(ctx, d, &d.stats)
+}
+
+// SynchronizeCtx bounds a grace-period wait on the handle's domain with
+// ctx; see Domain.SynchronizeCtx.
+func (h *EpochHandle) SynchronizeCtx(ctx context.Context) error {
+	d := h.d
+	if d == nil {
+		panic("rcu: EpochHandle used after Unregister")
 	}
 	return d.SynchronizeCtx(ctx)
 }

@@ -25,7 +25,8 @@ type Reader interface {
 }
 
 // A Flavor is a grace-period provider: a registry of readers plus a
-// Synchronize implementation. Domain and ClassicDomain implement Flavor.
+// Synchronize implementation. Domain, ClassicDomain and EpochDomain
+// implement Flavor.
 type Flavor interface {
 	// Register adds the calling goroutine as a reader and returns its
 	// handle. Register may be called concurrently.
@@ -39,6 +40,8 @@ type Flavor interface {
 var (
 	_ Flavor = (*Domain)(nil)
 	_ Flavor = (*ClassicDomain)(nil)
+	_ Flavor = (*EpochDomain)(nil)
 	_ Reader = (*Handle)(nil)
 	_ Reader = (*ClassicHandle)(nil)
+	_ Reader = (*EpochHandle)(nil)
 )

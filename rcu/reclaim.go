@@ -336,6 +336,14 @@ func (r *Reclaimer) enqueue(fn func(), bypassCap bool) deferStatus {
 		r.mu.Unlock()
 		if waited || !r.waitBelowCap() {
 			r.mu.Lock()
+			if r.closed {
+				// Close arrived during the backpressure wait: this is a
+				// defer-after-close, not a cap drop — Defer must panic,
+				// TryDefer must report closed, and the drop counter must
+				// not move on a closed reclaimer.
+				r.mu.Unlock()
+				return deferClosed
+			}
 			r.dropped++
 			r.mu.Unlock()
 			return deferDropped
@@ -345,8 +353,10 @@ func (r *Reclaimer) enqueue(fn func(), bypassCap bool) deferStatus {
 }
 
 // waitBelowCap applies backpressure: it blocks, polling, until the
-// queue depth falls below the cap or the backpressure window expires.
-// It reports whether room appeared.
+// queue depth falls below the cap, the backpressure window expires, or
+// the reclaimer closes. It reports whether room appeared; on close it
+// returns false immediately so the caller's closed re-check decides the
+// outcome instead of the wait running out its full window.
 func (r *Reclaimer) waitBelowCap() bool {
 	if r.backpressure <= 0 {
 		return false
@@ -354,17 +364,28 @@ func (r *Reclaimer) waitBelowCap() bool {
 	r.kick() // make sure the drain is running while we wait on it
 	deadline := time.Now().Add(r.backpressure)
 	for {
-		time.Sleep(capPollInterval)
+		time.Sleep(capPollSleep(time.Until(deadline)))
 		r.mu.Lock()
 		room := r.depth < int64(r.cap)
+		closed := r.closed
 		r.mu.Unlock()
 		if room {
 			return true
 		}
-		if !time.Now().Before(deadline) {
+		if closed || !time.Now().Before(deadline) {
 			return false
 		}
 	}
+}
+
+// capPollSleep bounds one backpressure poll's sleep: the usual poll
+// interval, clamped to the window remaining so a sub-interval
+// backpressure setting is not rounded up to a full 50µs sleep.
+func capPollSleep(remaining time.Duration) time.Duration {
+	if remaining < capPollInterval {
+		return remaining
+	}
+	return capPollInterval
 }
 
 // kick wakes the drain loop; a pending wakeup coalesces.

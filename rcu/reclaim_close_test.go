@@ -1,0 +1,209 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression tests for the close-vs-backpressure shutdown races: an
+// enqueue that hits the hard cap and waits out (or breaks out of) the
+// backpressure window must re-check closed before accounting a drop,
+// and the backpressure poll itself must notice Close instead of
+// spinning through its whole window against a reclaimer that can never
+// make room again.
+
+// fillToCap parks a reader (blocking every grace period, so the drain
+// can free no room) and fills the queue to the hard cap. It returns the
+// parked reader's release func.
+func fillToCap(t *testing.T, d Flavor, r *Reclaimer, cap int) (release func()) {
+	t.Helper()
+	release = parkReader(t, d)
+	for i := 0; i < cap; i++ {
+		if !r.TryDefer(func() {}) {
+			t.Fatalf("TryDefer %d/%d rejected while filling to the cap", i+1, cap)
+		}
+	}
+	return release
+}
+
+// TestTryDeferClosedMidBackpressureReportsClosed pins the shutdown-path
+// fix: a TryDefer blocked at the cap when Close arrives must return
+// promptly (not poll out its whole backpressure window), report closed
+// rather than a cap drop, and leave the drop counter untouched.
+func TestTryDeferClosedMidBackpressureReportsClosed(t *testing.T) {
+	d := NewDomain()
+	// The huge backpressure window is the point: the old code polled it
+	// to exhaustion even though Close made room impossible, so a prompt
+	// return proves the close break-out.
+	r := NewReclaimer(d, WithHardCap(4), WithBackpressure(30*time.Second))
+	release := fillToCap(t, d, r, 4)
+
+	entered := make(chan struct{})
+	result := make(chan bool, 1)
+	go func() {
+		close(entered)
+		result <- r.TryDefer(func() { t.Error("dropped callback ran") })
+	}()
+	<-entered
+	time.Sleep(20 * time.Millisecond) // let the TryDefer reach the backpressure poll
+
+	closed := make(chan struct{})
+	go func() {
+		r.Close() // blocks in the final drain until the reader releases
+		close(closed)
+	}()
+
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("TryDefer accepted a callback on a closing reclaimer at the cap")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TryDefer still polling 5s after Close; backpressure wait did not break on close")
+	}
+	release()
+	<-closed
+	s := r.Stats()
+	if s.Dropped != 0 {
+		t.Fatalf("Dropped = %d after a defer-after-close, want 0 (closed is not a cap drop)", s.Dropped)
+	}
+	if s.Deferred != s.Executed+s.QueueDepth {
+		t.Fatalf("accounting identity broken: %+v", s)
+	}
+}
+
+// TestDeferClosedMidBackpressurePanics: same race via Defer, which must
+// surface the defer-after-close as a panic, exactly as a Defer that
+// started after Close would.
+func TestDeferClosedMidBackpressurePanics(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHardCap(2), WithBackpressure(30*time.Second))
+	release := fillToCap(t, d, r, 2)
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		r.Defer(func() {})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go r.Close()
+
+	select {
+	case p := <-panicked:
+		if !p {
+			t.Fatal("Defer on a reclaimer closed mid-backpressure returned normally, want panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Defer still polling 5s after Close")
+	}
+	release()
+	r.Close()
+	if got := r.Stats().Dropped; got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+}
+
+// TestCapPollSleepClampsToWindow pins the first-poll clamp: a
+// backpressure window shorter than the poll interval must not be
+// rounded up to a full 50µs sleep.
+func TestCapPollSleepClampsToWindow(t *testing.T) {
+	if got := capPollSleep(10 * time.Microsecond); got != 10*time.Microsecond {
+		t.Fatalf("capPollSleep(10µs) = %v, want the remaining window", got)
+	}
+	if got := capPollSleep(capPollInterval); got != capPollInterval {
+		t.Fatalf("capPollSleep(interval) = %v, want %v", got, capPollInterval)
+	}
+	if got := capPollSleep(time.Second); got != capPollInterval {
+		t.Fatalf("capPollSleep(1s) = %v, want %v", got, capPollInterval)
+	}
+	if got := capPollSleep(-time.Microsecond); got > 0 {
+		t.Fatalf("capPollSleep past the deadline = %v, want <= 0", got)
+	}
+}
+
+// TestSubIntervalBackpressureDrops: a capped enqueue with a
+// sub-interval backpressure window still terminates with a counted
+// drop (the clamped poll reaches the deadline) in far less time than a
+// full poll-interval round-up cascade would suggest.
+func TestSubIntervalBackpressureDrops(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHardCap(2), WithBackpressure(20*time.Microsecond))
+	release := fillToCap(t, d, r, 2)
+	start := time.Now()
+	if r.TryDefer(func() {}) {
+		t.Fatal("TryDefer accepted past the cap with no room possible")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sub-interval backpressure took %v to drop", elapsed)
+	}
+	if got := r.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	release()
+	r.Close()
+}
+
+// TestCloseBackpressureStorm is the -race storm for the shutdown path:
+// goroutines hammer a capped reclaimer with Defer (panic-guarded) and
+// TryDefer while Close lands mid-flood, and at quiesce the accounting
+// identity Deferred == Executed + QueueDepth holds exactly — every
+// accepted callback ran, every unaccepted one is accounted as dropped
+// or closed, nothing is double-counted and nothing leaks.
+func TestCloseBackpressureStorm(t *testing.T) {
+	d := NewDomain()
+	r := NewReclaimer(d, WithHardCap(8), WithBackpressure(100*time.Microsecond), WithDrainBatch(4))
+
+	// tryAccepted counts TryDefer's true returns — each one a hard
+	// guarantee the callback runs. Defer's normal return is deliberately
+	// not counted: it covers both accept and cap drop, which only the
+	// reclaimer's own Stats can split.
+	var tryAccepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					if r.TryDefer(func() { ran.Add(1) }) {
+						tryAccepted.Add(1)
+					}
+					continue
+				}
+				func() {
+					defer func() { recover() }() // Defer after Close panics; expected here
+					r.Defer(func() { ran.Add(1) })
+				}()
+			}
+		}(g)
+	}
+	closer := make(chan struct{})
+	go func() {
+		defer close(closer)
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		r.Close()
+	}()
+	close(start)
+	wg.Wait()
+	<-closer
+	r.Close() // idempotent; everything is drained at this point
+
+	s := r.Stats()
+	if s.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after Close, want 0", s.QueueDepth)
+	}
+	if s.Deferred != s.Executed+s.QueueDepth {
+		t.Fatalf("identity Deferred == Executed + QueueDepth broken: %+v", s)
+	}
+	if got := ran.Load(); got != s.Executed {
+		t.Fatalf("callbacks run = %d, Executed = %d; an accepted callback was lost or a dropped one ran", got, s.Executed)
+	}
+	if got := tryAccepted.Load(); got > s.Executed {
+		t.Fatalf("TryDefer accepted %d callbacks but only %d executed", got, s.Executed)
+	}
+}

@@ -35,8 +35,8 @@ import (
 // reports re-fire with doubling intervals (threshold, 2×, 4×, …), so a
 // long stall produces a handful of reports, not a flood.
 type StallReport struct {
-	// Flavor names the reporting domain flavor: "scalable" (Domain) or
-	// "classic" (ClassicDomain).
+	// Flavor names the reporting domain flavor: "scalable" (Domain),
+	// "classic" (ClassicDomain) or "ebr" (EpochDomain).
 	Flavor string `json:"flavor"`
 
 	// Waited is how long the Synchronize call had been waiting when the
@@ -81,8 +81,32 @@ func (r StalledReader) String() string {
 	return fmt.Sprintf("%d (%s)", r.ID, r.Site)
 }
 
+// StallControl is the stall-detection configuration surface every
+// domain flavor exposes. Callers holding a flavor behind the Flavor
+// interface (a forest shard, the kvserver's store) type-assert against
+// it to arm detection without knowing the concrete domain type.
+type StallControl interface {
+	// SetStallTimeout arms the grace-period stall detector; see
+	// Domain.SetStallTimeout.
+	SetStallTimeout(timeout time.Duration)
+
+	// SetStallHandler installs the stall-report sink; see
+	// Domain.SetStallHandler.
+	SetStallHandler(fn func(StallReport))
+
+	// SetSiteCapture toggles registration-site capture; see
+	// Domain.SetSiteCapture.
+	SetSiteCapture(on bool)
+}
+
+var (
+	_ StallControl = (*Domain)(nil)
+	_ StallControl = (*ClassicDomain)(nil)
+	_ StallControl = (*EpochDomain)(nil)
+)
+
 // stallControl is the stall-detection configuration block embedded in
-// both domain flavors. All fields are hot-toggle safe.
+// the domain flavors. All fields are hot-toggle safe.
 type stallControl struct {
 	timeout atomic.Int64 // ns; 0 disables detection
 	handler atomic.Pointer[func(StallReport)]

@@ -21,6 +21,7 @@ func stallDomains() map[string]stallDomain {
 	return map[string]stallDomain{
 		"Domain":        NewDomain(),
 		"ClassicDomain": NewClassicDomain(),
+		"EpochDomain":   NewEpochDomain(),
 	}
 }
 

@@ -105,6 +105,7 @@ type StatsSource interface {
 var (
 	_ StatsSource = (*Domain)(nil)
 	_ StatsSource = (*ClassicDomain)(nil)
+	_ StatsSource = (*EpochDomain)(nil)
 	_ StatsSource = (*InstrumentedFlavor)(nil)
 )
 

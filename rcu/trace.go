@@ -24,4 +24,5 @@ type Traceable interface {
 var (
 	_ Traceable = (*Domain)(nil)
 	_ Traceable = (*ClassicDomain)(nil)
+	_ Traceable = (*EpochDomain)(nil)
 )
