@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race bench figures figures-paper bench-forest bench-scan bench-am loadtest stress torture torture-smoke torture-stall torture-forest torture-scan torture-ebr fuzz vet fmt clean
+.PHONY: all ci build test race bench figures figures-paper bench-forest bench-scan bench-am bench-wal loadtest stress torture torture-smoke torture-stall torture-forest torture-scan torture-ebr torture-crash fuzz vet fmt clean
 
 all: build vet test
 
@@ -20,7 +20,9 @@ all: build vet test
 # scanstorm/scanhog scan pair with the s1 scan-figure bench smoke, and
 # the epoch-flavor pair: a 10-seed ebr race sweep plus the inverted
 # ebrearly negative control, with the am age-memory bench behind
-# BENCH_PR9.json).
+# BENCH_PR9.json, and the crash-torture sweep: kill–recover–verify
+# against the WAL-backed kvserver with the inverted nofsync control
+# and the WAL recovery fuzzer).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -37,6 +39,7 @@ ci:
 	$(MAKE) torture-forest
 	$(MAKE) torture-scan
 	$(MAKE) torture-ebr
+	$(MAKE) torture-crash
 	$(MAKE) bench-scan
 	$(MAKE) bench-am
 
@@ -148,6 +151,26 @@ torture-ebr:
 	$(GO) run ./cmd/citrustorture -impl forest -flavor ebr -seed 1 -duration 2s -json citrustorture-ebr-forest.json
 	! $(GO) run ./cmd/citrustorture -flavor ebrearly -seed 1 -duration 2s -json citrustorture-ebrearly.json
 
+# Crash torture (docs/DURABILITY.md, docs/VERIFICATION.md "Crash
+# torture"): kill–recover–verify against the WAL-backed kvserver. The
+# kvserver binary is built once and shared across the sweep. Ten seeds
+# of the durable default (group commit) must pass — every acknowledged
+# write survives SIGKILL — and the nofsync negative control, whose acks
+# come from a user-space buffer, MUST lose acknowledged writes on its
+# fixed seed; the leading `!` inverts it.
+torture-crash:
+	$(GO) build -o /tmp/kvserver-crash ./examples/kvserver
+	$(GO) run ./cmd/citrustorture -crash -crash-bin /tmp/kvserver-crash -seed 1 -seeds 10 -json citrustorture-crash.json
+	$(GO) run ./cmd/citrustorture -crash -crash-bin /tmp/kvserver-crash -crash-shards 4 -seed 1 -json citrustorture-crash-forest.json
+	! $(GO) run ./cmd/citrustorture -crash -crash-bin /tmp/kvserver-crash -crash-fsync nofsync -seed 1 -json citrustorture-crash-nofsync.json
+
+# WAL append throughput and fsync behavior across the three policies
+# (docs/DURABILITY.md "fsync policies"): the group-commit knee is the
+# figure — fsyncs/append collapses as writers stack while always pays
+# one fsync per record.
+bench-wal:
+	$(GO) test -bench 'BenchmarkWAL' -benchmem ./internal/wal
+
 # The age–memory figure behind BENCH_PR9.json: reclaimer backlog depth
 # and oldest-callback age sampled against throughput, across the three
 # RCU flavors × three watermark settings. Every cell records its
@@ -169,4 +192,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzOpsAgainstOracle -fuzztime 60s ./internal/core
 
 clean:
-	rm -f bench_results.csv bench_smoke.json BENCH_scan_smoke.json test_output.txt bench_output.txt citrustorture*.json
+	rm -f bench_results.csv bench_smoke.json BENCH_scan_smoke.json test_output.txt bench_output.txt citrustorture*.json /tmp/kvserver-crash

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -76,7 +77,14 @@ type tcpKVClient struct {
 
 func newTCPFactory(addr string, timeout time.Duration) func() (Client, error) {
 	return func() (Client, error) {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
+		// Connection refusal gets a bounded, jittered retry: the loader
+		// is routinely pointed at a server that is still recovering its
+		// WAL (or being crash-tortured), and the listener coming up a
+		// beat late should cost a backoff, not the worker.
+		rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		conn, err := dialRetry(func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}, defaultRetryPolicy(), time.Sleep, rng)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"errors"
+	"math/rand/v2"
+	"syscall"
+	"time"
+)
+
+// retryPolicy bounds the connection-setup retry loop: attempts tries
+// total, exponential delay starting at base and capped at cap, each
+// delay jittered ±50% so a fleet of workers retrying against a
+// restarting server doesn't reconnect in lockstep (the crash-torture
+// harness restarts kvserver under open-loop load, so a refused
+// connection during recovery is an expected transient, not an error).
+type retryPolicy struct {
+	attempts int
+	base     time.Duration
+	cap      time.Duration
+}
+
+func defaultRetryPolicy() retryPolicy {
+	return retryPolicy{attempts: 6, base: 25 * time.Millisecond, cap: 800 * time.Millisecond}
+}
+
+// dialRetry runs dial under the policy, retrying ONLY connection
+// refusal (ECONNREFUSED — the listener isn't up yet). Every other
+// error is immediate: a refused connection means "try again shortly",
+// while a timeout, a reset, or a bad address means the target is
+// wrong or wedged and retrying just hides it. sleep and rng are
+// injected for the unit test's benefit.
+func dialRetry[T any](dial func() (T, error), p retryPolicy, sleep func(time.Duration), rng *rand.Rand) (T, error) {
+	var zero T
+	delay := p.base
+	for attempt := 0; ; attempt++ {
+		v, err := dial()
+		if err == nil {
+			return v, nil
+		}
+		if !errors.Is(err, syscall.ECONNREFUSED) || attempt+1 >= p.attempts {
+			return zero, err
+		}
+		// Full ±50% jitter around the exponential step.
+		d := delay/2 + time.Duration(rng.Int64N(int64(delay)))
+		sleep(d)
+		if delay *= 2; delay > p.cap {
+			delay = p.cap
+		}
+	}
+}

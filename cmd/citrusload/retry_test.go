@@ -1,0 +1,122 @@
+package main
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDialRetryBacksOffOnRefused(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	calls := 0
+	dial := func() (int, error) {
+		calls++
+		if calls < 4 {
+			return 0, refused
+		}
+		return 42, nil
+	}
+	var slept []time.Duration
+	p := retryPolicy{attempts: 6, base: 10 * time.Millisecond, cap: 40 * time.Millisecond}
+	rng := rand.New(rand.NewPCG(1, 2))
+	v, err := dialRetry(dial, p, func(d time.Duration) { slept = append(slept, d) }, rng)
+	if err != nil || v != 42 {
+		t.Fatalf("dialRetry = (%v, %v), want (42, nil)", v, err)
+	}
+	if calls != 4 {
+		t.Fatalf("dial called %d times, want 4", calls)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3 (one per refused attempt)", len(slept))
+	}
+	// Each jittered delay is drawn from [step/2, 3*step/2) around the
+	// exponential steps 10ms, 20ms, 40ms (capped).
+	steps := []time.Duration{10, 20, 40}
+	for i, d := range slept {
+		step := steps[i] * time.Millisecond
+		if d < step/2 || d >= step/2+step {
+			t.Fatalf("sleep[%d] = %v outside jitter window [%v, %v)", i, d, step/2, step/2+step)
+		}
+	}
+}
+
+func TestDialRetryGivesUpAfterAttempts(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	calls := 0
+	dial := func() (int, error) { calls++; return 0, refused }
+	p := retryPolicy{attempts: 3, base: time.Millisecond, cap: time.Millisecond}
+	_, err := dialRetry(dial, p, func(time.Duration) {}, rand.New(rand.NewPCG(3, 4)))
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want ECONNREFUSED surfaced", err)
+	}
+	if calls != 3 {
+		t.Fatalf("dial called %d times, want exactly attempts=3", calls)
+	}
+}
+
+func TestDialRetryDoesNotRetryOtherErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"reset", &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNRESET}},
+		{"timeout", &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ETIMEDOUT}},
+		{"plain", errors.New("no such host")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			dial := func() (int, error) { calls++; return 0, tc.err }
+			slept := 0
+			_, err := dialRetry(dial, defaultRetryPolicy(),
+				func(time.Duration) { slept++ }, rand.New(rand.NewPCG(5, 6)))
+			if !errors.Is(err, tc.err) {
+				t.Fatalf("err = %v, want the dial error surfaced", err)
+			}
+			if calls != 1 || slept != 0 {
+				t.Fatalf("calls=%d slept=%d, want 1 call and no sleeps for a non-refusal error", calls, slept)
+			}
+		})
+	}
+}
+
+// TestDialRetryRealRefusal exercises the production wiring end to end:
+// a dial against a port that was just closed is refused, and the
+// factory's retry makes the connection once the listener returns.
+func TestDialRetryRealRefusal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the port is now refusing
+
+	// First attempt refused; relisten before the retry lands.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(20 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten: %v", err)
+			return
+		}
+		defer ln2.Close()
+		conn, err := ln2.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+
+	p := retryPolicy{attempts: 8, base: 10 * time.Millisecond, cap: 100 * time.Millisecond}
+	conn, err := dialRetry(func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, time.Second)
+	}, p, time.Sleep, rand.New(rand.NewPCG(7, 8)))
+	if err != nil {
+		t.Fatalf("dialRetry never connected: %v", err)
+	}
+	conn.Close()
+	<-done
+}

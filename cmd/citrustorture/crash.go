@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/go-citrus/citrus/internal/crashtorture"
+)
+
+// crashCfgFlags carries the -crash-* flag values into runCrash.
+type crashCfgFlags struct {
+	bin       string
+	rounds    int
+	clients   int
+	keys      int
+	fsync     string
+	shards    int
+	snapEvery int
+	seed      uint64
+	seeds     int
+	jsonPath  string
+}
+
+// runCrash is the -crash entry point: it sweeps `seeds` consecutive
+// seeds through the kill–recover–verify schedule, one child-process
+// lineage per seed, and reports verdicts exactly like the in-process
+// harness. The kvserver binary is built once and shared across the
+// sweep unless -crash-bin supplied one.
+func runCrash(out *os.File, cf crashCfgFlags) error {
+	if cf.seeds < 1 {
+		return fmt.Errorf("-seeds must be at least 1, got %d", cf.seeds)
+	}
+	bin := cf.bin
+	if bin == "" {
+		tmp, err := os.MkdirTemp("", "citrustorture-bin-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Fprintln(out, "building ./examples/kvserver for crash torture...")
+		bin, err = crashtorture.BuildBinary(tmp)
+		if err != nil {
+			return err
+		}
+	}
+
+	rep := report{Passed: true}
+	for i := 0; i < cf.seeds; i++ {
+		v, err := crashtorture.Run(crashtorture.Config{
+			Bin:           bin,
+			Seed:          cf.seed + uint64(i),
+			Rounds:        cf.rounds,
+			Clients:       cf.clients,
+			KeysPerClient: cf.keys,
+			Fsync:         cf.fsync,
+			Shards:        cf.shards,
+			SnapshotEvery: cf.snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, v)
+		printVerdict(out, v)
+		if !v.Passed {
+			rep.Passed = false
+		}
+	}
+	if err := writeReport(out, rep, cf.jsonPath); err != nil {
+		return err
+	}
+	if !rep.Passed {
+		return fmt.Errorf("%d of %d crash run(s) failed; reproduce with -crash -crash-fsync %s and the seeds printed above",
+			countFailed(rep.Runs), len(rep.Runs), cf.fsync)
+	}
+	return nil
+}
+
+// writeReport emits the -json document (shared by both harness modes).
+func writeReport(out *os.File, rep report, jsonPath string) error {
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonPath == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	return os.WriteFile(jsonPath, data, 0o644)
+}

@@ -44,10 +44,21 @@
 // tiny hard cap, and the run MUST fail with shed callbacks and stall
 // reports — proving the harness can see a scan workload starving
 // reclamation.
+//
+// `-crash` switches the harness from in-process torture to CRASH
+// torture (see internal/crashtorture and docs/DURABILITY.md): the
+// kvserver example runs as a child process with a write-ahead log,
+// churns over real TCP, is SIGKILLed mid-write at seeded points, and
+// every recovery is checked against a durability oracle — every
+// acknowledged write survives, in-flight writes may land either way.
+// Its negative control is `-crash -crash-fsync nofsync`: the none
+// policy buffers acknowledged records in user space, so the KILLed
+// child genuinely loses them and the run MUST fail with lost-write
+// failures. -seed/-seeds/-json keep their meanings; the crash rounds
+// reuse the same verdict document.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -88,9 +99,25 @@ func run(args []string, out *os.File) error {
 		shards   = fs.Int("shards", 0, "forest shard count (forest subject only; 0 = default 4)")
 		maxSleep = fs.Duration("maxsleep", 0, "cap on injected sleeps (0 = schedpoint default)")
 		jsonPath = fs.String("json", "", "write the verdict report as JSON to this file ('-' for stdout)")
+
+		crash       = fs.Bool("crash", false, "crash torture: SIGKILL a WAL-backed kvserver child mid-churn and verify recovery (see docs/DURABILITY.md)")
+		crashBin    = fs.String("crash-bin", "", "prebuilt kvserver binary for -crash (empty = go build ./examples/kvserver once)")
+		crashRounds = fs.Int("crash-rounds", 4, "SIGKILL rounds per -crash run before the graceful finale")
+		crashClient = fs.Int("crash-clients", 4, "concurrent churn connections per -crash run")
+		crashKeys   = fs.Int("crash-keys", 128, "key-partition size per churn client (-crash)")
+		crashFsync  = fs.String("crash-fsync", "group", "child WAL fsync policy for -crash: always, group, or nofsync (negative control: MUST lose acknowledged writes)")
+		crashShards = fs.Int("crash-shards", 0, "child -shards for -crash (0 = unsharded)")
+		crashSnap   = fs.Int("crash-snapshot-every", 512, "child -snapshot-every for -crash, so fuzzy snapshots land mid-torture")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *crash {
+		return runCrash(out, crashCfgFlags{
+			bin: *crashBin, rounds: *crashRounds, clients: *crashClient,
+			keys: *crashKeys, fsync: *crashFsync, shards: *crashShards,
+			snapEvery: *crashSnap, seed: *seed, seeds: *seeds, jsonPath: *jsonPath,
+		})
 	}
 	if *list {
 		fmt.Fprintln(out, "citrus")
@@ -156,19 +183,8 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	if *jsonPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		data = append(data, '\n')
-		if *jsonPath == "-" {
-			if _, err := out.Write(data); err != nil {
-				return err
-			}
-		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			return err
-		}
+	if err := writeReport(out, rep, *jsonPath); err != nil {
+		return err
 	}
 	if !rep.Passed {
 		return fmt.Errorf("%d of %d run(s) failed; reproduce with the seeds printed above", countFailed(rep.Runs), len(rep.Runs))
@@ -223,6 +239,13 @@ func printVerdict(out *os.File, v *torture.Verdict) {
 // reproArgs reconstructs the flag line that reruns a verdict's exact
 // configuration and injection schedule.
 func reproArgs(v *torture.Verdict) string {
+	if v.Impl == "kvserver-crash" {
+		args := fmt.Sprintf("-crash -crash-fsync %s -seed %d", v.Flavor, v.Seed)
+		if v.Shards > 0 {
+			args += fmt.Sprintf(" -crash-shards %d", v.Shards)
+		}
+		return args
+	}
 	args := fmt.Sprintf("-impl %q -seed %d", v.Impl, v.Seed)
 	if v.Shards > 0 {
 		args += fmt.Sprintf(" -shards %d", v.Shards)

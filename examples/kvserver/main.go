@@ -101,6 +101,7 @@ import (
 	"time"
 
 	"github.com/go-citrus/citrus/citrusstat"
+	"github.com/go-citrus/citrus/internal/wal"
 	"github.com/go-citrus/citrus/rcu"
 )
 
@@ -113,6 +114,17 @@ type kvConfig struct {
 	recHigh      int           // reclaimer high watermark (expedited drain), per shard
 	recCap       int           // reclaimer hard cap (backpressure, then shed), per shard
 	drainTimeout time.Duration // how long shutdown waits for open connections
+
+	// Durability (empty walDir = in-memory only, the pre-WAL behavior).
+	walDir    string // WAL + snapshot directory; enables crash durability
+	fsync     string // WAL fsync policy: always, group (default), or none
+	snapEvery int    // fuzzy snapshot every N logged writes (0 = never)
+
+	// demo runs the built-in load/verify pass in run() before serving.
+	// The crash-torture harness starts the server with -demo=false: the
+	// demo's 1600 writes would need their own durability bookkeeping,
+	// and the harness brings its own oracle-tracked workload.
+	demo bool
 }
 
 // flavorName normalizes the configured flavor for display and metric
@@ -143,6 +155,9 @@ func defaultKVConfig() kvConfig {
 		recHigh:      1024,
 		recCap:       8192,
 		drainTimeout: 5 * time.Second,
+		fsync:        "group",
+		snapEvery:    10000,
+		demo:         true,
 	}
 }
 
@@ -162,7 +177,19 @@ type server struct {
 	lat reqLatencies
 }
 
+// newServer builds a server, panicking on construction errors — the
+// shape the in-memory-only tests use. Durability errors (bad fsync
+// name, corrupt WAL/snapshot) are real runtime failures, so any caller
+// that sets walDir should use buildServer and handle the error.
 func newServer(cfg kvConfig) *server {
+	s, err := buildServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func buildServer(cfg kvConfig) (*server, error) {
 	s := &server{cfg: cfg}
 	onStall := func(shard int, r rcu.StallReport) {
 		s.stallReports.Add(1)
@@ -177,7 +204,15 @@ func newServer(cfg kvConfig) *server {
 	} else {
 		s.store = newTreeStore(cfg, onStall)
 	}
-	return s
+	if cfg.walDir != "" {
+		ds, err := newDurableStore(s.store, cfg)
+		if err != nil {
+			s.store.Close()
+			return nil, err
+		}
+		s.store = ds
+	}
+	return s, nil
 }
 
 // degraded reports whether the server is shedding writes, with a
@@ -222,6 +257,10 @@ func main() {
 	recHigh := flag.Int("reclaim-high", def.recHigh, "reclaimer high watermark: queue depth that triggers an expedited drain and write shedding")
 	recCap := flag.Int("reclaim-cap", def.recCap, "reclaimer hard cap: queue depth past which retired nodes are shed to the GC (0 = unbounded)")
 	drain := flag.Duration("drain", def.drainTimeout, "how long SIGTERM/SIGINT shutdown waits for open connections before exiting")
+	walDir := flag.String("wal-dir", def.walDir, "write-ahead log + snapshot directory: writes are logged and recovered on boot (empty = in-memory only)")
+	fsync := flag.String("fsync", def.fsync, "WAL fsync policy: always (fsync per write), group (batched fsync, default), none (NOT crash-durable; torture negative control)")
+	snapEvery := flag.Int("snapshot-every", def.snapEvery, "take a fuzzy snapshot and truncate the WAL every N logged writes (0 = never)")
+	demo := flag.Bool("demo", def.demo, "run the built-in demo load before serving (-demo=false for externally driven servers)")
 	flag.Parse()
 	runtime.SetMutexProfileFraction(*mutexFrac)
 	runtime.SetBlockProfileRate(*blockRate)
@@ -231,6 +270,9 @@ func main() {
 	if _, err := newRCUFlavor(*flavor); err != nil {
 		log.Fatalf("-flavor: %v", err)
 	}
+	if _, err := wal.ParsePolicy(*fsync); err != nil {
+		log.Fatalf("-fsync: %v", err)
+	}
 	cfg := kvConfig{
 		shards:       *shards,
 		flavor:       *flavor,
@@ -239,14 +281,36 @@ func main() {
 		recHigh:      *recHigh,
 		recCap:       *recCap,
 		drainTimeout: *drain,
+		walDir:       *walDir,
+		fsync:        *fsync,
+		snapEvery:    *snapEvery,
+		demo:         *demo,
 	}
 	if err := run(*addr, *httpAddr, *serve, *traceOn, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// runInfo tells a runNotify caller where the listeners actually bound
+// ("127.0.0.1:0" in, real ports out) once the server is accepting.
+type runInfo struct {
+	tcpAddr  string
+	httpAddr string // empty when the HTTP face is disabled
+}
+
 func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
-	srv := newServer(cfg)
+	return runNotify(addr, httpAddr, keepServing, traceOn, cfg, nil)
+}
+
+// runNotify is run with a readiness signal: once both listeners are
+// accepting, their bound addresses are sent on ready (if non-nil).
+// Tests use it to run the full server loop — signal handling and drain
+// ordering included — against ephemeral ports.
+func runNotify(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig, ready chan<- runInfo) error {
+	srv, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
 	if traceOn {
 		srv.store.EnableTracing()
 		if cfg.shards > 1 {
@@ -266,18 +330,26 @@ func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 		log.Printf("kvserver listening on %s", ln.Addr())
 	}
 
+	boundHTTP := ""
 	if httpAddr != "" {
 		hln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			return fmt.Errorf("http listener: %w", err)
 		}
 		defer hln.Close()
+		boundHTTP = hln.Addr().String()
 		citrusstat.Publish("citrus", func() any { return srv.metrics() })
 		go http.Serve(hln, srv.statsMux()) //nolint:errcheck // closed with the listener
 		log.Printf("stats on http://%s/metrics (also /debug/citrus, /debug/vars, /debug/trace, /debug/pprof)", hln.Addr())
 	}
 
+	// Open connections are tracked so the drain path can force-close
+	// stragglers and then WAIT for their handlers: the WAL may only be
+	// flushed and closed after every goroutine that could append to it
+	// has returned (see the keepServing shutdown below).
 	var wg sync.WaitGroup
+	var connMu sync.Mutex
+	openConns := make(map[net.Conn]struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -286,25 +358,39 @@ func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 			if err != nil {
 				return // listener closed
 			}
+			connMu.Lock()
+			openConns[conn] = struct{}{}
+			connMu.Unlock()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					connMu.Lock()
+					delete(openConns, conn)
+					connMu.Unlock()
+				}()
 				srv.handle(conn)
 			}()
 		}
 	}()
 
-	// Built-in demo load: concurrent clients over real TCP connections.
-	if err := demo(ln.Addr().String()); err != nil {
-		ln.Close()
-		wg.Wait()
-		return fmt.Errorf("demo client: %w", err)
+	if ready != nil {
+		ready <- runInfo{tcpAddr: ln.Addr().String(), httpAddr: boundHTTP}
 	}
-	log.Printf("demo done: %d ops served, %d keys resident", srv.ops.Load(), srv.store.Len())
-	if err := srv.store.CheckInvariants(); err != nil {
-		return fmt.Errorf("tree invariants: %w", err)
+
+	if cfg.demo {
+		// Built-in demo load: concurrent clients over real TCP connections.
+		if err := demo(ln.Addr().String()); err != nil {
+			ln.Close()
+			wg.Wait()
+			return fmt.Errorf("demo client: %w", err)
+		}
+		log.Printf("demo done: %d ops served, %d keys resident", srv.ops.Load(), srv.store.Len())
+		if err := srv.store.CheckInvariants(); err != nil {
+			return fmt.Errorf("tree invariants: %w", err)
+		}
+		log.Printf("tree invariants: OK")
 	}
-	log.Printf("tree invariants: OK")
 
 	if keepServing {
 		log.Printf("serving until interrupted (try: printf 'SET 1 hello\\nGET 1\\nQUIT\\n' | nc %s)", addr)
@@ -322,9 +408,26 @@ func run(addr, httpAddr string, keepServing, traceOn bool, cfg kvConfig) error {
 		select {
 		case <-drained:
 		case <-time.After(cfg.drainTimeout):
-			log.Printf("drain timeout: abandoning open connections")
+			// Force-close the stragglers' sockets, then STILL wait for
+			// their handlers to return. The old behavior — "abandoning"
+			// the connections and closing the store under them — raced
+			// live handlers against store shutdown; with a WAL attached
+			// it could close the log while a handler was mid-append and
+			// exit before acknowledged bytes were flushed. Every handler
+			// unblocks promptly once its socket is closed (reads fail)
+			// and its bounded waits expire (-optimeout, fsync).
+			connMu.Lock()
+			n := len(openConns)
+			for c := range openConns {
+				c.Close()
+			}
+			connMu.Unlock()
+			log.Printf("drain timeout: force-closed %d open connection(s)", n)
+			wg.Wait()
 		}
-		srv.store.Close() // flush retired nodes through their grace periods, every shard
+		// Handlers are done; now the store — and the WAL behind it, when
+		// -wal-dir is set — can flush, fsync, and close in order.
+		srv.store.Close()
 		log.Printf("drained: %d ops served", srv.ops.Load())
 		return nil
 	}

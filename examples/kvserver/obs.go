@@ -151,6 +151,40 @@ func (s *server) servePromMetrics(w http.ResponseWriter, r *http.Request) {
 			promtext.L("face", sr.face), promtext.L("op", sr.op))
 	}
 
+	// Durability series, present only when the store runs with -wal-dir.
+	// kvserver_recovery_* describe the LAST boot's recovery (gauges that
+	// never move after startup — scrape once after a restart to audit
+	// what the crash cost); kvserver_wal_* and kvserver_snapshot_* are
+	// live.
+	if d, ok := s.store.(durabilityObs); ok {
+		ws := d.WALStats()
+		e.Counter("kvserver_wal_appends_total", "Records appended to the write-ahead log.", float64(ws.Appends))
+		e.Counter("kvserver_wal_appended_bytes_total", "Bytes framed into the write-ahead log.", float64(ws.AppendedBytes))
+		e.Counter("kvserver_wal_fsyncs_total", "WAL fsyncs issued (group commit batches many appends per fsync).", float64(ws.Fsyncs))
+		e.Counter("kvserver_wal_segments_rolled_total", "WAL segments sealed and rolled.", float64(ws.SegmentsRolled))
+		e.Counter("kvserver_wal_segments_removed_total", "WAL segments truncated behind durable snapshots.", float64(ws.SegmentsRemoved))
+		e.Gauge("kvserver_wal_segments", "WAL segment files on disk.", float64(ws.Segments))
+		e.Gauge("kvserver_wal_tail_lsn", "Last assigned log sequence number.", float64(ws.TailLSN))
+		e.Gauge("kvserver_wal_durable_lsn", "Last fsynced log sequence number.", float64(ws.DurableLSN))
+		e.Gauge("kvserver_wal_pending_bytes", "Bytes buffered in user space, not yet written to the OS.", float64(ws.PendingBytes))
+		e.Gauge("kvserver_wal_fsync_policy_info", "Configured fsync policy (label carries the name).", 1,
+			promtext.L("policy", d.WALPolicy()))
+		e.Histogram("kvserver_wal_fsync_seconds", "WAL fsync latency — the group-commit price per durable ack.", ws.FsyncWait)
+
+		snaps, snapErrs, lastLSN := d.SnapshotObs()
+		e.Counter("kvserver_snapshots_total", "Fuzzy snapshots taken since boot.", float64(snaps))
+		e.Counter("kvserver_snapshot_errors_total", "Snapshot attempts that failed.", float64(snapErrs))
+		e.Gauge("kvserver_snapshot_last_lsn", "LSN the latest installed snapshot is stamped with.", float64(lastLSN))
+
+		rec := d.RecoverySummary()
+		e.Gauge("kvserver_recovery_snapshot_lsn", "LSN of the snapshot the last boot recovered from (0 = none).", float64(rec.SnapshotLSN))
+		e.Gauge("kvserver_recovery_snapshot_keys", "Keys loaded from the snapshot at the last boot.", float64(rec.SnapshotKeys))
+		e.Gauge("kvserver_recovery_records_replayed", "WAL records replayed on top of the snapshot at the last boot.", float64(rec.RecordsReplayed))
+		e.Gauge("kvserver_recovery_torn_bytes_truncated", "Bytes of torn WAL tail truncated at the last boot.", float64(rec.TornBytes))
+		e.Gauge("kvserver_recovery_wal_segments", "WAL segments present at the last boot.", float64(rec.WALSegments))
+		e.Gauge("kvserver_recovery_seconds", "Wall time the last boot's recovery took.", float64(rec.DurationNanos)/1e9)
+	}
+
 	// Per-shard library series. The RCU series additionally carry the
 	// flavor label: they are the series whose shape depends on the
 	// reclamation design (grace-period latency, reader counts), so a

@@ -97,6 +97,12 @@ type store interface {
 	TracingEnabled() bool
 	DumpTrace() citrustrace.Trace
 
+	// Barrier waits until every reclamation callback enqueued before
+	// the call has run, on every shard — the snapshotter's flush point
+	// between finishing its scan and deleting WAL history (see
+	// durableStore.snapshotOnce).
+	Barrier()
+
 	// Close drains retired nodes through their grace periods on every
 	// shard and stops the reclaimers.
 	Close()
@@ -129,6 +135,11 @@ type storeHandle interface {
 	// why the server routes every capped scan through it rather than
 	// counting inside a plain RangeScan callback.
 	RangeScanLimit(lo, hi int64, limit int, fn func(key int64, value string) bool)
+	// ScanBatched is the full scan with bounded reader dwell: the
+	// read-side critical section is dropped and re-entered every batch
+	// pairs, so a whole-store traversal (the fuzzy snapshotter's scan)
+	// never parks grace periods for its full duration.
+	ScanBatched(batch int, fn func(key int64, value string) bool)
 	Close()
 }
 
@@ -169,6 +180,7 @@ func (s *treeStore) MaxQueueDepth() int64   { return s.rec.QueueDepth() }
 func (s *treeStore) QueueDepth() int64      { return s.rec.QueueDepth() }
 func (s *treeStore) EnableTracing()         { s.tree.EnableTracing() }
 func (s *treeStore) TracingEnabled() bool   { return s.tree.TraceRecorder() != nil }
+func (s *treeStore) Barrier()               { s.rec.Barrier() }
 func (s *treeStore) Close()                 { s.rec.Close() }
 
 func (s *treeStore) DumpTrace() citrustrace.Trace { return s.tree.DumpTrace() }
@@ -216,6 +228,7 @@ func (s *forestStore) CheckInvariants() error { return s.f.CheckInvariants() }
 func (s *forestStore) Stats() citrus.Stats    { return s.f.Stats().Total }
 func (s *forestStore) EnableTracing()         { s.f.EnableTracing() }
 func (s *forestStore) TracingEnabled() bool   { return s.f.TraceRecorder(0) != nil }
+func (s *forestStore) Barrier()               { s.f.Barrier() }
 func (s *forestStore) Close()                 { s.f.Close() }
 
 func (s *forestStore) DumpTrace() citrustrace.Trace { return s.f.DumpTrace() }

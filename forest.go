@@ -503,6 +503,36 @@ func (h *ForestHandle[K, V]) Scan(fn func(key K, value V) bool) {
 	h.scan(nil, nil, fn)
 }
 
+// ScanBatched is Scan with bounded reader dwell: each shard is
+// traversed with Handle.ScanBatched semantics — the shard's read-side
+// critical section is dropped and re-entered every batch pairs, so a
+// long scan (a fuzzy snapshot of the whole forest, say) never parks a
+// shard's grace periods for its full duration. Memory and ordering
+// match Scan: every shard's pairs are collected, sorted, and emitted in
+// ascending global key order. The consistency is Scan's weak contract,
+// further loosened per shard by the batching (keys updated between a
+// shard's batches may be seen in neither or either state); see
+// Handle.ScanBatched.
+func (h *ForestHandle[K, V]) ScanBatched(batch int, fn func(key K, value V) bool) {
+	type pair struct {
+		key   K
+		value V
+	}
+	var pairs []pair
+	for _, sh := range h.hs {
+		sh.ScanBatched(batch, func(k K, v V) bool {
+			pairs = append(pairs, pair{k, v})
+			return true
+		})
+	}
+	slices.SortFunc(pairs, func(a, b pair) int { return cmp.Compare(a.key, b.key) })
+	for i := range pairs {
+		if !fn(pairs[i].key, pairs[i].value) {
+			return
+		}
+	}
+}
+
 func (h *ForestHandle[K, V]) scan(lo, hi *K, fn func(K, V) bool) {
 	type pair struct {
 		key   K

@@ -618,3 +618,43 @@ func TestForestRangeScanLimit(t *testing.T) {
 		return false
 	})
 }
+
+func TestForestScanBatched(t *testing.T) {
+	f := NewForest[int, int](8)
+	defer f.Close()
+	h := f.NewHandle()
+	defer h.Close()
+	const n = 500
+	for k := 0; k < n; k++ {
+		h.Insert(k, k*3)
+	}
+
+	// The batched full scan must emit every pair in global ascending
+	// order, identical to RangeScan over the whole key space, however
+	// small the batch (forcing many critical-section drops per shard).
+	for _, batch := range []int{1, 7, 64, n * 2} {
+		var got []int
+		h.ScanBatched(batch, func(k, v int) bool {
+			if v != k*3 {
+				t.Fatalf("batch %d: pair (%d, %d) has wrong value", batch, k, v)
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != n {
+			t.Fatalf("batch %d: emitted %d pairs, want %d", batch, len(got), n)
+		}
+		for i, k := range got {
+			if k != i {
+				t.Fatalf("batch %d: got[%d] = %d, want %d (global ascending order)", batch, i, k, i)
+			}
+		}
+	}
+
+	// fn returning false stops mid-emit.
+	count := 0
+	h.ScanBatched(16, func(k, v int) bool { count++; return count < 9 })
+	if count != 9 {
+		t.Fatalf("early-stop batched scan emitted %d pairs, want 9", count)
+	}
+}

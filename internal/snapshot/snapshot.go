@@ -1,0 +1,301 @@
+// Package snapshot writes and loads kvserver's fuzzy snapshots: a
+// checksummed dump of the key/value map taken by a batched RCU range
+// scan while writers keep running, stamped with the WAL LSN captured
+// just before the scan started.
+//
+// The snapshot is "fuzzy" — the scan holds no global lock, so the file
+// is not a point-in-time image. It is nevertheless a sound recovery
+// base because of the ordering invariant kvserver maintains (apply to
+// the tree BEFORE appending to the WAL, both under a per-key stripe
+// lock): every record with LSN ≤ the captured snapLSN was already
+// applied when the scan began, so for each key the snapshot holds a
+// state at least as new as snapLSN, and replaying the WAL suffix
+// (LSN > snapLSN) — whose SET/DEL records are idempotent last-write-
+// wins per key — converges every key to its true final state. The full
+// argument is in docs/DURABILITY.md.
+//
+// File format (little-endian):
+//
+//	magic "CITRSNAP" | u32 version | u64 lsn
+//	repeated: tag 0x01 | u64 key | u32 value length | value bytes
+//	trailer:  tag 0x00 | u64 record count | u32 CRC32C over all prior bytes
+//
+// Files are written to a temp name, fsynced, then renamed; the MANIFEST
+// (a tiny JSON document naming the current snapshot file and LSN) is
+// replaced the same way, so a crash at any point leaves either the old
+// or the new snapshot installed — never a half-written one.
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	magic        = "CITRSNAP"
+	version      = 1
+	manifestName = "MANIFEST"
+	tagRecord    = 0x01
+	tagEnd       = 0x00
+	// maxValueBytes bounds the value-length field on load; anything
+	// larger is treated as corruption, not an allocation request.
+	maxValueBytes = 1 << 24
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoSnapshot is returned by Load when no snapshot is installed —
+// a fresh data directory, recoverable from the WAL alone.
+var ErrNoSnapshot = errors.New("snapshot: no manifest")
+
+// Manifest names the installed snapshot.
+type Manifest struct {
+	File string `json:"file"`
+	LSN  uint64 `json:"lsn"`
+	Keys int64  `json:"keys"`
+}
+
+// crcWriter mirrors everything written through it into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// snapshotPath names a snapshot file by the LSN it is stamped with.
+func snapshotPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", lsn))
+}
+
+// Write streams a snapshot stamped with lsn into dir. scan must call
+// emit once per key/value pair; ordering does not matter. The file is
+// durable (written to a temp name, fsynced, renamed, directory
+// fsynced) when Write returns, but NOT yet installed — call Publish
+// after any in-flight readers of the scanned structure are done.
+// It returns the snapshot's file name (within dir) and the pair count.
+func Write(dir string, lsn uint64, scan func(emit func(key int64, value string) error) error) (file string, keys int64, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	final := snapshotPath(dir, lsn)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	cw := &crcWriter{w: f}
+	var hdr [20]byte
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint64(hdr[12:20], lsn)
+	if _, err = cw.Write(hdr[:]); err != nil {
+		return "", 0, err
+	}
+	var count int64
+	emit := func(key int64, value string) error {
+		var rec [13]byte
+		rec[0] = tagRecord
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(key))
+		binary.LittleEndian.PutUint32(rec[9:13], uint32(len(value)))
+		if _, werr := cw.Write(rec[:]); werr != nil {
+			return werr
+		}
+		if _, werr := io.WriteString(cw, value); werr != nil {
+			return werr
+		}
+		count++
+		return nil
+	}
+	if err = scan(emit); err != nil {
+		return "", 0, err
+	}
+	var end [9]byte
+	end[0] = tagEnd
+	binary.LittleEndian.PutUint64(end[1:9], uint64(count))
+	if _, err = cw.Write(end[:]); err != nil {
+		return "", 0, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.crc)
+	if _, err = f.Write(crc[:]); err != nil {
+		return "", 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return "", 0, err
+	}
+	if err = f.Close(); err != nil {
+		return "", 0, err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return "", 0, err
+	}
+	if err = syncDir(dir); err != nil {
+		return "", 0, err
+	}
+	return filepath.Base(final), count, nil
+}
+
+// Publish installs file (previously produced by Write) as the current
+// snapshot by atomically replacing the MANIFEST, then best-effort
+// removes superseded snapshot files.
+func Publish(dir, file string, lsn uint64, keys int64) error {
+	data, err := json.Marshal(Manifest{File: file, LSN: lsn, Keys: keys})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	// fsync the manifest contents before the rename makes them visible.
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// Older snapshots are superseded; losing this cleanup to a crash
+	// only wastes disk, so errors are ignored.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if name == file || !strings.HasPrefix(name, "snap-") {
+			continue
+		}
+		if strings.HasSuffix(name, ".snap") || strings.HasSuffix(name, ".snap.tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// Load reads the installed snapshot, calling apply for every pair, and
+// returns the stamped LSN and pair count. A missing manifest returns
+// ErrNoSnapshot (recover from the WAL alone); an unreadable or corrupt
+// snapshot returns a loud error — silently starting empty would turn a
+// disk fault into data loss.
+func Load(dir string, apply func(key int64, value string) error) (lsn uint64, keys int64, err error) {
+	mdata, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, 0, ErrNoSnapshot
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		return 0, 0, fmt.Errorf("snapshot: corrupt manifest: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, m.File))
+	if err != nil {
+		return 0, 0, fmt.Errorf("snapshot: manifest names %s: %w", m.File, err)
+	}
+	defer f.Close()
+
+	crc := uint32(0)
+	update := func(p []byte) { crc = crc32.Update(crc, castagnoli, p) }
+	var hdr [20]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("snapshot: %s: short header: %w", m.File, err)
+	}
+	update(hdr[:])
+	if string(hdr[0:8]) != magic {
+		return 0, 0, fmt.Errorf("snapshot: %s: bad magic", m.File)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
+		return 0, 0, fmt.Errorf("snapshot: %s: unsupported version %d", m.File, v)
+	}
+	lsn = binary.LittleEndian.Uint64(hdr[12:20])
+	if lsn != m.LSN {
+		return 0, 0, fmt.Errorf("snapshot: %s: LSN %d does not match manifest %d", m.File, lsn, m.LSN)
+	}
+	var count int64
+	var value []byte
+	for {
+		var tag [1]byte
+		if _, err := io.ReadFull(f, tag[:]); err != nil {
+			return 0, 0, fmt.Errorf("snapshot: %s: truncated at record %d: %w", m.File, count, err)
+		}
+		update(tag[:])
+		if tag[0] == tagEnd {
+			break
+		}
+		if tag[0] != tagRecord {
+			return 0, 0, fmt.Errorf("snapshot: %s: bad tag %#x at record %d", m.File, tag[0], count)
+		}
+		var rec [12]byte
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			return 0, 0, fmt.Errorf("snapshot: %s: truncated record %d: %w", m.File, count, err)
+		}
+		update(rec[:])
+		key := int64(binary.LittleEndian.Uint64(rec[0:8]))
+		vlen := binary.LittleEndian.Uint32(rec[8:12])
+		if vlen > maxValueBytes {
+			return 0, 0, fmt.Errorf("snapshot: %s: implausible value length %d at record %d", m.File, vlen, count)
+		}
+		if cap(value) < int(vlen) {
+			value = make([]byte, vlen)
+		}
+		value = value[:vlen]
+		if _, err := io.ReadFull(f, value); err != nil {
+			return 0, 0, fmt.Errorf("snapshot: %s: truncated value at record %d: %w", m.File, count, err)
+		}
+		update(value)
+		if err := apply(key, string(value)); err != nil {
+			return 0, 0, err
+		}
+		count++
+	}
+	var tail [12]byte // u64 count + u32 crc
+	if _, err := io.ReadFull(f, tail[:]); err != nil {
+		return 0, 0, fmt.Errorf("snapshot: %s: truncated trailer: %w", m.File, err)
+	}
+	update(tail[0:8])
+	if want := int64(binary.LittleEndian.Uint64(tail[0:8])); want != count {
+		return 0, 0, fmt.Errorf("snapshot: %s: trailer says %d records, read %d", m.File, want, count)
+	}
+	if got := binary.LittleEndian.Uint32(tail[8:12]); got != crc {
+		return 0, 0, fmt.Errorf("snapshot: %s: CRC mismatch (stored %08x, computed %08x)", m.File, got, crc)
+	}
+	return lsn, count, nil
+}
+
+// syncDir fsyncs a directory so renames in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

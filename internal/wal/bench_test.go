@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the append→durable round trip per fsync
+// policy and writer parallelism — the `make bench-wal` target. The
+// interesting comparison is always vs group at parallelism > 1: group
+// commit amortizes one fsync across every concurrent writer.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 128)
+	for _, pol := range []Policy{PolicyAlways, PolicyGroup, PolicyNone} {
+		for _, par := range []int{1, 8} {
+			b.Run(fmt.Sprintf("policy=%s/writers=%d", pol, par), func(b *testing.B) {
+				l, _, err := Open(b.TempDir(), Options{Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				b.SetBytes(int64(frameSize(payload)))
+				b.SetParallelism(par)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						lsn, err := l.Append(payload)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := l.WaitDurable(lsn); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+				st := l.Stats()
+				if st.Appends > 0 {
+					b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/append")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWALReplay measures recovery replay throughput.
+func BenchmarkWALReplay(b *testing.B) {
+	l, _, err := Open(b.TempDir(), Options{Policy: PolicyNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 128)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n * frameSize(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cnt atomic.Int64
+		if err := l.Replay(0, func(lsn LSN, payload []byte) error {
+			cnt.Add(1)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if cnt.Load() != n {
+			b.Fatalf("replayed %d, want %d", cnt.Load(), n)
+		}
+	}
+}

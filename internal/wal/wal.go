@@ -1,0 +1,698 @@
+// Package wal is the durability substrate behind kvserver's -wal-dir:
+// a segmented, append-only write-ahead log with CRC32C-framed records,
+// group commit, and torn-tail recovery.
+//
+// The log stores opaque payloads; callers encode their own operations.
+// Every record is framed as
+//
+//	u32 payload length | u32 CRC32C over (lsn, payload) | u64 LSN | payload
+//
+// with all integers little-endian. LSNs are assigned contiguously from
+// 1 by Append, so a valid log is a gapless prefix 1..TailLSN (or
+// s..TailLSN after snapshot truncation dropped whole segments below s).
+// On Open the segments are re-validated frame by frame; the LAST
+// segment may end in a torn frame — a crash mid-write — which Open
+// truncates away, restoring the longest valid prefix (prefix
+// durability; see the truncate-at-every-offset test). An invalid frame
+// anywhere else is corruption and fails Open.
+//
+// Durability is governed by the fsync Policy:
+//
+//   - PolicyGroup (default): Append buffers the frame and wakes the
+//     committer, which writes and fsyncs everything buffered — one
+//     fsync covers every append since the previous one (group commit).
+//     WaitDurable blocks until the caller's LSN is covered.
+//   - PolicyAlways: Append writes and fsyncs inline before returning;
+//     WaitDurable is a no-op. One fsync per append — the slow, simple
+//     bound.
+//   - PolicyNone: Append buffers and returns; WaitDurable returns
+//     immediately. The buffer is flushed lazily (FlushEvery, or when it
+//     grows past flushChunk) and never fsynced until Close. A killed
+//     process loses its buffered tail — acknowledged writes included.
+//     This is the crash-torture harness's "nofsync" negative control,
+//     not a production setting.
+//
+// Fault-injection hooks (Options.Hooks) let tests write torn or
+// corrupted frames and skip fsyncs without a real power failure; see
+// docs/DURABILITY.md.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/go-citrus/citrus/citrusstat"
+)
+
+// LSN is a log sequence number: the 1-based index of a record in the
+// log. 0 means "no record" (an empty log, or "replay everything").
+type LSN uint64
+
+// Policy selects when an Append becomes durable; see the package
+// comment. The zero value is PolicyGroup.
+type Policy int
+
+const (
+	// PolicyGroup batches fsyncs: one fsync covers every append since
+	// the previous fsync, and WaitDurable blocks until covered.
+	PolicyGroup Policy = iota
+	// PolicyAlways fsyncs inline in every Append.
+	PolicyAlways
+	// PolicyNone acknowledges appends while they still sit in the
+	// user-space buffer. NOT durable against a process kill.
+	PolicyNone
+)
+
+// ParsePolicy maps a -fsync flag value to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "", "group":
+		return PolicyGroup, nil
+	case "always":
+		return PolicyAlways, nil
+	case "none", "nofsync":
+		return PolicyNone, nil
+	default:
+		return 0, fmt.Errorf("unknown fsync policy %q (want always, group, or none)", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyGroup:
+		return "group"
+	case PolicyAlways:
+		return "always"
+	case PolicyNone:
+		return "none"
+	}
+	return "policy-" + strconv.Itoa(int(p))
+}
+
+const (
+	defaultSegmentBytes = int64(4 << 20)
+	defaultFlushEvery   = 500 * time.Millisecond
+	// flushChunk bounds how many bytes PolicyNone lets accumulate in the
+	// user-space buffer before forcing a flush to the OS.
+	flushChunk = 256 << 10
+	// maxRecordBytes is the framing sanity bound: a length field past it
+	// is treated as a torn/corrupt frame, not an allocation request.
+	maxRecordBytes = 1 << 24
+)
+
+// ErrClosed is returned by Append and WaitDurable after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Hooks are fault-injection points for tests. Leave nil in production.
+type Hooks struct {
+	// MangleWrite, if set, transforms the byte slice of every physical
+	// write — returning a shortened slice simulates a torn write,
+	// flipping a bit simulates media corruption. The returned slice is
+	// what reaches the file.
+	MangleWrite func([]byte) []byte
+	// SkipFsync, if set and returning true, skips that fsync while still
+	// advancing the durable LSN — the "device lied" fault.
+	SkipFsync func() bool
+}
+
+// Options configure Open.
+type Options struct {
+	// SegmentBytes is the roll threshold (default 4 MiB): an append that
+	// would push the active segment past it starts a new segment first.
+	SegmentBytes int64
+	// Policy is the fsync policy (default PolicyGroup).
+	Policy Policy
+	// FlushEvery is PolicyNone's lazy flush period (default 500ms).
+	FlushEvery time.Duration
+	// Hooks are the fault-injection points; nil in production.
+	Hooks Hooks
+}
+
+// RecoveryInfo reports what Open found and repaired.
+type RecoveryInfo struct {
+	Segments int   `json:"segments"`
+	Records  int64 `json:"records"`
+	FirstLSN LSN   `json:"first_lsn"` // lowest surviving LSN (0 when empty)
+	LastLSN  LSN   `json:"last_lsn"`  // highest surviving LSN (0 when empty)
+	// TornBytes counts bytes truncated from the last segment's tail — a
+	// partially written frame from a crash. TornFile names the segment.
+	TornBytes int64  `json:"torn_bytes"`
+	TornFile  string `json:"torn_file,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the log's activity.
+type Stats struct {
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	Fsyncs        int64 `json:"fsyncs"`
+	// FsyncsSkipped counts fsyncs suppressed by the SkipFsync hook.
+	FsyncsSkipped   int64 `json:"fsyncs_skipped,omitempty"`
+	SegmentsRolled  int64 `json:"segments_rolled"`
+	SegmentsRemoved int64 `json:"segments_removed"`
+	Segments        int   `json:"segments"`
+	TailLSN         LSN   `json:"tail_lsn"`
+	FlushedLSN      LSN   `json:"flushed_lsn"`
+	DurableLSN      LSN   `json:"durable_lsn"`
+	PendingBytes    int   `json:"pending_bytes"`
+	// FsyncWait is the fsync latency distribution — the group-commit
+	// price every durable Append pays a share of.
+	FsyncWait citrusstat.Snapshot `json:"fsync_wait"`
+}
+
+// segInfo tracks one on-disk segment. Segments are ordered by first
+// LSN; the last entry is the active (append) segment.
+type segInfo struct {
+	path  string
+	first LSN // first LSN stored (== next LSN when still empty)
+	last  LSN // last LSN stored (first-1 when empty)
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	opts Options
+
+	fsyncHist citrusstat.Histogram
+
+	mu      sync.Mutex
+	durCond *sync.Cond // signaled when durable advances or err/closed flips
+	buf     []byte     // frames appended but not yet written to the OS
+	tail    LSN        // last assigned LSN
+	flushed LSN        // last LSN written to the OS
+	durable LSN        // last LSN fsynced
+	f       *os.File   // active segment
+	segs    []segInfo
+	segSize int64 // bytes physically written to the active segment
+	closed  bool
+	err     error // sticky I/O error; the log is dead once set
+
+	appends, appendedBytes          int64
+	fsyncs, fsyncsSkipped           int64
+	segmentsRolled, segmentsRemoved int64
+
+	wake  chan struct{}
+	stopc chan struct{}
+	donec chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir, validates every
+// segment, truncates a torn tail on the last one, and positions the
+// log for appending. The returned RecoveryInfo describes what was
+// found; replay the surviving records with Replay before appending.
+func Open(dir string, opts Options) (*Log, RecoveryInfo, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = defaultFlushEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	l := &Log{
+		dir:   dir,
+		opts:  opts,
+		wake:  make(chan struct{}, 1),
+		stopc: make(chan struct{}),
+		donec: make(chan struct{}),
+	}
+	l.durCond = sync.NewCond(&l.mu)
+
+	info, err := l.recover()
+	if err != nil {
+		return nil, info, err
+	}
+	go l.committer()
+	return l, info, nil
+}
+
+// segmentPath names a segment by the first LSN it holds.
+func segmentPath(dir string, first LSN) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.seg", uint64(first)))
+}
+
+// listSegments returns the segment files in dir ordered by first LSN.
+func listSegments(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		first, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %s: unparseable name", name)
+		}
+		segs = append(segs, segInfo{path: filepath.Join(dir, name), first: LSN(first)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// recover scans the on-disk segments, truncates a torn tail on the
+// last one, and opens the active segment for appending.
+func (l *Log) recover() (RecoveryInfo, error) {
+	var info RecoveryInfo
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return info, err
+	}
+	if len(segs) == 0 {
+		// Fresh log: first record will be LSN 1.
+		return info, l.startSegment(1)
+	}
+	expect := segs[0].first
+	info.FirstLSN = segs[0].first
+	var lastSize int64
+	for i := range segs {
+		last := i == len(segs)-1
+		if segs[i].first != expect {
+			return info, fmt.Errorf("wal: segment %s: starts at LSN %d, want %d (gap — missing segment?)",
+				filepath.Base(segs[i].path), segs[i].first, expect)
+		}
+		recs, validSize, frameErr, ioErr := readRecords(segs[i].path, segs[i].first, nil)
+		if ioErr != nil {
+			return info, ioErr
+		}
+		if frameErr != nil && !last {
+			return info, fmt.Errorf("wal: segment %s: invalid frame mid-log: %w",
+				filepath.Base(segs[i].path), frameErr)
+		}
+		segs[i].last = segs[i].first + LSN(recs) - 1
+		if recs == 0 {
+			segs[i].last = segs[i].first - 1
+		}
+		info.Records += recs
+		expect = segs[i].last + 1
+		if last {
+			st, err := os.Stat(segs[i].path)
+			if err != nil {
+				return info, err
+			}
+			if st.Size() > validSize {
+				info.TornBytes = st.Size() - validSize
+				info.TornFile = filepath.Base(segs[i].path)
+				if err := os.Truncate(segs[i].path, validSize); err != nil {
+					return info, fmt.Errorf("wal: truncating torn tail of %s: %w", segs[i].path, err)
+				}
+			}
+			lastSize = validSize
+		}
+	}
+	info.Segments = len(segs)
+	l.segs = segs
+	active := &l.segs[len(l.segs)-1]
+	l.tail = active.last
+	l.flushed = l.tail
+	l.durable = l.tail
+	if info.Records > 0 {
+		info.LastLSN = l.tail
+	} else {
+		info.FirstLSN = 0
+	}
+	f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return info, err
+	}
+	l.f = f
+	l.segSize = lastSize
+	return info, nil
+}
+
+// startSegment creates and opens a fresh segment whose first record
+// will carry LSN first. Caller holds mu (or runs before concurrency).
+func (l *Log) startSegment(first LSN) error {
+	f, err := os.OpenFile(segmentPath(l.dir, first), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segSize = 0
+	l.segs = append(l.segs, segInfo{path: f.Name(), first: first, last: first - 1})
+	return syncDir(l.dir)
+}
+
+// Append assigns the next LSN to payload and stages the frame for the
+// configured policy. It returns the assigned LSN; pair it with
+// WaitDurable before acknowledging the write to a client.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	lsn := l.tail + 1
+	frameBytes := int64(frameSize(payload))
+	if l.segSize+int64(len(l.buf))+frameBytes > l.opts.SegmentBytes && l.segSize+int64(len(l.buf)) > 0 {
+		if err := l.rollLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	l.buf = appendFrame(l.buf, lsn, payload)
+	l.tail = lsn
+	l.segs[len(l.segs)-1].last = lsn
+	l.appends++
+	l.appendedBytes += frameBytes
+	switch l.opts.Policy {
+	case PolicyAlways:
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+		if err := l.fsyncLocked(); err != nil {
+			return 0, err
+		}
+	case PolicyGroup:
+		l.kick()
+	case PolicyNone:
+		if len(l.buf) >= flushChunk {
+			l.kick()
+		}
+	}
+	return lsn, nil
+}
+
+// WaitDurable blocks until lsn is durable under the configured policy:
+// fsynced for PolicyAlways/PolicyGroup, immediately (without any
+// durability) for PolicyNone. It returns the log's sticky error if the
+// log died, and ErrClosed if Close ran before lsn became durable.
+func (l *Log) WaitDurable(lsn LSN) error {
+	if l.opts.Policy == PolicyNone {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < lsn {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		l.durCond.Wait()
+	}
+	return l.err
+}
+
+// Sync flushes the buffer and fsyncs the active segment, whatever the
+// policy — the drain path's explicit flush point.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	return l.fsyncLocked()
+}
+
+// TailLSN reports the last assigned LSN. Because callers append only
+// after applying (see the kvserver durable store), every record at or
+// below TailLSN has been applied — which is what makes TailLSN a sound
+// fuzzy-snapshot position.
+func (l *Log) TailLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// DurableLSN reports the last fsynced LSN.
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Cut rolls to a fresh segment so everything appended so far sits in
+// sealed segments — called by the snapshotter before truncation so the
+// snapshot LSN lands on (or near) a segment boundary. A no-op on an
+// empty active segment.
+func (l *Log) Cut() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.segSize+int64(len(l.buf)) == 0 {
+		return nil
+	}
+	return l.rollLocked(l.tail + 1)
+}
+
+// TruncateBefore removes sealed segments whose every record is at or
+// below lsn — they are covered by a durable snapshot at lsn and no
+// longer needed for recovery. The active segment always survives. It
+// returns how many segment files were removed.
+func (l *Log) TruncateBefore(lsn LSN) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for len(l.segs) > 1 && l.segs[0].last <= lsn {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, err
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.segmentsRemoved += int64(removed)
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Replay streams every record with LSN strictly greater than from, in
+// LSN order, to fn. Call it after Open and before any Append — it reads
+// the segment files directly and does not see unflushed appends.
+func (l *Log) Replay(from LSN, fn func(lsn LSN, payload []byte) error) error {
+	l.mu.Lock()
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := append([]segInfo(nil), l.segs...)
+	l.mu.Unlock()
+	for _, s := range segs {
+		if s.last < s.first || s.last <= from {
+			continue // empty, or wholly below the replay point
+		}
+		_, _, frameErr, err := readRecords(s.path, s.first, func(lsn LSN, payload []byte) error {
+			if lsn <= from {
+				return nil
+			}
+			return fn(lsn, payload)
+		})
+		if err != nil {
+			return err
+		}
+		if frameErr != nil {
+			return fmt.Errorf("wal: replay %s: %w", filepath.Base(s.path), frameErr)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the log's counters and gauges.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:         l.appends,
+		AppendedBytes:   l.appendedBytes,
+		Fsyncs:          l.fsyncs,
+		FsyncsSkipped:   l.fsyncsSkipped,
+		SegmentsRolled:  l.segmentsRolled,
+		SegmentsRemoved: l.segmentsRemoved,
+		Segments:        len(l.segs),
+		TailLSN:         l.tail,
+		FlushedLSN:      l.flushed,
+		DurableLSN:      l.durable,
+		PendingBytes:    len(l.buf),
+		FsyncWait:       l.fsyncHist.Snapshot(),
+	}
+}
+
+// Policy reports the configured fsync policy.
+func (l *Log) Policy() Policy { return l.opts.Policy }
+
+// Dir reports the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and fsyncs everything buffered — whatever the policy —
+// and closes the active segment. Idempotent; Append and WaitDurable
+// return ErrClosed afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		<-l.donec
+		return err
+	}
+	l.closed = true
+	ferr := l.flushLocked()
+	if ferr == nil {
+		ferr = l.fsyncLocked()
+	}
+	if cerr := l.f.Close(); ferr == nil && cerr != nil {
+		ferr = cerr
+	}
+	l.durCond.Broadcast()
+	l.mu.Unlock()
+	close(l.stopc)
+	<-l.donec
+	return ferr
+}
+
+// committer is the background flush/fsync goroutine: group commit for
+// PolicyGroup, lazy flushing for PolicyNone. (PolicyAlways flushes
+// inline in Append; the goroutine just waits for Close.)
+func (l *Log) committer() {
+	defer close(l.donec)
+	ticker := time.NewTicker(l.opts.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-l.wake:
+		case <-ticker.C:
+			if l.opts.Policy != PolicyNone {
+				continue
+			}
+		}
+		l.mu.Lock()
+		if l.closed || l.err != nil {
+			l.mu.Unlock()
+			continue
+		}
+		if err := l.flushLocked(); err == nil && l.opts.Policy == PolicyGroup && l.durable < l.flushed {
+			l.fsyncLocked() //nolint:errcheck // sticky error recorded; waiters woken
+		}
+		l.mu.Unlock()
+	}
+}
+
+// kick wakes the committer; a pending wakeup coalesces.
+func (l *Log) kick() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flushLocked writes the buffer to the active segment. Caller holds mu.
+func (l *Log) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	b := l.buf
+	if l.opts.Hooks.MangleWrite != nil {
+		b = l.opts.Hooks.MangleWrite(b)
+	}
+	n, err := l.f.Write(b)
+	l.segSize += int64(n)
+	if err != nil {
+		l.fail(err)
+		return err
+	}
+	l.buf = l.buf[:0]
+	l.flushed = l.tail
+	return nil
+}
+
+// fsyncLocked fsyncs the active segment and advances the durable LSN.
+// Caller holds mu and has flushed.
+func (l *Log) fsyncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.opts.Hooks.SkipFsync != nil && l.opts.Hooks.SkipFsync() {
+		l.fsyncsSkipped++
+		l.durable = l.flushed
+		l.durCond.Broadcast()
+		return nil
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.fsyncHist.Record(time.Since(t0))
+	if err != nil {
+		l.fail(err)
+		return err
+	}
+	l.fsyncs++
+	l.durable = l.flushed
+	l.durCond.Broadcast()
+	return nil
+}
+
+// rollLocked seals the active segment (flush + fsync + close) and
+// starts a new one whose first record will be next. Caller holds mu.
+func (l *Log) rollLocked(next LSN) error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+		return err
+	}
+	if err := l.startSegment(next); err != nil {
+		l.fail(err)
+		return err
+	}
+	l.segmentsRolled++
+	return nil
+}
+
+// fail records the sticky error and wakes every waiter. Caller holds mu.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.durCond.Broadcast()
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,424 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect replays the whole log into a slice of (lsn, payload) pairs.
+func collect(t *testing.T, l *Log, from LSN) []string {
+	t.Helper()
+	var out []string
+	if err := l.Replay(from, func(lsn LSN, payload []byte) error {
+		out = append(out, fmt.Sprintf("%d:%s", lsn, payload))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(dir, Options{Policy: PolicyGroup})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if info.Records != 0 || info.TornBytes != 0 {
+		t.Fatalf("fresh log reported recovery %+v", info)
+	}
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != LSN(i+1) {
+			t.Fatalf("Append %d assigned LSN %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := l.WaitDurable(100); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 100 || got[0] != "1:rec-000" || got[99] != "100:rec-099" {
+		t.Fatalf("replay mismatch: len=%d first=%q last=%q", len(got), got[0], got[len(got)-1])
+	}
+	// Replay from the middle skips the prefix.
+	mid := collect(t, l, 60)
+	if len(mid) != 40 || mid[0] != "61:rec-060" {
+		t.Fatalf("replay from 60: len=%d first=%q", len(mid), mid[0])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+
+	// Reopen: everything survives, no torn bytes.
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if info.Records != 100 || info.TornBytes != 0 || info.FirstLSN != 1 || info.LastLSN != 100 {
+		t.Fatalf("reopen recovery %+v", info)
+	}
+	if l2.TailLSN() != 100 {
+		t.Fatalf("reopened tail %d, want 100", l2.TailLSN())
+	}
+	// Appends continue the sequence.
+	lsn, err := l2.Append([]byte("after"))
+	if err != nil || lsn != 101 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestSegmentRollAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force frequent rolls.
+	l, _, err := Open(dir, Options{SegmentBytes: 256, Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("p"), 48) // 64B frames → 4 per segment
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.SegmentsRolled == 0 || st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got stats %+v", st)
+	}
+	if got := collect(t, l, 0); len(got) != n {
+		t.Fatalf("replay across segments: %d records, want %d", len(got), n)
+	}
+
+	// Truncate everything below LSN 20: only whole sealed segments go.
+	removed, err := l.TruncateBefore(20)
+	if err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if removed == 0 {
+		t.Fatalf("TruncateBefore removed nothing")
+	}
+	got := collect(t, l, 20)
+	if len(got) != n-20 || got[0] != fmt.Sprintf("21:%s", payload) {
+		t.Fatalf("post-truncate replay: len=%d first=%.20q", len(got), got[0])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen after truncation: log starts at the surviving segment.
+	l2, info, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if info.LastLSN != n || info.FirstLSN == 1 {
+		t.Fatalf("reopen after truncate: %+v", info)
+	}
+}
+
+func TestCutSealsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Cut(); err != nil {
+		t.Fatalf("Cut: %v", err)
+	}
+	// Everything ≤ 5 is now in a sealed segment and can be truncated.
+	removed, err := l.TruncateBefore(5)
+	if err != nil || removed != 1 {
+		t.Fatalf("TruncateBefore after Cut: removed=%d err=%v", removed, err)
+	}
+	// Cut on an empty active segment is a no-op.
+	if err := l.Cut(); err != nil {
+		t.Fatalf("empty Cut: %v", err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after empty cut: %+v", st)
+	}
+	// The sequence continues unbroken.
+	lsn, err := l.Append([]byte("y"))
+	if err != nil || lsn != 6 {
+		t.Fatalf("append after cut: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyGroup})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer: %v", err)
+	}
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.DurableLSN != LSN(writers*perWriter) {
+		t.Fatalf("durable %d, want %d", st.DurableLSN, writers*perWriter)
+	}
+	// The whole point of group commit: far fewer fsyncs than appends.
+	if st.Fsyncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", st.Fsyncs, st.Appends)
+	}
+	if got := collect(t, l, 0); len(got) != writers*perWriter {
+		t.Fatalf("replay %d records, want %d", len(got), writers*perWriter)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPolicyNoneBuffersInUserSpace(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyNone, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	lsn, err := l.Append([]byte("volatile"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// WaitDurable lies immediately — that is the policy's contract.
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	st := l.Stats()
+	if st.PendingBytes == 0 {
+		t.Fatalf("PolicyNone flushed eagerly; a SIGKILL here would lose nothing (stats %+v)", st)
+	}
+	if st.DurableLSN != 0 {
+		t.Fatalf("PolicyNone claimed durability: %+v", st)
+	}
+	// A process kill here loses the buffered tail: the segment file on
+	// disk must not contain the record yet.
+	seg := segmentPath(dir, 1)
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != 0 {
+		t.Fatalf("segment has %v bytes on disk before flush (err=%v)", fi, err)
+	}
+	// Close flushes it.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fi, err := os.Stat(seg); err != nil || fi.Size() == 0 {
+		t.Fatalf("Close did not flush: %v err=%v", fi, err)
+	}
+}
+
+func TestSkipFsyncHookCountsButAdvances(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{
+		Policy: PolicyAlways,
+		Hooks:  Hooks{SkipFsync: func() bool { return true }},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.FsyncsSkipped == 0 || st.Fsyncs != 0 {
+		t.Fatalf("skip hook not exercised: %+v", st)
+	}
+	if st.DurableLSN != 1 {
+		t.Fatalf("skipped fsync must still (falsely) advance durable: %+v", st)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"always", PolicyAlways, false},
+		{"group", PolicyGroup, false},
+		{"", PolicyGroup, false},
+		{"none", PolicyNone, false},
+		{"nofsync", PolicyNone, false},
+		{"NONE", PolicyNone, false},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err != nil) != c.err || (err == nil && got != c.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestSyncFlushesWhateverThePolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyNone, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("drainme")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := l.Stats()
+	if st.PendingBytes != 0 || st.DurableLSN != 1 || st.Fsyncs == 0 {
+		t.Fatalf("Sync did not flush+fsync: %+v", st)
+	}
+}
+
+func TestOpenRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128, Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("z"), 40)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("want ≥3 segments, got %+v", l.Stats())
+	}
+	l.Close()
+	// Flip a bit in the FIRST segment — not the last, so this is not a
+	// torn tail but unrecoverable corruption.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("listSegments: %v (%d)", err, len(segs))
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+3] ^= 0x40
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatalf("Open accepted mid-log corruption")
+	}
+}
+
+func TestOpenRejectsSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 128, Policy: PolicyAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	payload := bytes.Repeat([]byte("z"), 40)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("listSegments: %v (%d)", err, len(segs))
+	}
+	// Deleting a middle segment leaves an LSN gap Open must refuse.
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatalf("Open accepted a missing middle segment")
+	}
+}
+
+func TestEmptySegmentAfterRollCrash(t *testing.T) {
+	// A crash between startSegment and the first append leaves an empty
+	// active segment — legal, and the log must resume from it.
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Cut(); err != nil { // rolls; new active segment stays empty
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with empty tail segment: %v", err)
+	}
+	defer l2.Close()
+	if info.Records != 3 || info.LastLSN != 3 {
+		t.Fatalf("recovery %+v", info)
+	}
+	lsn, err := l2.Append([]byte("b"))
+	if err != nil || lsn != 4 {
+		t.Fatalf("append: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestRejectsForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// Non-WAL files in the directory (snapshots, manifests) are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000001.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with foreign files: %v", err)
+	}
+	defer l.Close()
+	if info.Segments != 0 {
+		t.Fatalf("foreign files counted as segments: %+v", info)
+	}
+}
